@@ -1,0 +1,46 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs its experiment once (``benchmark.pedantic`` with a
+single round - the experiments are deterministic end-to-end simulations,
+not microbenchmarks), prints the paper-style table, and writes it to
+``benchmarks/results/`` so a bench run leaves the regenerated artifacts
+on disk.
+
+Scales are chosen so the full bench suite finishes in minutes; set
+``REPRO_BENCH_SCALE`` to change the workload scale globally (1.0
+reproduces the committed EXPERIMENTS.md numbers).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Workload scale for trace-profiling experiments.
+PROFILE_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Workload scale for cycle-level timing experiments (costlier per insn).
+TIMING_SCALE = PROFILE_SCALE * 0.25
+
+
+@pytest.fixture
+def record_result():
+    """Print a rendered experiment table and persist it to results/."""
+
+    def _record(experiment_id: str, rendered: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        path.write_text(rendered + "\n")
+        print()
+        print(rendered)
+
+    return _record
+
+
+def run_once(benchmark, func):
+    """Run a deterministic experiment exactly once under the timer."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,36 @@
+"""A7 - extension: how load-bearing is the paper's perfect front end?
+
+Section 4.3 uses a perfect I-cache and perfect branch prediction "to
+assert the maximum pressure on the data memory bandwidth".  This bench
+re-runs the key Figure 8 comparison under a realistic gshare front end
+and checks the two things the paper's methodology implies: (i) absolute
+IPC drops, so bandwidth pressure falls and the gaps compress; (ii) the
+*ordering* of configurations - the paper's actual conclusion - is
+unchanged.
+"""
+
+from benchmarks.conftest import TIMING_SCALE, run_once
+from repro.eval.experiments import ablation_front_end
+
+
+def test_front_end_sensitivity(benchmark, record_result):
+    result = run_once(benchmark,
+                      lambda: ablation_front_end(scale=TIMING_SCALE))
+    record_result("ablation_front_end", result.render())
+
+    # (i) a real front end lowers absolute performance...
+    slowdowns = 0
+    for name, per_fe in result.baseline_ipc.items():
+        if per_fe["gshare"] < per_fe["perfect"] - 1e-9:
+            slowdowns += 1
+    assert slowdowns >= len(result.baseline_ipc) - 1
+
+    # ...which compresses the bandwidth gaps (perfect front end really
+    # does maximise the pressure).
+    assert result.average("gshare", "(16+0)") \
+        <= result.average("perfect", "(16+0)") + 0.01
+
+    # (ii) but the paper's conclusion is robust: decoupling still wins
+    # over the starved baseline, under either front end.
+    for front_end in ("perfect", "gshare"):
+        assert result.average(front_end, "(3+3)") > 1.0

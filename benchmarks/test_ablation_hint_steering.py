@@ -1,0 +1,24 @@
+"""A8 - extension: the paper's Section 3.5.2 performance claim.
+
+"Use of the dynamic technique allows running existing binaries on a
+data-decoupled processor without losing noticeable performance" - i.e.
+hardware-only ARPT steering should match compiler-assisted steering
+(and the oracle bound) in cycles, even though hints reduce the ARPT's
+lookup pressure.  Measured on the (3+3) machine.
+"""
+
+from benchmarks.conftest import TIMING_SCALE, run_once
+from repro.eval.experiments import ablation_hint_steering
+
+
+def test_hardware_only_steering_loses_nothing(benchmark, record_result):
+    result = run_once(benchmark,
+                      lambda: ablation_hint_steering(scale=TIMING_SCALE))
+    record_result("ablation_hint_steering", result.render())
+    for name, row in result.rows.items():
+        # Compiler assistance buys at most 1% cycles over hardware-only.
+        assert row["arpt"] / row["hinted"] > 0.99, name
+        # And the oracle bound confirms the ARPT is near-lossless.
+        assert row["arpt"] / row["oracle"] > 0.98, name
+        # Hints do relieve predictor pressure (fewer table lookups).
+        assert row["hinted_predictions"] <= row["arpt_predictions"], name

@@ -1,0 +1,23 @@
+"""A3 - ablation: LVC capacity vs stack hit rate.
+
+The paper sizes the LVC at 4 KB citing near-perfect stack hit rates;
+this sweep shows the knee of that curve.
+"""
+
+from benchmarks.conftest import PROFILE_SCALE, run_once
+from repro.eval import ablation_lvc_size
+
+
+def test_lvc_size_sweep(benchmark, record_result):
+    result = run_once(benchmark,
+                      lambda: ablation_lvc_size(scale=PROFILE_SCALE))
+    record_result("ablation_lvc_size", result.render())
+    for name, by_size in result.hit_rates.items():
+        sizes = sorted(by_size)
+        # Hit rate is monotonically non-decreasing in capacity (small
+        # slack for direct-mapped conflict luck).
+        for small, large in zip(sizes, sizes[1:]):
+            assert by_size[large] >= by_size[small] - 0.01, name
+    avg_4k = sum(r[4096] for r in result.hit_rates.values()) \
+        / len(result.hit_rates)
+    assert avg_4k > 0.97

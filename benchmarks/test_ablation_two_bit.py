@@ -1,0 +1,24 @@
+"""A1 - ablation: 1-bit vs 2-bit ARPT entries.
+
+Paper footnote 8: 2-bit (hysteresis) schemes performed consistently
+*lower* than 1-bit schemes - region changes are phase-like, so reacting
+immediately beats waiting for two confirmations.  Checked on average;
+individual programs may tie.
+"""
+
+from benchmarks.conftest import PROFILE_SCALE, run_once
+from repro.eval import ablation_two_bit
+
+
+def test_one_bit_beats_two_bit(benchmark, record_result):
+    result = run_once(benchmark,
+                      lambda: ablation_two_bit(scale=PROFILE_SCALE))
+    record_result("ablation_two_bit", result.render())
+    one_avg = sum(a for a, _ in result.accuracies.values()) \
+        / len(result.accuracies)
+    two_avg = sum(b for _, b in result.accuracies.values()) \
+        / len(result.accuracies)
+    assert one_avg >= two_avg - 1e-6
+    # 2-bit should never win by a wide margin on any single program.
+    for name, (one, two) in result.accuracies.items():
+        assert two <= one + 0.002, name

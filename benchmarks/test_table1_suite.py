@@ -1,0 +1,22 @@
+"""T1 - regenerate Table 1: suite characteristics.
+
+Paper: 220M-684M instructions, 14-32% loads, 6-22% stores.  Our suite is
+scaled down for Python-speed simulation; the check is the load/store
+*mix*, which drives every bandwidth result downstream.
+"""
+
+from benchmarks.conftest import PROFILE_SCALE, run_once
+from repro.eval import table1
+
+
+def test_table1_suite_characteristics(benchmark, record_result):
+    result = run_once(benchmark, lambda: table1(scale=PROFILE_SCALE))
+    record_result("table1", result.render())
+    assert len(result.rows) == 12
+    for row in result.rows:
+        total_mem = row.load_pct + row.store_pct
+        assert 10.0 <= total_mem <= 55.0, \
+            f"{row.name}: unrealistic memory mix {total_mem:.1f}%"
+        assert row.load_pct >= row.store_pct * 0.5, \
+            f"{row.name}: loads should not be dwarfed by stores"
+        assert row.instructions > 50_000 * PROFILE_SCALE

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Head-to-head: data-decoupled vs conventional memory pipelines.
+
+Runs a chosen workload through the cycle-level simulator under the
+paper's Figure 8 configurations and prints IPC, relative speedup, and
+the memory-system diagnostics that explain the differences (port
+stalls, cache hit rates, forwarding, ARPT behaviour).
+
+Run with::
+
+    python examples/decoupled_vs_conventional.py [workload] [scale]
+
+e.g. ``python examples/decoupled_vs_conventional.py ccomp 0.25``.
+"""
+
+import sys
+
+from repro.timing import figure8_configs, simulate
+from repro.workloads import suite
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "ccomp"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+
+    spec = suite.spec(name)
+    print(f"workload: {name} (mirrors {spec.mirrors}) - "
+          f"{spec.description}")
+    trace = suite.run(name, scale)
+    mem_fraction = (trace.load_count + trace.store_count) / len(trace)
+    print(f"trace: {len(trace):,} instructions, "
+          f"{100 * mem_fraction:.1f}% loads+stores\n")
+
+    header = (f"{'config':<12} {'IPC':>6} {'vs(2+0)':>8} {'L1 hit':>7} "
+              f"{'LVC hit':>8} {'stalls':>8} {'fwd':>6} {'ARPT acc':>9}")
+    print(header)
+    print("-" * len(header))
+    baseline_cycles = None
+    for config in figure8_configs():
+        result = simulate(trace, config)
+        if baseline_cycles is None:
+            baseline_cycles = result.cycles
+        lvc = (f"{100 * result.lvc_hit_rate:.1f}%"
+               if config.decoupled else "-")
+        arpt = (f"{100 * result.arpt_accuracy:.2f}%"
+                if config.steering == "arpt" else "-")
+        print(f"{config.name:<12} {result.ipc:6.2f} "
+              f"{baseline_cycles / result.cycles:8.3f} "
+              f"{100 * result.l1_hit_rate:6.1f}% {lvc:>8} "
+              f"{result.port_stalls:8d} {result.store_forwards:6d} "
+              f"{arpt:>9}")
+
+    print("\nreading guide: the paper's headline is that (3+3) - two"
+          " cheap 3-ported")
+    print("caches steered by the ARPT - tracks (16+0), the unlimited-"
+          "bandwidth bound,")
+    print("while (2+0) starves the 16-wide core.")
+
+
+if __name__ == "__main__":
+    main()

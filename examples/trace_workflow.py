@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Archive-and-reanalyse workflow: simulate once, study many times.
+
+Functional simulation dominates experiment cost, so the library can
+persist traces (`repro.trace.save_trace` / `load_trace`) and replay
+them through any analysis - here: the Figure-6 static compiler hints
+vs the profile ideal, then two timing configurations - without ever
+re-executing the program.
+
+Run with::
+
+    python examples/trace_workflow.py [workload] [scale]
+"""
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.predictor import (evaluate_scheme, hints_from_trace,
+                             static_hint_stats, static_hints)
+from repro.timing import conventional_config, decoupled_config, simulate
+from repro.trace import load_trace, save_trace
+from repro.workloads import suite
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "lisp"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+    started = time.time()
+    compiled = suite.compile_workload(name, scale)
+    trace = suite.run(name, scale)
+    print(f"simulated {name}: {len(trace):,} instructions "
+          f"in {time.time() - started:.1f}s")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"{name}.npz"
+        save_trace(trace, path)
+        size_kb = path.stat().st_size / 1024
+        print(f"archived to {path.name}: {size_kb:,.0f} KB "
+              f"({path.stat().st_size / max(1, len(trace)):.1f} B/insn)")
+
+        started = time.time()
+        replayed = load_trace(path)
+        print(f"reloaded in {time.time() - started:.1f}s\n")
+
+    # Analysis 1: compiler hints, real vs ideal.
+    stats = static_hint_stats(compiled)
+    fig6 = static_hints(compiled)
+    ideal = hints_from_trace(replayed)
+    print(f"Figure-6 static analysis tagged "
+          f"{100 * stats.coverage:.1f}% of memory instructions "
+          f"({stats.tagged_stack} stack / {stats.tagged_nonstack} "
+          f"non-stack)")
+    for label, hints in (("no hints", None), ("Fig-6 hints", fig6),
+                         ("profile hints", ideal)):
+        result = evaluate_scheme(replayed, "1bit-hybrid",
+                                 table_size=1024, hints=hints)
+        print(f"  1K-entry ARPT, {label:13s}: "
+              f"{100 * result.accuracy:.3f}% "
+              f"(table entries used: {result.occupancy})")
+
+    # Analysis 2: timing, from the same archived trace.
+    print()
+    for config in (conventional_config(2), decoupled_config(2, 2)):
+        result = simulate(replayed, config)
+        print(f"  {config.name:<6} ipc {result.ipc:5.2f}  "
+              f"LVC hit {100 * result.lvc_hit_rate:5.1f}%  "
+              f"TLB miss {100 * result.tlb_miss_rate:.3f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro: reproduction of "Access Region Locality for High-Bandwidth
+Processor Memory System Design" (Cho, Yew, Lee - MICRO 1999).
+
+The package provides, end to end:
+
+* a MiniC compiler targeting a PISA-like ISA (:mod:`repro.lang`,
+  :mod:`repro.compiler`, :mod:`repro.isa`);
+* a functional simulator with full dynamic tracing (:mod:`repro.cpu`,
+  :mod:`repro.trace`);
+* the paper's access-region predictor family (:mod:`repro.predictor`);
+* cache models and a trace-driven out-of-order timing simulator with
+  data-decoupled memory pipelines (:mod:`repro.cache`, :mod:`repro.timing`);
+* the 12-program workload suite and per-figure/table experiment drivers
+  (:mod:`repro.workloads`, :mod:`repro.eval`).
+
+Quickstart::
+
+    from repro.workloads import suite
+    from repro.predictor import evaluate
+
+    trace = suite.run("compress")
+    result = evaluate.evaluate_scheme(trace, "1bit-hybrid")
+    print(result.accuracy)
+"""
+
+__version__ = "1.0.0"

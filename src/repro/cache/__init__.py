@@ -1,0 +1,23 @@
+"""Cache models: set-associative caches, the LVC, hierarchy, ports."""
+
+from repro.cache.cache import (Cache, CacheConfig, CacheStats,
+                               l1_data_cache, l2_cache,
+                               local_variable_cache)
+from repro.cache.hierarchy import AccessResult, Hierarchy, PortManager
+from repro.cache.lvc import (StackCacheResult, lvc_size_sweep,
+                             stack_cache_hit_rate)
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "l1_data_cache",
+    "l2_cache",
+    "local_variable_cache",
+    "AccessResult",
+    "Hierarchy",
+    "PortManager",
+    "StackCacheResult",
+    "lvc_size_sweep",
+    "stack_cache_hit_rate",
+]

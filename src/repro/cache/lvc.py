@@ -1,0 +1,50 @@
+"""Stack-cache (LVC) hit-rate experiments.
+
+Section 3.3 of the paper argues stack references exhibit such strong
+locality that a tiny dedicated cache suffices, citing a 4 KB stack cache
+with a >99.5% hit rate (average ~99.9%) on SPEC95.  This module replays
+the stack references of a trace through an LVC of configurable size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.cache.cache import local_variable_cache
+from repro.trace.records import REGION_STACK, Trace
+
+
+@dataclass
+class StackCacheResult:
+    trace_name: str
+    size_bytes: int
+    stack_accesses: int
+    hits: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / max(1, self.stack_accesses)
+
+
+def stack_cache_hit_rate(trace: Trace,
+                         size_bytes: int = 4 * 1024) -> StackCacheResult:
+    """Replay a trace's stack references through a direct-mapped LVC."""
+    cache = local_variable_cache(size_bytes)
+    accesses = 0
+    hits = 0
+    for record in trace.records:
+        if record.region != REGION_STACK:
+            continue
+        accesses += 1
+        if cache.access(record.addr, record.is_store):
+            hits += 1
+    return StackCacheResult(trace_name=trace.name, size_bytes=size_bytes,
+                            stack_accesses=accesses, hits=hits)
+
+
+def lvc_size_sweep(trace: Trace,
+                   sizes: Iterable[int] = (1024, 2048, 4096, 8192,
+                                           16384)) -> List[StackCacheResult]:
+    """Hit rate across LVC sizes (the A3 ablation in DESIGN.md)."""
+    return [stack_cache_hit_rate(trace, size) for size in sizes]

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run <file.mc>``
+    Compile and execute a MiniC source file; print its output.
+``disasm <file.mc>``
+    Compile a MiniC source file and print the generated assembly.
+``workloads``
+    List the built-in workload suite.
+``profile [--scale S] [names...]``
+    Region-locality profile (Figure 2 / Table 2 style) per workload.
+``predict [--scale S] [--scheme NAME] [names...]``
+    Access-region prediction accuracy per workload.
+``timing [--scale S] [names...]``
+    Figure 8 configurations on the chosen workloads.
+``experiment <id> [--scale S]``
+    Run one paper experiment (table1, figure2, table2, figure4,
+    table3, figure5, section33, figure8) or ablation/extension
+    (a1..a7) and print its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro import eval as evaluation
+from repro.compiler import compile_source
+from repro.cpu import run_program
+from repro.predictor import evaluate_scheme
+from repro.timing import figure8_configs, simulate
+from repro.trace.regions import region_breakdown
+from repro.trace.windows import window_stats
+from repro.workloads import suite
+
+_EXPERIMENTS = {
+    "table1": evaluation.table1,
+    "figure2": evaluation.figure2,
+    "table2": evaluation.table2,
+    "figure4": evaluation.figure4,
+    "table3": evaluation.table3,
+    "figure5": evaluation.figure5,
+    "section33": evaluation.section33,
+    "figure8": evaluation.figure8,
+    "a1": evaluation.ablation_two_bit,
+    "a2": evaluation.ablation_context_bits,
+    "a3": evaluation.ablation_lvc_size,
+    "a4": evaluation.ablation_static_hints,
+    "a5": evaluation.ablation_banked_cache,
+    "a6": evaluation.ablation_heap_decoupling,
+    "a7": evaluation.ablation_front_end,
+    "a8": evaluation.ablation_hint_steering,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Access Region Locality (MICRO 1999) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="compile and execute a MiniC file")
+    run.add_argument("source", type=Path)
+
+    disasm = sub.add_parser("disasm", help="print generated assembly")
+    disasm.add_argument("source", type=Path)
+
+    sub.add_parser("workloads", help="list the workload suite")
+
+    profile = sub.add_parser("profile", help="region-locality profile")
+    profile.add_argument("names", nargs="*", default=[])
+    profile.add_argument("--scale", type=float, default=0.5)
+
+    predict = sub.add_parser("predict", help="prediction accuracy")
+    predict.add_argument("names", nargs="*", default=[])
+    predict.add_argument("--scale", type=float, default=0.5)
+    predict.add_argument("--scheme", default="1bit-hybrid")
+
+    timing = sub.add_parser("timing", help="Figure 8 configurations")
+    timing.add_argument("names", nargs="*", default=[])
+    timing.add_argument("--scale", type=float, default=0.25)
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("id", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--scale", type=float, default=1.0)
+
+    return parser
+
+
+def _resolve_names(names: List[str]) -> List[str]:
+    if not names:
+        return list(suite.ALL_WORKLOADS)
+    for name in names:
+        suite.spec(name)   # raises with the known-name list
+    return names
+
+
+def _cmd_run(args) -> int:
+    compiled = compile_source(args.source.read_text(), args.source.stem)
+    trace = run_program(compiled)
+    for value in trace.output:
+        print(value)
+    print(f"# {len(trace):,} instructions, exit code {trace.exit_code}",
+          file=sys.stderr)
+    return trace.exit_code
+
+
+def _cmd_disasm(args) -> int:
+    compiled = compile_source(args.source.read_text(), args.source.stem)
+    program = compiled.program
+    by_index = {index: name for name, index in program.labels.items()}
+    for index, instruction in enumerate(program.instructions):
+        if index in by_index:
+            print(f"{by_index[index]}:")
+        print(f"  {program.pc_of_index(index):#010x}  {instruction}")
+    return 0
+
+
+def _cmd_workloads(_args) -> int:
+    print(f"{'name':<12} {'mirrors':<12} {'kind':<5} description")
+    for name in suite.ALL_WORKLOADS:
+        spec = suite.spec(name)
+        print(f"{name:<12} {spec.mirrors:<12} {spec.kind:<5} "
+              f"{spec.description}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    names = _resolve_names(args.names)
+    for name in names:
+        trace = suite.run(name, args.scale)
+        breakdown = region_breakdown(trace)
+        w32 = window_stats(trace, 32)
+        classes = " ".join(
+            f"{cls}:{100 * breakdown.static_fraction(cls):.0f}%"
+            for cls in ("D", "H", "S"))
+        print(f"{name:<12} {len(trace):>9,} insns  {classes}  "
+              f"multi:{100 * breakdown.multi_region_static_fraction:.1f}%  "
+              f"win32 D/H/S: {w32.data.mean:.1f}/{w32.heap.mean:.1f}/"
+              f"{w32.stack.mean:.1f}")
+        suite.run.cache_clear()
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    names = _resolve_names(args.names)
+    for name in names:
+        trace = suite.run(name, args.scale)
+        result = evaluate_scheme(trace, args.scheme)
+        print(f"{name:<12} {args.scheme:<12} "
+              f"accuracy {100 * result.accuracy:6.2f}%  "
+              f"mode-definitive {100 * result.definitive_fraction:5.1f}%  "
+              f"ARPT entries {result.occupancy}")
+        suite.run.cache_clear()
+    return 0
+
+
+def _cmd_timing(args) -> int:
+    names = _resolve_names(args.names)
+    for name in names:
+        trace = suite.run(name, args.scale)
+        print(f"{name} ({len(trace):,} instructions):")
+        baseline: Optional[int] = None
+        for config in figure8_configs():
+            result = simulate(trace, config)
+            if baseline is None:
+                baseline = result.cycles
+            print(f"  {config.name:<12} ipc {result.ipc:5.2f}  "
+                  f"vs (2+0): {baseline / result.cycles:.3f}")
+        suite.run.cache_clear()
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    result = _EXPERIMENTS[args.id](scale=args.scale)
+    print(result.render())
+    return 0
+
+
+_HANDLERS = {
+    "run": _cmd_run,
+    "disasm": _cmd_disasm,
+    "workloads": _cmd_workloads,
+    "profile": _cmd_profile,
+    "predict": _cmd_predict,
+    "timing": _cmd_timing,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

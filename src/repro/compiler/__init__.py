@@ -1,0 +1,14 @@
+"""MiniC compiler: symbols, code generation, linking."""
+
+from repro.compiler.codegen import CodeGen
+from repro.compiler.linker import CompiledProgram, compile_source, link
+from repro.compiler.symbols import CompileError, GlobalTable
+
+__all__ = [
+    "CodeGen",
+    "CompiledProgram",
+    "compile_source",
+    "link",
+    "CompileError",
+    "GlobalTable",
+]

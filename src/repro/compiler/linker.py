@@ -1,0 +1,81 @@
+"""Linker: flattens labelled instruction buffers into an executable image.
+
+Assigns every instruction a PC in the text segment, resolves label targets
+to absolute PCs, and bundles the global-variable table so the loader can
+initialise the data segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.compiler.codegen import BufferItem, CodeGen, Label
+from repro.compiler.symbols import CompileError, GlobalTable
+from repro.isa import registers
+from repro.isa.instructions import Instruction, Op, Program
+from repro.lang.parser import parse
+from repro.runtime.layout import TEXT_BASE
+
+_TARGETED_OPS = frozenset({Op.J, Op.JAL, Op.BEQZ, Op.BNEZ})
+_SP, _FP, _GP, _ZERO = registers.SP, registers.FP, registers.GP, \
+    registers.ZERO
+
+
+@dataclass
+class CompiledProgram:
+    """A fully linked MiniC program ready to load and execute."""
+
+    name: str
+    program: Program
+    globals: GlobalTable
+
+    @property
+    def entry_pc(self) -> int:
+        return self.program.pc_of_label("__start")
+
+    @property
+    def text_size(self) -> int:
+        return len(self.program)
+
+
+def link(buffer: List[BufferItem], table: GlobalTable,
+         name: str = "program", text_base: int = TEXT_BASE) -> CompiledProgram:
+    """Resolve labels in a code buffer and produce a CompiledProgram."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    for item in buffer:
+        if isinstance(item, Label):
+            if item.name in labels:
+                raise CompileError(f"duplicate label {item.name!r}")
+            labels[item.name] = len(instructions)
+        else:
+            instructions.append(item)
+    program = Program(instructions=instructions, labels=labels,
+                      text_base=text_base)
+    for instr in instructions:
+        if instr.target is not None:
+            if instr.target not in labels:
+                raise CompileError(f"undefined label {instr.target!r}")
+            resolved = program.pc_of_index(labels[instr.target])
+            instr.resolved_target = resolved
+            if instr.op is Op.LFA:
+                instr.imm = resolved   # function address materialises here
+        elif instr.op in _TARGETED_OPS:
+            raise CompileError(f"{instr.op.name} without a target")
+        # Figure-6 rules 1-3: the addressing mode itself classifies the
+        # region; pointer-based accesses keep any tag the code
+        # generator's provenance analysis assigned.
+        if instr.is_mem and instr.region_tag is None:
+            if instr.rs in (_SP, _FP):
+                instr.region_tag = True
+            elif instr.rs in (_GP, _ZERO):
+                instr.region_tag = False
+    return CompiledProgram(name=name, program=program, globals=table)
+
+
+def compile_source(source: str, name: str = "program") -> CompiledProgram:
+    """Compile MiniC source text all the way to a linked program."""
+    unit = parse(source)
+    buffer, table = CodeGen(unit, name).compile()
+    return link(buffer, table, name)

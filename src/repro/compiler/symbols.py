@@ -1,0 +1,206 @@
+"""Symbol tables and stack-frame layout for the MiniC compiler.
+
+Storage policy (mirrors what a late-1990s optimising compiler such as the
+paper's EGCS -O3 would do, which is what shapes the stack-access profile
+the paper measures):
+
+* Scalar parameters and scalar locals are promoted to callee-saved
+  registers ($s0-$s7, $f20-$f27) in declaration order until the register
+  supply runs out.
+* Address-taken scalars, arrays, and overflow scalars live in the stack
+  frame and are accessed $fp-relative.
+* Used callee-saved registers are saved in the prologue and restored in
+  the epilogue - this save/restore traffic plus spills and stack-passed
+  arguments is exactly the "S"-class traffic of the paper's Figure 2.
+
+Frame layout (offsets relative to ``$fp``, which equals ``$sp`` at entry)::
+
+    fp + 8*i   : i-th stack-passed incoming argument (i >= 0)
+    fp -  8    : saved $ra
+    fp - 16    : saved caller $fp
+    fp - 24 .. : callee-saved register save area (fixed reservation)
+    below      : local variable slots, then expression spill slots
+    sp = fp - frame_size
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.lang.types import Type
+from repro.runtime.layout import WORD_SIZE
+
+#: Words reserved at the top of every frame: $ra, $fp, 8 integer + 8 FP
+#: callee-saved registers.  Reserving the worst case keeps all $fp-relative
+#: offsets computable before the body has been generated.
+SAVE_AREA_WORDS = 2 + 8 + 8
+
+RA_SLOT_OFFSET = -WORD_SIZE
+FP_SLOT_OFFSET = -2 * WORD_SIZE
+
+
+def saved_reg_slot(index: int) -> int:
+    """$fp-relative offset of the index-th callee-saved register slot."""
+    return -(3 + index) * WORD_SIZE
+
+
+class CompileError(Exception):
+    """Raised on semantically invalid MiniC."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        prefix = f"line {line}: " if line else ""
+        super().__init__(prefix + message)
+        self.line = line
+
+
+@dataclass
+class GlobalSymbol:
+    """A global variable living in the data segment."""
+
+    name: str
+    var_type: Type
+    offset: int                     # byte offset from DATA_BASE
+    size_words: int
+    is_array: bool
+    init_values: List[object]
+
+    @property
+    def value_type(self) -> Type:
+        """Type of the expression naming this symbol (arrays decay)."""
+        return self.var_type.pointer_to() if self.is_array else self.var_type
+
+
+@dataclass
+class LocalSymbol:
+    """A function-scope variable: register-resident or frame-resident."""
+
+    name: str
+    var_type: Type
+    is_array: bool = False
+    size_words: int = 1
+    reg: Optional[int] = None       # callee-saved register if promoted
+    frame_offset: Optional[int] = None  # $fp-relative byte offset otherwise
+    #: Flow-insensitive pointer provenance for the Figure-6 compiler
+    #: analysis: "unset" until the first assignment, then "stack" /
+    #: "nonstack" if every assignment agrees, else "conflict".
+    pointer_hint: str = "unset"
+
+    @property
+    def in_register(self) -> bool:
+        return self.reg is not None
+
+    @property
+    def value_type(self) -> Type:
+        return self.var_type.pointer_to() if self.is_array else self.var_type
+
+    def note_pointer_assignment(self, hint: Optional[str]) -> None:
+        """Merge one assignment's provenance into the symbol's state."""
+        if hint is None:
+            self.pointer_hint = "conflict"
+        elif self.pointer_hint == "unset":
+            self.pointer_hint = hint
+        elif self.pointer_hint != hint:
+            self.pointer_hint = "conflict"
+
+    @property
+    def final_pointer_hint(self) -> Optional[str]:
+        """The provenance a UD-chain analysis would conclude."""
+        if self.pointer_hint in ("stack", "nonstack"):
+            return self.pointer_hint
+        return None
+
+
+class Scope:
+    """A lexical scope mapping names to local symbols."""
+
+    def __init__(self, parent: Optional["Scope"] = None) -> None:
+        self.parent = parent
+        self._symbols: Dict[str, LocalSymbol] = {}
+
+    def declare(self, symbol: LocalSymbol, line: int = 0) -> None:
+        if symbol.name in self._symbols:
+            raise CompileError(
+                f"redeclaration of {symbol.name!r} in the same scope", line
+            )
+        self._symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Optional[LocalSymbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            symbol = scope._symbols.get(name)
+            if symbol is not None:
+                return symbol
+            scope = scope.parent
+        return None
+
+
+@dataclass
+class FunctionSignature:
+    name: str
+    return_type: Type
+    param_types: List[Type]
+
+
+class GlobalTable:
+    """All file-scope symbols: globals and function signatures."""
+
+    def __init__(self) -> None:
+        self.globals: Dict[str, GlobalSymbol] = {}
+        self.functions: Dict[str, FunctionSignature] = {}
+        self._next_offset = 0
+
+    def declare_global(self, name: str, var_type: Type, size_words: int,
+                       is_array: bool, init_values: List[object],
+                       line: int = 0) -> GlobalSymbol:
+        if name in self.globals or name in self.functions:
+            raise CompileError(f"redefinition of {name!r}", line)
+        symbol = GlobalSymbol(
+            name=name, var_type=var_type, offset=self._next_offset,
+            size_words=size_words, is_array=is_array,
+            init_values=init_values,
+        )
+        self.globals[name] = symbol
+        self._next_offset += size_words * WORD_SIZE
+        return symbol
+
+    def declare_function(self, signature: FunctionSignature,
+                         line: int = 0) -> None:
+        if signature.name in self.functions or signature.name in self.globals:
+            raise CompileError(f"redefinition of {signature.name!r}", line)
+        self.functions[signature.name] = signature
+
+    @property
+    def data_size_bytes(self) -> int:
+        return self._next_offset
+
+
+class FrameBuilder:
+    """Allocates local-variable and spill slots below the save area."""
+
+    def __init__(self) -> None:
+        self._next_offset = -SAVE_AREA_WORDS * WORD_SIZE
+        self._spill_slots: List[int] = []   # free list of spill offsets
+        self._spill_count = 0
+
+    def alloc_local(self, size_words: int) -> int:
+        """Reserve a local slot; returns its $fp-relative offset."""
+        self._next_offset -= size_words * WORD_SIZE
+        return self._next_offset
+
+    def alloc_spill(self) -> int:
+        """Get a spill slot (recycled when released)."""
+        if self._spill_slots:
+            return self._spill_slots.pop()
+        self._next_offset -= WORD_SIZE
+        self._spill_count += 1
+        return self._next_offset
+
+    def release_spill(self, offset: int) -> None:
+        self._spill_slots.append(offset)
+
+    @property
+    def frame_size(self) -> int:
+        """Total frame size in bytes, rounded to 16-byte alignment."""
+        size = -self._next_offset
+        return (size + 15) & ~15

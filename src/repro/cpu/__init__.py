@@ -1,0 +1,13 @@
+"""Functional CPU simulation and the guest syscall interface."""
+
+from repro.cpu.functional import (FunctionalSimulator, SimulationError,
+                                  run_program, run_source)
+from repro.cpu import syscalls
+
+__all__ = [
+    "FunctionalSimulator",
+    "SimulationError",
+    "run_program",
+    "run_source",
+    "syscalls",
+]

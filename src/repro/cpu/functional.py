@@ -1,0 +1,369 @@
+"""Architectural (functional) simulator.
+
+Executes a linked MiniC program instruction by instruction, maintaining
+registers, segmented memory, and the heap allocator, and optionally
+emitting a full dynamic trace.  This plays the role SimpleScalar's
+``sim-safe`` profiler plays in the paper: ground-truth execution plus
+observation of every memory access and its region.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.compiler.linker import CompiledProgram
+from repro.runtime import syscalls
+from repro.isa import registers as R
+from repro.isa.instructions import INSTRUCTION_SIZE, Instruction, Op
+from repro.runtime.allocator import HeapAllocator
+from repro.runtime.layout import (DATA_BASE, HEAP_BASE, STACK_LIMIT,
+                                  WORD_SIZE)
+from repro.runtime.memory import Memory
+from repro.trace.records import (MODE_CONSTANT, MODE_GLOBAL, MODE_OTHER,
+                                 MODE_STACK, OC_BRANCH, OC_CALL, OC_JUMP,
+                                 OC_LOAD, OC_RET, OC_STORE, OC_SYSCALL,
+                                 REGION_DATA, REGION_HEAP, REGION_STACK,
+                                 Trace, TraceRecord, op_class_of)
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+
+
+def _wrap(value: int) -> int:
+    """Wrap a Python int to signed 64-bit two's complement."""
+    value &= _MASK64
+    return value - (1 << 64) if value & _SIGN64 else value
+
+
+def _idiv(a: int, b: int) -> int:
+    """C-style truncating integer division."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _irem(a: int, b: int) -> int:
+    """C-style remainder: sign follows the dividend."""
+    return a - _idiv(a, b) * b
+
+
+class SimulationError(Exception):
+    """Raised on guest faults (bad PC, division by zero, step overrun)."""
+
+
+def _mode_of_base(base: int) -> int:
+    if base == R.SP or base == R.FP:
+        return MODE_STACK
+    if base == R.GP:
+        return MODE_GLOBAL
+    if base == R.ZERO:
+        return MODE_CONSTANT
+    return MODE_OTHER
+
+
+def _region_of(addr: int) -> int:
+    if addr >= STACK_LIMIT:
+        return REGION_STACK
+    if addr >= HEAP_BASE:
+        return REGION_HEAP
+    if addr >= DATA_BASE:
+        return REGION_DATA
+    raise SimulationError(f"data access to text/unmapped address {addr:#x}")
+
+
+class FunctionalSimulator:
+    """Executes a compiled program and produces its dynamic trace."""
+
+    def __init__(self, compiled: CompiledProgram,
+                 max_steps: int = 50_000_000,
+                 collect_trace: bool = True) -> None:
+        self._compiled = compiled
+        self._program = compiled.program
+        self._max_steps = max_steps
+        self._collect_trace = collect_trace
+        self.memory = Memory()
+        self.allocator = HeapAllocator()
+        self.gpr: List[int] = [0] * 32
+        self.fpr: List[float] = [0.0] * 32
+        self.output: List[object] = []
+        self.exit_code = 0
+        self.steps = 0
+        self._load_globals()
+
+    def _load_globals(self) -> None:
+        """Initialise the data segment from global initialisers."""
+        for symbol in self._compiled.globals.globals.values():
+            base = DATA_BASE + symbol.offset
+            for i, value in enumerate(symbol.init_values):
+                self.memory.store(base + i * WORD_SIZE, value)
+
+    def run(self) -> Trace:
+        """Execute from the entry point until exit; returns the trace."""
+        program = self._program
+        instructions = program.instructions
+        text_base = program.text_base
+        memory = self.memory
+        gpr = self.gpr
+        fpr = self.fpr
+        records: List[TraceRecord] = []
+        collect = self._collect_trace
+        fpr_base = R.FPR_BASE
+
+        idx = program.labels["__start"]
+        max_steps = self._max_steps
+        steps = 0
+        running = True
+        while running:
+            if steps >= max_steps:
+                raise SimulationError(
+                    f"exceeded {max_steps} steps in {self._compiled.name}")
+            try:
+                instr = instructions[idx]
+            except IndexError:
+                raise SimulationError(f"PC out of text segment: index {idx}")
+            steps += 1
+            pc = text_base + idx * INSTRUCTION_SIZE
+            next_idx = idx + 1
+            op = instr.op
+            rec: Optional[TraceRecord] = None
+
+            if op is Op.LW or op is Op.LF:
+                base = instr.rs
+                addr = gpr[base] + instr.imm
+                value = memory.load(addr)
+                rd = instr.rd
+                if op is Op.LW:
+                    ivalue = int(value)
+                    gpr[rd] = ivalue if rd else 0
+                    if collect:
+                        rec = TraceRecord(pc, OC_LOAD, dst=rd, src1=base,
+                                          addr=addr,
+                                          mode=_mode_of_base(base),
+                                          region=_region_of(addr),
+                                          ra=gpr[31], value=ivalue)
+                else:
+                    fpr[rd - fpr_base] = float(value)
+                    if collect:
+                        rec = TraceRecord(pc, OC_LOAD, dst=rd, src1=base,
+                                          addr=addr,
+                                          mode=_mode_of_base(base),
+                                          region=_region_of(addr),
+                                          ra=gpr[31])
+            elif op is Op.SW or op is Op.SF:
+                base = instr.rs
+                addr = gpr[base] + instr.imm
+                rt = instr.rt
+                if op is Op.SW:
+                    memory.store(addr, gpr[rt])
+                else:
+                    memory.store(addr, fpr[rt - fpr_base])
+                if collect:
+                    rec = TraceRecord(pc, OC_STORE, src1=base, src2=rt,
+                                      addr=addr, mode=_mode_of_base(base),
+                                      region=_region_of(addr), ra=gpr[31])
+            elif op is Op.BEQZ or op is Op.BNEZ:
+                cond = gpr[instr.rs]
+                taken = (cond == 0) if op is Op.BEQZ else (cond != 0)
+                if taken:
+                    next_idx = (instr.resolved_target - text_base) \
+                        // INSTRUCTION_SIZE
+                if collect:
+                    rec = TraceRecord(pc, OC_BRANCH, src1=instr.rs,
+                                      taken=taken)
+            elif op is Op.J:
+                next_idx = (instr.resolved_target - text_base) \
+                    // INSTRUCTION_SIZE
+                if collect:
+                    rec = TraceRecord(pc, OC_JUMP)
+            elif op is Op.JAL:
+                gpr[31] = pc + INSTRUCTION_SIZE
+                next_idx = (instr.resolved_target - text_base) \
+                    // INSTRUCTION_SIZE
+                if collect:
+                    rec = TraceRecord(pc, OC_CALL, dst=R.RA,
+                                      value=gpr[31])
+            elif op is Op.JR or op is Op.JALR:
+                target = gpr[instr.rs]
+                if op is Op.JALR:
+                    gpr[31] = pc + INSTRUCTION_SIZE
+                offset = target - text_base
+                if offset % INSTRUCTION_SIZE or offset < 0:
+                    raise SimulationError(
+                        f"jump to bad address {target:#x} at pc {pc:#x}")
+                next_idx = offset // INSTRUCTION_SIZE
+                if collect:
+                    if op is Op.JALR:
+                        rec = TraceRecord(pc, OC_CALL, dst=R.RA,
+                                          src1=instr.rs, value=gpr[31])
+                    else:
+                        oc = OC_RET if instr.rs == R.RA else OC_JUMP
+                        rec = TraceRecord(pc, oc, src1=instr.rs)
+            elif op is Op.SYSCALL:
+                running = self._syscall()
+                if collect:
+                    rec = TraceRecord(pc, OC_SYSCALL, dst=R.V0, src1=R.V0,
+                                      src2=R.A0)
+            else:
+                rec = self._execute_alu(instr, pc, collect)
+                if op is Op.DIV or op is Op.REM:
+                    pass  # handled (zero check) inside _execute_alu
+
+            if rec is not None:
+                records.append(rec)
+            idx = next_idx
+
+        self.steps = steps
+        return Trace(name=self._compiled.name, records=records,
+                     output=list(self.output), exit_code=self.exit_code)
+
+    # ------------------------------------------------------------------
+
+    def _execute_alu(self, instr: Instruction, pc: int,
+                     collect: bool) -> Optional[TraceRecord]:
+        op = instr.op
+        gpr = self.gpr
+        fpr = self.fpr
+        fb = R.FPR_BASE
+        rd = instr.rd
+        ivalue: Optional[int] = None
+
+        if op is Op.ADDI:
+            ivalue = _wrap(gpr[instr.rs] + instr.imm)
+        elif op is Op.LI or op is Op.LFA:
+            ivalue = instr.imm
+        elif op is Op.LA:
+            ivalue = _wrap(gpr[instr.rs] + instr.imm)
+        elif op is Op.MOV:
+            ivalue = gpr[instr.rs]
+        elif op is Op.ADD:
+            ivalue = _wrap(gpr[instr.rs] + gpr[instr.rt])
+        elif op is Op.SUB:
+            ivalue = _wrap(gpr[instr.rs] - gpr[instr.rt])
+        elif op is Op.MUL:
+            ivalue = _wrap(gpr[instr.rs] * gpr[instr.rt])
+        elif op is Op.DIV or op is Op.REM:
+            divisor = gpr[instr.rt]
+            if divisor == 0:
+                raise SimulationError(f"division by zero at pc {pc:#x}")
+            if op is Op.DIV:
+                ivalue = _wrap(_idiv(gpr[instr.rs], divisor))
+            else:
+                ivalue = _wrap(_irem(gpr[instr.rs], divisor))
+        elif op is Op.AND:
+            ivalue = gpr[instr.rs] & gpr[instr.rt]
+        elif op is Op.OR:
+            ivalue = gpr[instr.rs] | gpr[instr.rt]
+        elif op is Op.XOR:
+            ivalue = gpr[instr.rs] ^ gpr[instr.rt]
+        elif op is Op.ANDI:
+            ivalue = gpr[instr.rs] & instr.imm
+        elif op is Op.ORI:
+            ivalue = gpr[instr.rs] | instr.imm
+        elif op is Op.XORI:
+            ivalue = gpr[instr.rs] ^ instr.imm
+        elif op is Op.SLL:
+            ivalue = _wrap(gpr[instr.rs] << (gpr[instr.rt] & 63))
+        elif op is Op.SLLI:
+            ivalue = _wrap(gpr[instr.rs] << (instr.imm & 63))
+        elif op is Op.SRL:
+            ivalue = (gpr[instr.rs] & _MASK64) >> (gpr[instr.rt] & 63)
+        elif op is Op.SRLI:
+            ivalue = (gpr[instr.rs] & _MASK64) >> (instr.imm & 63)
+        elif op is Op.SRA:
+            ivalue = gpr[instr.rs] >> (gpr[instr.rt] & 63)
+        elif op is Op.SRAI:
+            ivalue = gpr[instr.rs] >> (instr.imm & 63)
+        elif op is Op.SLT:
+            ivalue = 1 if gpr[instr.rs] < gpr[instr.rt] else 0
+        elif op is Op.SLE:
+            ivalue = 1 if gpr[instr.rs] <= gpr[instr.rt] else 0
+        elif op is Op.SEQ:
+            ivalue = 1 if gpr[instr.rs] == gpr[instr.rt] else 0
+        elif op is Op.SNE:
+            ivalue = 1 if gpr[instr.rs] != gpr[instr.rt] else 0
+        elif op is Op.SLTI:
+            ivalue = 1 if gpr[instr.rs] < instr.imm else 0
+        elif op is Op.FADD:
+            fpr[rd - fb] = fpr[instr.rs - fb] + fpr[instr.rt - fb]
+        elif op is Op.FSUB:
+            fpr[rd - fb] = fpr[instr.rs - fb] - fpr[instr.rt - fb]
+        elif op is Op.FMUL:
+            fpr[rd - fb] = fpr[instr.rs - fb] * fpr[instr.rt - fb]
+        elif op is Op.FDIV:
+            divisor = fpr[instr.rt - fb]
+            if divisor == 0.0:
+                raise SimulationError(f"FP division by zero at pc {pc:#x}")
+            fpr[rd - fb] = fpr[instr.rs - fb] / divisor
+        elif op is Op.FNEG:
+            fpr[rd - fb] = -fpr[instr.rs - fb]
+        elif op is Op.FABS:
+            fpr[rd - fb] = abs(fpr[instr.rs - fb])
+        elif op is Op.FSQRT:
+            operand = fpr[instr.rs - fb]
+            if operand < 0.0:
+                raise SimulationError(f"sqrt of negative value at {pc:#x}")
+            fpr[rd - fb] = operand ** 0.5
+        elif op is Op.FMOV:
+            fpr[rd - fb] = fpr[instr.rs - fb]
+        elif op is Op.FLT:
+            ivalue = 1 if fpr[instr.rs - fb] < fpr[instr.rt - fb] else 0
+        elif op is Op.FLE:
+            ivalue = 1 if fpr[instr.rs - fb] <= fpr[instr.rt - fb] else 0
+        elif op is Op.FEQ:
+            ivalue = 1 if fpr[instr.rs - fb] == fpr[instr.rt - fb] else 0
+        elif op is Op.CVTIF:
+            fpr[rd - fb] = float(gpr[instr.rs])
+        elif op is Op.CVTFI:
+            ivalue = _wrap(int(fpr[instr.rs - fb]))
+        elif op is Op.NOP:
+            pass
+        else:
+            raise SimulationError(f"unimplemented opcode {op.name}")
+
+        if ivalue is not None:
+            if rd:
+                gpr[rd] = ivalue
+            else:
+                ivalue = 0  # writes to $zero are discarded
+        if not collect:
+            return None
+        return TraceRecord(pc, op_class_of(op), dst=-1 if rd is None else rd,
+                           src1=-1 if instr.rs is None else instr.rs,
+                           src2=-1 if instr.rt is None else instr.rt,
+                           value=ivalue)
+
+    def _syscall(self) -> bool:
+        """Service a syscall; returns False when the program exits."""
+        code = self.gpr[R.V0]
+        arg = self.gpr[R.A0]
+        if code == syscalls.SYS_EXIT:
+            self.exit_code = arg
+            return False
+        if code == syscalls.SYS_PRINT_INT:
+            self.output.append(arg)
+            return True
+        if code == syscalls.SYS_PRINT_FLOAT:
+            self.output.append(self.fpr[R.FARG_REGS[0] - R.FPR_BASE])
+            return True
+        if code == syscalls.SYS_MALLOC:
+            self.gpr[R.V0] = self.allocator.allocate(arg)
+            return True
+        if code == syscalls.SYS_FREE:
+            self.allocator.free(arg)
+            return True
+        raise SimulationError(f"unknown syscall code {code}")
+
+
+def run_program(compiled: CompiledProgram, max_steps: int = 50_000_000,
+                collect_trace: bool = True) -> Trace:
+    """Compile-free convenience: execute a linked program, return its trace."""
+    return FunctionalSimulator(compiled, max_steps=max_steps,
+                               collect_trace=collect_trace).run()
+
+
+def run_source(source: str, name: str = "program",
+               max_steps: int = 50_000_000,
+               collect_trace: bool = True) -> Trace:
+    """Compile MiniC source and execute it."""
+    from repro.compiler.linker import compile_source
+    return run_program(compile_source(source, name), max_steps=max_steps,
+                       collect_trace=collect_trace)

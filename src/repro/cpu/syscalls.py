@@ -1,0 +1,14 @@
+"""Alias for :mod:`repro.runtime.syscalls` (kept for import convenience).
+
+The syscall numbers live in the runtime package because the compiler
+needs them without pulling in the simulator.
+"""
+
+from repro.runtime.syscalls import (SYS_EXIT, SYS_FREE, SYS_MALLOC,
+                                    SYS_PRINT_FLOAT, SYS_PRINT_INT,
+                                    SYSCALL_NAMES)
+
+__all__ = [
+    "SYS_EXIT", "SYS_FREE", "SYS_MALLOC", "SYS_PRINT_FLOAT",
+    "SYS_PRINT_INT", "SYSCALL_NAMES",
+]

@@ -1,0 +1,34 @@
+"""Experiment drivers reproducing every table and figure of the paper."""
+
+from repro.eval import reporting
+from repro.eval.experiments import (FIGURE5_SIZES, ablation_banked_cache,
+                                    ablation_context_bits,
+                                    ablation_front_end,
+                                    ablation_heap_decoupling,
+                                    ablation_hint_steering,
+                                    ablation_lvc_size,
+                                    ablation_static_hints,
+                                    ablation_two_bit, figure2, figure4,
+                                    figure5, figure8, section33, table1,
+                                    table2, table3)
+
+__all__ = [
+    "reporting",
+    "FIGURE5_SIZES",
+    "ablation_banked_cache",
+    "ablation_context_bits",
+    "ablation_front_end",
+    "ablation_heap_decoupling",
+    "ablation_hint_steering",
+    "ablation_lvc_size",
+    "ablation_static_hints",
+    "ablation_two_bit",
+    "figure2",
+    "figure4",
+    "figure5",
+    "figure8",
+    "section33",
+    "table1",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,781 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Each driver runs the full workload suite (at a configurable scale)
+through the relevant subsystem and returns structured results plus a
+formatted text table via ``render()``.  The experiment ids follow
+DESIGN.md's per-experiment index: the paper artifacts (T1, F2, T2, F4,
+T3, F5, S33, F8), the ablations (A1-A3), and the extensions (A4
+Figure-6 compiler hints, A5 banked caches, A6 heap decoupling, A7
+gshare front end).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.lvc import StackCacheResult, stack_cache_hit_rate
+from repro.eval import reporting
+from repro.predictor.evaluate import (PredictionResult, evaluate_scheme,
+                                      occupancy_by_context)
+from repro.predictor.hints import hints_from_trace
+from repro.predictor.schemes import FIGURE4_SCHEMES, Scheme
+from repro.timing.config import MachineConfig, figure8_configs
+from repro.timing.machine import TimingResult, simulate
+from repro.trace.regions import REGION_CLASSES, RegionBreakdown, \
+    region_breakdown
+from repro.trace.windows import RegionWindowStats, window_stats
+from repro.workloads import suite
+
+#: ARPT capacities evaluated in the paper's Figure 5 (None = unlimited),
+#: extended downwards: our MiniC programs have ~100x fewer static memory
+#: instructions than SPEC95 binaries, so the capacity knee the paper sees
+#: between 8K and 64K entries appears here between 64 and 1K entries.
+FIGURE5_SIZES: Tuple[Optional[int], ...] = (None, 64 * 1024, 32 * 1024,
+                                            16 * 1024, 8 * 1024, 1024,
+                                            256, 64)
+
+
+def _traces(scale: float, names: Sequence[str]):
+    """Stream (name, trace) pairs, evicting each trace afterwards."""
+    for name in names:
+        trace = suite.run(name, scale)
+        yield name, trace
+        suite.run.cache_clear()
+
+
+# ----------------------------------------------------------------------
+# T1 - Table 1: suite characteristics
+# ----------------------------------------------------------------------
+
+@dataclass
+class Table1Row:
+    name: str
+    mirrors: str
+    instructions: int
+    load_pct: float
+    store_pct: float
+
+
+@dataclass
+class Table1Result:
+    rows: List[Table1Row]
+
+    def render(self) -> str:
+        return reporting.format_table(
+            ["Benchmark", "Mirrors", "Inst. count", "L%", "S%"],
+            [(r.name, r.mirrors, r.instructions, f"{r.load_pct:.0f}",
+              f"{r.store_pct:.0f}") for r in self.rows],
+            title="Table 1: dynamic instruction counts and load/store mix",
+        )
+
+
+def table1(scale: float = 1.0,
+           names: Sequence[str] = suite.ALL_WORKLOADS) -> Table1Result:
+    """T1: suite characteristics - dynamic counts and load/store mix."""
+    rows = []
+    for name, trace in _traces(scale, names):
+        rows.append(Table1Row(
+            name=name,
+            mirrors=suite.spec(name).mirrors,
+            instructions=len(trace),
+            load_pct=100 * trace.load_fraction(),
+            store_pct=100 * trace.store_fraction(),
+        ))
+    return Table1Result(rows=rows)
+
+
+# ----------------------------------------------------------------------
+# F2 - Figure 2: static region-class breakdown
+# ----------------------------------------------------------------------
+
+@dataclass
+class Figure2Result:
+    breakdowns: List[RegionBreakdown]
+
+    @property
+    def average_multi_region_static(self) -> float:
+        values = [b.multi_region_static_fraction for b in self.breakdowns]
+        return sum(values) / max(1, len(values))
+
+    @property
+    def average_stack_only_static(self) -> float:
+        values = [b.stack_only_static_fraction for b in self.breakdowns]
+        return sum(values) / max(1, len(values))
+
+    def render(self) -> str:
+        rows = []
+        for b in self.breakdowns:
+            rows.append([b.name] + [
+                reporting.percent(b.static_fraction(cls), 1)
+                for cls in REGION_CLASSES])
+        return reporting.format_table(
+            ["Benchmark"] + list(REGION_CLASSES), rows,
+            title="Figure 2: static memory instructions by accessed "
+                  "region(s)")
+
+
+def figure2(scale: float = 1.0,
+            names: Sequence[str] = suite.ALL_WORKLOADS) -> Figure2Result:
+    """F2: static memory instructions by accessed region(s)."""
+    return Figure2Result(breakdowns=[
+        region_breakdown(trace) for _, trace in _traces(scale, names)])
+
+
+# ----------------------------------------------------------------------
+# T2 - Table 2: sliding-window bandwidth statistics
+# ----------------------------------------------------------------------
+
+@dataclass
+class Table2Result:
+    stats: List[Tuple[RegionWindowStats, RegionWindowStats]]  # (w32, w64)
+
+    def render(self) -> str:
+        rows = []
+        for w32, w64 in self.stats:
+            rows.append([
+                w32.name,
+                reporting.mean_and_std(w32.data),
+                reporting.mean_and_std(w32.heap),
+                reporting.mean_and_std(w32.stack),
+                reporting.mean_and_std(w64.data),
+                reporting.mean_and_std(w64.heap),
+                reporting.mean_and_std(w64.stack),
+            ])
+        return reporting.format_table(
+            ["Benchmark", "D@32", "H@32", "S@32", "D@64", "H@64", "S@64"],
+            rows,
+            title="Table 2: mean (std) region accesses per 32/64-insn "
+                  "window")
+
+
+def table2(scale: float = 1.0,
+           names: Sequence[str] = suite.ALL_WORKLOADS) -> Table2Result:
+    """T2: per-region bandwidth and burstiness in sliding windows."""
+    stats = []
+    for _, trace in _traces(scale, names):
+        stats.append((window_stats(trace, 32), window_stats(trace, 64)))
+    return Table2Result(stats=stats)
+
+
+# ----------------------------------------------------------------------
+# F4 - Figure 4: prediction accuracy per scheme (unlimited ARPT)
+# ----------------------------------------------------------------------
+
+@dataclass
+class Figure4Result:
+    results: Dict[str, Dict[str, PredictionResult]]  # name -> scheme -> res
+
+    def average_accuracy(self, scheme: str,
+                         names: Optional[Sequence[str]] = None) -> float:
+        names = names or list(self.results)
+        return sum(self.results[n][scheme].accuracy
+                   for n in names) / len(names)
+
+    def render(self) -> str:
+        schemes = [s.name for s in FIGURE4_SCHEMES]
+        rows = []
+        for name, by_scheme in self.results.items():
+            row = [name,
+                   reporting.percent(by_scheme["static"].definitive_fraction,
+                                     1)]
+            row += [reporting.percent(by_scheme[s].accuracy, 2)
+                    for s in schemes]
+            rows.append(row)
+        return reporting.format_table(
+            ["Benchmark", "mode-definitive"] + schemes, rows,
+            title="Figure 4: correct stack/non-stack classification")
+
+
+def figure4(scale: float = 1.0,
+            names: Sequence[str] = suite.ALL_WORKLOADS,
+            schemes: Sequence[Scheme] = FIGURE4_SCHEMES) -> Figure4Result:
+    """F4: stack/non-stack classification accuracy per scheme."""
+    results: Dict[str, Dict[str, PredictionResult]] = {}
+    for name, trace in _traces(scale, names):
+        results[name] = {
+            scheme.name: evaluate_scheme(trace, scheme)
+            for scheme in schemes
+        }
+    return Figure4Result(results=results)
+
+
+# ----------------------------------------------------------------------
+# T3 - Table 3: unlimited-ARPT occupancy per context type
+# ----------------------------------------------------------------------
+
+@dataclass
+class Table3Result:
+    occupancy: Dict[str, Dict[str, int]]   # name -> context -> entries
+
+    def render(self) -> str:
+        rows = []
+        for name, by_ctx in self.occupancy.items():
+            base = max(1, by_ctx["none"])
+            rows.append([
+                name, by_ctx["none"],
+                f"{by_ctx['gbh']} ({(by_ctx['gbh'] - base) * 100 // base}%)",
+                f"{by_ctx['cid']} ({(by_ctx['cid'] - base) * 100 // base}%)",
+                f"{by_ctx['hybrid']} "
+                f"({(by_ctx['hybrid'] - base) * 100 // base}%)",
+            ])
+        return reporting.format_table(
+            ["Benchmark", "PC-only", "w/ GBH", "w/ CID", "w/ Hybrid"], rows,
+            title="Table 3: entries occupied in an unlimited ARPT")
+
+
+def table3(scale: float = 1.0,
+           names: Sequence[str] = suite.ALL_WORKLOADS) -> Table3Result:
+    """T3: unlimited-ARPT occupancy per indexing context."""
+    occupancy = {}
+    for name, trace in _traces(scale, names):
+        occupancy[name] = occupancy_by_context(trace)
+    return Table3Result(occupancy=occupancy)
+
+
+# ----------------------------------------------------------------------
+# F5 - Figure 5: accuracy vs ARPT size, with/without compiler hints
+# ----------------------------------------------------------------------
+
+@dataclass
+class Figure5Result:
+    # name -> size-key -> (accuracy, accuracy_with_hints); key str(size).
+    results: Dict[str, Dict[str, Tuple[float, float]]]
+    sizes: Tuple[Optional[int], ...] = FIGURE5_SIZES
+
+    @staticmethod
+    def size_key(size: Optional[int]) -> str:
+        if size is None:
+            return "unlimited"
+        if size >= 1024:
+            return f"{size // 1024}K"
+        return str(size)
+
+    def render(self) -> str:
+        keys = [self.size_key(s) for s in self.sizes]
+        rows = []
+        for name, by_size in self.results.items():
+            row = [name]
+            for key in keys:
+                accuracy, hinted = by_size[key]
+                row.append(f"{100 * accuracy:.2f}/{100 * hinted:.2f}")
+            rows.append(row)
+        return reporting.format_table(
+            ["Benchmark"] + [f"{k} (raw/hints)" for k in keys], rows,
+            title="Figure 5: 1BIT-HYBRID accuracy vs ARPT size, "
+                  "without/with compiler hints")
+
+
+def figure5(scale: float = 1.0,
+            names: Sequence[str] = suite.ALL_WORKLOADS,
+            sizes: Tuple[Optional[int], ...] = FIGURE5_SIZES)\
+        -> Figure5Result:
+    """F5: 1BIT-HYBRID accuracy vs ARPT capacity, +/- compiler hints."""
+    results: Dict[str, Dict[str, Tuple[float, float]]] = {}
+    for name, trace in _traces(scale, names):
+        hints = hints_from_trace(trace)
+        by_size: Dict[str, Tuple[float, float]] = {}
+        for size in sizes:
+            raw = evaluate_scheme(trace, "1bit-hybrid", table_size=size)
+            hinted = evaluate_scheme(trace, "1bit-hybrid", table_size=size,
+                                     hints=hints)
+            by_size[Figure5Result.size_key(size)] = (raw.accuracy,
+                                                     hinted.accuracy)
+        results[name] = by_size
+    return Figure5Result(results=results, sizes=sizes)
+
+
+# ----------------------------------------------------------------------
+# S33 - Section 3.3: 4 KB stack-cache hit rate
+# ----------------------------------------------------------------------
+
+@dataclass
+class Section33Result:
+    results: List[StackCacheResult]
+
+    @property
+    def average_hit_rate(self) -> float:
+        """Access-weighted average (programs with ~no stack traffic
+        would otherwise distort the mean with a handful of cold misses).
+        """
+        accesses = sum(r.stack_accesses for r in self.results)
+        hits = sum(r.hits for r in self.results)
+        return hits / max(1, accesses)
+
+    def render(self) -> str:
+        rows = [(r.trace_name, r.stack_accesses,
+                 reporting.percent(r.hit_rate, 2)) for r in self.results]
+        return reporting.format_table(
+            ["Benchmark", "Stack refs", "4KB LVC hit rate"], rows,
+            title="Section 3.3: stack-cache hit rate (paper: >99.5%, "
+                  "avg ~99.9%)")
+
+
+def section33(scale: float = 1.0,
+              names: Sequence[str] = suite.ALL_WORKLOADS,
+              size_bytes: int = 4 * 1024) -> Section33Result:
+    """S33: hit rate of a dedicated stack cache (paper: >99.5%)."""
+    return Section33Result(results=[
+        stack_cache_hit_rate(trace, size_bytes)
+        for _, trace in _traces(scale, names)])
+
+
+# ----------------------------------------------------------------------
+# F8 - Figure 8: relative performance of (N+M) configurations
+# ----------------------------------------------------------------------
+
+@dataclass
+class Figure8Result:
+    # name -> config name -> TimingResult
+    results: Dict[str, Dict[str, TimingResult]]
+    baseline: str = "(2+0)"
+
+    def speedup(self, name: str, config: str) -> float:
+        base = self.results[name][self.baseline].cycles
+        return base / self.results[name][config].cycles
+
+    def average_speedup(self, config: str,
+                        names: Optional[Sequence[str]] = None) -> float:
+        """Geometric-mean speedup over the baseline configuration."""
+        names = names or list(self.results)
+        logs = [math.log(self.speedup(n, config)) for n in names]
+        return math.exp(sum(logs) / len(logs))
+
+    def render(self) -> str:
+        configs = list(next(iter(self.results.values())))
+        rows = []
+        for name in self.results:
+            rows.append([name] + [f"{self.speedup(name, c):.3f}"
+                                  for c in configs])
+        int_names = [n for n in self.results
+                     if n in suite.INTEGER_WORKLOADS]
+        fp_names = [n for n in self.results if n in suite.FP_WORKLOADS]
+        if int_names:
+            rows.append(["GEOMEAN-int"] + [
+                f"{self.average_speedup(c, int_names):.3f}"
+                for c in configs])
+        if fp_names:
+            rows.append(["GEOMEAN-fp"] + [
+                f"{self.average_speedup(c, fp_names):.3f}"
+                for c in configs])
+        return reporting.format_table(
+            ["Benchmark"] + configs, rows,
+            title="Figure 8: performance relative to (2+0)")
+
+
+def figure8(scale: float = suite.TIMING_SCALE,
+            names: Sequence[str] = suite.ALL_WORKLOADS,
+            configs: Optional[Sequence[MachineConfig]] = None)\
+        -> Figure8Result:
+    """F8: cycle-level performance of the (N+M) configurations."""
+    configs = list(configs) if configs is not None \
+        else list(figure8_configs())
+    results: Dict[str, Dict[str, TimingResult]] = {}
+    for name, trace in _traces(scale, names):
+        results[name] = {cfg.name: simulate(trace, cfg) for cfg in configs}
+    return Figure8Result(results=results)
+
+
+# ----------------------------------------------------------------------
+# A1 - ablation: 2-bit vs 1-bit ARPT entries (paper footnote 8)
+# ----------------------------------------------------------------------
+
+@dataclass
+class AblationTwoBitResult:
+    accuracies: Dict[str, Tuple[float, float]]   # name -> (1bit, 2bit)
+
+    def render(self) -> str:
+        rows = [(n, reporting.percent(a, 3), reporting.percent(b, 3),
+                 "1bit" if a >= b else "2bit")
+                for n, (a, b) in self.accuracies.items()]
+        return reporting.format_table(
+            ["Benchmark", "1-bit", "2-bit", "winner"], rows,
+            title="Ablation A1: ARPT hysteresis (paper: 2-bit consistently"
+                  " lower)")
+
+
+def ablation_two_bit(scale: float = 1.0,
+                     names: Sequence[str] = suite.ALL_WORKLOADS)\
+        -> AblationTwoBitResult:
+    """A1: 1-bit vs 2-bit ARPT entries (paper footnote 8)."""
+    accuracies = {}
+    for name, trace in _traces(scale, names):
+        one = evaluate_scheme(trace, "1bit-hybrid")
+        two = evaluate_scheme(trace, "2bit-hybrid")
+        accuracies[name] = (one.accuracy, two.accuracy)
+    return AblationTwoBitResult(accuracies=accuracies)
+
+
+# ----------------------------------------------------------------------
+# A2 - ablation: hybrid context bit split (paper footnote 7)
+# ----------------------------------------------------------------------
+
+@dataclass
+class AblationContextResult:
+    # name -> "gbh/cid" -> accuracy
+    accuracies: Dict[str, Dict[str, float]]
+    splits: Tuple[Tuple[int, int], ...]
+
+    def render(self) -> str:
+        keys = [f"{g}g+{c}c" for g, c in self.splits]
+        rows = []
+        for name, by_split in self.accuracies.items():
+            rows.append([name] + [reporting.percent(by_split[k], 3)
+                                  for k in keys])
+        return reporting.format_table(
+            ["Benchmark"] + keys, rows,
+            title="Ablation A2: hybrid context composition (paper uses "
+                  "8 GBH + 24 CID bits)")
+
+
+def ablation_context_bits(scale: float = 1.0,
+                          names: Sequence[str] = suite.ALL_WORKLOADS,
+                          splits: Tuple[Tuple[int, int], ...] = (
+                              (0, 32), (4, 28), (8, 24), (16, 16),
+                              (24, 8), (32, 0)))\
+        -> AblationContextResult:
+    """A2: GBH/CID bit split of the hybrid context (footnote 7)."""
+    accuracies: Dict[str, Dict[str, float]] = {}
+    for name, trace in _traces(scale, names):
+        by_split = {}
+        for gbh_bits, cid_bits in splits:
+            result = evaluate_scheme(trace, "1bit-hybrid",
+                                     gbh_bits=gbh_bits, cid_bits=cid_bits)
+            by_split[f"{gbh_bits}g+{cid_bits}c"] = result.accuracy
+        accuracies[name] = by_split
+    return AblationContextResult(accuracies=accuracies, splits=splits)
+
+
+# ----------------------------------------------------------------------
+# A8 - extension: ARPT-only vs compiler-assisted steering (Sec. 3.5.2)
+# ----------------------------------------------------------------------
+
+@dataclass
+class HintSteeringResult:
+    # name -> {'arpt': cycles, 'hinted': cycles, 'oracle': cycles,
+    #          'arpt_pressure': entries, 'hinted_pressure': entries}
+    rows: Dict[str, Dict[str, float]]
+
+    def render(self) -> str:
+        table_rows = []
+        for name, row in self.rows.items():
+            table_rows.append([
+                name,
+                f"{row['arpt'] / row['hinted']:.4f}",
+                f"{row['arpt'] / row['oracle']:.4f}",
+                int(row["arpt_predictions"]),
+                int(row["hinted_predictions"]),
+            ])
+        return reporting.format_table(
+            ["Benchmark", "hinted/arpt speedup", "oracle/arpt speedup",
+             "ARPT lookups (hw-only)", "ARPT lookups (hinted)"],
+            table_rows,
+            title="Extension A8: hardware-only ARPT steering vs "
+                  "Figure-6 compiler-assisted steering, (3+3) machine "
+                  "(paper Sec. 3.5.2: dynamic-only loses no noticeable "
+                  "performance)")
+
+
+def ablation_hint_steering(scale: float = suite.TIMING_SCALE,
+                           names: Sequence[str] = suite.ALL_WORKLOADS)\
+        -> HintSteeringResult:
+    """A8: does compiler-assisted steering beat the ARPT in cycles?
+
+    Section 3.5.2 concludes the hardware mechanism alone is accurate
+    enough that existing binaries run "without losing noticeable
+    performance"; this measures that loss directly on the (3+3)
+    machine, with oracle steering as the zero-loss bound.
+    """
+    from repro.predictor.static_hints import static_hints
+    from repro.timing.config import decoupled_config
+    rows: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        compiled = suite.compile_workload(name, scale)
+        hints = static_hints(compiled)
+        trace = suite.run(name, scale)
+        arpt = simulate(trace, decoupled_config(3, 3))
+        hinted = simulate(trace, decoupled_config(3, 3), hints=hints)
+        oracle = simulate(trace, decoupled_config(3, 3,
+                                                  steering="oracle"))
+        rows[name] = {
+            "arpt": float(arpt.cycles),
+            "hinted": float(hinted.cycles),
+            "oracle": float(oracle.cycles),
+            "arpt_predictions": float(arpt.arpt_predictions),
+            "hinted_predictions": float(hinted.arpt_predictions),
+        }
+        suite.run.cache_clear()
+    return HintSteeringResult(rows=rows)
+
+
+# ----------------------------------------------------------------------
+# A7 - extension: perfect vs gshare front end (paper Sec. 4.3 choice)
+# ----------------------------------------------------------------------
+
+@dataclass
+class FrontEndResult:
+    # name -> front_end -> config -> speedup over that front end's (2+0)
+    speedups: Dict[str, Dict[str, Dict[str, float]]]
+    # name -> front_end -> absolute (2+0) IPC
+    baseline_ipc: Dict[str, Dict[str, float]]
+    config_names: Tuple[str, ...] = ("(2+0)", "(3+3)", "(16+0)")
+    front_ends: Tuple[str, ...] = ("perfect", "gshare")
+
+    def average(self, front_end: str, config: str) -> float:
+        logs = [math.log(per_fe[front_end][config])
+                for per_fe in self.speedups.values()]
+        return math.exp(sum(logs) / len(logs))
+
+    def render(self) -> str:
+        rows = []
+        for name, per_fe in self.speedups.items():
+            row = [name]
+            for front_end in self.front_ends:
+                row.append(f"{self.baseline_ipc[name][front_end]:.2f}")
+                row += [f"{per_fe[front_end][c]:.3f}"
+                        for c in self.config_names[1:]]
+            rows.append(row)
+        headers = ["Benchmark"]
+        for front_end in self.front_ends:
+            headers.append(f"{front_end} ipc(2+0)")
+            headers += [f"{front_end} {c}" for c in self.config_names[1:]]
+        return reporting.format_table(
+            headers, rows,
+            title="Extension A7: front-end sensitivity - perfect vs "
+                  "gshare branch prediction (speedups relative to the "
+                  "same front end's (2+0))")
+
+
+def ablation_front_end(scale: float = suite.TIMING_SCALE,
+                       names: Sequence[str] = suite.ALL_WORKLOADS)\
+        -> FrontEndResult:
+    """The paper runs with perfect branch prediction "to assert the
+    maximum pressure on the data memory bandwidth"; this quantifies how
+    much a realistic gshare front end compresses the Figure 8 gaps."""
+    from dataclasses import replace as dc_replace
+
+    from repro.timing.config import conventional_config, decoupled_config
+    base_configs = {
+        "(2+0)": conventional_config(2),
+        "(3+3)": decoupled_config(3, 3),
+        "(16+0)": conventional_config(16, name="(16+0)"),
+    }
+    speedups: Dict[str, Dict[str, Dict[str, float]]] = {}
+    baseline_ipc: Dict[str, Dict[str, float]] = {}
+    for name, trace in _traces(scale, names):
+        speedups[name] = {}
+        baseline_ipc[name] = {}
+        for front_end in ("perfect", "gshare"):
+            results = {}
+            for label, cfg in base_configs.items():
+                cfg = dc_replace(cfg, branch_predictor=front_end)
+                results[label] = simulate(trace, cfg)
+            baseline = results["(2+0)"]
+            speedups[name][front_end] = {
+                label: baseline.cycles / results[label].cycles
+                for label in base_configs}
+            baseline_ipc[name][front_end] = baseline.ipc
+    return FrontEndResult(speedups=speedups, baseline_ipc=baseline_ipc)
+
+
+# ----------------------------------------------------------------------
+# A6 - extension: decouple heap instead of stack (paper Sec. 3.2.2)
+# ----------------------------------------------------------------------
+
+@dataclass
+class HeapDecouplingResult:
+    # name -> {'(2+0)': 1.0, 'stack (2+2)': x, 'heap (2+2)': y}
+    speedups: Dict[str, Dict[str, float]]
+    config_names: Tuple[str, ...] = ("(2+0)", "stack (2+2)",
+                                     "heap (2+2)")
+
+    def average(self, config: str) -> float:
+        logs = [math.log(by_cfg[config])
+                for by_cfg in self.speedups.values()]
+        return math.exp(sum(logs) / len(logs))
+
+    def render(self) -> str:
+        rows = []
+        for name, by_cfg in self.speedups.items():
+            rows.append([name] + [f"{by_cfg[c]:.3f}"
+                                  for c in self.config_names])
+        rows.append(["GEOMEAN"] + [f"{self.average(c):.3f}"
+                                   for c in self.config_names])
+        return reporting.format_table(
+            ["Benchmark"] + list(self.config_names), rows,
+            title="Extension A6: decoupling stack vs decoupling heap "
+                  "(speedup over (2+0); paper Sec. 3.2.2 predicts heap "
+                  "decoupling brings little benefit)")
+
+
+def ablation_heap_decoupling(scale: float = suite.TIMING_SCALE,
+                             names: Sequence[str] = suite.ALL_WORKLOADS)\
+        -> HeapDecouplingResult:
+    """Tests the paper's Section 3.2.2 conclusion directly: heap
+    accesses are bursty and (for FP) rare, so giving *heap* its own
+    pipeline should win much less than giving it to the stack."""
+    from repro.timing.config import conventional_config, decoupled_config
+    configs = {
+        "(2+0)": conventional_config(2),
+        "stack (2+2)": decoupled_config(2, 2, steering="oracle"),
+        "heap (2+2)": decoupled_config(2, 2, steering="oracle-heap"),
+    }
+    speedups: Dict[str, Dict[str, float]] = {}
+    for name, trace in _traces(scale, names):
+        results = {label: simulate(trace, cfg)
+                   for label, cfg in configs.items()}
+        baseline = results["(2+0)"].cycles
+        speedups[name] = {label: baseline / results[label].cycles
+                          for label in configs}
+    return HeapDecouplingResult(speedups=speedups)
+
+
+# ----------------------------------------------------------------------
+# A5 - extension: ideal multi-porting vs interleaved banks vs decoupling
+# ----------------------------------------------------------------------
+
+@dataclass
+class BankedResult:
+    # name -> config name -> speedup over ported (2+0)
+    speedups: Dict[str, Dict[str, float]]
+    config_names: Tuple[str, ...]
+
+    def average(self, config: str) -> float:
+        logs = [math.log(by_cfg[config])
+                for by_cfg in self.speedups.values()]
+        return math.exp(sum(logs) / len(logs))
+
+    def render(self) -> str:
+        rows = []
+        for name, by_cfg in self.speedups.items():
+            rows.append([name] + [f"{by_cfg[c]:.3f}"
+                                  for c in self.config_names])
+        rows.append(["GEOMEAN"] + [f"{self.average(c):.3f}"
+                                   for c in self.config_names])
+        return reporting.format_table(
+            ["Benchmark"] + list(self.config_names), rows,
+            title="Extension A5: perfect ports vs interleaved banks vs "
+                  "decoupling (speedup over ported (2+0))")
+
+
+def ablation_banked_cache(scale: float = suite.TIMING_SCALE,
+                          names: Sequence[str] = suite.ALL_WORKLOADS)\
+        -> BankedResult:
+    """The paper assumes perfect multi-porting; a banked cache is the
+    cheap alternative it is judged against.  Compares N-ported vs
+    N-banked conventional designs against the (N/2 + N/2) decoupled one.
+    """
+    from repro.timing.config import conventional_config, decoupled_config
+    configs = (
+        conventional_config(2, name="(2+0)"),
+        conventional_config(4, l1_latency=2, name="(4+0) ported"),
+        conventional_config(4, l1_latency=2, port_policy="banks",
+                            name="(4b+0) banked"),
+        decoupled_config(2, 2, name="(2+2)"),
+    )
+    speedups: Dict[str, Dict[str, float]] = {}
+    for name, trace in _traces(scale, names):
+        results = {cfg.name: simulate(trace, cfg) for cfg in configs}
+        baseline = results["(2+0)"].cycles
+        speedups[name] = {cfg.name: baseline / results[cfg.name].cycles
+                          for cfg in configs}
+    return BankedResult(speedups=speedups,
+                        config_names=tuple(cfg.name for cfg in configs))
+
+
+# ----------------------------------------------------------------------
+# A4 - extension: real Figure-6 compiler hints vs the profile ideal
+# ----------------------------------------------------------------------
+
+@dataclass
+class StaticHintsRow:
+    name: str
+    coverage: float          # fraction of static mem insns tagged
+    accuracy_none: float     # 8K ARPT, no hints
+    accuracy_static: float   # 8K ARPT + Figure-6 compiler hints
+    accuracy_ideal: float    # 8K ARPT + profile (upper-bound) hints
+
+
+@dataclass
+class StaticHintsResult:
+    rows: List[StaticHintsRow]
+
+    def render(self) -> str:
+        table_rows = [
+            (r.name, reporting.percent(r.coverage, 1),
+             reporting.percent(r.accuracy_none, 3),
+             reporting.percent(r.accuracy_static, 3),
+             reporting.percent(r.accuracy_ideal, 3))
+            for r in self.rows]
+        return reporting.format_table(
+            ["Benchmark", "tag coverage", "no hints (8K)",
+             "Fig-6 hints", "profile hints"],
+            table_rows,
+            title="Extension A4: real compiler analysis (paper Fig. 6) "
+                  "vs idealised profile hints, 8K-entry ARPT")
+
+
+def ablation_static_hints(scale: float = 1.0,
+                          names: Sequence[str] = suite.ALL_WORKLOADS,
+                          table_size: int = 8 * 1024)\
+        -> StaticHintsResult:
+    """A4: real Figure-6 compiler hints vs the profile-ideal hints."""
+    from repro.predictor.static_hints import static_hint_stats, \
+        static_hints
+    rows = []
+    for name in names:
+        compiled = suite.compile_workload(name, scale)
+        fig6 = static_hints(compiled)
+        stats = static_hint_stats(compiled)
+        trace = suite.run(name, scale)
+        ideal = hints_from_trace(trace)
+        rows.append(StaticHintsRow(
+            name=name,
+            coverage=stats.coverage,
+            accuracy_none=evaluate_scheme(
+                trace, "1bit-hybrid", table_size=table_size).accuracy,
+            accuracy_static=evaluate_scheme(
+                trace, "1bit-hybrid", table_size=table_size,
+                hints=fig6).accuracy,
+            accuracy_ideal=evaluate_scheme(
+                trace, "1bit-hybrid", table_size=table_size,
+                hints=ideal).accuracy,
+        ))
+        suite.run.cache_clear()
+    return StaticHintsResult(rows=rows)
+
+
+# ----------------------------------------------------------------------
+# A3 - ablation: LVC size sweep
+# ----------------------------------------------------------------------
+
+@dataclass
+class AblationLvcResult:
+    # name -> size -> hit rate
+    hit_rates: Dict[str, Dict[int, float]]
+    sizes: Tuple[int, ...]
+
+    def render(self) -> str:
+        rows = []
+        for name, by_size in self.hit_rates.items():
+            rows.append([name] + [reporting.percent(by_size[s], 2)
+                                  for s in self.sizes])
+        return reporting.format_table(
+            ["Benchmark"] + [f"{s // 1024}KB" for s in self.sizes], rows,
+            title="Ablation A3: stack-cache hit rate vs LVC size")
+
+
+def ablation_lvc_size(scale: float = 1.0,
+                      names: Sequence[str] = suite.ALL_WORKLOADS,
+                      sizes: Tuple[int, ...] = (1024, 2048, 4096, 8192,
+                                                16384))\
+        -> AblationLvcResult:
+    """A3: stack-cache hit rate across LVC capacities."""
+    hit_rates: Dict[str, Dict[int, float]] = {}
+    for name, trace in _traces(scale, names):
+        hit_rates[name] = {
+            size: stack_cache_hit_rate(trace, size).hit_rate
+            for size in sizes
+        }
+    return AblationLvcResult(hit_rates=hit_rates, sizes=sizes)

@@ -1,0 +1,21 @@
+"""PISA-like instruction-set architecture: registers, opcodes, programs."""
+
+from repro.isa.instructions import (
+    INSTRUCTION_SIZE,
+    AddrMode,
+    Instruction,
+    Op,
+    Program,
+    classify_addr_mode,
+)
+from repro.isa import registers
+
+__all__ = [
+    "INSTRUCTION_SIZE",
+    "AddrMode",
+    "Instruction",
+    "Op",
+    "Program",
+    "classify_addr_mode",
+    "registers",
+]

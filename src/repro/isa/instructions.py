@@ -1,0 +1,257 @@
+"""Instruction set for the PISA-like target ISA.
+
+The ISA is a small RISC modelled on SimpleScalar's PISA: fixed 8-byte
+instructions (hence PCs advance in steps of 8, and an ARPT index drops the
+three least-significant PC bits, see the paper's Section 4.3), base+offset
+addressing for all memory operations, and a MIPS-style calling convention.
+
+Instructions are represented as plain Python objects rather than encoded
+bits; the functional and timing simulators interpret them directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa import registers as regs
+
+#: Size of every instruction in bytes (PISA uses wide 8-byte encodings).
+INSTRUCTION_SIZE = 8
+
+
+class Op(enum.Enum):
+    """Opcodes understood by the simulators."""
+
+    # Integer ALU, register-register.
+    ADD = enum.auto()
+    SUB = enum.auto()
+    MUL = enum.auto()
+    DIV = enum.auto()
+    REM = enum.auto()
+    AND = enum.auto()
+    OR = enum.auto()
+    XOR = enum.auto()
+    SLL = enum.auto()
+    SRL = enum.auto()
+    SRA = enum.auto()
+    SLT = enum.auto()   # rd = (rs < rt)
+    SLE = enum.auto()
+    SEQ = enum.auto()
+    SNE = enum.auto()
+    # Integer ALU, register-immediate.
+    ADDI = enum.auto()
+    ANDI = enum.auto()
+    ORI = enum.auto()
+    XORI = enum.auto()
+    SLLI = enum.auto()
+    SRLI = enum.auto()
+    SRAI = enum.auto()
+    SLTI = enum.auto()
+    LI = enum.auto()    # rd = imm
+    LA = enum.auto()    # rd = rs + imm (address arithmetic; rs may be $gp)
+    LFA = enum.auto()   # rd = address of function `target` (link-resolved)
+    MOV = enum.auto()   # rd = rs
+    # Floating point (operands are flat FPR ids).
+    FADD = enum.auto()
+    FSUB = enum.auto()
+    FMUL = enum.auto()
+    FDIV = enum.auto()
+    FNEG = enum.auto()
+    FSQRT = enum.auto()
+    FABS = enum.auto()
+    FMOV = enum.auto()
+    FLT = enum.auto()   # rd(GPR) = (fs < ft)
+    FLE = enum.auto()
+    FEQ = enum.auto()
+    CVTIF = enum.auto()  # fd = float(rs)
+    CVTFI = enum.auto()  # rd = int(fs)
+    # Memory.  All use base+offset addressing: addr = R[base] + imm.
+    LW = enum.auto()    # rd = MEM[addr]        (integer/pointer word)
+    SW = enum.auto()    # MEM[addr] = rt
+    LF = enum.auto()    # fd = MEM[addr]        (floating-point word)
+    SF = enum.auto()    # MEM[addr] = ft
+    # Control.
+    BEQZ = enum.auto()  # if rs == 0 goto target
+    BNEZ = enum.auto()
+    J = enum.auto()
+    JAL = enum.auto()
+    JR = enum.auto()
+    JALR = enum.auto()
+    # System.
+    SYSCALL = enum.auto()
+    NOP = enum.auto()
+
+
+#: Opcode groups used by the simulators and the profiler.
+LOAD_OPS = frozenset({Op.LW, Op.LF})
+STORE_OPS = frozenset({Op.SW, Op.SF})
+MEM_OPS = LOAD_OPS | STORE_OPS
+BRANCH_OPS = frozenset({Op.BEQZ, Op.BNEZ})
+JUMP_OPS = frozenset({Op.J, Op.JAL, Op.JR, Op.JALR})
+CALL_OPS = frozenset({Op.JAL, Op.JALR})
+FP_OPS = frozenset({
+    Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV, Op.FNEG, Op.FSQRT, Op.FABS,
+    Op.FMOV, Op.FLT, Op.FLE, Op.FEQ, Op.CVTIF, Op.CVTFI,
+})
+
+
+class AddrMode(enum.Enum):
+    """Static addressing-mode class of a memory instruction.
+
+    This is the information available to the paper's *static prediction*
+    heuristics (Section 3.4.1): the identity of the base register reveals
+    the accessed region for most instructions.
+    """
+
+    CONSTANT = "constant"   # base register is $zero: absolute address
+    STACK = "stack"         # base register is $sp or $fp
+    GLOBAL = "global"       # base register is $gp
+    OTHER = "other"         # computed base (pointer) - region unknown
+
+
+def classify_addr_mode(base_reg: int) -> AddrMode:
+    """Classify a memory instruction's addressing mode from its base register."""
+    if base_reg == regs.ZERO:
+        return AddrMode.CONSTANT
+    if base_reg in (regs.SP, regs.FP):
+        return AddrMode.STACK
+    if base_reg == regs.GP:
+        return AddrMode.GLOBAL
+    return AddrMode.OTHER
+
+
+@dataclass
+class Instruction:
+    """A single decoded instruction.
+
+    Fields are interpreted per opcode:
+
+    * ``rd`` - destination register (flat id; FPRs are >= 32).
+    * ``rs``, ``rt`` - source registers.  For memory ops ``rs`` is the base
+      register; for stores ``rt`` is the value being stored.
+    * ``imm`` - immediate / displacement.
+    * ``target`` - label name for control transfers; resolved to an
+      absolute PC by the linker and cached in ``resolved_target``.
+    """
+
+    op: Op
+    rd: Optional[int] = None
+    rs: Optional[int] = None
+    rt: Optional[int] = None
+    imm: int = 0
+    target: Optional[str] = None
+    resolved_target: Optional[int] = None
+    comment: str = ""
+    #: Compile-time region tag for memory instructions (the paper's
+    #: Figure 6 analysis): True = stack, False = non-stack, None = the
+    #: compiler cannot decide (MT_UNKNOWN).
+    region_tag: Optional[bool] = None
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in LOAD_OPS
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in STORE_OPS
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op in MEM_OPS
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_call(self) -> bool:
+        return self.op in CALL_OPS
+
+    @property
+    def addr_mode(self) -> AddrMode:
+        """Addressing mode; only meaningful for memory instructions."""
+        if not self.is_mem:
+            raise ValueError(f"{self.op.name} is not a memory instruction")
+        return classify_addr_mode(self.rs if self.rs is not None else regs.ZERO)
+
+    def dest_regs(self) -> Tuple[int, ...]:
+        """Flat ids of registers written by this instruction."""
+        if self.op in STORE_OPS or self.op in BRANCH_OPS:
+            return ()
+        if self.op in (Op.J, Op.JR, Op.SYSCALL, Op.NOP):
+            return ()
+        if self.op in (Op.JAL, Op.JALR):
+            return (regs.RA,)
+        if self.rd is None:
+            return ()
+        return (self.rd,)
+
+    def src_regs(self) -> Tuple[int, ...]:
+        """Flat ids of registers read by this instruction."""
+        srcs = []
+        if self.op in (Op.JR, Op.JALR):
+            if self.rs is not None:
+                srcs.append(self.rs)
+            return tuple(srcs)
+        if self.rs is not None:
+            srcs.append(self.rs)
+        if self.rt is not None:
+            srcs.append(self.rt)
+        return tuple(srcs)
+
+    def __str__(self) -> str:
+        parts = [self.op.name.lower()]
+        if self.is_mem:
+            val = self.rd if self.is_load else self.rt
+            parts.append(
+                f"{_rname(val)}, {self.imm}({_rname(self.rs)})"
+            )
+        else:
+            ops = []
+            for r in (self.rd, self.rs, self.rt):
+                if r is not None:
+                    ops.append(_rname(r))
+            if self.op in (Op.LI, Op.LA, Op.ADDI, Op.ANDI, Op.ORI, Op.XORI,
+                           Op.SLLI, Op.SRLI, Op.SLTI):
+                ops.append(str(self.imm))
+            if self.target is not None:
+                ops.append(self.target)
+            if ops:
+                parts.append(", ".join(ops))
+        text = " ".join(parts)
+        if self.comment:
+            text = f"{text}  # {self.comment}"
+        return text
+
+
+def _rname(reg: Optional[int]) -> str:
+    return "?" if reg is None else regs.reg_name(reg)
+
+
+@dataclass
+class Program:
+    """A linked program image: instruction list plus label map.
+
+    ``instructions[i]`` lives at PC ``text_base + i * INSTRUCTION_SIZE``.
+    """
+
+    instructions: list = field(default_factory=list)
+    labels: dict = field(default_factory=dict)  # label -> instruction index
+    text_base: int = 0
+
+    def pc_of_index(self, index: int) -> int:
+        return self.text_base + index * INSTRUCTION_SIZE
+
+    def index_of_pc(self, pc: int) -> int:
+        offset = pc - self.text_base
+        if offset % INSTRUCTION_SIZE != 0:
+            raise ValueError(f"misaligned PC {pc:#x}")
+        return offset // INSTRUCTION_SIZE
+
+    def pc_of_label(self, label: str) -> int:
+        return self.pc_of_index(self.labels[label])
+
+    def __len__(self) -> int:
+        return len(self.instructions)

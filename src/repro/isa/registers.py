@@ -1,0 +1,72 @@
+"""Architectural register file model for the PISA-like ISA.
+
+The register naming and numbering follow the MIPS/SimpleScalar PISA
+convention, which matters for this reproduction: the access-region
+predictor's *static heuristics* (Section 3.4.1 of the paper) key off
+whether a memory instruction's base register is ``$sp``, ``$fp``, or
+``$gp``.
+
+Integer registers are numbered 0..31.  Floating-point registers live in a
+separate file and are numbered 32..63 throughout the code base so that a
+single integer can name any architectural register (useful for dependence
+tracking in the timing simulator).
+"""
+
+from __future__ import annotations
+
+NUM_GPRS = 32
+NUM_FPRS = 32
+
+# Canonical MIPS register numbers.
+ZERO = 0
+AT = 1
+V0, V1 = 2, 3
+A0, A1, A2, A3 = 4, 5, 6, 7
+T0, T1, T2, T3, T4, T5, T6, T7 = 8, 9, 10, 11, 12, 13, 14, 15
+S0, S1, S2, S3, S4, S5, S6, S7 = 16, 17, 18, 19, 20, 21, 22, 23
+T8, T9 = 24, 25
+K0, K1 = 26, 27
+GP = 28
+SP = 29
+FP = 30
+RA = 31
+
+# Floating-point registers occupy the flat id range [32, 64).
+FPR_BASE = 32
+F0 = FPR_BASE
+
+GPR_NAMES = (
+    "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+    "$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+    "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+    "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+)
+
+#: Caller-saved temporaries available to the expression evaluator.
+TEMP_REGS = (T0, T1, T2, T3, T4, T5, T6, T7, T8, T9)
+
+#: Callee-saved registers used for scalar locals and parameters.
+SAVED_REGS = (S0, S1, S2, S3, S4, S5, S6, S7)
+
+#: Argument registers for the first four integer/pointer arguments.
+ARG_REGS = (A0, A1, A2, A3)
+
+#: FP temporaries and FP callee-saved registers (flat ids).
+FTEMP_REGS = tuple(FPR_BASE + i for i in range(0, 10))
+FSAVED_REGS = tuple(FPR_BASE + i for i in range(20, 28))
+FARG_REGS = tuple(FPR_BASE + i for i in range(12, 16))
+FV0 = FPR_BASE + 10  # FP return-value register
+
+
+def is_fpr(reg: int) -> bool:
+    """Return True if the flat register id names a floating-point register."""
+    return reg >= FPR_BASE
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name of a flat register id (GPR or FPR)."""
+    if reg < 0 or reg >= FPR_BASE + NUM_FPRS:
+        raise ValueError(f"register id out of range: {reg}")
+    if is_fpr(reg):
+        return f"$f{reg - FPR_BASE}"
+    return GPR_NAMES[reg]

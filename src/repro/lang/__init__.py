@@ -1,0 +1,19 @@
+"""MiniC language front end: lexer, parser, AST, type system."""
+
+from repro.lang.lexer import LexError, Token, tokenize
+from repro.lang.parser import ParseError, parse
+from repro.lang.types import FLOAT, INT, INT_PTR, FLOAT_PTR, VOID, Type
+
+__all__ = [
+    "LexError",
+    "Token",
+    "tokenize",
+    "ParseError",
+    "parse",
+    "FLOAT",
+    "INT",
+    "INT_PTR",
+    "FLOAT_PTR",
+    "VOID",
+    "Type",
+]

@@ -1,0 +1,187 @@
+"""Abstract syntax tree for MiniC.
+
+Nodes are plain dataclasses.  Every node carries the source line for error
+reporting.  The tree is produced by :mod:`repro.lang.parser` and consumed
+by :mod:`repro.compiler.codegen`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.lang.types import Type
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Identifier(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operation: '-', '!', '*' (deref), '&' (address-of)."""
+
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment; ``op`` is '=' or a compound form like '+='."""
+
+    op: str = "="
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Index(Expr):
+    """Array / pointer subscript ``base[index]``."""
+
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Cast(Expr):
+    to_type: Optional[Type] = None
+    operand: Optional[Expr] = None
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class VarDecl(Stmt):
+    """Local or global variable declaration.
+
+    ``array_size`` is None for scalars.  ``initializers`` holds one
+    expression for scalars, or any prefix of the array for arrays.
+    """
+
+    var_type: Optional[Type] = None
+    name: str = ""
+    array_size: Optional[int] = None
+    initializers: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    condition: Optional[Expr] = None
+    then_branch: Optional[Stmt] = None
+    else_branch: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    condition: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    condition: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    param_type: Optional[Type] = None
+    name: str = ""
+
+
+@dataclass
+class FuncDef(Node):
+    return_type: Optional[Type] = None
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    body: Optional[Block] = None
+
+
+@dataclass
+class TranslationUnit(Node):
+    """A whole MiniC source file: globals and function definitions."""
+
+    globals: List[VarDecl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDef:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(f"no function named {name!r}")

@@ -1,0 +1,71 @@
+"""Compile-time constant folding for integer expressions.
+
+Applied while parsing (an optimising compiler folds constants long
+before codegen).  Semantics mirror the functional simulator exactly:
+64-bit two's-complement wrap, C truncating division, arithmetic right
+shift.  Expressions that could fault (division by zero, oversized
+shifts) are left unfolded so they fault at run time like any other.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+
+
+def _wrap(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value & _SIGN64 else value
+
+
+def _c_div(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def fold_int_binary(op: str, left: int, right: int) -> Optional[int]:
+    """Result of ``left op right`` under MiniC semantics, or None when
+    the operation cannot (or should not) be folded."""
+    if op == "+":
+        return _wrap(left + right)
+    if op == "-":
+        return _wrap(left - right)
+    if op == "*":
+        return _wrap(left * right)
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "<<":
+        if 0 <= right < 64:
+            return _wrap(left << right)
+        return None
+    if op == ">>":
+        if 0 <= right < 64:
+            return left >> right
+        return None
+    if op == "/":
+        if right != 0:
+            return _wrap(_c_div(left, right))
+        return None
+    if op == "%":
+        if right != 0:
+            return _wrap(left - _c_div(left, right) * right)
+        return None
+    if op == "<":
+        return int(left < right)
+    if op == "<=":
+        return int(left <= right)
+    if op == ">":
+        return int(left > right)
+    if op == ">=":
+        return int(left >= right)
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    return None

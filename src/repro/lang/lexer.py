@@ -1,0 +1,168 @@
+"""Lexer for MiniC, the small C-like language the workloads are written in.
+
+MiniC exists so that the benchmark suite is produced by a *real compiler*
+with a real stack discipline: the paper's static region heuristics read the
+addressing mode ($sp/$fp/$gp/other) of each memory instruction, and only
+compiled code exercises those heuristics faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = frozenset({
+    "int", "float", "void", "if", "else", "while", "for", "return",
+    "break", "continue",
+})
+
+# Multi-character operators must be matched before their prefixes.
+OPERATORS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: str    # 'int', 'float', 'ident', 'keyword', 'op', 'string', 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+class LexError(Exception):
+    """Raised on malformed input."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"line {line}, col {col}: {message}")
+        self.line = line
+        self.col = col
+
+
+class Lexer:
+    """Hand-rolled scanner producing a flat token list."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokenize(self) -> List[Token]:
+        return list(self._tokens())
+
+    def _tokens(self) -> Iterator[Token]:
+        src = self._source
+        n = len(src)
+        while self._pos < n:
+            ch = src[self._pos]
+            if ch in " \t\r":
+                self._advance(1)
+            elif ch == "\n":
+                self._pos += 1
+                self._line += 1
+                self._col = 1
+            elif src.startswith("//", self._pos):
+                self._skip_line_comment()
+            elif src.startswith("/*", self._pos):
+                self._skip_block_comment()
+            elif ch.isdigit() or (ch == "." and self._peek_digit(1)):
+                yield self._number()
+            elif ch.isalpha() or ch == "_":
+                yield self._identifier()
+            else:
+                yield self._operator()
+        yield Token("eof", "", self._line, self._col)
+
+    def _advance(self, count: int) -> None:
+        self._pos += count
+        self._col += count
+
+    def _peek_digit(self, offset: int) -> bool:
+        pos = self._pos + offset
+        return pos < len(self._source) and self._source[pos].isdigit()
+
+    def _skip_line_comment(self) -> None:
+        end = self._source.find("\n", self._pos)
+        if end == -1:
+            self._pos = len(self._source)
+        else:
+            self._pos = end  # newline handled by main loop
+
+    def _skip_block_comment(self) -> None:
+        end = self._source.find("*/", self._pos + 2)
+        if end == -1:
+            raise LexError("unterminated block comment", self._line, self._col)
+        skipped = self._source[self._pos:end + 2]
+        newlines = skipped.count("\n")
+        if newlines:
+            self._line += newlines
+            self._col = len(skipped) - skipped.rfind("\n")
+        else:
+            self._col += len(skipped)
+        self._pos = end + 2
+
+    def _number(self) -> Token:
+        start = self._pos
+        line, col = self._line, self._col
+        src = self._source
+        n = len(src)
+        is_float = False
+        if src.startswith("0x", start) or src.startswith("0X", start):
+            self._advance(2)
+            while self._pos < n and (src[self._pos].isdigit()
+                                     or src[self._pos] in "abcdefABCDEF"):
+                self._advance(1)
+            return Token("int", src[start:self._pos], line, col)
+        while self._pos < n and src[self._pos].isdigit():
+            self._advance(1)
+        if self._pos < n and src[self._pos] == ".":
+            is_float = True
+            self._advance(1)
+            while self._pos < n and src[self._pos].isdigit():
+                self._advance(1)
+        if self._pos < n and src[self._pos] in "eE":
+            is_float = True
+            self._advance(1)
+            if self._pos < n and src[self._pos] in "+-":
+                self._advance(1)
+            if self._pos >= n or not src[self._pos].isdigit():
+                raise LexError("malformed exponent", self._line, self._col)
+            while self._pos < n and src[self._pos].isdigit():
+                self._advance(1)
+        kind = "float" if is_float else "int"
+        return Token(kind, src[start:self._pos], line, col)
+
+    def _identifier(self) -> Token:
+        start = self._pos
+        line, col = self._line, self._col
+        src = self._source
+        n = len(src)
+        while self._pos < n and (src[self._pos].isalnum() or src[self._pos] == "_"):
+            self._advance(1)
+        text = src[start:self._pos]
+        kind = "keyword" if text in KEYWORDS else "ident"
+        return Token(kind, text, line, col)
+
+    def _operator(self) -> Token:
+        line, col = self._line, self._col
+        for op in OPERATORS:
+            if self._source.startswith(op, self._pos):
+                self._advance(len(op))
+                return Token("op", op, line, col)
+        raise LexError(
+            f"unexpected character {self._source[self._pos]!r}", line, col
+        )
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: lex a full MiniC source string."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,374 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (EBNF sketch)::
+
+    program     = { global_decl | func_def } ;
+    type        = ( "int" | "float" | "void" ) { "*" } ;
+    global_decl = type ident [ "[" int "]" ] [ "=" init ] ";" ;
+    func_def    = type ident "(" [ params ] ")" block ;
+    stmt        = block | if | while | for | return | break | continue
+                | decl | expr ";" | ";" ;
+    expr        = assignment with C-like precedence below ;
+
+Precedence, loosest first: ``||``, ``&&``, ``|``, ``^``, ``&``, equality,
+relational, shift, additive, multiplicative, cast/unary, postfix.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang import ast
+from repro.lang.fold import fold_int_binary
+from repro.lang.lexer import Token, tokenize
+from repro.lang.types import Type
+
+_TYPE_KEYWORDS = ("int", "float", "void")
+
+
+class ParseError(Exception):
+    """Raised on syntactically invalid MiniC."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"line {token.line}: {message} (near {token.text!r})")
+        self.token = token
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self._peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _match(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if self._check(kind, text):
+            return self._advance()
+        want = text if text is not None else kind
+        raise ParseError(f"expected {want!r}", self._peek())
+
+    def _at_type(self, offset: int = 0) -> bool:
+        tok = self._peek(offset)
+        return tok.kind == "keyword" and tok.text in _TYPE_KEYWORDS
+
+    # -- top level ---------------------------------------------------------
+
+    def parse(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit(line=1)
+        while not self._check("eof"):
+            if not self._at_type():
+                raise ParseError("expected a declaration", self._peek())
+            # Distinguish function definitions from globals: after the
+            # type and identifier, a '(' introduces a function.
+            save = self._pos
+            self._parse_type()
+            self._expect("ident")
+            is_function = self._check("op", "(")
+            self._pos = save
+            if is_function:
+                unit.functions.append(self._function_def())
+            else:
+                unit.globals.append(self._var_decl())
+        return unit
+
+    def _parse_type(self) -> Type:
+        tok = self._expect("keyword")
+        if tok.text not in _TYPE_KEYWORDS:
+            raise ParseError("expected a type", tok)
+        depth = 0
+        while self._match("op", "*"):
+            depth += 1
+        return Type(tok.text, depth)
+
+    def _function_def(self) -> ast.FuncDef:
+        line = self._peek().line
+        return_type = self._parse_type()
+        name = self._expect("ident").text
+        self._expect("op", "(")
+        params: List[ast.Param] = []
+        if not self._check("op", ")"):
+            while True:
+                ptype = self._parse_type()
+                pname = self._expect("ident").text
+                params.append(ast.Param(line=line, param_type=ptype, name=pname))
+                if not self._match("op", ","):
+                    break
+        self._expect("op", ")")
+        body = self._block()
+        return ast.FuncDef(line=line, return_type=return_type, name=name,
+                           params=params, body=body)
+
+    def _var_decl(self) -> ast.VarDecl:
+        line = self._peek().line
+        var_type = self._parse_type()
+        name = self._expect("ident").text
+        array_size: Optional[int] = None
+        if self._match("op", "["):
+            size_tok = self._expect("int")
+            array_size = int(size_tok.text, 0)
+            if array_size <= 0:
+                raise ParseError("array size must be positive", size_tok)
+            self._expect("op", "]")
+        initializers: List[ast.Expr] = []
+        if self._match("op", "="):
+            if self._match("op", "{"):
+                if array_size is None:
+                    raise ParseError("brace initializer on a scalar",
+                                     self._peek())
+                while True:
+                    initializers.append(self._expression())
+                    if not self._match("op", ","):
+                        break
+                self._expect("op", "}")
+                if len(initializers) > array_size:
+                    raise ParseError("too many initializers", self._peek())
+            else:
+                initializers.append(self._expression())
+        self._expect("op", ";")
+        return ast.VarDecl(line=line, var_type=var_type, name=name,
+                           array_size=array_size, initializers=initializers)
+
+    # -- statements ---------------------------------------------------------
+
+    def _block(self) -> ast.Block:
+        line = self._expect("op", "{").line
+        statements: List[ast.Stmt] = []
+        while not self._check("op", "}"):
+            if self._check("eof"):
+                raise ParseError("unterminated block", self._peek())
+            statements.append(self._statement())
+        self._expect("op", "}")
+        return ast.Block(line=line, statements=statements)
+
+    def _statement(self) -> ast.Stmt:
+        tok = self._peek()
+        if tok.kind == "op" and tok.text == "{":
+            return self._block()
+        if tok.kind == "keyword":
+            if tok.text == "if":
+                return self._if_stmt()
+            if tok.text == "while":
+                return self._while_stmt()
+            if tok.text == "for":
+                return self._for_stmt()
+            if tok.text == "return":
+                return self._return_stmt()
+            if tok.text == "break":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Break(line=tok.line)
+            if tok.text == "continue":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Continue(line=tok.line)
+            if tok.text in _TYPE_KEYWORDS:
+                return self._var_decl()
+        if tok.kind == "op" and tok.text == ";":
+            self._advance()
+            return ast.Block(line=tok.line)  # empty statement
+        expr = self._expression()
+        self._expect("op", ";")
+        return ast.ExprStmt(line=tok.line, expr=expr)
+
+    def _if_stmt(self) -> ast.If:
+        line = self._expect("keyword", "if").line
+        self._expect("op", "(")
+        condition = self._expression()
+        self._expect("op", ")")
+        then_branch = self._statement()
+        else_branch = None
+        if self._match("keyword", "else"):
+            else_branch = self._statement()
+        return ast.If(line=line, condition=condition,
+                      then_branch=then_branch, else_branch=else_branch)
+
+    def _while_stmt(self) -> ast.While:
+        line = self._expect("keyword", "while").line
+        self._expect("op", "(")
+        condition = self._expression()
+        self._expect("op", ")")
+        body = self._statement()
+        return ast.While(line=line, condition=condition, body=body)
+
+    def _for_stmt(self) -> ast.For:
+        line = self._expect("keyword", "for").line
+        self._expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if self._at_type():
+            init = self._var_decl()
+        elif not self._check("op", ";"):
+            init = ast.ExprStmt(line=line, expr=self._expression())
+            self._expect("op", ";")
+        else:
+            self._expect("op", ";")
+        condition = None
+        if not self._check("op", ";"):
+            condition = self._expression()
+        self._expect("op", ";")
+        step = None
+        if not self._check("op", ")"):
+            step = self._expression()
+        self._expect("op", ")")
+        body = self._statement()
+        return ast.For(line=line, init=init, condition=condition,
+                       step=step, body=body)
+
+    def _return_stmt(self) -> ast.Return:
+        line = self._expect("keyword", "return").line
+        value = None
+        if not self._check("op", ";"):
+            value = self._expression()
+        self._expect("op", ";")
+        return ast.Return(line=line, value=value)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._assignment()
+
+    def _assignment(self) -> ast.Expr:
+        left = self._logical_or()
+        tok = self._peek()
+        if tok.kind == "op" and tok.text in ("=", "+=", "-=", "*=", "/=", "%="):
+            self._advance()
+            value = self._assignment()
+            return ast.Assign(line=tok.line, op=tok.text, target=left,
+                              value=value)
+        return left
+
+    def _binary_chain(self, sub, ops) -> ast.Expr:
+        left = sub()
+        while True:
+            tok = self._peek()
+            if tok.kind == "op" and tok.text in ops:
+                self._advance()
+                right = sub()
+                # Constant folding: literal op literal collapses at
+                # parse time with exact run-time (C) semantics.
+                if isinstance(left, ast.IntLiteral) \
+                        and isinstance(right, ast.IntLiteral):
+                    folded = fold_int_binary(tok.text, left.value,
+                                             right.value)
+                    if folded is not None:
+                        left = ast.IntLiteral(line=tok.line, value=folded)
+                        continue
+                left = ast.Binary(line=tok.line, op=tok.text, left=left,
+                                  right=right)
+            else:
+                return left
+
+    def _logical_or(self) -> ast.Expr:
+        return self._binary_chain(self._logical_and, ("||",))
+
+    def _logical_and(self) -> ast.Expr:
+        return self._binary_chain(self._bitor, ("&&",))
+
+    def _bitor(self) -> ast.Expr:
+        return self._binary_chain(self._bitxor, ("|",))
+
+    def _bitxor(self) -> ast.Expr:
+        return self._binary_chain(self._bitand, ("^",))
+
+    def _bitand(self) -> ast.Expr:
+        # '&' as a binary operator; unary address-of is handled in _unary.
+        return self._binary_chain(self._equality, ("&",))
+
+    def _equality(self) -> ast.Expr:
+        return self._binary_chain(self._relational, ("==", "!="))
+
+    def _relational(self) -> ast.Expr:
+        return self._binary_chain(self._shift, ("<", ">", "<=", ">="))
+
+    def _shift(self) -> ast.Expr:
+        return self._binary_chain(self._additive, ("<<", ">>"))
+
+    def _additive(self) -> ast.Expr:
+        return self._binary_chain(self._multiplicative, ("+", "-"))
+
+    def _multiplicative(self) -> ast.Expr:
+        return self._binary_chain(self._cast, ("*", "/", "%"))
+
+    def _cast(self) -> ast.Expr:
+        if self._check("op", "(") and self._at_type(1):
+            line = self._advance().line  # '('
+            to_type = self._parse_type()
+            self._expect("op", ")")
+            operand = self._cast()
+            return ast.Cast(line=line, to_type=to_type, operand=operand)
+        return self._unary()
+
+    def _unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind == "op" and tok.text in ("-", "!", "*", "&"):
+            self._advance()
+            operand = self._cast()
+            # Fold negated literals so that constant array indices such
+            # as p[-1] become immediate displacements in codegen.
+            if tok.text == "-" and isinstance(operand, ast.IntLiteral):
+                return ast.IntLiteral(line=tok.line, value=-operand.value)
+            if tok.text == "-" and isinstance(operand, ast.FloatLiteral):
+                return ast.FloatLiteral(line=tok.line, value=-operand.value)
+            return ast.Unary(line=tok.line, op=tok.text, operand=operand)
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while True:
+            if self._check("op", "["):
+                line = self._advance().line
+                index = self._expression()
+                self._expect("op", "]")
+                expr = ast.Index(line=line, base=expr, index=index)
+            elif self._check("op", "(") and isinstance(expr, ast.Identifier):
+                line = self._advance().line
+                args: List[ast.Expr] = []
+                if not self._check("op", ")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self._match("op", ","):
+                            break
+                self._expect("op", ")")
+                expr = ast.Call(line=line, name=expr.name, args=args)
+            else:
+                return expr
+
+    def _primary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind == "int":
+            self._advance()
+            return ast.IntLiteral(line=tok.line, value=int(tok.text, 0))
+        if tok.kind == "float":
+            self._advance()
+            return ast.FloatLiteral(line=tok.line, value=float(tok.text))
+        if tok.kind == "ident":
+            self._advance()
+            return ast.Identifier(line=tok.line, name=tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            self._advance()
+            expr = self._expression()
+            self._expect("op", ")")
+            return expr
+        raise ParseError("expected an expression", tok)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse MiniC source text into a translation unit."""
+    return Parser(tokenize(source)).parse()

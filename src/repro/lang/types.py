@@ -1,0 +1,89 @@
+"""MiniC type system.
+
+Every scalar occupies one machine word (8 bytes), so arrays and pointer
+arithmetic scale by whole words.  Types are interned value objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Type:
+    """A MiniC type: ``int``, ``float``, ``void``, or a pointer chain."""
+
+    base: str                  # 'int' | 'float' | 'void'
+    pointer_depth: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base not in ("int", "float", "void"):
+            raise ValueError(f"unknown base type {self.base!r}")
+        if self.pointer_depth < 0:
+            raise ValueError("negative pointer depth")
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointer_depth > 0
+
+    @property
+    def is_int(self) -> bool:
+        return self.base == "int" and self.pointer_depth == 0
+
+    @property
+    def is_float(self) -> bool:
+        return self.base == "float" and self.pointer_depth == 0
+
+    @property
+    def is_void(self) -> bool:
+        return self.base == "void" and self.pointer_depth == 0
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self.pointer_depth == 0 and self.base in ("int", "float")
+
+    def pointer_to(self) -> "Type":
+        return Type(self.base, self.pointer_depth + 1)
+
+    def pointee(self) -> "Type":
+        if not self.is_pointer:
+            raise ValueError(f"cannot dereference non-pointer {self}")
+        return Type(self.base, self.pointer_depth - 1)
+
+    def __str__(self) -> str:
+        return self.base + "*" * self.pointer_depth
+
+
+INT = Type("int")
+FLOAT = Type("float")
+VOID = Type("void")
+INT_PTR = INT.pointer_to()
+FLOAT_PTR = FLOAT.pointer_to()
+
+
+def common_arithmetic_type(left: Type, right: Type) -> Optional[Type]:
+    """Usual arithmetic conversions: float wins over int."""
+    if not (left.is_arithmetic and right.is_arithmetic):
+        return None
+    if left.is_float or right.is_float:
+        return FLOAT
+    return INT
+
+
+def assignable(target: Type, value: Type) -> bool:
+    """Whether ``value`` may be assigned to an lvalue of type ``target``.
+
+    Pointer types must match exactly except that integer expressions may
+    seed pointers (address literals / malloc results are int-typed until
+    cast) - MiniC is deliberately permissive there, like early C.
+    """
+    if target == value:
+        return True
+    if target.is_arithmetic and value.is_arithmetic:
+        return True
+    if target.is_pointer and (value.is_int or value.is_pointer):
+        return True
+    if target.is_int and value.is_pointer:
+        return True
+    return False

@@ -1,0 +1,48 @@
+"""Access-region prediction: the paper's core contribution.
+
+Static addressing-mode heuristics plus the ARPT (a tagless, branch-
+predictor-like table indexed by PC xor run-time context) classify each
+memory instruction as stack or non-stack before its address is known.
+"""
+
+from repro.predictor.arpt import ARPT
+from repro.predictor.contexts import ContextTracker, context_function
+from repro.predictor.evaluate import (PredictionResult, evaluate_scheme,
+                                      occupancy_by_context)
+from repro.predictor.hints import (CompilerHints, empty_hints,
+                                   hints_from_trace)
+from repro.predictor.static_hints import (StaticHintStats,
+                                          static_hint_stats, static_hints)
+from repro.predictor.schemes import (ALL_SCHEMES, FIGURE4_SCHEMES, ONE_BIT,
+                                     ONE_BIT_CID, ONE_BIT_GBH,
+                                     ONE_BIT_HYBRID, STATIC, TWO_BIT,
+                                     Scheme, scheme_by_name)
+from repro.predictor.static_rules import (mode_is_definitive,
+                                          static_predicts_stack)
+
+__all__ = [
+    "ARPT",
+    "ContextTracker",
+    "context_function",
+    "PredictionResult",
+    "evaluate_scheme",
+    "occupancy_by_context",
+    "CompilerHints",
+    "empty_hints",
+    "hints_from_trace",
+    "StaticHintStats",
+    "static_hint_stats",
+    "static_hints",
+    "ALL_SCHEMES",
+    "FIGURE4_SCHEMES",
+    "ONE_BIT",
+    "ONE_BIT_CID",
+    "ONE_BIT_GBH",
+    "ONE_BIT_HYBRID",
+    "STATIC",
+    "TWO_BIT",
+    "Scheme",
+    "scheme_by_name",
+    "mode_is_definitive",
+    "static_predicts_stack",
+]

@@ -1,0 +1,98 @@
+"""The Access Region Prediction Table (ARPT).
+
+A branch-predictor-like structure (paper Figure 3): an array of 1-bit (or
+2-bit, for the hysteresis ablation) entries with **no tags and no valid
+bits**, indexed by the instruction's PC - dropping the PC bits that are
+always zero because of the 8-byte instruction size - optionally XOR'ed
+with run-time context bits (global branch history and/or caller id).
+
+Entries are initialised to "non-stack", which makes a cold entry agree
+with the paper's static heuristic #4 (unknown base register -> predict
+non-stack).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: log2(instruction size): PC bits below this are always zero.
+PC_SHIFT = 3
+
+
+class ARPT:
+    """Direct-mapped, tagless access-region prediction table.
+
+    ``size`` is the number of entries and must be a power of two;
+    ``size=None`` models the paper's *unlimited* table (one entry per
+    distinct index value, no aliasing by masking).
+
+    ``bits=1`` stores the last observed region (1 = stack).  ``bits=2``
+    stores a saturating counter with hysteresis (>= 2 predicts stack).
+    """
+
+    def __init__(self, size: Optional[int] = None, bits: int = 1) -> None:
+        if bits not in (1, 2):
+            raise ValueError("ARPT entries must be 1 or 2 bits wide")
+        if size is not None:
+            if size <= 0 or size & (size - 1):
+                raise ValueError("ARPT size must be a power of two")
+        self.size = size
+        self.bits = bits
+        self._mask = (size - 1) if size is not None else None
+        self._entries: Dict[int, int] = {}
+        self.predictions = 0
+        self.hits = 0
+
+    def index(self, pc: int, context: int = 0) -> int:
+        """Compute the table index for a PC/context pair."""
+        raw = (pc >> PC_SHIFT) ^ context
+        if self._mask is not None:
+            raw &= self._mask
+        return raw
+
+    def predict(self, pc: int, context: int = 0) -> bool:
+        """Predict whether the instruction will access the stack."""
+        entry = self._entries.get(self.index(pc, context), 0)
+        if self.bits == 1:
+            return entry == 1
+        return entry >= 2
+
+    def update(self, pc: int, context: int, is_stack: bool) -> None:
+        """Train the entry with the verified region."""
+        index = self.index(pc, context)
+        if self.bits == 1:
+            self._entries[index] = 1 if is_stack else 0
+            return
+        counter = self._entries.get(index, 0)
+        if is_stack:
+            counter = min(3, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self._entries[index] = counter
+
+    def predict_and_update(self, pc: int, context: int,
+                           is_stack: bool) -> bool:
+        """Predict, record accuracy counters, then train.  Returns the
+        prediction made *before* the update."""
+        prediction = self.predict(pc, context)
+        self.predictions += 1
+        if prediction == is_stack:
+            self.hits += 1
+        self.update(pc, context, is_stack)
+        return prediction
+
+    @property
+    def occupancy(self) -> int:
+        """Number of distinct entries ever written (paper Table 3)."""
+        return len(self._entries)
+
+    @property
+    def accuracy(self) -> float:
+        return self.hits / max(1, self.predictions)
+
+    @property
+    def storage_bits(self) -> Optional[int]:
+        """Hardware cost in bits (None for the unlimited model)."""
+        if self.size is None:
+            return None
+        return self.size * self.bits

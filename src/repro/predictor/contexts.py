@@ -1,0 +1,90 @@
+"""Run-time context sources for ARPT indexing.
+
+The paper considers two kinds of context (Section 3.4.1):
+
+* **GBH** - global branch history, as used by gshare-style branch
+  predictors: a shift register of recent branch outcomes.
+* **CID** - caller identification: the link register, which holds the
+  return address of the most recent call and therefore identifies the
+  call site.  Useful for pointer-typed parameters (``*parm1`` in the
+  paper's Figure 1), because a given caller tends to pass pointers into
+  the same region.
+
+The hybrid context concatenates the low 8 bits of the GBH with the low
+24 bits of the CID (paper footnote 7).  Link-register values have three
+zero low bits (8-byte instructions), so the CID is taken above that
+alignment, the same way the ARPT drops low PC bits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.trace.records import TraceRecord
+
+GBH_BITS_DEFAULT = 8
+CID_BITS_DEFAULT = 24
+
+_CID_SHIFT = 3  # drop always-zero alignment bits of the return address
+
+
+class ContextTracker:
+    """Replays a trace, maintaining GBH and exposing per-record contexts."""
+
+    def __init__(self, gbh_bits: int = GBH_BITS_DEFAULT,
+                 cid_bits: int = CID_BITS_DEFAULT) -> None:
+        if gbh_bits < 0 or cid_bits < 0:
+            raise ValueError("context bit widths must be non-negative")
+        self.gbh_bits = gbh_bits
+        self.cid_bits = cid_bits
+        self._gbh = 0
+        self._gbh_mask = (1 << gbh_bits) - 1 if gbh_bits else 0
+        self._cid_mask = (1 << cid_bits) - 1 if cid_bits else 0
+
+    def observe_branch(self, taken: bool) -> None:
+        """Shift a branch outcome into the global history register."""
+        if self._gbh_mask:
+            self._gbh = ((self._gbh << 1) | (1 if taken else 0)) \
+                & self._gbh_mask
+
+    @property
+    def gbh(self) -> int:
+        return self._gbh
+
+    def cid_of(self, record: TraceRecord) -> int:
+        """Caller id of a memory record: its link-register value."""
+        return (record.ra >> _CID_SHIFT) & self._cid_mask
+
+    # Context functions per scheme -------------------------------------
+
+    def none_context(self, record: TraceRecord) -> int:
+        return 0
+
+    def gbh_context(self, record: TraceRecord) -> int:
+        return self._gbh
+
+    def cid_context(self, record: TraceRecord) -> int:
+        return self.cid_of(record)
+
+    def hybrid_context(self, record: TraceRecord) -> int:
+        """Low GBH bits concatenated below the CID bits (paper fn. 7)."""
+        return self._gbh | (self.cid_of(record) << self.gbh_bits)
+
+
+#: Names accepted by :func:`context_function`.
+CONTEXT_KINDS = ("none", "gbh", "cid", "hybrid")
+
+
+def context_function(tracker: ContextTracker,
+                     kind: str) -> Callable[[TraceRecord], int]:
+    """Look up the context extractor for a scheme name."""
+    functions: Dict[str, Callable[[TraceRecord], int]] = {
+        "none": tracker.none_context,
+        "gbh": tracker.gbh_context,
+        "cid": tracker.cid_context,
+        "hybrid": tracker.hybrid_context,
+    }
+    if kind not in functions:
+        raise ValueError(f"unknown context kind {kind!r}; "
+                         f"expected one of {CONTEXT_KINDS}")
+    return functions[kind]

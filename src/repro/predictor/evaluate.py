@@ -1,0 +1,148 @@
+"""Trace-driven evaluation of region-prediction schemes.
+
+Replays a dynamic trace through a scheme exactly as the hardware would
+see it: branch outcomes update the global history, each memory reference
+is predicted *before* its address is known (static rules first, then the
+ARPT for unknown-mode instructions), and the table is trained with the
+verified region afterwards.  Produces the numbers behind the paper's
+Figure 4 (accuracy per scheme), Table 3 (table occupancy per context),
+and Figure 5 (accuracy vs. table size, with and without compiler hints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.predictor.arpt import ARPT
+from repro.predictor.contexts import ContextTracker, context_function
+from repro.predictor.hints import CompilerHints
+from repro.predictor.schemes import Scheme, scheme_by_name
+from repro.predictor.static_rules import mode_is_definitive, \
+    static_predicts_stack
+from repro.trace.records import Trace
+
+
+@dataclass
+class PredictionResult:
+    """Outcome of replaying one trace through one scheme."""
+
+    scheme: str
+    trace_name: str
+    total: int                 # dynamic memory references
+    correct: int
+    definitive: int            # covered by addressing-mode rules 1-3
+    definitive_correct: int
+    table_predictions: int     # rule-4 references that consulted the ARPT
+    table_correct: int
+    hinted: int                # references answered by compiler hints
+    occupancy: int             # distinct ARPT entries written
+    table_size: Optional[int]  # None = unlimited
+
+    @property
+    def accuracy(self) -> float:
+        """Overall fraction of correctly classified dynamic references."""
+        return self.correct / max(1, self.total)
+
+    @property
+    def definitive_fraction(self) -> float:
+        """Fraction of references whose mode manifests the region."""
+        return self.definitive / max(1, self.total)
+
+    @property
+    def table_accuracy(self) -> float:
+        return self.table_correct / max(1, self.table_predictions)
+
+
+def evaluate_scheme(trace: Trace, scheme,
+                    table_size: Optional[int] = None,
+                    hints: Optional[CompilerHints] = None,
+                    gbh_bits: int = 8,
+                    cid_bits: int = 24) -> PredictionResult:
+    """Replay ``trace`` through ``scheme`` and score it.
+
+    ``scheme`` may be a :class:`Scheme` or its name.  ``table_size`` of
+    None models the unlimited ARPT.  When ``hints`` are provided, tagged
+    instructions bypass the predictor (and are correct by construction,
+    matching the paper's idealised-compiler methodology).
+    """
+    if isinstance(scheme, str):
+        scheme = scheme_by_name(scheme)
+    tracker = ContextTracker(gbh_bits=gbh_bits, cid_bits=cid_bits)
+    table = ARPT(size=table_size, bits=scheme.bits) if scheme.uses_table \
+        else None
+    get_context = (context_function(tracker, scheme.context)
+                   if scheme.uses_table else None)
+    hint_tags = hints.tags if hints is not None else {}
+
+    total = correct = 0
+    definitive = definitive_correct = 0
+    table_predictions = table_correct = 0
+    hinted = 0
+
+    for record in trace.records:
+        if record.is_branch:
+            tracker.observe_branch(record.taken)
+            continue
+        if not record.is_mem:
+            continue
+        total += 1
+        actual = record.is_stack
+        mode = record.mode
+        if mode_is_definitive(mode):
+            prediction = static_predicts_stack(mode)
+            definitive += 1
+            if prediction == actual:
+                definitive_correct += 1
+                correct += 1
+            continue
+        # Rule-4 (unknown-mode) reference.
+        tag = hint_tags.get(record.pc)
+        if tag is not None:
+            hinted += 1
+            if tag == actual:
+                correct += 1
+            continue
+        if table is None:
+            prediction = False  # static heuristic #4: predict non-stack
+        else:
+            context = get_context(record)
+            prediction = table.predict_and_update(record.pc, context,
+                                                  actual)
+            table_predictions += 1
+            if prediction == actual:
+                table_correct += 1
+        if prediction == actual:
+            correct += 1
+
+    return PredictionResult(
+        scheme=scheme.name,
+        trace_name=trace.name,
+        total=total,
+        correct=correct,
+        definitive=definitive,
+        definitive_correct=definitive_correct,
+        table_predictions=table_predictions,
+        table_correct=table_correct,
+        hinted=hinted,
+        occupancy=table.occupancy if table is not None else 0,
+        table_size=table_size,
+    )
+
+
+def occupancy_by_context(trace: Trace,
+                         gbh_bits: int = 8,
+                         cid_bits: int = 24) -> Dict[str, int]:
+    """Entries occupied in an unlimited ARPT per indexing context.
+
+    Reproduces the paper's Table 3: columns are PC-only indexing
+    ("static" in the table's header), PC^GBH, PC^CID, and PC^hybrid.
+    """
+    results = {}
+    for context in ("none", "gbh", "cid", "hybrid"):
+        scheme = Scheme(f"probe-{context}", uses_table=True, bits=1,
+                        context=context)
+        outcome = evaluate_scheme(trace, scheme, table_size=None,
+                                  gbh_bits=gbh_bits, cid_bits=cid_bits)
+        results[context] = outcome.occupancy
+    return results

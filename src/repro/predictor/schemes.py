@@ -1,0 +1,76 @@
+"""Prediction scheme definitions (the paper's Figure 4 lineup).
+
+A scheme combines the static addressing-mode rules with an optional ARPT
+configuration:
+
+================  =======  ==========  =================================
+scheme            table    entry bits  index context
+================  =======  ==========  =================================
+``static``        no       -           -
+``1bit``          yes      1           PC only
+``1bit-gbh``      yes      1           PC xor global branch history
+``1bit-cid``      yes      1           PC xor caller id (link register)
+``1bit-hybrid``   yes      1           PC xor (GBH | CID << 8)
+``2bit`` family   yes      2           same context options
+================  =======  ==========  =================================
+
+In every table scheme, instructions whose addressing mode already
+manifests the region (rules 1-3) bypass and never train the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.predictor.contexts import CONTEXT_KINDS
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """A named predictor configuration."""
+
+    name: str
+    uses_table: bool
+    bits: int = 1
+    context: str = "none"
+
+    def __post_init__(self) -> None:
+        if self.uses_table:
+            if self.bits not in (1, 2):
+                raise ValueError("entry width must be 1 or 2 bits")
+            if self.context not in CONTEXT_KINDS:
+                raise ValueError(f"unknown context {self.context!r}")
+
+
+STATIC = Scheme("static", uses_table=False)
+ONE_BIT = Scheme("1bit", uses_table=True, bits=1, context="none")
+ONE_BIT_GBH = Scheme("1bit-gbh", uses_table=True, bits=1, context="gbh")
+ONE_BIT_CID = Scheme("1bit-cid", uses_table=True, bits=1, context="cid")
+ONE_BIT_HYBRID = Scheme("1bit-hybrid", uses_table=True, bits=1,
+                        context="hybrid")
+TWO_BIT = Scheme("2bit", uses_table=True, bits=2, context="none")
+TWO_BIT_GBH = Scheme("2bit-gbh", uses_table=True, bits=2, context="gbh")
+TWO_BIT_CID = Scheme("2bit-cid", uses_table=True, bits=2, context="cid")
+TWO_BIT_HYBRID = Scheme("2bit-hybrid", uses_table=True, bits=2,
+                        context="hybrid")
+
+#: The five schemes evaluated in the paper's Figure 4, in plot order.
+FIGURE4_SCHEMES = (STATIC, ONE_BIT, ONE_BIT_GBH, ONE_BIT_CID,
+                   ONE_BIT_HYBRID)
+
+ALL_SCHEMES: Tuple[Scheme, ...] = (
+    STATIC, ONE_BIT, ONE_BIT_GBH, ONE_BIT_CID, ONE_BIT_HYBRID,
+    TWO_BIT, TWO_BIT_GBH, TWO_BIT_CID, TWO_BIT_HYBRID,
+)
+
+_BY_NAME = {scheme.name: scheme for scheme in ALL_SCHEMES}
+
+
+def scheme_by_name(name: str) -> Scheme:
+    """Look up a scheme by its canonical name (e.g. ``"1bit-hybrid"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown scheme {name!r}; known: "
+                         f"{sorted(_BY_NAME)}") from None

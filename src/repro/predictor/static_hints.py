@@ -1,0 +1,67 @@
+"""Compiler hints from *real* static analysis (the paper's Figure 6).
+
+Section 3.5.2 of the paper evaluates compiler hints using profile data
+as an upper bound, noting "a real compiler will produce more unknown
+cases".  This module provides the real-compiler counterpart: the MiniC
+code generator runs the Figure-6 classification while compiling -
+addressing modes give rules 1-3 directly, and a flow-insensitive
+UD-chain provenance analysis tags pointer dereferences whose pointer
+definitions all agree on a region (local arrays -> stack; global
+arrays, the FP constant pool, and malloc results -> non-stack;
+function parameters and loaded pointers -> unknown).
+
+The resulting :class:`~repro.predictor.hints.CompilerHints` plug into
+:func:`repro.predictor.evaluate.evaluate_scheme` exactly like the
+profile-derived ideal hints, so the two can be compared head to head
+(the A4 ablation in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.compiler.linker import CompiledProgram
+from repro.predictor.hints import CompilerHints
+
+
+@dataclass
+class StaticHintStats:
+    """Coverage of the compile-time classification."""
+
+    total_mem_instructions: int
+    tagged: int
+    tagged_stack: int
+    tagged_nonstack: int
+
+    @property
+    def coverage(self) -> float:
+        return self.tagged / max(1, self.total_mem_instructions)
+
+
+def static_hints(compiled: CompiledProgram) -> CompilerHints:
+    """Per-PC stack/non-stack tags derived purely at compile time."""
+    tags: Dict[int, bool] = {}
+    program = compiled.program
+    for index, instruction in enumerate(program.instructions):
+        if instruction.is_mem and instruction.region_tag is not None:
+            tags[program.pc_of_index(index)] = instruction.region_tag
+    return CompilerHints(tags=tags)
+
+
+def static_hint_stats(compiled: CompiledProgram) -> StaticHintStats:
+    """How much of the program the Figure-6 analysis classified."""
+    total = tagged = stack = nonstack = 0
+    for instruction in compiled.program.instructions:
+        if not instruction.is_mem:
+            continue
+        total += 1
+        if instruction.region_tag is None:
+            continue
+        tagged += 1
+        if instruction.region_tag:
+            stack += 1
+        else:
+            nonstack += 1
+    return StaticHintStats(total_mem_instructions=total, tagged=tagged,
+                           tagged_stack=stack, tagged_nonstack=nonstack)

@@ -1,0 +1,32 @@
+"""Static (addressing-mode) region prediction heuristics.
+
+The paper's baseline rules (Section 3.4.1):
+
+1. constant addressing           -> non-stack
+2. $sp or $fp base register      -> stack
+3. $gp base register             -> non-stack
+4. any other base register       -> *predict* non-stack
+
+Rules 1-3 read the region directly off the addressing mode and are
+(essentially) always correct; rule 4 is a guess, and it is exactly the
+rule the ARPT replaces.  Instructions covered by rules 1-3 are never
+recorded in the ARPT, saving table space.
+"""
+
+from __future__ import annotations
+
+from repro.trace.records import MODE_CONSTANT, MODE_GLOBAL, MODE_STACK
+
+
+def static_predicts_stack(mode: int) -> bool:
+    """Static prediction for an addressing-mode code: True = stack."""
+    return mode == MODE_STACK
+
+
+def mode_is_definitive(mode: int) -> bool:
+    """Whether the addressing mode manifests the region (rules 1-3).
+
+    Definitive instructions bypass the ARPT entirely; only
+    ``MODE_OTHER`` instructions (rule 4) consult and train the table.
+    """
+    return mode in (MODE_CONSTANT, MODE_STACK, MODE_GLOBAL)

@@ -1,0 +1,37 @@
+"""Guest run-time system: address-space layout, memory, heap allocator."""
+
+from repro.runtime.allocator import AllocationError, HeapAllocator
+from repro.runtime.layout import (
+    DATA_BASE,
+    DATA_LIMIT,
+    GP_VALUE,
+    HEAP_BASE,
+    HEAP_LIMIT,
+    STACK_BASE,
+    STACK_LIMIT,
+    TEXT_BASE,
+    WORD_SIZE,
+    Region,
+    classify_address,
+    is_stack_address,
+)
+from repro.runtime.memory import Memory, MemoryError_
+
+__all__ = [
+    "AllocationError",
+    "HeapAllocator",
+    "DATA_BASE",
+    "DATA_LIMIT",
+    "GP_VALUE",
+    "HEAP_BASE",
+    "HEAP_LIMIT",
+    "STACK_BASE",
+    "STACK_LIMIT",
+    "TEXT_BASE",
+    "WORD_SIZE",
+    "Region",
+    "classify_address",
+    "is_stack_address",
+    "Memory",
+    "MemoryError_",
+]

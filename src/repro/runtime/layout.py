@@ -1,0 +1,67 @@
+"""Virtual-address-space layout and region classification.
+
+The paper divides a program's memory space into *data*, *heap*, and *stack*
+regions (Section 3); the text region holds instructions and is served by a
+separate instruction cache.  We use a fixed SimpleScalar-like layout so that
+a single address-range test classifies the region of any access - this is
+the ground truth against which the access-region predictor is scored, and
+the single bit the paper attaches to each TLB entry.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Word size in bytes.  The ISA loads and stores 8-byte words only (ints,
+#: pointers, and doubles are all one word), which keeps the memory model
+#: simple without changing any region-locality behaviour.
+WORD_SIZE = 8
+
+TEXT_BASE = 0x0040_0000
+DATA_BASE = 0x1000_0000
+DATA_LIMIT = 0x2000_0000
+HEAP_BASE = 0x2000_0000
+HEAP_LIMIT = 0x7000_0000
+STACK_BASE = 0x7FFF_C000  # initial $sp; the stack grows down
+STACK_LIMIT = 0x7000_0000
+
+#: $gp points into the middle of the data segment so that gp-relative
+#: 16-bit displacements reach a reasonable span of globals.
+GP_OFFSET = 0x8000
+GP_VALUE = DATA_BASE + GP_OFFSET
+
+
+class Region(enum.Enum):
+    """Memory region of an accessed address."""
+
+    DATA = "data"
+    HEAP = "heap"
+    STACK = "stack"
+    TEXT = "text"
+
+    @property
+    def is_stack(self) -> bool:
+        return self is Region.STACK
+
+
+def classify_address(addr: int) -> Region:
+    """Map an address to its region under the fixed layout.
+
+    This mirrors the run-time system's page-table knowledge: the paper's
+    verification step reads one region bit per TLB entry, recorded when the
+    page was allocated.
+    """
+    if STACK_LIMIT <= addr:
+        return Region.STACK
+    if HEAP_BASE <= addr < HEAP_LIMIT:
+        return Region.HEAP
+    if DATA_BASE <= addr < DATA_LIMIT:
+        return Region.DATA
+    if TEXT_BASE <= addr < DATA_BASE:
+        return Region.TEXT
+    raise ValueError(f"address {addr:#x} is outside every mapped region")
+
+
+def is_stack_address(addr: int) -> bool:
+    """Fast stack / non-stack test (the bit the ARPT predicts)."""
+    return addr >= STACK_LIMIT

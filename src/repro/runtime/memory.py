@@ -1,0 +1,59 @@
+"""Word-addressed architectural memory.
+
+Memory is a sparse map from word-aligned addresses to Python values.  The
+compiler only ever emits word-granularity accesses (see
+:mod:`repro.runtime.layout`), so a word map is both simpler and faster than
+a byte-image, and - crucially for this reproduction - the *addresses* of
+accesses (which drive region classification, the predictor, and the caches)
+are exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from repro.runtime.layout import WORD_SIZE, classify_address
+
+Value = Union[int, float]
+
+
+class MemoryError_(Exception):
+    """Raised on misaligned or unmapped accesses."""
+
+
+class Memory:
+    """Sparse word-addressed memory with bounds/alignment checking."""
+
+    def __init__(self) -> None:
+        self._words: Dict[int, Value] = {}
+
+    def _check(self, addr: int) -> None:
+        if addr % WORD_SIZE != 0:
+            raise MemoryError_(f"misaligned access at {addr:#x}")
+        # classify_address raises for addresses outside every region; this
+        # catches wild pointers produced by buggy guest programs early.
+        classify_address(addr)
+
+    def load(self, addr: int) -> Value:
+        """Read one word; uninitialised memory reads as integer 0."""
+        self._check(addr)
+        return self._words.get(addr, 0)
+
+    def store(self, addr: int, value: Value) -> None:
+        """Write one word."""
+        self._check(addr)
+        self._words[addr] = value
+
+    def load_block(self, addr: int, nwords: int) -> list:
+        return [self.load(addr + i * WORD_SIZE) for i in range(nwords)]
+
+    def store_block(self, addr: int, values) -> None:
+        for i, value in enumerate(values):
+            self.store(addr + i * WORD_SIZE, value)
+
+    def __len__(self) -> int:
+        """Number of distinct words ever written."""
+        return len(self._words)
+
+    def footprint_bytes(self) -> int:
+        return len(self._words) * WORD_SIZE

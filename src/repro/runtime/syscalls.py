@@ -1,0 +1,23 @@
+"""Syscall interface between guest MiniC programs and the run-time system.
+
+A syscall is invoked with its service code in ``$v0`` and its argument in
+``$a0`` (or ``$f12`` for floating-point arguments); results come back in
+``$v0``.  The functional simulator services these against the Python-side
+run-time (heap allocator, output capture).
+"""
+
+from __future__ import annotations
+
+SYS_EXIT = 1
+SYS_PRINT_INT = 2
+SYS_PRINT_FLOAT = 3
+SYS_MALLOC = 4
+SYS_FREE = 5
+
+SYSCALL_NAMES = {
+    SYS_EXIT: "exit",
+    SYS_PRINT_INT: "print_int",
+    SYS_PRINT_FLOAT: "print_float",
+    SYS_MALLOC: "malloc",
+    SYS_FREE: "free",
+}

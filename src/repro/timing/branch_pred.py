@@ -1,0 +1,58 @@
+"""Gshare branch predictor (for the A7 front-end ablation).
+
+The paper's machine model uses *perfect* branch prediction, "to assert
+the maximum pressure on the data memory bandwidth" (Section 4.3).  This
+module provides the realistic alternative - a gshare predictor
+(McFarling [15], which the paper itself cites for the GBH idea) - so
+the sensitivity of the Figure 8 conclusions to that choice can be
+measured: a real front end starves the window of instructions, which
+*reduces* memory-bandwidth pressure and should compress (not reorder)
+the gaps between configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class GsharePredictor:
+    """2-bit-counter pattern table indexed by PC xor global history."""
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entry count must be a power of two")
+        self._mask = entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+        self._table: Dict[int, int] = {}
+        self.lookups = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 3) ^ self._history) & self._mask
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict the branch at ``pc``, then train with the outcome.
+
+        Returns True when the prediction was *correct*.
+        """
+        self.lookups += 1
+        index = self._index(pc)
+        counter = self._table.get(index, 1)   # weakly not-taken
+        predicted = counter >= 2
+        if taken:
+            self._table[index] = min(3, counter + 1)
+        else:
+            self._table[index] = max(0, counter - 1)
+        self._history = ((self._history << 1) | (1 if taken else 0)) \
+            & self._history_mask
+        correct = predicted == taken
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        if self.lookups == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.lookups

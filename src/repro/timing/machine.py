@@ -1,0 +1,536 @@
+"""Trace-driven out-of-order timing simulator.
+
+Models the paper's base machine (Section 4.3): a 16-wide RUU-style core
+with a 256-entry ROB, perfect I-cache and branch prediction (so the trace
+path *is* the fetch path, making trace-driven simulation exact for the
+front end), a stride value predictor, and a memory system that is either
+
+* conventional - one LSQ feeding a multi-ported L1 data cache - or
+* data-decoupled - an LSQ + L1 pair and an LVAQ + LVC pair, with memory
+  instructions steered at dispatch by the ARPT (or an oracle), verified
+  at address translation, and repaired on misprediction.
+
+The LVAQ implements the paper's *fast forwarding*: because stack
+addresses are $sp/$fp-relative, its loads do not wait for earlier
+unknown store addresses the way conservative LSQ scheduling does.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.cache.hierarchy import BankManager, Hierarchy, PortManager
+from repro.predictor.arpt import ARPT
+from repro.predictor.contexts import ContextTracker, context_function
+from repro.predictor.static_rules import mode_is_definitive, \
+    static_predicts_stack
+from repro.timing.branch_pred import GsharePredictor
+from repro.timing.config import FU_CLASS, MachineConfig
+from repro.timing.tlb import DataTLB
+from repro.timing.value_pred import StrideValuePredictor
+from repro.trace.records import (MODE_OTHER, OC_BRANCH, OC_LOAD, OC_STORE,
+                                 REGION_HEAP, REGION_STACK, Trace,
+                                 TraceRecord)
+
+_LSQ = 0
+_LVAQ = 1
+
+
+class InflightOp:
+    """One dynamic instruction in the machine."""
+
+    __slots__ = ("rec", "seq", "deps_remaining", "consumers", "completed",
+                 "value_bypassed", "queue", "addr_known", "mem_issued",
+                 "data_producer", "context", "predicted_stack",
+                 "wrong_queue", "retry_at", "is_load", "is_store",
+                 "tlb_done")
+
+    def __init__(self, rec: TraceRecord, seq: int) -> None:
+        self.rec = rec
+        self.seq = seq
+        self.deps_remaining = 0
+        self.consumers: List["InflightOp"] = []
+        self.completed = False
+        self.value_bypassed = False
+        self.queue: Optional[int] = None
+        self.addr_known = False
+        self.mem_issued = False
+        self.data_producer: Optional["InflightOp"] = None
+        self.context = 0
+        self.predicted_stack = False
+        self.wrong_queue = False
+        self.retry_at = 0
+        self.is_load = rec.op_class == OC_LOAD
+        self.is_store = rec.op_class == OC_STORE
+        self.tlb_done = False
+
+    @property
+    def data_ready(self) -> bool:
+        producer = self.data_producer
+        return (producer is None or producer.completed
+                or producer.value_bypassed)
+
+    def __lt__(self, other: "InflightOp") -> bool:
+        return self.seq < other.seq
+
+
+@dataclass
+class TimingResult:
+    """Summary statistics of one timing-simulation run."""
+
+    config_name: str
+    trace_name: str
+    instructions: int
+    cycles: int
+    l1_hit_rate: float
+    lvc_hit_rate: float
+    l2_hit_rate: float
+    store_forwards: int
+    port_stalls: int
+    arpt_predictions: int
+    arpt_mispredictions: int
+    vp_bypasses: int
+    lvaq_occupancy_peak: int
+    lsq_occupancy_peak: int
+    tlb_miss_rate: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / max(1, self.cycles)
+
+    @property
+    def arpt_accuracy(self) -> float:
+        if self.arpt_predictions == 0:
+            return 1.0
+        return 1.0 - self.arpt_mispredictions / self.arpt_predictions
+
+
+class TimingSimulator:
+    """Runs one trace through one machine configuration.
+
+    ``hints`` (optional) are per-PC stack/non-stack tags from the
+    Figure-6 compiler analysis: tagged instructions steer by their tag
+    and bypass the ARPT, the paper's Section 3.5.2 scenario of
+    compiler-assisted decoupling.
+    """
+
+    def __init__(self, config: MachineConfig, hints=None) -> None:
+        config.validate()
+        self.config = config
+        line = config.line_size
+        self._l1 = Cache(CacheConfig("L1D", config.l1_size, config.l1_assoc,
+                                     line, config.l1_latency))
+        self._l2 = Cache(CacheConfig("L2", config.l2_size, config.l2_assoc,
+                                     line, config.l2_latency))
+        self._l1_hier = Hierarchy(self._l1, self._l2, config.memory_latency)
+        if config.l1_port_policy == "banks":
+            self._l1_ports = BankManager(config.l1_ports, line)
+        else:
+            self._l1_ports = PortManager(config.l1_ports)
+        if config.decoupled:
+            self._lvc = Cache(CacheConfig("LVC", config.lvc_size, 1, line,
+                                          config.lvc_latency))
+            self._lvc_hier = Hierarchy(self._lvc, self._l2,
+                                       config.memory_latency)
+            self._lvc_ports = PortManager(config.lvc_ports)
+        else:
+            self._lvc = None
+            self._lvc_hier = None
+            self._lvc_ports = None
+        self._arpt = (ARPT(size=config.arpt_size, bits=1)
+                      if config.steering == "arpt" else None)
+        self._hint_tags = dict(hints.tags) if hints is not None else {}
+        self._tracker = ContextTracker(gbh_bits=config.arpt_gbh_bits,
+                                       cid_bits=config.arpt_cid_bits)
+        self._context_fn = context_function(self._tracker,
+                                            config.arpt_context)
+        self._vp = (StrideValuePredictor(config.vp_entries,
+                                         config.vp_confidence)
+                    if config.value_predict else None)
+        self._bpred = (GsharePredictor(config.bpred_entries,
+                                       config.bpred_history_bits)
+                       if config.branch_predictor == "gshare" else None)
+        self._tlb = (DataTLB(config.tlb_entries, config.tlb_page_size)
+                     if config.tlb_entries else None)
+        self._fetch_blocked_by: Optional[InflightOp] = None
+        self._fetch_resume_cycle = 0
+        # Run state.
+        self._queues: List[List[InflightOp]] = [[], []]
+        self._rob: List[InflightOp] = []
+        self._rob_head = 0
+        self._ready: List[InflightOp] = []   # ops with deps satisfied
+        self._events: Dict[int, List] = {}
+        self._reg_producer: List[Optional[InflightOp]] = [None] * 64
+        # Statistics.
+        self.store_forwards = 0
+        self.port_stalls = 0
+        self.arpt_predictions = 0
+        self.arpt_mispredictions = 0
+        self.vp_bypasses = 0
+        self._peak = [0, 0]
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Trace) -> TimingResult:
+        config = self.config
+        records = trace.records
+        total = len(records)
+        dispatch_ptr = 0
+        committed = 0
+        cycle = 0
+        max_cycles = 200 * total + 100_000
+
+        while committed < total:
+            if cycle > max_cycles:
+                raise RuntimeError(
+                    f"timing simulation wedged at cycle {cycle} "
+                    f"({committed}/{total} committed)")
+            # 1. Writeback / address-ready / repair events.
+            events = self._events.pop(cycle, ())
+            for kind, op in events:
+                if kind == 0:       # completion
+                    self._complete(op)
+                    if op is self._fetch_blocked_by:
+                        self._fetch_resume_cycle = cycle \
+                            + config.branch_redirect_penalty
+                elif kind == 1:     # translate -> verify region
+                    if self._tlb is not None and not op.tlb_done:
+                        op.tlb_done = True
+                        if not self._tlb.access(op.rec.addr):
+                            # Page walk: translation (and hence region
+                            # verification) completes after the penalty.
+                            self._post(
+                                cycle + config.tlb_miss_penalty, 1, op)
+                            continue
+                    op.addr_known = True
+                    self._verify_region(op, cycle)
+                else:               # repair: move to the correct queue
+                    self._repair(op)
+            # 2. Commit (frees ROB and queue slots for this cycle's
+            #    dispatch).
+            committed += self._commit()
+            # 3. Memory scheduling.
+            self._schedule_memory(_LSQ, cycle)
+            if config.decoupled:
+                self._schedule_memory(_LVAQ, cycle)
+            # 4. Issue.
+            self._issue(cycle)
+            # 5. Dispatch.
+            dispatch_ptr = self._dispatch(records, dispatch_ptr, cycle)
+            cycle += 1
+
+        lvc_stats = self._lvc.stats if self._lvc is not None else None
+        return TimingResult(
+            config_name=config.name,
+            trace_name=trace.name,
+            instructions=total,
+            cycles=cycle,
+            l1_hit_rate=self._l1.stats.hit_rate,
+            lvc_hit_rate=lvc_stats.hit_rate if lvc_stats else 0.0,
+            l2_hit_rate=self._l2.stats.hit_rate,
+            store_forwards=self.store_forwards,
+            port_stalls=self.port_stalls,
+            arpt_predictions=self.arpt_predictions,
+            arpt_mispredictions=self.arpt_mispredictions,
+            vp_bypasses=self.vp_bypasses,
+            lvaq_occupancy_peak=self._peak[_LVAQ],
+            lsq_occupancy_peak=self._peak[_LSQ],
+            tlb_miss_rate=(self._tlb.miss_rate
+                           if self._tlb is not None else 0.0),
+        )
+
+    # -- dispatch -------------------------------------------------------
+
+    def _steer(self, rec: TraceRecord, op: InflightOp) -> int:
+        """Pick the queue for a memory instruction at dispatch time."""
+        config = self.config
+        if not config.decoupled:
+            return _LSQ
+        if config.steering == "oracle":
+            return _LVAQ if rec.region == REGION_STACK else _LSQ
+        if config.steering == "oracle-heap":
+            return _LVAQ if rec.region == REGION_HEAP else _LSQ
+        mode = rec.mode
+        if mode_is_definitive(mode):
+            predicted = static_predicts_stack(mode)
+        else:
+            tag = self._hint_tags.get(rec.pc)
+            if tag is not None:
+                predicted = tag          # compiler hint: bypass the ARPT
+            else:
+                op.context = self._context_fn(rec)
+                predicted = self._arpt.predict(rec.pc, op.context)
+        op.predicted_stack = predicted
+        return _LVAQ if predicted else _LSQ
+
+    def _dispatch(self, records: List[TraceRecord], ptr: int,
+                  cycle: int) -> int:
+        config = self.config
+        # A mispredicted branch blocks the front end until it resolves
+        # plus the redirect penalty (gshare front end only).
+        blocker = self._fetch_blocked_by
+        if blocker is not None:
+            if not blocker.completed or cycle < self._fetch_resume_cycle:
+                return ptr
+            self._fetch_blocked_by = None
+        rob_free = config.rob_size - (len(self._rob) - self._rob_head)
+        width = min(config.decode_width, rob_free)
+        queue_limit = (config.lsq_size, config.lvaq_size)
+        count = 0
+        while count < width and ptr < len(records):
+            rec = records[ptr]
+            op = InflightOp(rec, ptr)
+            mispredicted_branch = False
+            if rec.op_class == OC_BRANCH:
+                self._tracker.observe_branch(rec.taken)
+                if self._bpred is not None:
+                    mispredicted_branch = not self._bpred                         .predict_and_update(rec.pc, rec.taken)
+            if op.is_load or op.is_store:
+                queue = self._steer(rec, op)
+                if len(self._queues[queue]) >= queue_limit[queue]:
+                    break   # in-order dispatch stalls on a full queue
+                if self._arpt is not None and rec.mode == MODE_OTHER \
+                        and rec.pc not in self._hint_tags:
+                    self.arpt_predictions += 1
+                op.queue = queue
+                self._queues[queue].append(op)
+                self._peak[queue] = max(self._peak[queue],
+                                        len(self._queues[queue]))
+            # Register dependences.  For stores the data register is
+            # tracked separately: the address can issue before the data
+            # is ready.
+            sources = []
+            if rec.src1 >= 0:
+                sources.append(rec.src1)
+            if rec.src2 >= 0 and not op.is_store:
+                sources.append(rec.src2)
+            for reg in sources:
+                producer = self._reg_producer[reg]
+                if producer is not None and not producer.completed \
+                        and not producer.value_bypassed:
+                    op.deps_remaining += 1
+                    producer.consumers.append(op)
+            if op.is_store and rec.src2 >= 0:
+                producer = self._reg_producer[rec.src2]
+                if producer is not None and not producer.completed:
+                    op.data_producer = producer
+            # Value prediction: a confidently correct prediction makes
+            # the result available to consumers immediately.
+            if self._vp is not None and rec.value is not None:
+                if self._vp.observe(rec.pc, rec.value):
+                    op.value_bypassed = True
+                    self.vp_bypasses += 1
+            if rec.dst > 0:
+                self._reg_producer[rec.dst] = op
+            self._rob.append(op)
+            if op.deps_remaining == 0:
+                bisect.insort(self._ready, op)
+            count += 1
+            ptr += 1
+            if mispredicted_branch:
+                # Everything after this branch came down the wrong path;
+                # fetch resumes once the branch executes.
+                self._fetch_blocked_by = op
+                break
+        return ptr
+
+    # -- issue ----------------------------------------------------------
+
+    def _issue(self, cycle: int) -> None:
+        config = self.config
+        fu_free = dict(config.fu_counts)
+        slots = config.issue_width
+        deferred: List[InflightOp] = []
+        ready = self._ready
+        while slots and ready:
+            op = ready.pop(0)
+            fu = FU_CLASS[op.rec.op_class]
+            if fu is not None:
+                if fu_free.get(fu, 0) <= 0:
+                    deferred.append(op)
+                    continue
+                fu_free[fu] -= 1
+            slots -= 1
+            if op.is_load or op.is_store:
+                # Address generation; region verified when it resolves.
+                self._post(cycle + 1, 1, op)
+            else:
+                latency = config.latency_of(op.rec.op_class)
+                self._post(cycle + latency, 0, op)
+        for op in deferred:
+            bisect.insort(ready, op)
+
+    def _post(self, cycle: int, kind: int, op: InflightOp) -> None:
+        self._events.setdefault(cycle, []).append((kind, op))
+
+    def _complete(self, op: InflightOp) -> None:
+        op.completed = True
+        for consumer in op.consumers:
+            consumer.deps_remaining -= 1
+            if consumer.deps_remaining == 0:
+                bisect.insort(self._ready, consumer)
+        op.consumers = []
+
+    # -- region verification / repair ------------------------------------
+
+    def _verify_region(self, op: InflightOp, cycle: int) -> None:
+        """TLB-time region check: detect and schedule queue repair."""
+        config = self.config
+        rec = op.rec
+        if self._arpt is not None and rec.mode == MODE_OTHER \
+                and rec.pc not in self._hint_tags:
+            self._arpt.update(rec.pc, op.context,
+                              rec.region == REGION_STACK)
+        if not config.decoupled:
+            return
+        if config.steering == "oracle-heap":
+            correct = _LVAQ if rec.region == REGION_HEAP else _LSQ
+        else:
+            correct = _LVAQ if rec.region == REGION_STACK else _LSQ
+        if op.queue != correct:
+            op.wrong_queue = True
+            if self._arpt is not None and rec.mode == MODE_OTHER \
+                    and rec.pc not in self._hint_tags:
+                self.arpt_mispredictions += 1
+            self._post(cycle + config.region_mispredict_penalty, 2, op)
+
+    def _correct_queue(self, rec: TraceRecord) -> int:
+        if self.config.steering == "oracle-heap":
+            return _LVAQ if rec.region == REGION_HEAP else _LSQ
+        return _LVAQ if rec.region == REGION_STACK else _LSQ
+
+    def _repair(self, op: InflightOp) -> None:
+        """Move a mispredicted op to its correct queue.
+
+        A reserved repair slot lets the move succeed even when the target
+        queue is architecturally full; this avoids a (rare) deadlock the
+        real machine resolves by squashing, which the trace-driven model
+        does not replay.
+        """
+        old = self._queues[op.queue]
+        old.remove(op)
+        correct = self._correct_queue(op.rec)
+        op.queue = correct
+        op.wrong_queue = False
+        bisect.insort(self._queues[correct], op)
+
+    # -- memory scheduling ------------------------------------------------
+
+    def _schedule_memory(self, queue_id: int, cycle: int) -> None:
+        config = self.config
+        queue = self._queues[queue_id]
+        if not queue:
+            return
+        if queue_id == _LSQ:
+            ports = self._l1_ports
+            hierarchy = self._l1_hier
+            blocking = True    # conservative load/store ordering
+        else:
+            ports = self._lvc_ports
+            hierarchy = self._lvc_hier
+            # Fast forwarding (offsets known early) is only available
+            # when the LVAQ holds stack references.
+            blocking = not config.lvaq_fast_forwarding
+        forward_latency = config.forward_latency
+        min_unknown_store = None
+        for op in queue:
+            if op.wrong_queue:
+                # Awaiting repair; treat its address as unknown for
+                # ordering purposes.
+                if op.is_store and min_unknown_store is None:
+                    min_unknown_store = op.seq
+                continue
+            if op.is_store:
+                if not op.addr_known:
+                    if blocking and min_unknown_store is None:
+                        min_unknown_store = op.seq
+                    continue
+                if op.mem_issued or not op.data_ready:
+                    continue
+                if ports.try_acquire(cycle, op.rec.addr):
+                    op.mem_issued = True
+                    hierarchy.access(op.rec.addr, is_write=True)
+                    self._post(cycle + 1, 0, op)
+                else:
+                    self.port_stalls += 1
+                continue
+            # Load.
+            if not op.addr_known or op.mem_issued:
+                continue
+            if min_unknown_store is not None and op.seq > min_unknown_store:
+                continue
+            store = self._forwarding_store(queue, op,
+                                           require_addr_known=blocking)
+            if store is not None:
+                if store.data_ready:
+                    op.mem_issued = True
+                    self.store_forwards += 1
+                    self._post(cycle + forward_latency, 0, op)
+                continue   # matching store without data: wait
+            if ports.try_acquire(cycle, op.rec.addr):
+                op.mem_issued = True
+                result = hierarchy.access(op.rec.addr, is_write=False)
+                self._post(cycle + result.latency, 0, op)
+            else:
+                self.port_stalls += 1
+
+    @staticmethod
+    def _forwarding_store(queue: List[InflightOp], op: InflightOp,
+                          require_addr_known: bool = True)\
+            -> Optional[InflightOp]:
+        """Youngest earlier store to the same word, if any.
+
+        In the LVAQ (``require_addr_known=False``) the offset comparison
+        happens at dispatch - stack addresses are $sp/$fp + constant - so
+        a store matches even before its address generation has run; this
+        is the paper's *fast forwarding*.
+        """
+        word = op.rec.addr >> 3
+        best = None
+        for other in queue:
+            if other.seq >= op.seq:
+                break
+            if other.is_store and (other.addr_known
+                                   or not require_addr_known) \
+                    and (other.rec.addr >> 3) == word:
+                best = other
+        return best
+
+    # -- commit -----------------------------------------------------------
+
+    def _commit(self) -> int:
+        count = 0
+        rob = self._rob
+        head = self._rob_head
+        width = self.config.commit_width
+        while count < width and head < len(rob):
+            op = rob[head]
+            if not op.completed:
+                break
+            if op.queue is not None:
+                queue = self._queues[op.queue]
+                # The committing op is the oldest in flight, hence at (or
+                # near, after repairs) the front of its queue.
+                queue.remove(op)
+                op.queue = None
+            head += 1
+            count += 1
+        self._rob_head = head
+        if head > 4096:   # periodically reclaim the committed prefix
+            del rob[:head]
+            self._rob_head = 0
+        return count
+
+
+def simulate(trace: Trace, config: MachineConfig,
+             hints=None) -> TimingResult:
+    """Run one trace through one machine configuration.
+
+    ``hints`` optionally provides Figure-6 compiler tags that steer
+    tagged instructions directly (Section 3.5.2's compiler-assisted
+    decoupling).
+    """
+    return TimingSimulator(config, hints=hints).run(trace)

@@ -1,0 +1,13 @@
+"""Dynamic traces and region-locality profiling."""
+
+from repro.trace.records import (OC_BRANCH, OC_CALL, OC_IALU, OC_LOAD,
+                                 OC_RET, OC_STORE, REGION_DATA, REGION_HEAP,
+                                 REGION_STACK, Trace, TraceRecord)
+from repro.trace.serialize import load_trace, save_trace
+
+__all__ = [
+    "OC_BRANCH", "OC_CALL", "OC_IALU", "OC_LOAD", "OC_RET", "OC_STORE",
+    "REGION_DATA", "REGION_HEAP", "REGION_STACK",
+    "Trace", "TraceRecord",
+    "load_trace", "save_trace",
+]

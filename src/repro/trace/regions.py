@@ -1,0 +1,132 @@
+"""Per-static-instruction access-region analysis (the paper's Figure 2).
+
+Classifies every static memory instruction by the set of regions it
+touches at run time: "D" (data only), "H" (heap only), "S" (stack only),
+and the multi-region classes "D/H", "D/S", "H/S", "D/H/S".  The paper's
+central observation - *access region locality* - is that the multi-region
+classes are tiny (1.8-1.9% of static instructions on average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from repro.trace.records import (REGION_DATA, REGION_HEAP, REGION_STACK,
+                                 Trace, TraceRecord)
+
+#: Canonical class labels in the paper's presentation order.
+REGION_CLASSES = ("D", "H", "S", "D/H", "D/S", "H/S", "D/H/S")
+
+_CLASS_OF_MASK = {
+    0b001: "D",
+    0b010: "H",
+    0b100: "S",
+    0b011: "D/H",
+    0b101: "D/S",
+    0b110: "H/S",
+    0b111: "D/H/S",
+}
+
+_BIT_OF_REGION = {REGION_DATA: 0b001, REGION_HEAP: 0b010, REGION_STACK: 0b100}
+
+MULTI_REGION_CLASSES = ("D/H", "D/S", "H/S", "D/H/S")
+
+
+@dataclass
+class RegionBreakdown:
+    """Figure-2 style breakdown for one program."""
+
+    name: str
+    static_counts: Dict[str, int] = field(default_factory=dict)
+    dynamic_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_static(self) -> int:
+        return sum(self.static_counts.values())
+
+    @property
+    def total_dynamic(self) -> int:
+        return sum(self.dynamic_counts.values())
+
+    def static_fraction(self, cls: str) -> float:
+        return self.static_counts.get(cls, 0) / max(1, self.total_static)
+
+    def dynamic_fraction(self, cls: str) -> float:
+        return self.dynamic_counts.get(cls, 0) / max(1, self.total_dynamic)
+
+    @property
+    def multi_region_static_fraction(self) -> float:
+        """Fraction of static memory instructions accessing >1 region."""
+        return sum(self.static_fraction(c) for c in MULTI_REGION_CLASSES)
+
+    @property
+    def multi_region_dynamic_fraction(self) -> float:
+        """Fraction of dynamic references from multi-region instructions."""
+        return sum(self.dynamic_fraction(c) for c in MULTI_REGION_CLASSES)
+
+    @property
+    def stack_only_static_fraction(self) -> float:
+        return self.static_fraction("S")
+
+
+class RegionClassifier:
+    """Streams trace records and accumulates the per-PC region sets."""
+
+    def __init__(self) -> None:
+        self._region_mask: Dict[int, int] = {}   # pc -> region bit mask
+        self._dynamic: Dict[int, int] = {}       # pc -> dynamic ref count
+
+    def observe(self, record: TraceRecord) -> None:
+        if record.region < 0:
+            return
+        bit = _BIT_OF_REGION[record.region]
+        pc = record.pc
+        self._region_mask[pc] = self._region_mask.get(pc, 0) | bit
+        self._dynamic[pc] = self._dynamic.get(pc, 0) + 1
+
+    def observe_trace(self, trace: Iterable[TraceRecord]) -> None:
+        masks = self._region_mask
+        dyn = self._dynamic
+        for record in trace:
+            if record.region < 0:
+                continue
+            bit = _BIT_OF_REGION[record.region]
+            pc = record.pc
+            masks[pc] = masks.get(pc, 0) | bit
+            dyn[pc] = dyn.get(pc, 0) + 1
+
+    def class_of_pc(self, pc: int) -> str:
+        return _CLASS_OF_MASK[self._region_mask[pc]]
+
+    def breakdown(self, name: str = "") -> RegionBreakdown:
+        static_counts = {cls: 0 for cls in REGION_CLASSES}
+        dynamic_counts = {cls: 0 for cls in REGION_CLASSES}
+        for pc, mask in self._region_mask.items():
+            cls = _CLASS_OF_MASK[mask]
+            static_counts[cls] += 1
+            dynamic_counts[cls] += self._dynamic[pc]
+        return RegionBreakdown(name=name, static_counts=static_counts,
+                               dynamic_counts=dynamic_counts)
+
+    def single_region_pcs(self) -> Dict[int, bool]:
+        """PC -> is_stack for instructions that touch exactly one region.
+
+        This is the paper's idealised *compiler hint* information
+        (Section 3.5.2): an instruction the profile shows to access a
+        single region is assumed classifiable by the compiler.
+        """
+        result: Dict[int, bool] = {}
+        for pc, mask in self._region_mask.items():
+            if mask in (0b001, 0b010):
+                result[pc] = False
+            elif mask == 0b100:
+                result[pc] = True
+        return result
+
+
+def region_breakdown(trace: Trace) -> RegionBreakdown:
+    """One-shot Figure-2 breakdown of a trace."""
+    classifier = RegionClassifier()
+    classifier.observe_trace(trace.records)
+    return classifier.breakdown(trace.name)

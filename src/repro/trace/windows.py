@@ -1,0 +1,116 @@
+"""Sliding-instruction-window bandwidth statistics (the paper's Table 2).
+
+For every retired instruction, count how many of the last W instructions
+were data, heap, and stack references.  The mean of those counts measures
+each region's bandwidth demand over a W-wide instruction window (the
+processor's effective scheduling window); the standard deviation measures
+burstiness.  The paper calls accesses *strictly bursty* when the standard
+deviation exceeds the mean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.trace.records import (REGION_DATA, REGION_HEAP, REGION_STACK,
+                                 Trace, TraceRecord)
+
+REGION_NAMES = {REGION_DATA: "data", REGION_HEAP: "heap",
+                REGION_STACK: "stack"}
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Mean and standard deviation of per-window access counts."""
+
+    mean: float
+    std: float
+    samples: int
+
+    @property
+    def strictly_bursty(self) -> bool:
+        """The paper's burstiness criterion: std > mean."""
+        return self.std > self.mean
+
+
+@dataclass(frozen=True)
+class RegionWindowStats:
+    """Table-2 row for one program at one window size."""
+
+    name: str
+    window: int
+    data: WindowStats
+    heap: WindowStats
+    stack: WindowStats
+
+    def stats_for(self, region_code: int) -> WindowStats:
+        return {REGION_DATA: self.data, REGION_HEAP: self.heap,
+                REGION_STACK: self.stack}[region_code]
+
+
+class SlidingWindowProfiler:
+    """O(N) streaming computation of the per-region window statistics."""
+
+    def __init__(self, window: int) -> None:
+        if window <= 0:
+            raise ValueError("window size must be positive")
+        self.window = window
+        # Ring buffer of region codes (-1 for non-memory instructions).
+        self._ring = [-1] * window
+        self._fill = 0
+        self._pos = 0
+        self._counts = {REGION_DATA: 0, REGION_HEAP: 0, REGION_STACK: 0}
+        self._sums = {REGION_DATA: 0, REGION_HEAP: 0, REGION_STACK: 0}
+        self._sumsq = {REGION_DATA: 0, REGION_HEAP: 0, REGION_STACK: 0}
+        self._samples = 0
+
+    def observe(self, record: TraceRecord) -> None:
+        ring = self._ring
+        window = self.window
+        counts = self._counts
+        if self._fill == window:
+            old = ring[self._pos]
+            if old >= 0:
+                counts[old] -= 1
+        else:
+            self._fill += 1
+        region = record.region if record.is_mem else -1
+        ring[self._pos] = region
+        if region >= 0:
+            counts[region] += 1
+        self._pos = (self._pos + 1) % window
+        if self._fill == window:
+            self._samples += 1
+            for code in (REGION_DATA, REGION_HEAP, REGION_STACK):
+                count = counts[code]
+                self._sums[code] += count
+                self._sumsq[code] += count * count
+
+    def observe_trace(self, records: Iterable[TraceRecord]) -> None:
+        for record in records:
+            self.observe(record)
+
+    def _stats(self, code: int) -> WindowStats:
+        n = self._samples
+        if n == 0:
+            return WindowStats(mean=0.0, std=0.0, samples=0)
+        mean = self._sums[code] / n
+        variance = max(0.0, self._sumsq[code] / n - mean * mean)
+        return WindowStats(mean=mean, std=math.sqrt(variance), samples=n)
+
+    def result(self, name: str = "") -> RegionWindowStats:
+        return RegionWindowStats(
+            name=name, window=self.window,
+            data=self._stats(REGION_DATA),
+            heap=self._stats(REGION_HEAP),
+            stack=self._stats(REGION_STACK),
+        )
+
+
+def window_stats(trace: Trace, window: int) -> RegionWindowStats:
+    """One-shot Table-2 statistics for a trace at one window size."""
+    profiler = SlidingWindowProfiler(window)
+    profiler.observe_trace(trace.records)
+    return profiler.result(trace.name)

@@ -1,0 +1,22 @@
+"""The 12-program MiniC workload suite (SPEC95 stand-ins)."""
+
+from repro.workloads.suite import (ALL_WORKLOADS, FP_WORKLOADS,
+                                   INTEGER_WORKLOADS, SPECS, TIMING_SCALE,
+                                   WorkloadSpec, clear_caches,
+                                   compile_workload, run, run_all, source,
+                                   spec)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "FP_WORKLOADS",
+    "INTEGER_WORKLOADS",
+    "SPECS",
+    "TIMING_SCALE",
+    "WorkloadSpec",
+    "clear_caches",
+    "compile_workload",
+    "run",
+    "run_all",
+    "source",
+    "spec",
+]

@@ -1,0 +1,179 @@
+"""The 12-program workload suite standing in for the paper's SPEC95 set.
+
+Eight integer programs and four floating-point programs, each written in
+MiniC to recreate the qualitative region profile the paper reports for
+its SPEC95 counterpart (see DESIGN.md section 6 for the mapping).
+Workload sources carry ``@PARAM@`` placeholders; :func:`source`
+substitutes concrete values, and a global ``scale`` factor multiplies
+the designated iteration parameters so experiments can trade run time
+for trace length.
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.compiler import CompiledProgram, compile_source
+from repro.cpu import run_program
+from repro.trace.records import Trace
+
+_PROGRAM_DIR = Path(__file__).parent / "programs"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Metadata for one benchmark program."""
+
+    name: str
+    mirrors: str              # the SPEC95 program it stands in for
+    kind: str                 # 'int' | 'fp'
+    description: str
+    params: Tuple[Tuple[str, int], ...]
+    scaled: Tuple[str, ...]   # params multiplied by the scale factor
+
+    @property
+    def filename(self) -> Path:
+        return _PROGRAM_DIR / f"{self.name}.mc"
+
+
+_SPECS = (
+    WorkloadSpec(
+        name="go_ai", mirrors="099.go", kind="int",
+        description="game-tree search over global board tables, no heap",
+        params=(("GAMES", 4), ("DEPTH", 4), ("BRANCH", 5)),
+        scaled=("GAMES",),
+    ),
+    WorkloadSpec(
+        name="sim_cpu", mirrors="124.m88ksim", kind="int",
+        description="ISA simulator with heap machine state",
+        params=(("RUNS", 2), ("STEPS", 2000)),
+        scaled=("RUNS",),
+    ),
+    WorkloadSpec(
+        name="ccomp", mirrors="126.gcc", kind="int",
+        description="heap expression trees with folding passes",
+        params=(("UNITS", 16), ("DEPTH", 6)),
+        scaled=("UNITS",),
+    ),
+    WorkloadSpec(
+        name="compress", mirrors="129.compress", kind="int",
+        description="LZW-style hashing over global tables",
+        params=(("N", 4096), ("PASSES", 1)),
+        scaled=("PASSES",),
+    ),
+    WorkloadSpec(
+        name="lisp", mirrors="130.li", kind="int",
+        description="cons-cell interpreter plus tak recursion",
+        params=(("ROUNDS", 36), ("LIST_LEN", 24),
+                ("TAK_X", 15), ("TAK_Y", 9), ("TAK_Z", 5)),
+        scaled=("ROUNDS",),
+    ),
+    WorkloadSpec(
+        name="jpeg_like", mirrors="132.ijpeg", kind="int",
+        description="blocked 8x8 transform over a heap image",
+        params=(("BLOCKS_X", 6), ("BLOCKS_Y", 6), ("PASSES", 1)),
+        scaled=("PASSES",),
+    ),
+    WorkloadSpec(
+        name="perl_like", mirrors="134.perl", kind="int",
+        description="string/hash interpreter over heap strings",
+        params=(("SCRIPTS", 5), ("STMTS", 160)),
+        scaled=("SCRIPTS",),
+    ),
+    WorkloadSpec(
+        name="db_vortex", mirrors="147.vortex", kind="int",
+        description="object DB with call-heavy accessors",
+        params=(("TXNS", 10), ("BATCH", 48)),
+        scaled=("TXNS",),
+    ),
+    WorkloadSpec(
+        name="tomcatv", mirrors="101.tomcatv", kind="fp",
+        description="mesh stencils with FP spill pressure",
+        params=(("ITERS", 2),),
+        scaled=("ITERS",),
+    ),
+    WorkloadSpec(
+        name="swim_fp", mirrors="102.swim", kind="fp",
+        description="shallow-water stencil on global grids",
+        params=(("STEPS", 2),),
+        scaled=("STEPS",),
+    ),
+    WorkloadSpec(
+        name="su2cor_fp", mirrors="103.su2cor", kind="fp",
+        description="lattice correlation with heap scratch",
+        params=(("SWEEPS", 3),),
+        scaled=("SWEEPS",),
+    ),
+    WorkloadSpec(
+        name="mgrid_fp", mirrors="107.mgrid", kind="fp",
+        description="multigrid V-cycles on global arrays",
+        params=(("CYCLES", 2),),
+        scaled=("CYCLES",),
+    ),
+)
+
+SPECS: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _SPECS}
+
+INTEGER_WORKLOADS = tuple(s.name for s in _SPECS if s.kind == "int")
+FP_WORKLOADS = tuple(s.name for s in _SPECS if s.kind == "fp")
+ALL_WORKLOADS = INTEGER_WORKLOADS + FP_WORKLOADS
+
+#: Suggested scale for timing (cycle-level) experiments, which cost far
+#: more per instruction than trace profiling.
+TIMING_SCALE = 0.25
+
+
+def spec(name: str) -> WorkloadSpec:
+    """Metadata for one workload by name (raises on unknown names)."""
+    try:
+        return SPECS[name]
+    except KeyError:
+        raise ValueError(f"unknown workload {name!r}; known: "
+                         f"{sorted(SPECS)}") from None
+
+
+def source(name: str, scale: float = 1.0) -> str:
+    """Workload source text with parameters substituted."""
+    workload = spec(name)
+    text = workload.filename.read_text()
+    for param, value in workload.params:
+        if param in workload.scaled:
+            value = max(1, round(value * scale))
+        text = text.replace(f"@{param}@", str(value))
+    leftover = re.search(r"@[A-Z_]+@", text)
+    if leftover:
+        raise ValueError(f"{name}: unsubstituted parameter "
+                         f"{leftover.group()}")
+    return text
+
+
+@functools.lru_cache(maxsize=None)
+def compile_workload(name: str, scale: float = 1.0) -> CompiledProgram:
+    """Compile one workload at one scale (cached)."""
+    return compile_source(source(name, scale), name)
+
+
+@functools.lru_cache(maxsize=8)
+def run(name: str, scale: float = 1.0) -> Trace:
+    """Execute one workload and return its dynamic trace (cached).
+
+    The cache is deliberately small: traces are large, and experiments
+    stream one workload at a time.
+    """
+    return run_program(compile_workload(name, scale))
+
+
+def run_all(scale: float = 1.0, names: Tuple[str, ...] = ALL_WORKLOADS):
+    """Yield ``(name, trace)`` for each requested workload."""
+    for name in names:
+        yield name, run(name, scale)
+
+
+def clear_caches() -> None:
+    """Drop cached compilations and traces (frees a lot of memory)."""
+    compile_workload.cache_clear()
+    run.cache_clear()

@@ -1,0 +1,233 @@
+"""Tests for the *shape* of generated code: addressing modes, calling
+convention, frame discipline - the properties the paper's predictor
+depends on."""
+
+import pytest
+
+from repro.compiler import CompileError, compile_source
+from repro.isa import registers as R
+from repro.isa.instructions import AddrMode, Op
+from repro.runtime.layout import GP_VALUE, STACK_BASE
+from tests.conftest import run_minic
+
+
+def mem_instructions(compiled):
+    return [i for i in compiled.program.instructions if i.is_mem]
+
+
+class TestAddressingModes:
+    def test_globals_are_gp_relative(self):
+        compiled = compile_source("""
+            int g;
+            int main() { g = 4; return g; }
+        """)
+        modes = [i.addr_mode for i in mem_instructions(compiled)
+                 if i.rs == R.GP]
+        assert modes, "expected at least one $gp-relative access"
+        assert all(m is AddrMode.GLOBAL for m in modes)
+
+    def test_frame_accesses_are_sp_or_fp_relative(self):
+        compiled = compile_source("""
+            int main() {
+              int arr[4];
+              arr[0] = 1;
+              return arr[0];
+            }
+        """)
+        stack_modes = [i for i in mem_instructions(compiled)
+                       if i.addr_mode is AddrMode.STACK]
+        assert stack_modes, "prologue/array accesses must be stack-mode"
+
+    def test_pointer_dereference_is_other_mode(self):
+        compiled = compile_source("""
+            int deref(int* p) { return *p; }
+            int main() { int x = 1; return deref(&x); }
+        """)
+        other = [i for i in mem_instructions(compiled)
+                 if i.addr_mode is AddrMode.OTHER]
+        assert other, "pointer loads must use a computed base register"
+
+    def test_float_literals_come_from_constant_pool(self):
+        compiled = compile_source("""
+            int main() { float x = 3.14; print_float(x); return 0; }
+        """)
+        pool_loads = [i for i in compiled.program.instructions
+                      if i.op is Op.LF and i.rs == R.GP]
+        assert pool_loads, "FP literal should load from the data segment"
+
+
+class TestCallingConvention:
+    def test_prologue_saves_ra_and_fp_in_non_leaf(self):
+        compiled = compile_source("""
+            int helper() { return 1; }
+            int main() { return helper(); }
+        """)
+        index = compiled.program.labels["main"]
+        window = compiled.program.instructions[index:index + 5]
+        saved = [i.rt for i in window if i.op is Op.SW]
+        assert R.RA in saved
+        assert R.FP in saved
+
+    def test_leaf_function_skips_ra_fp_saves(self):
+        # Leaf functions never clobber $ra/$fp, so an optimising
+        # compiler emits no saves and no $fp update for them.
+        compiled = compile_source("""
+            int leaf(int a, int b) { return a * b + 3; }
+            int main() { return leaf(2, 3); }
+        """)
+        start = compiled.program.labels["leaf"]
+        end = compiled.program.labels["main"]
+        body = compiled.program.instructions[start:end]
+        assert all(i.op is not Op.SW for i in body), \
+            "a register-only leaf needs no stack traffic at all"
+        assert all(i.rd != R.FP for i in body if i.rd is not None)
+
+    def test_start_stub_initialises_gp_and_sp(self):
+        compiled = compile_source("int main() { return 0; }")
+        start = compiled.program.labels["__start"]
+        stub = compiled.program.instructions[start:start + 4]
+        values = {i.rd: i.imm for i in stub if i.op is Op.LI}
+        assert values[R.GP] == GP_VALUE
+        assert values[R.SP] == STACK_BASE
+
+    def test_register_args_use_arg_registers(self):
+        compiled = compile_source("""
+            int f(int a, int b) { return a + b; }
+            int main() { return f(1, 2); }
+        """)
+        movs = [i for i in compiled.program.instructions
+                if i.op is Op.MOV and i.rd in R.ARG_REGS]
+        assert len(movs) >= 2
+
+    def test_stack_args_push_below_sp(self):
+        compiled = compile_source("""
+            int f(int a, int b, int c, int d, int e, int f) {
+              return a + b + c + d + e + f;
+            }
+            int main() { return f(1, 2, 3, 4, 5, 6); }
+        """)
+        sp_stores = [i for i in compiled.program.instructions
+                     if i.op is Op.SW and i.rs == R.SP and i.imm >= 0]
+        assert len(sp_stores) >= 2, "args 5 and 6 must be stored via $sp"
+
+    def test_sp_balance_across_execution(self):
+        trace = run_minic("""
+            int f(int a, int b, int c, int d, int e) { return e; }
+            int main() { return f(1, 2, 3, 4, 5); }
+        """)
+        # If SP were unbalanced, the program would crash or corrupt its
+        # frame; successful execution with the right result is the check.
+        assert trace.exit_code == 5
+
+
+class TestSemanticErrors:
+    def test_undeclared_identifier(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { return nope; }")
+
+    def test_missing_main(self):
+        with pytest.raises(CompileError):
+            compile_source("int f() { return 0; }")
+
+    def test_redeclaration_in_same_scope(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { int x; int x; return 0; }")
+
+    def test_shadowing_in_nested_scope_allowed(self):
+        trace = run_minic("""
+            int main() {
+              int x = 1;
+              { int x = 2; print_int(x); }
+              print_int(x);
+              return 0;
+            }
+        """)
+        assert trace.output == [2, 1]
+
+    def test_address_of_register_promoted_array_ok(self):
+        # Arrays are memory-resident by nature; taking an element address
+        # must work.
+        trace = run_minic("""
+            int main() {
+              int arr[3];
+              arr[1] = 5;
+              int* p = &arr[1];
+              print_int(*p);
+              return 0;
+            }
+        """)
+        assert trace.output == [5]
+
+    def test_assign_to_array_name_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("""
+                int arr[3];
+                int main() { arr = 0; return 0; }
+            """)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("""
+                int f(int a) { return a; }
+                int main() { return f(1, 2); }
+            """)
+
+    def test_call_to_undefined_function(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { return g(); }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { break; return 0; }")
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { void x; return 0; }")
+
+    def test_return_value_from_void(self):
+        with pytest.raises(CompileError):
+            compile_source("""
+                void f() { return 1; }
+                int main() { f(); return 0; }
+            """)
+
+    def test_global_initializer_must_be_constant(self):
+        # Literal arithmetic folds at parse time and is fine; anything
+        # referencing run-time state is not.
+        compile_source("int x = 1 + 2; int main() { return x; }")
+        with pytest.raises(CompileError):
+            compile_source("""
+                int y;
+                int x = y + 1;
+                int main() { return 0; }
+            """)
+
+    def test_dereference_of_int_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { int x = 1; return *x; }")
+
+    def test_builtin_redefinition_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("""
+                int malloc(int n) { return n; }
+                int main() { return 0; }
+            """)
+
+
+class TestLinker:
+    def test_all_targets_resolved(self):
+        compiled = compile_source("""
+            int f(int n) { if (n > 0) return f(n - 1); return 0; }
+            int main() { return f(3); }
+        """)
+        for instr in compiled.program.instructions:
+            if instr.op in (Op.J, Op.JAL, Op.BEQZ, Op.BNEZ):
+                assert instr.resolved_target is not None
+
+    def test_entry_point_is_start(self):
+        compiled = compile_source("int main() { return 0; }")
+        assert compiled.entry_pc == compiled.program.pc_of_label("__start")
+
+    def test_text_size_counts_instructions(self):
+        compiled = compile_source("int main() { return 0; }")
+        assert compiled.text_size == len(compiled.program.instructions)

@@ -1,0 +1,493 @@
+"""End-to-end compiler correctness: compile MiniC, execute, check output.
+
+These are the compiler's golden tests - every language feature is
+exercised through the full pipeline (lexer, parser, codegen, linker,
+functional simulator) and verified against hand-computed results.
+"""
+
+import pytest
+
+from tests.conftest import run_minic
+
+
+def outputs(source):
+    return run_minic(source).output
+
+
+class TestArithmetic:
+    def test_precedence_and_parentheses(self):
+        assert outputs("""
+            int main() {
+              print_int(2 + 3 * 4);
+              print_int((2 + 3) * 4);
+              print_int(10 - 4 - 3);
+              return 0;
+            }
+        """) == [14, 20, 3]
+
+    def test_division_and_modulo_c_semantics(self):
+        assert outputs("""
+            int main() {
+              print_int(7 / 2);
+              print_int(-7 / 2);
+              print_int(7 % 3);
+              print_int(-7 % 3);
+              print_int(7 % -3);
+              return 0;
+            }
+        """) == [3, -3, 1, -1, 1]
+
+    def test_shifts_and_bitwise(self):
+        assert outputs("""
+            int main() {
+              print_int(1 << 10);
+              print_int(1024 >> 3);
+              print_int(-16 >> 2);
+              print_int(12 & 10);
+              print_int(12 | 3);
+              print_int(12 ^ 10);
+              return 0;
+            }
+        """) == [1024, 128, -4, 8, 15, 6]
+
+    def test_comparisons(self):
+        assert outputs("""
+            int main() {
+              print_int(3 < 4);
+              print_int(4 < 3);
+              print_int(4 <= 4);
+              print_int(5 > 2);
+              print_int(2 >= 3);
+              print_int(7 == 7);
+              print_int(7 != 7);
+              return 0;
+            }
+        """) == [1, 0, 1, 1, 0, 1, 0]
+
+    def test_unary_minus_and_not(self):
+        assert outputs("""
+            int main() {
+              print_int(-5);
+              print_int(!0);
+              print_int(!17);
+              print_int(- -8);
+              return 0;
+            }
+        """) == [-5, 1, 0, 8]
+
+    def test_compound_assignment(self):
+        assert outputs("""
+            int main() {
+              int x = 10;
+              x += 5;  print_int(x);
+              x -= 3;  print_int(x);
+              x *= 2;  print_int(x);
+              x /= 4;  print_int(x);
+              x %= 4;  print_int(x);
+              return 0;
+            }
+        """) == [15, 12, 24, 6, 2]
+
+
+class TestControlFlow:
+    def test_if_else_chains(self):
+        assert outputs("""
+            int sign(int x) {
+              if (x > 0) return 1;
+              else if (x < 0) return -1;
+              else return 0;
+            }
+            int main() {
+              print_int(sign(42));
+              print_int(sign(-42));
+              print_int(sign(0));
+              return 0;
+            }
+        """) == [1, -1, 0]
+
+    def test_while_loop(self):
+        assert outputs("""
+            int main() {
+              int n = 0;
+              int total = 0;
+              while (n < 10) { total += n; n += 1; }
+              print_int(total);
+              return 0;
+            }
+        """) == [45]
+
+    def test_for_with_break_and_continue(self):
+        assert outputs("""
+            int main() {
+              int total = 0;
+              for (int i = 0; i < 100; i += 1) {
+                if (i % 2 == 0) continue;
+                if (i > 10) break;
+                total += i;
+              }
+              print_int(total);
+              return 0;
+            }
+        """) == [1 + 3 + 5 + 7 + 9]
+
+    def test_nested_loops(self):
+        assert outputs("""
+            int main() {
+              int count = 0;
+              for (int i = 0; i < 5; i += 1)
+                for (int j = 0; j < i; j += 1)
+                  count += 1;
+              print_int(count);
+              return 0;
+            }
+        """) == [10]
+
+    def test_short_circuit_evaluation(self):
+        # The right-hand side must not run when short-circuited: it would
+        # divide by zero.
+        assert outputs("""
+            int safe_div(int a, int b) {
+              if (b != 0 && a / b > 1) return 1;
+              return 0;
+            }
+            int main() {
+              print_int(safe_div(10, 0));
+              print_int(safe_div(10, 3));
+              print_int(0 || 3);
+              print_int(2 && 0);
+              print_int(2 && 9);
+              return 0;
+            }
+        """) == [0, 1, 1, 0, 1]
+
+    def test_logical_result_across_calls(self):
+        # Regression guard: &&'s partial result must survive a call with
+        # register-clobbering on the right-hand side.
+        assert outputs("""
+            int one() { return 1; }
+            int main() {
+              print_int(1 && one());
+              print_int(0 || one());
+              return 0;
+            }
+        """) == [1, 1]
+
+
+class TestFunctions:
+    def test_recursion(self):
+        assert outputs("""
+            int fact(int n) {
+              if (n <= 1) return 1;
+              return n * fact(n - 1);
+            }
+            int main() { print_int(fact(10)); return 0; }
+        """) == [3628800]
+
+    def test_mutual_recursion(self):
+        # MiniC has no forward declarations; mutual recursion works
+        # because all signatures are collected before codegen begins.
+        assert outputs("""
+            int is_even(int n) {
+              if (n == 0) return 1;
+              return is_odd(n - 1);
+            }
+            int is_odd(int n) {
+              if (n == 0) return 0;
+              return is_even(n - 1);
+            }
+            int main() {
+              print_int(is_even(10));
+              print_int(is_odd(7));
+              return 0;
+            }
+        """) == [1, 1]
+
+    def test_many_arguments_use_stack(self):
+        # Arguments beyond the fourth are passed on the stack.
+        assert outputs("""
+            int sum8(int a, int b, int c, int d, int e, int f, int g,
+                     int h) {
+              return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g + 8*h;
+            }
+            int main() {
+              print_int(sum8(1, 2, 3, 4, 5, 6, 7, 8));
+              return 0;
+            }
+        """) == [1 + 4 + 9 + 16 + 25 + 36 + 49 + 64]
+
+    def test_void_function(self):
+        assert outputs("""
+            int counter;
+            void bump(int by) { counter += by; }
+            int main() {
+              bump(3); bump(4);
+              print_int(counter);
+              return 0;
+            }
+        """) == [7]
+
+    def test_deep_recursion_stack_integrity(self):
+        assert outputs("""
+            int depth(int n) {
+              if (n == 0) return 0;
+              return 1 + depth(n - 1);
+            }
+            int main() { print_int(depth(500)); return 0; }
+        """) == [500]
+
+    def test_exit_code_from_main(self):
+        trace = run_minic("int main() { return 42; }")
+        assert trace.exit_code == 42
+
+
+class TestPointersAndArrays:
+    def test_global_array_indexing(self):
+        assert outputs("""
+            int squares[10];
+            int main() {
+              for (int i = 0; i < 10; i += 1) squares[i] = i * i;
+              print_int(squares[7]);
+              return 0;
+            }
+        """) == [49]
+
+    def test_local_array_and_constant_index(self):
+        assert outputs("""
+            int main() {
+              int buf[4];
+              buf[0] = 10; buf[1] = 20; buf[2] = 30; buf[3] = 40;
+              print_int(buf[2]);
+              return 0;
+            }
+        """) == [30]
+
+    def test_pointer_arithmetic(self):
+        assert outputs("""
+            int data[5] = {1, 2, 3, 4, 5};
+            int main() {
+              int* p = data;
+              print_int(*p);
+              p = p + 3;
+              print_int(*p);
+              p = p - 2;
+              print_int(*p);
+              print_int(*(data + 4));
+              return 0;
+            }
+        """) == [1, 4, 2, 5]
+
+    def test_pointer_difference(self):
+        assert outputs("""
+            int data[10];
+            int main() {
+              int* a = &data[2];
+              int* b = &data[9];
+              print_int(b - a);
+              print_int(a - b);
+              return 0;
+            }
+        """) == [7, -7]
+
+    def test_address_of_local_and_write_through(self):
+        assert outputs("""
+            void set(int* p, int v) { *p = v; }
+            int main() {
+              int x = 1;
+              set(&x, 99);
+              print_int(x);
+              return 0;
+            }
+        """) == [99]
+
+    def test_heap_allocation_roundtrip(self):
+        assert outputs("""
+            int main() {
+              int* block = (int*) malloc(8);
+              for (int i = 0; i < 8; i += 1) block[i] = i * 11;
+              int total = 0;
+              for (int i = 0; i < 8; i += 1) total += block[i];
+              free(block);
+              print_int(total);
+              return 0;
+            }
+        """) == [11 * sum(range(8))]
+
+    def test_pointer_to_pointer(self):
+        assert outputs("""
+            int main() {
+              int x = 5;
+              int* p = &x;
+              int** pp = &p;
+              **pp = 77;
+              print_int(x);
+              return 0;
+            }
+        """) == [77]
+
+    def test_swap_through_pointers(self):
+        assert outputs("""
+            void swap(int* a, int* b) {
+              int t = *a; *a = *b; *b = t;
+            }
+            int main() {
+              int x = 1; int y = 2;
+              swap(&x, &y);
+              print_int(x); print_int(y);
+              return 0;
+            }
+        """) == [2, 1]
+
+    def test_array_initializer_local_semantics(self):
+        assert outputs("""
+            int main() {
+              int t[3] = {5, 6, 7};
+              print_int(t[0] + t[1] + t[2]);
+              return 0;
+            }
+        """) == [18]
+
+
+class TestGlobals:
+    def test_scalar_initializers(self):
+        assert outputs("""
+            int a = 5;
+            int b = -3;
+            float f = 2.5;
+            int main() {
+              print_int(a + b);
+              print_float(f);
+              return 0;
+            }
+        """) == [2, 2.5]
+
+    def test_uninitialised_globals_are_zero(self):
+        assert outputs("""
+            int z;
+            int arr[4];
+            int main() { print_int(z + arr[3]); return 0; }
+        """) == [0]
+
+    def test_global_array_partial_initializer(self):
+        assert outputs("""
+            int t[5] = {9, 8};
+            int main() {
+              print_int(t[0]); print_int(t[1]); print_int(t[4]);
+              return 0;
+            }
+        """) == [9, 8, 0]
+
+
+class TestFloats:
+    def test_float_arithmetic(self):
+        out = outputs("""
+            int main() {
+              float a = 1.5;
+              float b = 2.25;
+              print_float(a + b);
+              print_float(a * b);
+              print_float(b / a);
+              print_float(a - b);
+              return 0;
+            }
+        """)
+        assert out == [3.75, 3.375, 1.5, -0.75]
+
+    def test_int_float_conversions(self):
+        out = outputs("""
+            int main() {
+              float f = 7;
+              int i = (int) 3.9;
+              print_float(f);
+              print_int(i);
+              print_float((float) 2 / 4);
+              return 0;
+            }
+        """)
+        assert out == [7.0, 3, 0.5]
+
+    def test_float_comparisons(self):
+        assert outputs("""
+            int main() {
+              float a = 1.5;
+              print_int(a < 2.0);
+              print_int(a > 2.0);
+              print_int(a == 1.5);
+              print_int(a != 1.5);
+              print_int(a <= 1.5);
+              print_int(a >= 1.6);
+              return 0;
+            }
+        """) == [1, 0, 1, 0, 1, 0]
+
+    def test_sqrt_builtin(self):
+        out = outputs("""
+            int main() {
+              print_float(sqrt(16.0));
+              print_float(sqrt(2.0));
+              return 0;
+            }
+        """)
+        assert out[0] == 4.0
+        assert abs(out[1] - 2 ** 0.5) < 1e-12
+
+    def test_mixed_arithmetic_promotes(self):
+        assert outputs("""
+            int main() {
+              print_float(1 + 0.5);
+              print_float(3 / 2.0);
+              return 0;
+            }
+        """) == [1.5, 1.5]
+
+    def test_float_array_and_params(self):
+        out = outputs("""
+            float dot(float* a, float* b, int n) {
+              float total = 0.0;
+              for (int i = 0; i < n; i += 1) total += a[i] * b[i];
+              return total;
+            }
+            float xs[3] = {1.0, 2.0, 3.0};
+            float ys[3] = {4.0, 5.0, 6.0};
+            int main() {
+              print_float(dot(xs, ys, 3));
+              return 0;
+            }
+        """)
+        assert out == [32.0]
+
+
+class TestRegisterPressure:
+    def test_deeply_nested_expression_spills(self):
+        # 16 live subexpressions force temporary spilling to the stack.
+        expr = " + ".join(f"(a{i} * b{i})" for i in range(8))
+        decls = "".join(f"int a{i} = {i + 1}; int b{i} = {i + 2};"
+                        for i in range(8))
+        expected = sum((i + 1) * (i + 2) for i in range(8))
+        assert outputs(f"""
+            int main() {{
+              {decls}
+              print_int({expr});
+              return 0;
+            }}
+        """) == [expected]
+
+    def test_more_locals_than_saved_registers(self):
+        decls = "".join(f"int v{i} = {i};" for i in range(20))
+        total = " + ".join(f"v{i}" for i in range(20))
+        assert outputs(f"""
+            int main() {{
+              {decls}
+              print_int({total});
+              return 0;
+            }}
+        """) == [sum(range(20))]
+
+    def test_call_in_complex_expression(self):
+        assert outputs("""
+            int f(int x) { return x * 10; }
+            int main() {
+              int a = 1; int b = 2; int c = 3;
+              print_int(a + f(b) + c * f(a + b));
+              return 0;
+            }
+        """) == [1 + 20 + 3 * 30]

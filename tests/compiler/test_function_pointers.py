@@ -1,0 +1,150 @@
+"""Tests for function pointers and indirect calls (JALR).
+
+Interpreter-style dispatch - the paper's m88ksim/li/perl workloads all
+dispatch through function-pointer tables - exercises JALR, the one call
+form where the callee is unknown until run time.
+"""
+
+import pytest
+
+from repro.compiler import CompileError, compile_source
+from repro.isa.instructions import Op
+from repro.trace.records import OC_CALL
+from tests.conftest import run_minic
+
+
+class TestFunctionPointers:
+    def test_address_of_function_and_indirect_call(self):
+        trace = run_minic("""
+            int triple(int x) { return 3 * x; }
+            int main() {
+              int* fn = (int*) &triple;
+              print_int(fn(7));
+              return 0;
+            }
+        """)
+        assert trace.output == [21]
+
+    def test_dispatch_table(self):
+        trace = run_minic("""
+            int inc(int x) { return x + 1; }
+            int dec(int x) { return x - 1; }
+            int table[2];
+            int main() {
+              table[0] = (int) &inc;
+              table[1] = (int) &dec;
+              int value = 10;
+              for (int i = 0; i < 6; i += 1) {
+                int* fn = (int*) table[i % 2];
+                value = fn(value);
+              }
+              print_int(value);
+              return 0;
+            }
+        """)
+        assert trace.output == [10]
+
+    def test_pointer_passed_between_functions(self):
+        trace = run_minic("""
+            int square(int x) { return x * x; }
+            int apply(int* fn, int arg) { return fn(arg); }
+            int main() {
+              print_int(apply((int*) &square, 6));
+              return 0;
+            }
+        """)
+        assert trace.output == [36]
+
+    def test_indirect_call_with_multiple_args(self):
+        trace = run_minic("""
+            int weighted(int a, int b, int c) { return a + 2*b + 3*c; }
+            int main() {
+              int* fn = (int*) &weighted;
+              print_int(fn(1, 2, 3));
+              return 0;
+            }
+        """)
+        assert trace.output == [1 + 4 + 9]
+
+    def test_emits_lfa_and_jalr(self):
+        compiled = compile_source("""
+            int f(int x) { return x; }
+            int main() {
+              int* p = (int*) &f;
+              return p(1);
+            }
+        """)
+        ops = [i.op for i in compiled.program.instructions]
+        assert Op.LFA in ops
+        assert Op.JALR in ops
+        lfa = next(i for i in compiled.program.instructions
+                   if i.op is Op.LFA)
+        assert lfa.imm == compiled.program.pc_of_label("f")
+
+    def test_indirect_calls_traced_as_calls(self):
+        trace = run_minic("""
+            int id(int x) { return x; }
+            int main() {
+              int* fn = (int*) &id;
+              int t = 0;
+              for (int i = 0; i < 5; i += 1) t += fn(i);
+              print_int(t);
+              return 0;
+            }
+        """)
+        assert trace.output == [10]
+        calls = sum(1 for r in trace.records if r.op_class == OC_CALL)
+        assert calls >= 5
+
+    def test_caller_of_indirect_call_is_not_leaf(self):
+        # Indirect calls clobber $ra like any call.
+        trace = run_minic("""
+            int one() { return 1; }
+            int caller() {
+              int* fn = (int*) &one;
+              return fn() + fn();
+            }
+            int main() { print_int(caller()); return 0; }
+        """)
+        assert trace.output == [2]
+
+    def test_local_variable_shadows_function_name(self):
+        # A local named like a function is a variable, not the function.
+        trace = run_minic("""
+            int value() { return 5; }
+            int main() {
+              int value = 9;
+              print_int(value);
+              return 0;
+            }
+        """)
+        assert trace.output == [9]
+
+    def test_too_many_indirect_args_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("""
+                int f(int a, int b, int c, int d, int e) { return a; }
+                int main() {
+                  int* p = (int*) &f;
+                  return p(1, 2, 3, 4, 5);
+                }
+            """)
+
+    def test_calling_non_pointer_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("""
+                int main() {
+                  int x = 5;
+                  return x(1);
+                }
+            """)
+
+    def test_float_args_rejected_on_indirect_calls(self):
+        with pytest.raises(CompileError):
+            compile_source("""
+                int f(int a) { return a; }
+                int main() {
+                  int* p = (int*) &f;
+                  return p(1.5);
+                }
+            """)

@@ -1,0 +1,168 @@
+"""Tests for the leaf-function optimisation.
+
+Leaf functions (no user calls) keep parameters in argument registers,
+house locals in caller-saved registers, skip the $ra/$fp saves, and
+address any frame $sp-relative.  These tests pin down both the code
+shape and - more importantly - correctness under every wrinkle: builtin
+calls clobbering $a0, register exhaustion, arrays, and recursion.
+"""
+
+from repro.compiler import compile_source
+from repro.isa import registers as R
+from repro.isa.instructions import Op
+from tests.conftest import run_minic
+
+
+def body_of(compiled, name, next_label):
+    start = compiled.program.labels[name]
+    end = compiled.program.labels[next_label]
+    return compiled.program.instructions[start:end]
+
+
+class TestLeafShape:
+    def test_leaf_never_touches_fp(self):
+        compiled = compile_source("""
+            int scale(int x, int y) {
+              int t = x * 3;
+              return t + y;
+            }
+            int main() { return scale(2, 5); }
+        """)
+        for instr in body_of(compiled, "scale", "main"):
+            assert instr.rs != R.FP
+            assert instr.rd != R.FP
+
+    def test_leaf_with_array_uses_sp(self):
+        compiled = compile_source("""
+            int median3(int a, int b, int c) {
+              int buf[3];
+              buf[0] = a; buf[1] = b; buf[2] = c;
+              if (buf[0] > buf[1]) { int t = buf[0]; buf[0] = buf[1];
+                                     buf[1] = t; }
+              if (buf[1] > buf[2]) { int t = buf[1]; buf[1] = buf[2];
+                                     buf[2] = t; }
+              if (buf[0] > buf[1]) { int t = buf[0]; buf[0] = buf[1];
+                                     buf[1] = t; }
+              return buf[1];
+            }
+            int main() { return median3(9, 1, 5); }
+        """)
+        body = body_of(compiled, "median3", "main")
+        sp_mem = [i for i in body if i.is_mem and i.rs == R.SP]
+        assert sp_mem, "array slots must be $sp-relative in a leaf"
+        assert all(i.rs != R.FP for i in body if i.is_mem)
+
+    def test_recursive_function_is_not_leaf(self):
+        compiled = compile_source("""
+            int down(int n) { if (n == 0) return 0; return down(n - 1); }
+            int main() { return down(3); }
+        """)
+        body = body_of(compiled, "down", "main")
+        saved = [i.rt for i in body if i.op is Op.SW]
+        assert R.RA in saved
+
+    def test_builtin_caller_still_leaf(self):
+        compiled = compile_source("""
+            int show(int x) { print_int(x); return x; }
+            int main() { return show(5); }
+        """)
+        body = body_of(compiled, "show", "main")
+        # Syscalls do not clobber $ra: still no $ra save.
+        assert all(i.rt != R.RA for i in body if i.op is Op.SW)
+
+
+class TestLeafCorrectness:
+    def test_param_survives_builtin_a0_clobber(self):
+        # print_int routes its argument through $a0; a leaf's first
+        # parameter must be relocated, not destroyed.
+        trace = run_minic("""
+            int echo(int x, int y) {
+              print_int(7);
+              return x * 100 + y;
+            }
+            int main() { print_int(echo(3, 4)); return 0; }
+        """)
+        assert trace.output == [7, 304]
+
+    def test_malloc_in_leaf(self):
+        trace = run_minic("""
+            int* grab(int n) {
+              int* p = (int*) malloc(n);
+              p[0] = n * 2;
+              return p;
+            }
+            int main() {
+              int* block = grab(4);
+              print_int(block[0]);
+              free(block);
+              return 0;
+            }
+        """)
+        assert trace.output == [8]
+
+    def test_leaf_with_many_locals_falls_back_to_saved_regs(self):
+        decls = "".join(f"int v{i} = {i} + a;" for i in range(12))
+        total = " + ".join(f"v{i}" for i in range(12))
+        trace = run_minic(f"""
+            int crunch(int a) {{
+              {decls}
+              return {total};
+            }}
+            int main() {{ print_int(crunch(10)); return 0; }}
+        """)
+        assert trace.output == [sum(i + 10 for i in range(12))]
+
+    def test_float_leaf_locals(self):
+        trace = run_minic("""
+            float blend(float a, float b) {
+              float wa = 0.25;
+              float wb = 0.75;
+              float mixed = a * wa + b * wb;
+              return mixed;
+            }
+            int main() { print_float(blend(4.0, 8.0)); return 0; }
+        """)
+        assert trace.output == [7.0]
+
+    def test_leaf_called_in_loop_from_non_leaf(self):
+        trace = run_minic("""
+            int square(int x) { return x * x; }
+            int main() {
+              int total = 0;
+              for (int i = 1; i <= 5; i += 1) total += square(i);
+              print_int(total);
+              return 0;
+            }
+        """)
+        assert trace.output == [55]
+
+    def test_unused_arg_registers_become_leaf_locals(self):
+        # One parameter: $a1-$a3 are free for locals; results must be
+        # correct regardless of where they land.
+        trace = run_minic("""
+            int combo(int x) {
+              int a = x + 1;
+              int b = x + 2;
+              int c = x + 3;
+              int d = x + 4;
+              return a * b + c * d;
+            }
+            int main() { print_int(combo(1)); return 0; }
+        """)
+        assert trace.output == [2 * 3 + 4 * 5]
+
+    def test_stack_traffic_reduction(self):
+        """The whole point: a hot leaf emits no stack traffic."""
+        trace = run_minic("""
+            int mix(int a, int b) { return (a * 31 + b) & 65535; }
+            int main() {
+              int h = 0;
+              for (int i = 0; i < 200; i += 1) h = mix(h, i);
+              print_int(h);
+              return 0;
+            }
+        """)
+        mem = [r for r in trace.records if r.is_mem]
+        # main's own frame handling only: far fewer than one stack
+        # access per call.
+        assert len(mem) < 100

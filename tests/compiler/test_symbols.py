@@ -1,0 +1,105 @@
+"""Tests for symbol tables and frame building."""
+
+import pytest
+
+from repro.compiler.symbols import (CompileError, FrameBuilder,
+                                    FunctionSignature, GlobalTable,
+                                    LocalSymbol, SAVE_AREA_WORDS, Scope,
+                                    saved_reg_slot)
+from repro.lang.types import FLOAT, INT
+from repro.runtime.layout import WORD_SIZE
+
+
+class TestScope:
+    def test_declare_and_lookup(self):
+        scope = Scope()
+        symbol = LocalSymbol(name="x", var_type=INT, reg=16)
+        scope.declare(symbol)
+        assert scope.lookup("x") is symbol
+
+    def test_nested_lookup_falls_through(self):
+        outer = Scope()
+        outer.declare(LocalSymbol(name="x", var_type=INT, reg=16))
+        inner = Scope(outer)
+        assert inner.lookup("x") is not None
+
+    def test_shadowing(self):
+        outer = Scope()
+        outer.declare(LocalSymbol(name="x", var_type=INT, reg=16))
+        inner = Scope(outer)
+        shadow = LocalSymbol(name="x", var_type=FLOAT, reg=52)
+        inner.declare(shadow)
+        assert inner.lookup("x") is shadow
+        assert outer.lookup("x") is not shadow
+
+    def test_same_scope_redeclaration_rejected(self):
+        scope = Scope()
+        scope.declare(LocalSymbol(name="x", var_type=INT))
+        with pytest.raises(CompileError):
+            scope.declare(LocalSymbol(name="x", var_type=INT))
+
+    def test_missing_lookup_returns_none(self):
+        assert Scope().lookup("nothing") is None
+
+
+class TestGlobalTable:
+    def test_sequential_offsets(self):
+        table = GlobalTable()
+        a = table.declare_global("a", INT, 1, False, [])
+        b = table.declare_global("b", INT, 10, True, [])
+        c = table.declare_global("c", FLOAT, 1, False, [])
+        assert a.offset == 0
+        assert b.offset == WORD_SIZE
+        assert c.offset == 11 * WORD_SIZE
+        assert table.data_size_bytes == 12 * WORD_SIZE
+
+    def test_redefinition_rejected(self):
+        table = GlobalTable()
+        table.declare_global("a", INT, 1, False, [])
+        with pytest.raises(CompileError):
+            table.declare_global("a", INT, 1, False, [])
+
+    def test_function_name_collision_with_global(self):
+        table = GlobalTable()
+        table.declare_global("f", INT, 1, False, [])
+        with pytest.raises(CompileError):
+            table.declare_function(FunctionSignature("f", INT, []))
+
+    def test_array_value_type_decays(self):
+        table = GlobalTable()
+        arr = table.declare_global("arr", INT, 4, True, [])
+        assert arr.value_type == INT.pointer_to()
+        scalar = table.declare_global("x", INT, 1, False, [])
+        assert scalar.value_type == INT
+
+
+class TestFrameBuilder:
+    def test_locals_below_save_area(self):
+        frame = FrameBuilder()
+        offset = frame.alloc_local(1)
+        assert offset == -(SAVE_AREA_WORDS + 1) * WORD_SIZE
+
+    def test_array_allocation_spans(self):
+        frame = FrameBuilder()
+        first = frame.alloc_local(4)
+        second = frame.alloc_local(1)
+        assert first - second == 1 * WORD_SIZE
+        assert second == first - WORD_SIZE
+
+    def test_spill_slots_recycled(self):
+        frame = FrameBuilder()
+        slot = frame.alloc_spill()
+        frame.release_spill(slot)
+        assert frame.alloc_spill() == slot
+
+    def test_frame_size_aligned(self):
+        frame = FrameBuilder()
+        frame.alloc_local(1)
+        assert frame.frame_size % 16 == 0
+        assert frame.frame_size >= (SAVE_AREA_WORDS + 1) * WORD_SIZE
+
+    def test_saved_slots_dont_collide_with_locals(self):
+        frame = FrameBuilder()
+        local = frame.alloc_local(1)
+        for i in range(16):
+            assert saved_reg_slot(i) > local

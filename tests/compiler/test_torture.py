@@ -1,0 +1,175 @@
+"""Codegen torture tests: register pressure crossed with calls, floats,
+and control flow - the combinations most likely to expose allocator or
+spill bugs."""
+
+from tests.conftest import run_minic
+
+
+def out(source, name):
+    return run_minic(source, name).output
+
+
+class TestSpillsAcrossCalls:
+    def test_int_temps_survive_nested_calls(self):
+        # Eight live temporaries, each separated by a clobbering call.
+        assert out("""
+            int bump(int x) { return x + 1; }
+            int main() {
+              int r = (1 + bump(10)) * (2 + bump(20))
+                    + (3 + bump(30)) * (4 + bump(40))
+                    + (5 + bump(50)) * (6 + bump(60));
+              print_int(r);
+              return 0;
+            }
+        """, "t1") == [(1 + 11) * (2 + 21) + (3 + 31) * (4 + 41)
+                       + (5 + 51) * (6 + 61)]
+
+    def test_float_temps_survive_calls(self):
+        assert out("""
+            float fbump(float x) { return x + 0.5; }
+            int main() {
+              float r = (1.0 + fbump(10.0)) * (2.0 + fbump(20.0))
+                      + (3.0 + fbump(30.0));
+              print_float(r);
+              return 0;
+            }
+        """, "t2") == [(1.0 + 10.5) * (2.0 + 20.5) + (3.0 + 30.5)]
+
+    def test_mixed_int_float_pressure(self):
+        terms_i = " + ".join(f"(i{k} * {k + 1})" for k in range(6))
+        terms_f = " + ".join(f"(f{k} * {k}.5)" for k in range(6))
+        decls_i = "".join(f"int i{k} = {k + 2};" for k in range(6))
+        decls_f = "".join(f"float f{k} = {k}.25;" for k in range(6))
+        expected_i = sum((k + 2) * (k + 1) for k in range(6))
+        expected_f = sum((k + 0.25) * (k + 0.5) for k in range(6))
+        result = out(f"""
+            int main() {{
+              {decls_i}
+              {decls_f}
+              print_int({terms_i});
+              print_float({terms_f});
+              return 0;
+            }}
+        """, "t3")
+        assert result[0] == expected_i
+        assert abs(result[1] - expected_f) < 1e-9
+
+    def test_call_inside_logical_operand(self):
+        assert out("""
+            int calls;
+            int check(int v) { calls += 1; return v; }
+            int main() {
+              int a = check(1) && check(0) && check(1);
+              int b = check(0) || check(1);
+              print_int(a);
+              print_int(b);
+              print_int(calls);
+              return 0;
+            }
+        """, "t4") == [0, 1, 4]   # short-circuit skips the third check
+
+    def test_recursion_with_float_locals(self):
+        result = out("""
+            float geo(float base, int n) {
+              if (n == 0) return 1.0;
+              float rest = geo(base, n - 1);
+              return base * rest;
+            }
+            int main() { print_float(geo(2.0, 10)); return 0; }
+        """, "t5")
+        assert result == [1024.0]
+
+    def test_arguments_evaluated_with_nested_calls(self):
+        assert out("""
+            int add3(int a, int b, int c) { return a + b * 10 + c * 100; }
+            int one() { return 1; }
+            int main() {
+              print_int(add3(one(), one() + one(), add3(one(), one(),
+                                                        one())));
+              return 0;
+            }
+        """, "t6") == [1 + 2 * 10 + 111 * 100]
+
+    def test_eight_arg_call_with_expressions(self):
+        assert out("""
+            int sum8(int a, int b, int c, int d,
+                     int e, int f, int g, int h) {
+              return a + b + c + d + e + f + g + h;
+            }
+            int two() { return 2; }
+            int main() {
+              print_int(sum8(two(), two() * 2, two() * 3, two() * 4,
+                             two() * 5, two() * 6, two() * 7,
+                             two() * 8));
+              return 0;
+            }
+        """, "t7") == [2 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8)]
+
+
+class TestControlFlowPressure:
+    def test_nested_loops_with_live_accumulators(self):
+        assert out("""
+            int main() {
+              int a = 0; int b = 0; int c = 0; int d = 0;
+              for (int i = 0; i < 4; i += 1) {
+                for (int j = 0; j < 4; j += 1) {
+                  a += i; b += j; c += i * j; d += 1;
+                }
+              }
+              print_int(a * 1000000 + b * 10000 + c * 100 + d);
+              return 0;
+            }
+        """, "t8") == [24 * 1000000 + 24 * 10000 + 36 * 100 + 16]
+
+    def test_break_inside_deep_nesting(self):
+        assert out("""
+            int main() {
+              int found = -1;
+              for (int i = 0; i < 10; i += 1) {
+                for (int j = 0; j < 10; j += 1) {
+                  if (i * 10 + j == 42) { found = i * j; break; }
+                }
+                if (found >= 0) break;
+              }
+              print_int(found);
+              return 0;
+            }
+        """, "t9") == [8]
+
+    def test_assignment_as_expression_value(self):
+        assert out("""
+            int main() {
+              int a;
+              int b = (a = 7) + 1;
+              print_int(a);
+              print_int(b);
+              return 0;
+            }
+        """, "t10") == [7, 8]
+
+    def test_chained_assignment(self):
+        assert out("""
+            int main() {
+              int a; int b; int c;
+              a = b = c = 9;
+              print_int(a + b + c);
+              return 0;
+            }
+        """, "t11") == [27]
+
+    def test_pointer_walk_with_call_in_loop(self):
+        assert out("""
+            int gbuf[8];
+            int scale(int x) { return x * 2; }
+            int main() {
+              for (int i = 0; i < 8; i += 1) gbuf[i] = i;
+              int* p = gbuf;
+              int total = 0;
+              for (int i = 0; i < 8; i += 1) {
+                total += scale(p[0]);
+                p = p + 1;
+              }
+              print_int(total);
+              return 0;
+            }
+        """, "t12") == [2 * sum(range(8))]

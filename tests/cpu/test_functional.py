@@ -1,0 +1,132 @@
+"""Tests for the functional simulator's architectural semantics."""
+
+import pytest
+
+from repro.cpu.functional import (SimulationError, _idiv, _irem, _wrap,
+                                  run_source)
+from repro.runtime.layout import STACK_BASE
+from repro.trace.records import (MODE_GLOBAL, MODE_OTHER, MODE_STACK,
+                                 OC_BRANCH, OC_CALL, OC_LOAD, OC_RET,
+                                 OC_STORE, REGION_DATA, REGION_HEAP,
+                                 REGION_STACK)
+from hypothesis import given, strategies as st
+
+_i64 = st.integers(min_value=-2**63, max_value=2**63 - 1)
+
+
+class TestArithmeticHelpers:
+    @given(_i64, _i64)
+    def test_wrap_of_sum_matches_two_complement(self, a, b):
+        wrapped = _wrap(a + b)
+        assert -2**63 <= wrapped < 2**63
+        assert (wrapped - (a + b)) % 2**64 == 0
+
+    @given(_i64, _i64.filter(lambda x: x != 0))
+    def test_idiv_irem_identity(self, a, b):
+        assert _idiv(a, b) * b + _irem(a, b) == a
+
+    @given(_i64, _i64.filter(lambda x: x != 0))
+    def test_idiv_truncates_toward_zero(self, a, b):
+        q = _idiv(a, b)
+        assert abs(q) == abs(a) // abs(b)
+
+    def test_irem_sign_follows_dividend(self):
+        assert _irem(-7, 3) == -1
+        assert _irem(7, -3) == 1
+
+
+class TestExecutionFaults:
+    def test_division_by_zero(self):
+        with pytest.raises(SimulationError):
+            run_source("int main() { int z = 0; return 1 / z; }")
+
+    def test_step_limit(self):
+        with pytest.raises(SimulationError):
+            run_source("int main() { while (1) {} return 0; }",
+                       max_steps=10_000)
+
+    def test_wild_pointer_fault(self):
+        with pytest.raises(Exception):
+            run_source("int main() { int* p = (int*) 8; return *p; }")
+
+
+class TestTraceContents:
+    def _trace(self):
+        return run_source("""
+            int g;
+            int bump(int* p) { *p += 1; return *p; }
+            int main() {
+              int local = 3;
+              g = 5;
+              int* h = (int*) malloc(2);
+              h[0] = 7;
+              int total = 0;
+              for (int i = 0; i < 3; i += 1) total += bump(&local);
+              total += bump(h);
+              print_int(total + g);
+              return 0;
+            }
+        """, "trace-contents")
+
+    def test_output_correct(self):
+        trace = self._trace()
+        assert trace.output == [4 + 5 + 6 + 8 + 5]
+
+    def test_regions_cover_all_three(self):
+        trace = self._trace()
+        regions = {r.region for r in trace.records if r.is_mem}
+        assert {REGION_DATA, REGION_HEAP, REGION_STACK} <= regions
+
+    def test_bump_instruction_is_multi_region(self):
+        trace = self._trace()
+        by_pc = {}
+        for r in trace.records:
+            if r.is_mem and r.mode == MODE_OTHER:
+                by_pc.setdefault(r.pc, set()).add(r.region)
+        assert any(regions == {REGION_STACK, REGION_HEAP}
+                   for regions in by_pc.values())
+
+    def test_addressing_modes_recorded(self):
+        trace = self._trace()
+        modes = {r.mode for r in trace.records if r.is_mem}
+        assert {MODE_STACK, MODE_GLOBAL, MODE_OTHER} <= modes
+
+    def test_branches_record_taken_bit(self):
+        trace = self._trace()
+        branches = [r for r in trace.records if r.op_class == OC_BRANCH]
+        assert branches
+        assert any(r.taken for r in branches)
+        assert any(not r.taken for r in branches)
+
+    def test_calls_and_returns_present(self):
+        trace = self._trace()
+        calls = sum(1 for r in trace.records if r.op_class == OC_CALL)
+        rets = sum(1 for r in trace.records if r.op_class == OC_RET)
+        assert calls >= 4          # three bump(&local) + bump(h)
+        assert rets >= 4
+
+    def test_memory_records_carry_link_register(self):
+        trace = self._trace()
+        ras = {r.ra for r in trace.records
+               if r.is_mem and r.mode == MODE_OTHER}
+        # bump() is called from two different sites -> (at least) two
+        # distinct link-register values observed at its *p accesses.
+        assert len(ras) >= 2
+
+    def test_stack_addresses_below_stack_base(self):
+        trace = self._trace()
+        for r in trace.records:
+            if r.is_mem and r.region == REGION_STACK:
+                assert r.addr <= STACK_BASE
+
+    def test_loads_record_values(self):
+        trace = self._trace()
+        int_loads = [r for r in trace.records
+                     if r.op_class == OC_LOAD and r.value is not None]
+        assert int_loads
+
+    def test_collect_trace_false_returns_empty(self):
+        trace = run_source("int main() { print_int(7); return 0; }",
+                           collect_trace=False)
+        assert len(trace.records) == 0
+        assert trace.output == [7]

@@ -1,0 +1,147 @@
+"""Functional-simulator tests on hand-assembled programs.
+
+The MiniC compiler never emits some legal instructions (JALR, NOP,
+logical-shift-right by register, writes to $zero, JR through a non-$ra
+register); these tests build raw Programs to pin their semantics down.
+"""
+
+import pytest
+
+from repro.compiler.linker import CompiledProgram
+from repro.compiler.symbols import GlobalTable
+from repro.cpu.functional import FunctionalSimulator, SimulationError
+from repro.isa import registers as R
+from repro.isa.instructions import Instruction, Op, Program
+from repro.runtime.layout import GP_VALUE, STACK_BASE
+from repro.runtime.syscalls import SYS_EXIT, SYS_PRINT_INT
+from repro.trace.records import OC_CALL, OC_JUMP, OC_RET
+
+
+def assemble(body, labels=None):
+    """Wrap a raw instruction list in a runnable program image."""
+    instructions = [
+        Instruction(Op.LI, rd=R.GP, imm=GP_VALUE),
+        Instruction(Op.LI, rd=R.SP, imm=STACK_BASE),
+    ]
+    prologue = len(instructions)
+    instructions += body
+    instructions += [
+        Instruction(Op.LI, rd=R.V0, imm=SYS_EXIT),
+        Instruction(Op.SYSCALL),
+    ]
+    all_labels = {"__start": 0}
+    for name, index in (labels or {}).items():
+        all_labels[name] = index + prologue
+    program = Program(instructions=instructions, labels=all_labels,
+                      text_base=0x400000)
+    for instr in instructions:
+        if instr.target is not None:
+            instr.resolved_target = program.pc_of_index(
+                all_labels[instr.target])
+    return CompiledProgram(name="raw", program=program,
+                           globals=GlobalTable())
+
+
+def run(body, labels=None):
+    sim = FunctionalSimulator(assemble(body, labels), max_steps=10_000)
+    return sim, sim.run()
+
+
+class TestRawSemantics:
+    def test_nop_does_nothing(self):
+        sim, trace = run([
+            Instruction(Op.LI, rd=R.T0, imm=7),
+            Instruction(Op.NOP),
+            Instruction(Op.MOV, rd=R.A0, rs=R.T0),
+            Instruction(Op.LI, rd=R.V0, imm=SYS_PRINT_INT),
+            Instruction(Op.SYSCALL),
+        ])
+        assert trace.output == [7]
+
+    def test_writes_to_zero_register_discarded(self):
+        sim, trace = run([
+            Instruction(Op.LI, rd=R.T0, imm=5),
+            Instruction(Op.ADD, rd=R.ZERO, rs=R.T0, rt=R.T0),
+            Instruction(Op.MOV, rd=R.A0, rs=R.ZERO),
+            Instruction(Op.LI, rd=R.V0, imm=SYS_PRINT_INT),
+            Instruction(Op.SYSCALL),
+        ])
+        assert trace.output == [0]
+
+    def test_srl_is_logical(self):
+        sim, trace = run([
+            Instruction(Op.LI, rd=R.T0, imm=-1),
+            Instruction(Op.LI, rd=R.T1, imm=60),
+            Instruction(Op.SRL, rd=R.A0, rs=R.T0, rt=R.T1),
+            Instruction(Op.LI, rd=R.V0, imm=SYS_PRINT_INT),
+            Instruction(Op.SYSCALL),
+        ])
+        assert trace.output == [15]   # zero-filled from the top
+
+    def test_jalr_indirect_call(self):
+        # Call a "function" whose address was computed into a register.
+        body = [
+            Instruction(Op.LI, rd=R.T0, imm=0),      # patched below
+            Instruction(Op.JALR, rs=R.T0),
+            Instruction(Op.LI, rd=R.V0, imm=SYS_PRINT_INT),
+            Instruction(Op.SYSCALL),
+            Instruction(Op.J, target="__done"),
+            # callee: at body index 5
+            Instruction(Op.LI, rd=R.A0, imm=99),
+            Instruction(Op.JR, rs=R.RA),
+        ]
+        labels = {"__done": len(body)}   # the exit stub after the body
+        compiled = assemble(body, labels)
+        callee_pc = compiled.program.pc_of_index(2 + 5)
+        compiled.program.instructions[2].imm = callee_pc
+        trace = FunctionalSimulator(compiled, max_steps=1000).run()
+        assert trace.output == [99]
+        classes = [r.op_class for r in trace.records]
+        assert OC_CALL in classes
+        assert OC_RET in classes
+
+    def test_jr_through_non_ra_register_is_a_jump(self):
+        body = [
+            Instruction(Op.LI, rd=R.T5, imm=0),       # patched
+            Instruction(Op.JR, rs=R.T5),
+            Instruction(Op.LI, rd=R.A0, imm=1),       # skipped
+            # landing pad: body index 3
+            Instruction(Op.LI, rd=R.A0, imm=2),
+            Instruction(Op.LI, rd=R.V0, imm=SYS_PRINT_INT),
+            Instruction(Op.SYSCALL),
+        ]
+        compiled = assemble(body)
+        compiled.program.instructions[2].imm = \
+            compiled.program.pc_of_index(2 + 3)
+        trace = FunctionalSimulator(compiled, max_steps=1000).run()
+        assert trace.output == [2]
+        jump_records = [r for r in trace.records
+                        if r.op_class == OC_JUMP]
+        assert jump_records   # JR via $t5 classifies as jump, not ret
+
+    def test_misaligned_jump_faults(self):
+        body = [
+            Instruction(Op.LI, rd=R.T0, imm=0x400003),
+            Instruction(Op.JR, rs=R.T0),
+        ]
+        with pytest.raises(SimulationError):
+            run(body)
+
+    def test_unknown_syscall_faults(self):
+        body = [
+            Instruction(Op.LI, rd=R.V0, imm=999),
+            Instruction(Op.SYSCALL),
+        ]
+        with pytest.raises(SimulationError):
+            run(body)
+
+    def test_pc_falls_off_text_segment(self):
+        # A program whose last instruction is not an exit runs off the
+        # end of the text segment and faults.
+        program = Program(
+            instructions=[Instruction(Op.NOP)],
+            labels={"__start": 0}, text_base=0x400000)
+        compiled = CompiledProgram(name="bad", program=program,
+                                   globals=GlobalTable())
+        with pytest.raises(SimulationError):
+            FunctionalSimulator(compiled, max_steps=100).run()

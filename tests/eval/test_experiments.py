@@ -1,0 +1,113 @@
+"""Tests for the experiment drivers (small scale, workload subset)."""
+
+import pytest
+
+from repro.eval import (ablation_lvc_size, ablation_two_bit, figure2,
+                        figure4, figure5, figure8, reporting, section33,
+                        table1, table2, table3)
+from repro.timing.config import conventional_config, decoupled_config
+from repro.workloads import suite
+
+SCALE = 0.2
+NAMES = ("db_vortex", "go_ai")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _clear_caches():
+    yield
+    suite.clear_caches()
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = reporting.format_table(["a", "bb"], [["x", 1], ["yy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) <= len(lines[0]) + 2 for line in lines)
+
+    def test_percent(self):
+        assert reporting.percent(0.9987) == "99.87%"
+
+    def test_title_included(self):
+        text = reporting.format_table(["h"], [["v"]], title="My Table")
+        assert text.startswith("My Table")
+
+
+class TestProfilingExperiments:
+    def test_table1_rows(self):
+        result = table1(SCALE, NAMES)
+        assert [r.name for r in result.rows] == list(NAMES)
+        assert "Inst. count" in result.render()
+
+    def test_figure2_fractions(self):
+        result = figure2(SCALE, NAMES)
+        for breakdown in result.breakdowns:
+            assert 0.0 <= breakdown.multi_region_static_fraction <= 1.0
+        assert "Figure 2" in result.render()
+
+    def test_table2_window_pairs(self):
+        result = table2(SCALE, NAMES)
+        for w32, w64 in result.stats:
+            assert w32.window == 32
+            assert w64.window == 64
+            # Doubling the window roughly doubles the mean counts.
+            if w32.data.mean > 0.5:
+                ratio = w64.data.mean / w32.data.mean
+                assert 1.5 < ratio < 2.5
+        assert "Table 2" in result.render()
+
+    def test_figure4_schemes_present(self):
+        result = figure4(SCALE, NAMES)
+        for name in NAMES:
+            assert set(result.results[name]) == {
+                "static", "1bit", "1bit-gbh", "1bit-cid", "1bit-hybrid"}
+        assert 0.9 < result.average_accuracy("1bit") <= 1.0
+
+    def test_table3_contexts_present(self):
+        result = table3(SCALE, NAMES)
+        for name in NAMES:
+            assert set(result.occupancy[name]) == {"none", "gbh", "cid",
+                                                   "hybrid"}
+        assert "Table 3" in result.render()
+
+    def test_figure5_sizes_and_hints(self):
+        result = figure5(SCALE, NAMES, sizes=(None, 8 * 1024))
+        for name in NAMES:
+            raw, hinted = result.results[name]["unlimited"]
+            assert hinted >= raw - 1e-9
+        assert "Figure 5" in result.render()
+
+    def test_section33(self):
+        result = section33(SCALE, NAMES)
+        assert 0.0 < result.average_hit_rate <= 1.0
+        assert "99.5%" in result.render()
+
+
+class TestAblations:
+    def test_two_bit_ablation(self):
+        result = ablation_two_bit(SCALE, NAMES)
+        for one, two in result.accuracies.values():
+            assert 0.9 < one <= 1.0
+            assert 0.9 < two <= 1.0
+
+    def test_lvc_ablation_monotone(self):
+        result = ablation_lvc_size(SCALE, NAMES, sizes=(1024, 8192))
+        for by_size in result.hit_rates.values():
+            assert by_size[8192] >= by_size[1024] - 0.01
+
+
+class TestTimingExperiment:
+    def test_figure8_small(self):
+        configs = [conventional_config(2), decoupled_config(2, 2)]
+        result = figure8(SCALE, ("db_vortex",), configs)
+        assert result.speedup("db_vortex", "(2+0)") == 1.0
+        speedup = result.speedup("db_vortex", "(2+2)")
+        assert 0.8 < speedup < 2.0
+        assert "(2+2)" in result.render()
+
+    def test_average_speedup_geomean(self):
+        configs = [conventional_config(2), conventional_config(16)]
+        result = figure8(SCALE, NAMES, configs)
+        geomean = result.average_speedup("(16+0)")
+        individual = [result.speedup(n, "(16+0)") for n in NAMES]
+        assert min(individual) <= geomean <= max(individual)

@@ -1,0 +1,48 @@
+"""Tests for the extension experiments (A4 static hints, A5 banking)."""
+
+import pytest
+
+from repro.eval.experiments import (ablation_banked_cache,
+                                    ablation_static_hints)
+from repro.workloads import suite
+
+SCALE = 0.2
+NAMES = ("go_ai", "lisp")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _clear_caches():
+    yield
+    suite.clear_caches()
+
+
+class TestStaticHintsExperiment:
+    def test_rows_and_ordering(self):
+        result = ablation_static_hints(SCALE, NAMES)
+        assert [row.name for row in result.rows] == list(NAMES)
+        for row in result.rows:
+            assert 0.0 < row.coverage <= 1.0
+            # no hints <= Fig-6 hints <= ideal hints (within epsilon).
+            assert row.accuracy_static >= row.accuracy_none - 1e-9
+            assert row.accuracy_ideal >= row.accuracy_static - 1e-9
+
+    def test_render(self):
+        result = ablation_static_hints(SCALE, ("go_ai",))
+        text = result.render()
+        assert "Fig-6" in text
+        assert "go_ai" in text
+
+
+class TestBankedExperiment:
+    def test_speedups_structure(self):
+        result = ablation_banked_cache(SCALE, NAMES)
+        for name in NAMES:
+            by_cfg = result.speedups[name]
+            assert by_cfg["(2+0)"] == 1.0
+            # Banked never beats ported at the same width (per program
+            # small slack for simulation noise).
+            assert by_cfg["(4b+0) banked"] <= by_cfg["(4+0) ported"] + 0.01
+
+    def test_render_has_geomean(self):
+        result = ablation_banked_cache(SCALE, ("go_ai",))
+        assert "GEOMEAN" in result.render()

@@ -1,0 +1,54 @@
+"""Tests for the text-table renderer."""
+
+from hypothesis import given, strategies as st
+
+from repro.eval.reporting import format_table, mean_and_std, percent
+from repro.trace.windows import WindowStats
+
+
+class TestFormatTable:
+    def test_columns_align(self):
+        text = format_table(["name", "value"],
+                            [["short", 1], ["a-much-longer-name", 22]])
+        lines = text.splitlines()
+        # All data lines have the same width as the header line.
+        header_width = len(lines[0])
+        assert len(lines[1]) == header_width          # separator
+        for line in lines[2:]:
+            assert len(line) <= header_width
+
+    def test_numeric_cells_right_aligned(self):
+        text = format_table(["n"], [["5"], ["55555"]])
+        lines = text.splitlines()
+        assert lines[-2].endswith("    5")
+        assert lines[-1].endswith("55555")
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[3.14159]])
+        assert "3.14" in text
+        assert "3.14159" not in text
+
+    def test_title_prepended(self):
+        text = format_table(["h"], [["v"]], title="The Title")
+        assert text.splitlines()[0] == "The Title"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    @given(st.lists(st.lists(st.one_of(st.integers(), st.text(
+        alphabet="abcdef ", max_size=10)), min_size=2, max_size=2),
+        max_size=8))
+    def test_never_crashes_on_mixed_cells(self, rows):
+        text = format_table(["col1", "col2"], rows)
+        assert "col1" in text
+
+
+class TestHelpers:
+    def test_percent_digits(self):
+        assert percent(0.5) == "50.00%"
+        assert percent(0.99987, 3) == "99.987%"
+
+    def test_mean_and_std_matches_paper_format(self):
+        stats = WindowStats(mean=6.11, std=2.71, samples=100)
+        assert mean_and_std(stats) == "6.11 (2.71)"

@@ -1,0 +1,114 @@
+"""Tests for instruction representation and addressing-mode classification."""
+
+import pytest
+
+from repro.isa import registers as R
+from repro.isa.instructions import (INSTRUCTION_SIZE, AddrMode, Instruction,
+                                    Op, Program, classify_addr_mode)
+
+
+class TestAddrModeClassification:
+    def test_sp_and_fp_are_stack(self):
+        assert classify_addr_mode(R.SP) is AddrMode.STACK
+        assert classify_addr_mode(R.FP) is AddrMode.STACK
+
+    def test_gp_is_global(self):
+        assert classify_addr_mode(R.GP) is AddrMode.GLOBAL
+
+    def test_zero_is_constant(self):
+        assert classify_addr_mode(R.ZERO) is AddrMode.CONSTANT
+
+    def test_computed_bases_are_other(self):
+        for reg in (R.T0, R.S3, R.A1, R.V0, R.RA):
+            assert classify_addr_mode(reg) is AddrMode.OTHER
+
+    def test_instruction_addr_mode_property(self):
+        load = Instruction(Op.LW, rd=R.T0, rs=R.SP, imm=-8)
+        assert load.addr_mode is AddrMode.STACK
+
+    def test_addr_mode_rejected_for_non_memory(self):
+        add = Instruction(Op.ADD, rd=R.T0, rs=R.T1, rt=R.T2)
+        with pytest.raises(ValueError):
+            _ = add.addr_mode
+
+
+class TestDestAndSourceRegs:
+    def test_alu_dest(self):
+        add = Instruction(Op.ADD, rd=R.T0, rs=R.T1, rt=R.T2)
+        assert add.dest_regs() == (R.T0,)
+        assert set(add.src_regs()) == {R.T1, R.T2}
+
+    def test_store_has_no_dest(self):
+        store = Instruction(Op.SW, rt=R.T0, rs=R.SP, imm=0)
+        assert store.dest_regs() == ()
+        assert R.T0 in store.src_regs()
+        assert R.SP in store.src_regs()
+
+    def test_load_dest_and_base_source(self):
+        load = Instruction(Op.LW, rd=R.T3, rs=R.GP, imm=16)
+        assert load.dest_regs() == (R.T3,)
+        assert R.GP in load.src_regs()
+
+    def test_jal_writes_ra(self):
+        jal = Instruction(Op.JAL, target="foo")
+        assert jal.dest_regs() == (R.RA,)
+
+    def test_jr_reads_target_register(self):
+        jr = Instruction(Op.JR, rs=R.RA)
+        assert jr.dest_regs() == ()
+        assert jr.src_regs() == (R.RA,)
+
+    def test_branch_has_no_dest(self):
+        br = Instruction(Op.BEQZ, rs=R.T0, target="x")
+        assert br.dest_regs() == ()
+
+
+class TestInstructionPredicates:
+    def test_load_store_predicates(self):
+        assert Instruction(Op.LW, rd=1, rs=2).is_load
+        assert Instruction(Op.LF, rd=33, rs=2).is_load
+        assert Instruction(Op.SW, rt=1, rs=2).is_store
+        assert Instruction(Op.SF, rt=33, rs=2).is_store
+        assert not Instruction(Op.ADD, rd=1, rs=2, rt=3).is_mem
+
+    def test_call_predicates(self):
+        assert Instruction(Op.JAL, target="f").is_call
+        assert Instruction(Op.JALR, rs=R.T0).is_call
+        assert not Instruction(Op.JR, rs=R.RA).is_call
+
+    def test_str_forms(self):
+        load = Instruction(Op.LW, rd=R.T0, rs=R.SP, imm=-16)
+        assert "$t0" in str(load)
+        assert "($sp)" in str(load)
+        add = Instruction(Op.ADDI, rd=R.T1, rs=R.T2, imm=42)
+        assert "42" in str(add)
+
+
+class TestProgram:
+    def _program(self, count=4):
+        instrs = [Instruction(Op.NOP) for _ in range(count)]
+        return Program(instructions=instrs, labels={"start": 0, "end": 3},
+                       text_base=0x400000)
+
+    def test_pc_index_roundtrip(self):
+        program = self._program()
+        for i in range(4):
+            pc = program.pc_of_index(i)
+            assert program.index_of_pc(pc) == i
+
+    def test_pc_spacing_is_instruction_size(self):
+        program = self._program()
+        assert program.pc_of_index(1) - program.pc_of_index(0) \
+            == INSTRUCTION_SIZE
+
+    def test_misaligned_pc_rejected(self):
+        program = self._program()
+        with pytest.raises(ValueError):
+            program.index_of_pc(0x400001)
+
+    def test_label_pc(self):
+        program = self._program()
+        assert program.pc_of_label("end") == 0x400000 + 3 * INSTRUCTION_SIZE
+
+    def test_len(self):
+        assert len(self._program(7)) == 7

@@ -1,0 +1,65 @@
+"""Tests for the register-file model."""
+
+import pytest
+
+from repro.isa import registers as R
+
+
+class TestRegisterNumbers:
+    def test_mips_convention_positions(self):
+        assert R.ZERO == 0
+        assert R.GP == 28
+        assert R.SP == 29
+        assert R.FP == 30
+        assert R.RA == 31
+
+    def test_fpr_ids_follow_gprs(self):
+        assert R.FPR_BASE == 32
+        assert R.F0 == 32
+
+    def test_register_groups_are_disjoint(self):
+        temps = set(R.TEMP_REGS)
+        saved = set(R.SAVED_REGS)
+        args = set(R.ARG_REGS)
+        assert not temps & saved
+        assert not temps & args
+        assert not saved & args
+
+    def test_special_registers_not_allocatable(self):
+        allocatable = set(R.TEMP_REGS) | set(R.SAVED_REGS) | set(R.ARG_REGS)
+        for special in (R.ZERO, R.GP, R.SP, R.FP, R.RA, R.AT):
+            assert special not in allocatable
+
+    def test_fp_groups_are_fprs(self):
+        for reg in R.FTEMP_REGS + R.FSAVED_REGS + R.FARG_REGS + (R.FV0,):
+            assert R.is_fpr(reg)
+
+    def test_fp_groups_disjoint(self):
+        ftemps = set(R.FTEMP_REGS)
+        fsaved = set(R.FSAVED_REGS)
+        fargs = set(R.FARG_REGS)
+        assert not ftemps & fsaved
+        assert not ftemps & fargs
+        assert not fsaved & fargs
+        assert R.FV0 not in ftemps | fsaved | fargs
+
+
+class TestRegNames:
+    def test_gpr_names(self):
+        assert R.reg_name(R.SP) == "$sp"
+        assert R.reg_name(R.ZERO) == "$zero"
+        assert R.reg_name(R.T0) == "$t0"
+
+    def test_fpr_names(self):
+        assert R.reg_name(R.FPR_BASE) == "$f0"
+        assert R.reg_name(R.FPR_BASE + 31) == "$f31"
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            R.reg_name(-1)
+        with pytest.raises(ValueError):
+            R.reg_name(64)
+
+    def test_is_fpr_boundary(self):
+        assert not R.is_fpr(31)
+        assert R.is_fpr(32)

@@ -1,0 +1,85 @@
+"""Tests for parse-time constant folding."""
+
+from hypothesis import given, strategies as st
+
+from repro.lang import ast
+from repro.lang.fold import fold_int_binary
+from repro.lang.parser import parse
+from tests.conftest import run_minic
+
+_i64 = st.integers(min_value=-2**63, max_value=2**63 - 1)
+
+
+def parsed_return(text):
+    unit = parse(f"int main() {{ return {text}; }}")
+    return unit.function("main").body.statements[0].value
+
+
+class TestFoldingInParser:
+    def test_literal_arithmetic_folds(self):
+        expr = parsed_return("2 + 3 * 4")
+        assert isinstance(expr, ast.IntLiteral)
+        assert expr.value == 14
+
+    def test_negative_literals_fold(self):
+        expr = parsed_return("-3 * -4")
+        assert isinstance(expr, ast.IntLiteral)
+        assert expr.value == 12
+
+    def test_division_by_zero_not_folded(self):
+        expr = parsed_return("1 / 0")
+        assert isinstance(expr, ast.Binary)
+
+    def test_variables_block_folding(self):
+        unit = parse("int main() { int x = 1; return x + 2; }")
+        expr = unit.function("main").body.statements[1].value
+        assert isinstance(expr, ast.Binary)
+
+    def test_partial_folding_in_chain(self):
+        # x + (2 * 3): the literal product folds, the variable add
+        # does not.
+        unit = parse("int main() { int x = 1; return x + 2 * 3; }")
+        expr = unit.function("main").body.statements[1].value
+        assert isinstance(expr, ast.Binary)
+        assert isinstance(expr.right, ast.IntLiteral)
+        assert expr.right.value == 6
+
+    def test_comparison_folds_to_flag(self):
+        expr = parsed_return("3 < 4")
+        assert isinstance(expr, ast.IntLiteral)
+        assert expr.value == 1
+
+    def test_folded_result_matches_execution(self):
+        # Folding must be semantics-preserving end to end.
+        trace = run_minic("""
+            int main() {
+              print_int(7 / 2 * 2 + 7 % 2);
+              print_int(-7 / 2);
+              print_int(1 << 10 >> 3);
+              return 0;
+            }
+        """)
+        assert trace.output == [7, -3, 128]
+
+
+class TestFoldSemantics:
+    @given(_i64, _i64)
+    def test_add_matches_wrap(self, a, b):
+        folded = fold_int_binary("+", a, b)
+        assert -2**63 <= folded < 2**63
+        assert (folded - (a + b)) % 2**64 == 0
+
+    @given(st.integers(min_value=-10**6, max_value=10**6),
+           st.integers(min_value=1, max_value=10**6))
+    def test_division_identity_moderate(self, a, b):
+        q = fold_int_binary("/", a, b)
+        r = fold_int_binary("%", a, b)
+        assert q * b + r == a
+        assert abs(r) < b
+
+    def test_oversized_shift_not_folded(self):
+        assert fold_int_binary("<<", 1, 64) is None
+        assert fold_int_binary(">>", 1, -1) is None
+
+    def test_unknown_op(self):
+        assert fold_int_binary("&&", 1, 1) is None

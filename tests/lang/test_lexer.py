@@ -1,0 +1,110 @@
+"""Tests for the MiniC lexer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lang.lexer import LexError, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]  # drop eof
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_integer_literals(self):
+        assert texts("0 42 123456") == ["0", "42", "123456"]
+        assert kinds("7")[:-1] == ["int"]
+
+    def test_hex_literals(self):
+        tokens = tokenize("0x1F 0xdead")
+        assert tokens[0].kind == "int"
+        assert int(tokens[0].text, 0) == 31
+
+    def test_float_literals(self):
+        tokens = tokenize("1.5 0.25 2e3 1.5e-2")
+        assert all(t.kind == "float" for t in tokens[:-1])
+
+    def test_malformed_exponent_raises(self):
+        with pytest.raises(LexError):
+            tokenize("1e+")
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("int intx for fortune while")
+        assert [t.kind for t in tokens[:-1]] == [
+            "keyword", "ident", "keyword", "ident", "keyword"]
+
+    def test_identifiers_with_underscores(self):
+        assert texts("_foo bar_baz x1") == ["_foo", "bar_baz", "x1"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestOperators:
+    def test_multichar_operators_win(self):
+        assert texts("a <= b") == ["a", "<=", "b"]
+        assert texts("a << 2") == ["a", "<<", "2"]
+        assert texts("x += 1") == ["x", "+=", "1"]
+        assert texts("a && b || c") == ["a", "&&", "b", "||", "c"]
+
+    def test_equality_vs_assignment(self):
+        assert texts("a == b = c") == ["a", "==", "b", "=", "c"]
+
+    def test_punctuation(self):
+        assert texts("f(a, b);") == ["f", "(", "a", ",", "b", ")", ";"]
+
+
+class TestCommentsAndPositions:
+    def test_line_comments_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comments_skipped(self):
+        assert texts("a /* x\n y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+        assert tokens[2].col == 3
+
+    def test_block_comment_advances_lines(self):
+        tokens = tokenize("/* one\ntwo */ x")
+        assert tokens[0].line == 2
+
+
+class TestLexerProperties:
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_integer_roundtrip(self, value):
+        tokens = tokenize(str(value))
+        assert tokens[0].kind == "int"
+        assert int(tokens[0].text) == value
+
+    @given(st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,12}", fullmatch=True))
+    def test_identifier_roundtrip(self, name):
+        tokens = tokenize(name)
+        assert tokens[0].text == name
+        assert tokens[0].kind in ("ident", "keyword")
+
+    @given(st.lists(st.sampled_from(["x", "42", "+", "(", ")", "<=", "1.5"]),
+                    max_size=20))
+    def test_whitespace_insensitivity(self, parts):
+        compact = " ".join(parts)
+        spread = "  \n ".join(parts)
+        compact_tokens = [(t.kind, t.text) for t in tokenize(compact)]
+        spread_tokens = [(t.kind, t.text) for t in tokenize(spread)]
+        assert compact_tokens == spread_tokens

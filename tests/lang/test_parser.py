@@ -1,0 +1,183 @@
+"""Tests for the MiniC parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import ParseError, parse
+from repro.lang.types import Type
+
+
+def parse_expr(text):
+    """Parse an expression via a wrapper function body."""
+    unit = parse("int main() { return %s; }" % text)
+    stmt = unit.function("main").body.statements[0]
+    assert isinstance(stmt, ast.Return)
+    return stmt.value
+
+
+class TestTopLevel:
+    def test_globals_and_functions_separated(self):
+        unit = parse("int g; float arr[4]; int main() { return 0; }")
+        assert [g.name for g in unit.globals] == ["g", "arr"]
+        assert [f.name for f in unit.functions] == ["main"]
+
+    def test_global_array_initializer(self):
+        unit = parse("int t[3] = {1, 2, 3}; int main() { return 0; }")
+        assert len(unit.globals[0].initializers) == 3
+
+    def test_too_many_initializers_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int t[2] = {1, 2, 3}; int main() { return 0; }")
+
+    def test_scalar_brace_initializer_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int x = {1}; int main() { return 0; }")
+
+    def test_pointer_types(self):
+        unit = parse("int** p; int main() { return 0; }")
+        assert unit.globals[0].var_type == Type("int", 2)
+
+    def test_function_params(self):
+        unit = parse("int f(int a, float* b) { return a; } "
+                     "int main() { return 0; }")
+        params = unit.function("f").params
+        assert params[0].param_type == Type("int")
+        assert params[1].param_type == Type("float", 1)
+
+    def test_missing_main_is_parseable(self):
+        # main-presence is a semantic check (codegen), not a parse error.
+        unit = parse("int f() { return 1; }")
+        with pytest.raises(KeyError):
+            unit.function("main")
+
+    def test_stray_token_rejected(self):
+        with pytest.raises(ParseError):
+            parse("42;")
+
+
+class TestStatements:
+    def test_if_else_association(self):
+        unit = parse("""
+            int main() {
+              if (1) if (2) return 1; else return 2;
+              return 0;
+            }
+        """)
+        outer = unit.function("main").body.statements[0]
+        assert isinstance(outer, ast.If)
+        assert outer.else_branch is None          # else binds to inner if
+        assert isinstance(outer.then_branch, ast.If)
+        assert outer.then_branch.else_branch is not None
+
+    def test_for_with_declaration(self):
+        unit = parse("int main() { for (int i = 0; i < 9; i += 1) {} "
+                     "return 0; }")
+        loop = unit.function("main").body.statements[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.VarDecl)
+
+    def test_for_with_empty_clauses(self):
+        unit = parse("int main() { for (;;) break; return 0; }")
+        loop = unit.function("main").body.statements[0]
+        assert loop.init is None
+        assert loop.condition is None
+        assert loop.step is None
+
+    def test_while_and_break_continue(self):
+        unit = parse("int main() { while (1) { break; continue; } "
+                     "return 0; }")
+        loop = unit.function("main").body.statements[0]
+        body = loop.body.statements
+        assert isinstance(body[0], ast.Break)
+        assert isinstance(body[1], ast.Continue)
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return 0;")
+
+    def test_local_array_declaration(self):
+        unit = parse("int main() { float buf[16]; return 0; }")
+        decl = unit.function("main").body.statements[0]
+        assert decl.array_size == 16
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        # Variables keep the tree unfolded (literals constant-fold).
+        expr = parse_expr("a + b * c")
+        assert isinstance(expr, ast.Binary)
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.Binary)
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(a + b) * c")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_literal_expressions_fold(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.IntLiteral)
+        assert expr.value == 7
+
+    def test_comparison_below_logical(self):
+        expr = parse_expr("a < b && c > d")
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+
+    def test_assignment_is_right_associative(self):
+        expr = parse_expr("a = b = 1")
+        assert isinstance(expr, ast.Assign)
+        assert isinstance(expr.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        expr = parse_expr("a += 2")
+        assert isinstance(expr, ast.Assign)
+        assert expr.op == "+="
+
+    def test_unary_operators(self):
+        expr = parse_expr("-*p")
+        assert isinstance(expr, ast.Unary) and expr.op == "-"
+        assert isinstance(expr.operand, ast.Unary)
+        assert expr.operand.op == "*"
+
+    def test_address_of(self):
+        expr = parse_expr("&x")
+        assert isinstance(expr, ast.Unary) and expr.op == "&"
+
+    def test_bitwise_and_vs_address_of(self):
+        expr = parse_expr("a & b")
+        assert isinstance(expr, ast.Binary) and expr.op == "&"
+
+    def test_cast_expression(self):
+        expr = parse_expr("(float) 3")
+        assert isinstance(expr, ast.Cast)
+        assert expr.to_type == Type("float")
+
+    def test_cast_vs_parenthesised_expr(self):
+        expr = parse_expr("(x) + 1")
+        assert isinstance(expr, ast.Binary)
+
+    def test_indexing_chains(self):
+        expr = parse_expr("m[i][j]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_call_with_arguments(self):
+        expr = parse_expr("f(1, g(2), x)")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[1], ast.Call)
+
+    def test_shift_operators(self):
+        expr = parse_expr("a << 2 >> 1")
+        assert expr.op == ">>"
+        assert expr.left.op == "<<"
+
+    def test_modulo(self):
+        expr = parse_expr("a % 7")
+        assert expr.op == "%"
+
+    def test_missing_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return +; }")

@@ -1,0 +1,60 @@
+"""Tests for the MiniC type system."""
+
+import pytest
+
+from repro.lang.types import (FLOAT, INT, INT_PTR, VOID, Type, assignable,
+                              common_arithmetic_type)
+
+
+class TestTypeBasics:
+    def test_interned_constants(self):
+        assert INT == Type("int")
+        assert FLOAT == Type("float")
+        assert INT_PTR == Type("int", 1)
+
+    def test_pointer_roundtrip(self):
+        assert INT.pointer_to().pointee() == INT
+        assert Type("float", 2).pointee() == Type("float", 1)
+
+    def test_dereference_of_non_pointer_raises(self):
+        with pytest.raises(ValueError):
+            INT.pointee()
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(ValueError):
+            Type("double")
+
+    def test_predicates(self):
+        assert INT.is_int and INT.is_arithmetic
+        assert FLOAT.is_float and FLOAT.is_arithmetic
+        assert VOID.is_void and not VOID.is_arithmetic
+        assert INT_PTR.is_pointer and not INT_PTR.is_arithmetic
+
+    def test_str_forms(self):
+        assert str(Type("int", 2)) == "int**"
+        assert str(FLOAT) == "float"
+
+
+class TestConversions:
+    def test_common_type_float_wins(self):
+        assert common_arithmetic_type(INT, FLOAT) == FLOAT
+        assert common_arithmetic_type(FLOAT, INT) == FLOAT
+        assert common_arithmetic_type(INT, INT) == INT
+
+    def test_common_type_rejects_pointers(self):
+        assert common_arithmetic_type(INT_PTR, INT) is None
+
+    def test_assignable_arithmetic(self):
+        assert assignable(INT, FLOAT)
+        assert assignable(FLOAT, INT)
+
+    def test_assignable_pointer_exact(self):
+        assert assignable(INT_PTR, INT_PTR)
+
+    def test_assignable_int_to_pointer(self):
+        # Early-C permissiveness: malloc results / address arithmetic.
+        assert assignable(INT_PTR, INT)
+        assert assignable(INT, INT_PTR)
+
+    def test_not_assignable_void(self):
+        assert not assignable(VOID, INT)

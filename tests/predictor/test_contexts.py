@@ -1,0 +1,70 @@
+"""Tests for GBH/CID context tracking."""
+
+import pytest
+
+from repro.predictor.contexts import ContextTracker, context_function
+from repro.trace.records import OC_LOAD, TraceRecord
+
+
+def mem_with_ra(ra):
+    return TraceRecord(0x400000, OC_LOAD, addr=0x10000000, region=0, ra=ra)
+
+
+class TestGlobalBranchHistory:
+    def test_shifts_in_outcomes(self):
+        tracker = ContextTracker(gbh_bits=4)
+        for taken in (True, False, True, True):
+            tracker.observe_branch(taken)
+        assert tracker.gbh == 0b1011
+
+    def test_history_bounded_by_width(self):
+        tracker = ContextTracker(gbh_bits=4)
+        for _ in range(100):
+            tracker.observe_branch(True)
+        assert tracker.gbh == 0b1111
+
+    def test_zero_width_history_stays_zero(self):
+        tracker = ContextTracker(gbh_bits=0)
+        tracker.observe_branch(True)
+        assert tracker.gbh == 0
+
+
+class TestCallerId:
+    def test_cid_drops_alignment_bits(self):
+        tracker = ContextTracker(cid_bits=24)
+        record = mem_with_ra(0x400010)
+        assert tracker.cid_of(record) == 0x400010 >> 3
+
+    def test_cid_masked_to_width(self):
+        tracker = ContextTracker(cid_bits=4)
+        record = mem_with_ra(0xFFFFF8)
+        assert tracker.cid_of(record) == (0xFFFFF8 >> 3) & 0xF
+
+    def test_distinct_call_sites_distinct_cids(self):
+        tracker = ContextTracker()
+        a = tracker.cid_of(mem_with_ra(0x400008))
+        b = tracker.cid_of(mem_with_ra(0x400018))
+        assert a != b
+
+
+class TestHybridContext:
+    def test_hybrid_concatenates_gbh_below_cid(self):
+        tracker = ContextTracker(gbh_bits=8, cid_bits=24)
+        for _ in range(3):
+            tracker.observe_branch(True)
+        record = mem_with_ra(0x400020)
+        expected = 0b111 | ((0x400020 >> 3) & 0xFFFFFF) << 8
+        assert tracker.hybrid_context(record) == expected
+
+    def test_context_function_lookup(self):
+        tracker = ContextTracker()
+        record = mem_with_ra(0x400008)
+        assert context_function(tracker, "none")(record) == 0
+        assert context_function(tracker, "cid")(record) \
+            == tracker.cid_of(record)
+        with pytest.raises(ValueError):
+            context_function(tracker, "nonsense")
+
+    def test_negative_widths_rejected(self):
+        with pytest.raises(ValueError):
+            ContextTracker(gbh_bits=-1)

@@ -1,0 +1,176 @@
+"""Tests for trace-driven scheme evaluation (Figures 4-5, Table 3)."""
+
+import pytest
+
+from repro.predictor.evaluate import evaluate_scheme, occupancy_by_context
+from repro.predictor.hints import CompilerHints, empty_hints, \
+    hints_from_trace
+from repro.predictor.schemes import scheme_by_name
+from repro.trace.records import (MODE_GLOBAL, MODE_OTHER, MODE_STACK,
+                                 OC_BRANCH, OC_LOAD, REGION_DATA,
+                                 REGION_HEAP, REGION_STACK, Trace,
+                                 TraceRecord)
+
+
+def load(pc, region, mode=MODE_OTHER, ra=0x400008):
+    return TraceRecord(pc, OC_LOAD, addr=0x10000000, mode=mode,
+                       region=region, ra=ra)
+
+
+def branch(taken):
+    return TraceRecord(0x400800, OC_BRANCH, taken=taken)
+
+
+class TestStaticScheme:
+    def test_definitive_modes_always_correct(self):
+        records = [load(8, REGION_STACK, MODE_STACK),
+                   load(16, REGION_DATA, MODE_GLOBAL)]
+        result = evaluate_scheme(Trace("t", records), "static")
+        assert result.accuracy == 1.0
+        assert result.definitive == 2
+
+    def test_rule4_predicts_non_stack(self):
+        records = [load(8, REGION_STACK, MODE_OTHER),
+                   load(16, REGION_HEAP, MODE_OTHER)]
+        result = evaluate_scheme(Trace("t", records), "static")
+        assert result.correct == 1      # heap correct, stack wrong
+        assert result.definitive == 0
+
+    def test_scheme_accepts_objects_and_names(self):
+        trace = Trace("t", [load(8, REGION_DATA)])
+        by_name = evaluate_scheme(trace, "1bit")
+        by_object = evaluate_scheme(trace, scheme_by_name("1bit"))
+        assert by_name.accuracy == by_object.accuracy
+
+
+class TestOneBitScheme:
+    def test_learns_after_first_miss(self):
+        records = [load(8, REGION_STACK)] * 10
+        result = evaluate_scheme(Trace("t", records), "1bit")
+        assert result.correct == 9      # only the cold miss is wrong
+
+    def test_alternating_regions_defeat_pc_only(self):
+        records = []
+        for i in range(20):
+            region = REGION_STACK if i % 2 == 0 else REGION_HEAP
+            records.append(load(8, region))
+        result = evaluate_scheme(Trace("t", records), "1bit")
+        assert result.accuracy < 0.2    # mispredicts every flip
+
+    def test_definitive_modes_bypass_table(self):
+        records = [load(8, REGION_STACK, MODE_STACK)] * 5
+        result = evaluate_scheme(Trace("t", records), "1bit")
+        assert result.table_predictions == 0
+        assert result.occupancy == 0
+
+
+class TestContextSchemes:
+    def test_cid_separates_alternating_call_sites(self):
+        # One static instruction fed stack/heap pointers from two call
+        # sites: PC-only flips forever, CID nails it after two cold
+        # misses - the paper's *parm1 scenario.
+        records = []
+        for i in range(40):
+            if i % 2 == 0:
+                records.append(load(8, REGION_STACK, ra=0x400008))
+            else:
+                records.append(load(8, REGION_HEAP, ra=0x400108))
+        flat = evaluate_scheme(Trace("t", records), "1bit")
+        cid = evaluate_scheme(Trace("t", records), "1bit-cid")
+        assert flat.accuracy < 0.2
+        assert cid.accuracy > 0.9
+
+    def test_gbh_separates_branch_correlated_regions(self):
+        records = []
+        for i in range(40):
+            taken = i % 2 == 0
+            records.append(branch(taken))
+            region = REGION_STACK if taken else REGION_DATA
+            records.append(load(8, region))
+        flat = evaluate_scheme(Trace("t", records), "1bit")
+        gbh = evaluate_scheme(Trace("t", records), "1bit-gbh")
+        assert gbh.accuracy > flat.accuracy
+
+    def test_context_increases_occupancy(self):
+        records = []
+        for i in range(40):
+            ra = 0x400008 if i % 2 == 0 else 0x400108
+            records.append(load(8, REGION_STACK, ra=ra))
+        occupancy = occupancy_by_context(Trace("t", records))
+        assert occupancy["none"] == 1
+        assert occupancy["cid"] == 2
+        assert occupancy["hybrid"] >= 2
+
+
+class TestLimitedTables:
+    def test_aliasing_hurts_tiny_tables(self):
+        # Two instructions with opposite regions that collide in a
+        # 1-entry table but not in a large one.
+        records = []
+        for _ in range(30):
+            records.append(load(8, REGION_STACK))
+            records.append(load(16, REGION_DATA))
+        big = evaluate_scheme(Trace("t", records), "1bit",
+                              table_size=1024)
+        tiny = evaluate_scheme(Trace("t", records), "1bit", table_size=1)
+        assert big.accuracy > 0.9
+        assert tiny.accuracy < big.accuracy
+
+    def test_occupancy_never_exceeds_size(self):
+        records = [load(8 * i, REGION_DATA) for i in range(100)]
+        result = evaluate_scheme(Trace("t", records), "1bit", table_size=16)
+        assert result.occupancy <= 16
+
+
+class TestCompilerHints:
+    def _trace(self):
+        records = [load(8, REGION_STACK)] * 10 \
+            + [load(16, REGION_DATA)] * 10
+        # One genuinely polymorphic instruction the compiler must punt on.
+        for i in range(10):
+            region = REGION_STACK if i % 2 else REGION_HEAP
+            records.append(load(24, region))
+        return Trace("t", records)
+
+    def test_hints_tag_single_region_instructions(self):
+        hints = hints_from_trace(self._trace())
+        assert hints.lookup(8) is True
+        assert hints.lookup(16) is False
+        assert hints.lookup(24) is None
+
+    def test_hints_remove_cold_misses(self):
+        trace = self._trace()
+        without = evaluate_scheme(trace, "1bit")
+        with_hints = evaluate_scheme(trace, "1bit",
+                                     hints=hints_from_trace(trace))
+        assert with_hints.accuracy >= without.accuracy
+        assert with_hints.hinted == 20
+
+    def test_hints_reduce_occupancy(self):
+        trace = self._trace()
+        without = evaluate_scheme(trace, "1bit")
+        with_hints = evaluate_scheme(trace, "1bit",
+                                     hints=hints_from_trace(trace))
+        assert with_hints.occupancy < without.occupancy
+
+    def test_empty_hints_no_op(self):
+        trace = self._trace()
+        plain = evaluate_scheme(trace, "1bit")
+        empty = evaluate_scheme(trace, "1bit", hints=empty_hints())
+        assert plain.accuracy == empty.accuracy
+
+
+class TestResultAccounting:
+    def test_totals_add_up(self):
+        records = [load(8, REGION_STACK, MODE_STACK),
+                   load(16, REGION_DATA),
+                   branch(True),
+                   load(24, REGION_HEAP)]
+        result = evaluate_scheme(Trace("t", records), "1bit")
+        assert result.total == 3      # branch not counted
+        assert result.definitive == 1
+        assert result.table_predictions == 2
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_scheme(Trace("t", []), "3bit-magic")

@@ -1,0 +1,51 @@
+"""Tests for scheme definitions and static rules."""
+
+import pytest
+
+from repro.predictor.schemes import (ALL_SCHEMES, FIGURE4_SCHEMES, Scheme,
+                                     scheme_by_name)
+from repro.predictor.static_rules import (mode_is_definitive,
+                                          static_predicts_stack)
+from repro.trace.records import (MODE_CONSTANT, MODE_GLOBAL, MODE_OTHER,
+                                 MODE_STACK)
+
+
+class TestSchemeRegistry:
+    def test_figure4_lineup_matches_paper(self):
+        names = [s.name for s in FIGURE4_SCHEMES]
+        assert names == ["static", "1bit", "1bit-gbh", "1bit-cid",
+                         "1bit-hybrid"]
+
+    def test_lookup_by_name(self):
+        scheme = scheme_by_name("2bit-hybrid")
+        assert scheme.bits == 2
+        assert scheme.context == "hybrid"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            scheme_by_name("perceptron")
+
+    def test_all_names_unique(self):
+        names = [s.name for s in ALL_SCHEMES]
+        assert len(names) == len(set(names))
+
+    def test_invalid_scheme_construction(self):
+        with pytest.raises(ValueError):
+            Scheme("bad", uses_table=True, bits=5)
+        with pytest.raises(ValueError):
+            Scheme("bad", uses_table=True, context="weird")
+
+
+class TestStaticRules:
+    def test_rule_coverage(self):
+        # Rules 1-3 are definitive; rule 4 is a guess.
+        assert mode_is_definitive(MODE_CONSTANT)
+        assert mode_is_definitive(MODE_STACK)
+        assert mode_is_definitive(MODE_GLOBAL)
+        assert not mode_is_definitive(MODE_OTHER)
+
+    def test_predictions_match_paper_rules(self):
+        assert static_predicts_stack(MODE_STACK) is True
+        assert static_predicts_stack(MODE_CONSTANT) is False
+        assert static_predicts_stack(MODE_GLOBAL) is False
+        assert static_predicts_stack(MODE_OTHER) is False

@@ -1,0 +1,182 @@
+"""Tests for the real (Figure 6) compiler-hint analysis."""
+
+from repro.compiler import compile_source
+from repro.cpu import run_program
+from repro.predictor.evaluate import evaluate_scheme
+from repro.predictor.static_hints import static_hint_stats, static_hints
+from repro.trace.records import REGION_STACK
+
+
+def _tags_sound(compiled, trace):
+    """Every emitted tag must agree with every dynamic access."""
+    hints = static_hints(compiled)
+    for record in trace.records:
+        if not record.is_mem:
+            continue
+        tag = hints.lookup(record.pc)
+        if tag is not None:
+            assert tag == (record.region == REGION_STACK), \
+                f"wrong tag at pc {record.pc:#x}"
+    return hints
+
+
+class TestProvenanceRules:
+    def test_malloc_pointer_tagged_nonstack(self):
+        compiled = compile_source("""
+            int main() {
+              int* p = (int*) malloc(4);
+              p[0] = 1;
+              int v = p[0];
+              free(p);
+              return v;
+            }
+        """)
+        trace = run_program(compiled)
+        hints = _tags_sound(compiled, trace)
+        pointer_tags = [hints.lookup(r.pc) for r in trace.records
+                        if r.is_mem and r.mode == 3]   # MODE_OTHER
+        assert pointer_tags
+        assert all(tag is False for tag in pointer_tags)
+
+    def test_local_array_pointer_tagged_stack(self):
+        compiled = compile_source("""
+            int main() {
+              int buf[4];
+              int* p = buf;
+              p[2] = 9;
+              return p[2];
+            }
+        """)
+        trace = run_program(compiled)
+        hints = _tags_sound(compiled, trace)
+        other = [hints.lookup(r.pc) for r in trace.records
+                 if r.is_mem and r.mode == 3]
+        assert other and all(tag is True for tag in other)
+
+    def test_parameter_pointer_untagged(self):
+        # Figure 6: is_function_param -> MT_UNKNOWN.
+        compiled = compile_source("""
+            int peek(int* p) { return p[0]; }
+            int main() {
+              int x = 3;
+              return peek(&x);
+            }
+        """)
+        trace = run_program(compiled)
+        hints = _tags_sound(compiled, trace)
+        stats = static_hint_stats(compiled)
+        # peek's load must be unknown (it could be fed any region).
+        untagged = [r for r in trace.records
+                    if r.is_mem and r.mode == 3
+                    and hints.lookup(r.pc) is None]
+        assert untagged
+        assert stats.tagged < stats.total_mem_instructions
+
+    def test_heap_and_global_agree_on_nonstack(self):
+        # Heap and data are both *non-stack*: reassigning p from malloc
+        # to a global array keeps the verdict (and it stays correct).
+        compiled = compile_source("""
+            int g[4];
+            int main() {
+              int* p = (int*) malloc(4);
+              p[0] = 1;
+              int a = *p;
+              free(p);
+              p = g;
+              int b = *p;
+              return a + b;
+            }
+        """)
+        trace = run_program(compiled)
+        hints = _tags_sound(compiled, trace)
+        derefs = [r for r in trace.records
+                  if r.is_mem and r.mode == 3 and r.is_load]
+        assert derefs
+        assert all(hints.lookup(r.pc) is False for r in derefs)
+
+    def test_conflicting_assignments_poison_the_symbol(self):
+        # p points to a stack local, then to a global: stack vs
+        # non-stack conflict -> the dereference cannot be tagged
+        # (Figure 6's flag-conflict path).
+        compiled = compile_source("""
+            int g[4];
+            int main() {
+              int buf[4];
+              buf[0] = 5;
+              g[0] = 7;
+              int* p = buf;
+              int a = *p;
+              p = g;
+              int b = *p;
+              return a + b;
+            }
+        """)
+        trace = run_program(compiled)
+        hints = _tags_sound(compiled, trace)
+        # The *p loads flow through the poisoned symbol: untagged.
+        derefs = [r for r in trace.records
+                  if r.is_mem and r.mode == 3 and r.is_load]
+        assert any(hints.lookup(r.pc) is None for r in derefs)
+
+    def test_pointer_walk_keeps_provenance(self):
+        # p = p + 1 self-updates must not poison the verdict - this is
+        # what tags strength-reduced FP loops.
+        compiled = compile_source("""
+            int g[16];
+            int main() {
+              int* p = g;
+              int total = 0;
+              for (int i = 0; i < 16; i += 1) {
+                total += p[0];
+                p = p + 1;
+              }
+              return total;
+            }
+        """)
+        trace = run_program(compiled)
+        hints = _tags_sound(compiled, trace)
+        walks = [r for r in trace.records
+                 if r.is_mem and r.mode == 3 and r.is_load]
+        assert walks
+        assert all(hints.lookup(r.pc) is False for r in walks)
+
+    def test_definitive_modes_tagged_by_linker(self):
+        compiled = compile_source("""
+            int g;
+            int helper() { return g; }
+            int main() { int x = helper(); return x + g; }
+        """)
+        stats = static_hint_stats(compiled)
+        # $gp and $sp/$fp accesses are all tagged by rules 1-3.
+        assert stats.coverage == 1.0
+
+
+class TestHintsImproveConstrainedTables:
+    def test_hints_never_hurt_accuracy(self):
+        source = """
+            int g[32];
+            int sum(int* p, int n) {
+              int s = 0;
+              for (int i = 0; i < n; i += 1) s += p[i];
+              return s;
+            }
+            int main() {
+              int local[8];
+              for (int i = 0; i < 32; i += 1) g[i] = i;
+              for (int i = 0; i < 8; i += 1) local[i] = i;
+              int t = 0;
+              for (int round = 0; round < 20; round += 1) {
+                t += sum(g, 32) + sum(local, 8);
+              }
+              print_int(t);
+              return 0;
+            }
+        """
+        compiled = compile_source(source)
+        trace = run_program(compiled)
+        hints = _tags_sound(compiled, trace)
+        plain = evaluate_scheme(trace, "1bit", table_size=64)
+        hinted = evaluate_scheme(trace, "1bit", table_size=64,
+                                 hints=hints)
+        assert hinted.accuracy >= plain.accuracy - 1e-9
+        assert hinted.occupancy <= plain.occupancy

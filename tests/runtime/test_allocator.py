@@ -1,0 +1,141 @@
+"""Tests for the first-fit heap allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.allocator import AllocationError, HeapAllocator
+from repro.runtime.layout import HEAP_BASE, WORD_SIZE
+
+
+class TestBasicAllocation:
+    def test_first_allocation_at_heap_base(self):
+        allocator = HeapAllocator()
+        assert allocator.allocate(4) == HEAP_BASE
+
+    def test_sequential_allocations_do_not_overlap(self):
+        allocator = HeapAllocator()
+        a = allocator.allocate(4)
+        b = allocator.allocate(8)
+        assert b >= a + 4 * WORD_SIZE
+
+    def test_zero_or_negative_size_rejected(self):
+        allocator = HeapAllocator()
+        with pytest.raises(AllocationError):
+            allocator.allocate(0)
+        with pytest.raises(AllocationError):
+            allocator.allocate(-3)
+
+    def test_word_alignment(self):
+        allocator = HeapAllocator()
+        for size in (1, 3, 7, 2):
+            assert allocator.allocate(size) % WORD_SIZE == 0
+
+    def test_heap_exhaustion(self):
+        allocator = HeapAllocator(base=HEAP_BASE,
+                                  limit=HEAP_BASE + 8 * WORD_SIZE)
+        allocator.allocate(8)
+        with pytest.raises(AllocationError):
+            allocator.allocate(1)
+
+
+class TestFreeAndReuse:
+    def test_free_unknown_address_raises(self):
+        allocator = HeapAllocator()
+        with pytest.raises(AllocationError):
+            allocator.free(HEAP_BASE)
+
+    def test_double_free_raises(self):
+        allocator = HeapAllocator()
+        addr = allocator.allocate(2)
+        allocator.free(addr)
+        with pytest.raises(AllocationError):
+            allocator.free(addr)
+
+    def test_freed_block_is_reused(self):
+        allocator = HeapAllocator()
+        a = allocator.allocate(4)
+        allocator.allocate(4)  # prevent trivial bump reuse
+        allocator.free(a)
+        again = allocator.allocate(4)
+        assert again == a
+
+    def test_first_fit_splits_blocks(self):
+        allocator = HeapAllocator()
+        a = allocator.allocate(8)
+        allocator.allocate(1)
+        allocator.free(a)
+        small = allocator.allocate(3)
+        assert small == a            # reuses the front of the hole
+        rest = allocator.allocate(5)
+        assert rest == a + 3 * WORD_SIZE
+
+    def test_coalescing_of_adjacent_blocks(self):
+        allocator = HeapAllocator()
+        a = allocator.allocate(4)
+        b = allocator.allocate(4)
+        allocator.allocate(1)        # guard against brk merge
+        allocator.free(a)
+        allocator.free(b)
+        merged = allocator.allocate(8)
+        assert merged == a
+
+    def test_coalescing_in_reverse_order(self):
+        allocator = HeapAllocator()
+        a = allocator.allocate(4)
+        b = allocator.allocate(4)
+        allocator.allocate(1)
+        allocator.free(b)
+        allocator.free(a)
+        merged = allocator.allocate(8)
+        assert merged == a
+
+    def test_counters(self):
+        allocator = HeapAllocator()
+        addr = allocator.allocate(4)
+        allocator.free(addr)
+        assert allocator.total_allocations == 1
+        assert allocator.total_frees == 1
+        assert allocator.live_blocks == 0
+
+    def test_block_size_query(self):
+        allocator = HeapAllocator()
+        addr = allocator.allocate(6)
+        assert allocator.block_size(addr) == 6
+        allocator.free(addr)
+        with pytest.raises(AllocationError):
+            allocator.block_size(addr)
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=64),
+                    min_size=1, max_size=60))
+    def test_live_blocks_never_overlap(self, sizes):
+        allocator = HeapAllocator()
+        blocks = [(allocator.allocate(s), s) for s in sizes]
+        spans = sorted((addr, addr + s * WORD_SIZE) for addr, s in blocks)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=1, max_value=32)),
+                    min_size=1, max_size=80))
+    def test_alloc_free_interleaving_preserves_invariants(self, actions):
+        allocator = HeapAllocator()
+        live = []
+        for do_free, size in actions:
+            if do_free and live:
+                allocator.free(live.pop(0))
+            else:
+                live.append(allocator.allocate(size))
+        assert allocator.live_blocks == len(live)
+        # Full cleanup returns the allocator to a coalescible state.
+        for addr in live:
+            allocator.free(addr)
+        assert allocator.live_blocks == 0
+        # After freeing everything, one big block must be allocatable from
+        # the base again (all holes coalesced).
+        total_words = (allocator.high_water_mark - HEAP_BASE) // WORD_SIZE
+        if total_words:
+            assert allocator.allocate(total_words) == HEAP_BASE

@@ -1,0 +1,61 @@
+"""Tests for the address-space layout and region classification."""
+
+import pytest
+
+from repro.runtime import layout
+from repro.runtime.layout import Region, classify_address, is_stack_address
+
+
+class TestSegmentOrdering:
+    def test_segments_do_not_overlap(self):
+        assert layout.TEXT_BASE < layout.DATA_BASE
+        assert layout.DATA_LIMIT <= layout.HEAP_BASE
+        assert layout.HEAP_LIMIT <= layout.STACK_LIMIT
+        assert layout.STACK_LIMIT < layout.STACK_BASE
+
+    def test_gp_points_into_data_segment(self):
+        assert layout.DATA_BASE <= layout.GP_VALUE < layout.DATA_LIMIT
+
+    def test_word_size(self):
+        assert layout.WORD_SIZE == 8
+
+
+class TestClassifyAddress:
+    def test_data_addresses(self):
+        assert classify_address(layout.DATA_BASE) is Region.DATA
+        assert classify_address(layout.DATA_LIMIT - 8) is Region.DATA
+
+    def test_heap_addresses(self):
+        assert classify_address(layout.HEAP_BASE) is Region.HEAP
+        assert classify_address(layout.HEAP_LIMIT - 8) is Region.HEAP
+
+    def test_stack_addresses(self):
+        assert classify_address(layout.STACK_BASE) is Region.STACK
+        assert classify_address(layout.STACK_LIMIT) is Region.STACK
+        assert classify_address(layout.STACK_BASE - 4096) is Region.STACK
+
+    def test_text_addresses(self):
+        assert classify_address(layout.TEXT_BASE) is Region.TEXT
+
+    def test_unmapped_address_raises(self):
+        with pytest.raises(ValueError):
+            classify_address(0)
+
+    def test_region_boundaries_are_exclusive(self):
+        # One word below the heap base is still data.
+        assert classify_address(layout.HEAP_BASE - 8) is Region.DATA
+        # One word below the stack limit is still heap.
+        assert classify_address(layout.STACK_LIMIT - 8) is Region.HEAP
+
+
+class TestIsStackAddress:
+    def test_matches_classify(self):
+        for addr in (layout.DATA_BASE, layout.HEAP_BASE,
+                     layout.STACK_LIMIT, layout.STACK_BASE):
+            expected = classify_address(addr) is Region.STACK
+            assert is_stack_address(addr) == expected
+
+    def test_region_is_stack_property(self):
+        assert Region.STACK.is_stack
+        assert not Region.DATA.is_stack
+        assert not Region.HEAP.is_stack

@@ -1,0 +1,91 @@
+"""Tests for the word-addressed memory model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime import layout
+from repro.runtime.memory import Memory, MemoryError_
+
+_DATA_WORDS = st.integers(min_value=0, max_value=4095)
+
+
+def _data_addr(word_index: int) -> int:
+    return layout.DATA_BASE + word_index * layout.WORD_SIZE
+
+
+class TestBasicAccess:
+    def test_uninitialised_reads_zero(self):
+        memory = Memory()
+        assert memory.load(_data_addr(0)) == 0
+
+    def test_store_then_load(self):
+        memory = Memory()
+        memory.store(_data_addr(1), 42)
+        assert memory.load(_data_addr(1)) == 42
+
+    def test_overwrite(self):
+        memory = Memory()
+        addr = _data_addr(2)
+        memory.store(addr, 1)
+        memory.store(addr, 2)
+        assert memory.load(addr) == 2
+
+    def test_float_values(self):
+        memory = Memory()
+        memory.store(_data_addr(3), 3.25)
+        assert memory.load(_data_addr(3)) == 3.25
+
+    def test_misaligned_access_raises(self):
+        memory = Memory()
+        with pytest.raises(MemoryError_):
+            memory.load(layout.DATA_BASE + 3)
+        with pytest.raises(MemoryError_):
+            memory.store(layout.DATA_BASE + 1, 0)
+
+    def test_unmapped_address_raises(self):
+        memory = Memory()
+        with pytest.raises(ValueError):
+            memory.load(8)
+
+    def test_footprint(self):
+        memory = Memory()
+        memory.store(_data_addr(0), 1)
+        memory.store(_data_addr(1), 2)
+        memory.store(_data_addr(0), 3)  # overwrite: no growth
+        assert len(memory) == 2
+        assert memory.footprint_bytes() == 16
+
+
+class TestBlockAccess:
+    def test_block_roundtrip(self):
+        memory = Memory()
+        values = [10, 20, 30, 40]
+        memory.store_block(_data_addr(8), values)
+        assert memory.load_block(_data_addr(8), 4) == values
+
+    def test_block_partial_default(self):
+        memory = Memory()
+        memory.store(_data_addr(0), 7)
+        assert memory.load_block(_data_addr(0), 3) == [7, 0, 0]
+
+
+class TestMemoryProperties:
+    @given(st.dictionaries(_DATA_WORDS,
+                           st.integers(min_value=-2**63, max_value=2**63 - 1),
+                           max_size=64))
+    def test_store_load_agree_for_arbitrary_patterns(self, mapping):
+        memory = Memory()
+        for word, value in mapping.items():
+            memory.store(_data_addr(word), value)
+        for word, value in mapping.items():
+            assert memory.load(_data_addr(word)) == value
+
+    @given(st.lists(st.tuples(_DATA_WORDS, st.integers()), max_size=50))
+    def test_last_write_wins(self, writes):
+        memory = Memory()
+        expected = {}
+        for word, value in writes:
+            memory.store(_data_addr(word), value)
+            expected[word] = value
+        for word, value in expected.items():
+            assert memory.load(_data_addr(word)) == value

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import suite
+
+
+@pytest.fixture(autouse=True)
+def _clear_caches():
+    yield
+    suite.clear_caches()
+
+
+@pytest.fixture
+def minic_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text("""
+        int main() {
+          print_int(6 * 7);
+          return 0;
+        }
+    """)
+    return path
+
+
+class TestCli:
+    def test_run_command(self, minic_file, capsys):
+        code = main(["run", str(minic_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "42" in out
+
+    def test_run_propagates_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "exit3.mc"
+        path.write_text("int main() { return 3; }")
+        assert main(["run", str(path)]) == 3
+
+    def test_disasm_command(self, minic_file, capsys):
+        assert main(["disasm", str(minic_file)]) == 0
+        out = capsys.readouterr().out
+        assert "__start:" in out
+        assert "main:" in out
+        assert "syscall" in out
+
+    def test_workloads_command(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in suite.ALL_WORKLOADS:
+            assert name in out
+
+    def test_profile_command(self, capsys):
+        assert main(["profile", "--scale", "0.2", "db_vortex"]) == 0
+        out = capsys.readouterr().out
+        assert "db_vortex" in out
+        assert "multi:" in out
+
+    def test_predict_command(self, capsys):
+        assert main(["predict", "--scale", "0.2", "--scheme", "1bit",
+                     "db_vortex"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "section33", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            main(["profile", "176.gcc"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure99"])

@@ -1,0 +1,76 @@
+"""Whole-pipeline determinism: identical inputs give identical results.
+
+Reproducibility is the point of this repository; these tests pin it at
+three levels - compilation, tracing, and experiment results.
+"""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.cpu import run_program
+from repro.eval import figure4
+from repro.timing import conventional_config, simulate
+from repro.workloads import suite
+
+SOURCE = """
+int g[32];
+int seed = 11;
+int lcg() { seed = (seed * 1103515245 + 12345) & 2147483647;
+            return seed; }
+int main() {
+  int* h = (int*) malloc(16);
+  int t = 0;
+  for (int i = 0; i < 200; i += 1) {
+    g[i & 31] = lcg() & 255;
+    h[i & 15] = g[i & 31] * 2;
+    t = (t + h[i & 15]) & 65535;
+  }
+  print_int(t);
+  free(h);
+  return 0;
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def _clear():
+    yield
+    suite.clear_caches()
+
+
+class TestDeterminism:
+    def test_compilation_is_deterministic(self):
+        first = compile_source(SOURCE, "d")
+        second = compile_source(SOURCE, "d")
+        assert len(first.program) == len(second.program)
+        for a, b in zip(first.program.instructions,
+                        second.program.instructions):
+            assert (a.op, a.rd, a.rs, a.rt, a.imm, a.target,
+                    a.region_tag) \
+                == (b.op, b.rd, b.rs, b.rt, b.imm, b.target, b.region_tag)
+
+    def test_traces_are_bitwise_identical(self):
+        first = run_program(compile_source(SOURCE, "d"))
+        second = run_program(compile_source(SOURCE, "d"))
+        assert first.output == second.output
+        assert len(first) == len(second)
+        for a, b in zip(first.records, second.records):
+            assert (a.pc, a.op_class, a.addr, a.region, a.taken,
+                    a.value) == (b.pc, b.op_class, b.addr, b.region,
+                                 b.taken, b.value)
+
+    def test_timing_is_deterministic(self):
+        trace = run_program(compile_source(SOURCE, "d"))
+        first = simulate(trace, conventional_config(2))
+        second = simulate(trace, conventional_config(2))
+        assert first.cycles == second.cycles
+        assert first.l1_hit_rate == second.l1_hit_rate
+
+    def test_experiment_results_reproduce(self):
+        names = ("db_vortex",)
+        first = figure4(0.1, names)
+        suite.clear_caches()
+        second = figure4(0.1, names)
+        for scheme in ("static", "1bit", "1bit-hybrid"):
+            assert first.results["db_vortex"][scheme].accuracy \
+                == second.results["db_vortex"][scheme].accuracy

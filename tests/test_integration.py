@@ -1,0 +1,84 @@
+"""End-to-end integration: the full pipeline on real workloads.
+
+Each test exercises the complete stack - MiniC source -> compiler ->
+functional simulation -> trace analysis -> predictor -> timing model -
+on an actual suite workload at a small scale, asserting the qualitative
+invariants the paper's methodology rests on.
+"""
+
+import pytest
+
+from repro.cache.lvc import stack_cache_hit_rate
+from repro.predictor import evaluate_scheme, hints_from_trace
+from repro.timing import conventional_config, decoupled_config, simulate
+from repro.trace.regions import region_breakdown
+from repro.trace.windows import window_stats
+from repro.workloads import suite
+
+SCALE = 0.2
+
+
+@pytest.fixture(scope="module")
+def trace():
+    result = suite.run("ccomp", SCALE)
+    yield result
+    suite.clear_caches()
+
+
+class TestEndToEnd:
+    def test_program_runs_to_completion(self, trace):
+        assert trace.exit_code == 0
+        assert len(trace.output) == 3
+        assert trace.output[2] == 0      # node accounting balances
+
+    def test_profile_predictor_consistency(self, trace):
+        """The region classifier and the predictor must agree: if every
+        instruction were single-region, a 1-bit ARPT's only errors are
+        cold and conflict misses."""
+        breakdown = region_breakdown(trace)
+        result = evaluate_scheme(trace, "1bit")
+        multi_dyn = breakdown.multi_region_dynamic_fraction
+        assert result.accuracy >= 1.0 - multi_dyn - 0.01
+
+    def test_hints_subsume_table_for_single_region_code(self, trace):
+        hints = hints_from_trace(trace)
+        hinted = evaluate_scheme(trace, "1bit-hybrid", hints=hints)
+        raw = evaluate_scheme(trace, "1bit-hybrid")
+        assert hinted.occupancy <= raw.occupancy
+        assert hinted.accuracy >= raw.accuracy - 1e-9
+
+    def test_window_counts_match_trace_totals(self, trace):
+        """Mean window occupancy x trace length ~ total accesses (up to
+        edge effects): ties Table 2 to Table 1."""
+        w32 = window_stats(trace, 32)
+        total_mem = trace.load_count + trace.store_count
+        approx = (w32.data.mean + w32.heap.mean + w32.stack.mean) / 32
+        actual = total_mem / len(trace)
+        assert abs(approx - actual) < 0.02
+
+    def test_stack_cache_matches_lvc_hit_rate_in_timing(self, trace):
+        """The standalone LVC experiment and the timing simulator's LVC
+        must see the same locality (oracle steering, same geometry)."""
+        standalone = stack_cache_hit_rate(trace, 4 * 1024)
+        timing = simulate(trace, decoupled_config(2, 2,
+                                                  steering="oracle"))
+        assert abs(standalone.hit_rate - timing.lvc_hit_rate) < 0.03
+
+    def test_more_ports_never_slow_the_machine(self, trace):
+        two = simulate(trace, conventional_config(2))
+        four = simulate(trace, conventional_config(4, l1_latency=2))
+        sixteen = simulate(trace, conventional_config(16))
+        assert four.cycles <= two.cycles
+        assert sixteen.cycles <= four.cycles
+
+    def test_oracle_steering_bounds_arpt_steering(self, trace):
+        """Oracle steering is the no-misprediction limit; the ARPT must
+        land close to it (its accuracy is >99.9%)."""
+        oracle = simulate(trace, decoupled_config(3, 3,
+                                                  steering="oracle"))
+        arpt = simulate(trace, decoupled_config(3, 3))
+        assert arpt.cycles <= oracle.cycles * 1.05
+
+    def test_all_memory_references_serviced(self, trace):
+        result = simulate(trace, conventional_config(2))
+        assert result.instructions == len(trace)

@@ -1,0 +1,67 @@
+"""Public-API hygiene: every exported name resolves and is documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro.isa",
+    "repro.lang",
+    "repro.compiler",
+    "repro.runtime",
+    "repro.cpu",
+    "repro.trace",
+    "repro.predictor",
+    "repro.cache",
+    "repro.timing",
+    "repro.workloads",
+    "repro.eval",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert package.__doc__, f"{package_name} needs a docstring"
+    exports = getattr(package, "__all__", None)
+    assert exports, f"{package_name} should declare __all__"
+    for name in exports:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_callables_documented(package_name):
+    package = importlib.import_module(package_name)
+    undocumented = []
+    for name in getattr(package, "__all__", []):
+        obj = getattr(package, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            if not inspect.getdoc(obj):
+                undocumented.append(name)
+    assert not undocumented, \
+        f"{package_name}: undocumented public items {undocumented}"
+
+
+def test_no_export_name_collisions_across_packages():
+    """Distinct concepts keep distinct names in the flat namespace
+    (aside from deliberate re-exports of the same object)."""
+    owners = {}
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            obj = getattr(package, name)
+            if name in owners and owners[name][1] is not obj:
+                # Same name exported from two packages for different
+                # objects: only allowed for module-level namespaces.
+                assert inspect.ismodule(obj), \
+                    f"{name} exported by both {owners[name][0]} and " \
+                    f"{package_name} with different meanings"
+            owners[name] = (package_name, obj)
+
+
+def test_version_string():
+    import repro
+    assert repro.__version__
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3

@@ -1,0 +1,102 @@
+"""Tests for the gshare predictor and the realistic front end."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.timing.branch_pred import GsharePredictor
+from repro.timing.config import MachineConfig, conventional_config
+from repro.timing.machine import simulate
+from repro.trace.records import (MODE_GLOBAL, OC_BRANCH, OC_IALU, OC_LOAD,
+                                 REGION_DATA, Trace, TraceRecord)
+
+
+def branch(pc, taken):
+    return TraceRecord(pc, OC_BRANCH, src1=8, taken=taken)
+
+
+class TestGshare:
+    def test_entries_power_of_two(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(entries=100)
+
+    def test_learns_always_taken(self):
+        # The global history register must saturate (12 shifts) before
+        # the index stabilises and the counter trains - so warm-up
+        # takes a dozen-plus lookups, then prediction is perfect.
+        pred = GsharePredictor()
+        outcomes = [pred.predict_and_update(0x400000, True)
+                    for _ in range(30)]
+        assert all(outcomes[-10:])
+
+    def test_learns_alternating_via_history(self):
+        pred = GsharePredictor(history_bits=4)
+        outcomes = [pred.predict_and_update(0x400000, i % 2 == 0)
+                    for i in range(60)]
+        # After history warm-up, the TNTN pattern is fully predictable.
+        assert all(outcomes[-20:])
+
+    def test_random_pattern_mispredicts(self):
+        pred = GsharePredictor()
+        pattern = [(i * 2654435761) >> 13 & 1 for i in range(200)]
+        for i, bit in enumerate(pattern):
+            pred.predict_and_update(0x400000 + (i % 3) * 8, bool(bit))
+        assert pred.accuracy < 0.9
+
+    def test_accuracy_counter(self):
+        pred = GsharePredictor()
+        assert pred.accuracy == 1.0
+        pred.predict_and_update(0x400000, True)
+        assert pred.lookups == 1
+
+
+class TestRealisticFrontEnd:
+    def _trace_with_branches(self, n=40, predictable=True):
+        records = []
+        for i in range(n):
+            taken = True if predictable else bool((i * 2654435761)
+                                                  >> 13 & 1)
+            records.append(branch(0x400000, taken))
+            for j in range(4):
+                records.append(TraceRecord(0x400100, OC_IALU, dst=0))
+        return Trace("t", records)
+
+    def test_perfect_front_end_ignores_branch_pattern(self):
+        cfg = replace(conventional_config(2), value_predict=False)
+        regular = simulate(self._trace_with_branches(predictable=True),
+                           cfg)
+        random = simulate(self._trace_with_branches(predictable=False),
+                          cfg)
+        assert abs(regular.cycles - random.cycles) <= 2
+
+    def test_gshare_pays_for_unpredictable_branches(self):
+        # The meaningful comparison is against the perfect front end on
+        # the *same* trace: every gshare misprediction costs a resolve-
+        # plus-redirect bubble that perfect prediction never pays.
+        trace = self._trace_with_branches(n=80, predictable=False)
+        perfect = simulate(trace, replace(conventional_config(2),
+                                          value_predict=False))
+        gshare = simulate(trace, replace(conventional_config(2),
+                                         value_predict=False,
+                                         branch_predictor="gshare"))
+        assert gshare.cycles > perfect.cycles + 20
+
+    def test_gshare_never_faster_than_perfect(self):
+        trace = self._trace_with_branches(predictable=False)
+        perfect = simulate(trace, replace(conventional_config(2),
+                                          value_predict=False))
+        gshare = simulate(trace, replace(conventional_config(2),
+                                         value_predict=False,
+                                         branch_predictor="gshare"))
+        assert gshare.cycles >= perfect.cycles
+
+    def test_all_instructions_still_commit(self):
+        trace = self._trace_with_branches(predictable=False)
+        cfg = replace(conventional_config(2),
+                      branch_predictor="gshare")
+        result = simulate(trace, cfg)
+        assert result.instructions == len(trace.records)
+
+    def test_unknown_predictor_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(branch_predictor="tage").validate()

@@ -1,0 +1,114 @@
+"""Property-based tests for the timing simulator on random traces."""
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.timing.config import conventional_config, decoupled_config
+from repro.timing.machine import simulate
+from repro.trace.records import (MODE_GLOBAL, MODE_OTHER, MODE_STACK,
+                                 OC_IALU, OC_LOAD, OC_STORE, REGION_DATA,
+                                 REGION_HEAP, REGION_STACK, Trace,
+                                 TraceRecord)
+
+DATA = 0x10000000
+HEAP = 0x20000000
+STACK = 0x7FFF0000
+
+
+@st.composite
+def random_records(draw, max_size=120):
+    """A structurally valid dynamic instruction stream."""
+    n = draw(st.integers(min_value=1, max_value=max_size))
+    records = []
+    for _ in range(n):
+        kind = draw(st.integers(min_value=0, max_value=3))
+        if kind == 0:
+            records.append(TraceRecord(
+                0x400000, OC_IALU,
+                dst=draw(st.integers(min_value=-1, max_value=25)),
+                src1=draw(st.integers(min_value=-1, max_value=25)),
+                value=draw(st.one_of(
+                    st.none(), st.integers(min_value=0, max_value=999)))))
+            continue
+        region, base, mode = draw(st.sampled_from([
+            (REGION_DATA, DATA, MODE_GLOBAL),
+            (REGION_HEAP, HEAP, MODE_OTHER),
+            (REGION_STACK, STACK, MODE_STACK),
+            (REGION_STACK, STACK, MODE_OTHER),
+        ]))
+        addr = base + draw(st.integers(min_value=0, max_value=127)) * 8
+        pc = 0x400100 + draw(st.integers(min_value=0, max_value=15)) * 8
+        if kind == 1:
+            records.append(TraceRecord(
+                pc, OC_LOAD,
+                dst=draw(st.integers(min_value=1, max_value=25)),
+                src1=draw(st.integers(min_value=1, max_value=25)),
+                addr=addr, mode=mode, region=region,
+                ra=0x400008))
+        else:
+            records.append(TraceRecord(
+                pc, OC_STORE,
+                src1=draw(st.integers(min_value=1, max_value=25)),
+                src2=draw(st.integers(min_value=1, max_value=25)),
+                addr=addr, mode=mode, region=region,
+                ra=0x400008))
+    return records
+
+
+class TestSimulatorInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(random_records())
+    def test_every_instruction_commits(self, records):
+        trace = Trace("prop", records)
+        result = simulate(trace, conventional_config(2))
+        assert result.instructions == len(records)
+        assert result.cycles >= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_records())
+    def test_cycles_bounded_below_by_width(self, records):
+        trace = Trace("prop", records)
+        result = simulate(trace, conventional_config(16))
+        # Cannot commit more than commit_width per cycle.
+        assert result.cycles >= len(records) / 16
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_records())
+    def test_decoupled_configs_complete_with_repairs(self, records):
+        """Whatever the region/mode mix (including OTHER-mode stack and
+        heap accesses that defeat the ARPT), every op must commit -
+        the misprediction repair path cannot wedge the machine."""
+        trace = Trace("prop", records)
+        result = simulate(trace, decoupled_config(2, 2))
+        assert result.instructions == len(records)
+        oracle = simulate(trace, decoupled_config(2, 2,
+                                                  steering="oracle"))
+        assert oracle.instructions == len(records)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_records())
+    def test_more_ports_rarely_slower(self, records):
+        """Extra bandwidth should never hurt beyond replacement noise.
+
+        More ports change the *order* of cache accesses, which can
+        flip an LRU decision and cost one extra miss; the slack is one
+        memory round-trip (the maximum a single reordered miss can
+        cost on these micro traces).
+        """
+        trace = Trace("prop", records)
+        two = simulate(trace, conventional_config(2))
+        sixteen = simulate(trace, conventional_config(16))
+        memory_round_trip = 2 + 12 + 50
+        assert sixteen.cycles <= two.cycles * 1.05 + memory_round_trip
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_records())
+    def test_value_prediction_never_blocks_completion(self, records):
+        trace = Trace("prop", records)
+        with_vp = simulate(trace, conventional_config(2))
+        without = simulate(trace,
+                           replace(conventional_config(2),
+                                   value_predict=False))
+        assert with_vp.instructions == without.instructions
+        assert with_vp.cycles <= without.cycles + 5

@@ -1,0 +1,69 @@
+"""Structural-resource limits of the timing model: queue capacities,
+ROB bounds, commit width."""
+
+from dataclasses import replace
+
+from repro.timing.config import conventional_config, decoupled_config
+from repro.timing.machine import simulate
+from repro.trace.records import (MODE_GLOBAL, MODE_STACK, OC_IALU, OC_LOAD,
+                                 REGION_DATA, REGION_STACK, Trace,
+                                 TraceRecord)
+
+DATA = 0x10000000
+STACK = 0x7FFF0000
+
+
+def loads(n, region=REGION_DATA, addr_base=DATA, mode=MODE_GLOBAL):
+    return [TraceRecord(0x400100, OC_LOAD, dst=0, src1=8,
+                        addr=addr_base + (i % 32) * 8, mode=mode,
+                        region=region) for i in range(n)]
+
+
+class TestQueueCapacities:
+    def test_lsq_occupancy_never_exceeds_size(self):
+        trace = Trace("t", loads(400))
+        result = simulate(trace, replace(conventional_config(1),
+                                         value_predict=False))
+        assert result.lsq_occupancy_peak <= 128
+
+    def test_small_lsq_throttles_inflight_memory(self):
+        trace = Trace("t", loads(300))
+        small = simulate(trace, replace(conventional_config(2),
+                                        lsq_size=8, value_predict=False))
+        assert small.lsq_occupancy_peak <= 8
+        assert small.instructions == 300
+
+    def test_lvaq_occupancy_bounded(self):
+        records = loads(300, region=REGION_STACK, addr_base=STACK,
+                        mode=MODE_STACK)
+        trace = Trace("t", records)
+        result = simulate(trace, replace(decoupled_config(2, 2),
+                                         value_predict=False))
+        assert result.lvaq_occupancy_peak <= 96
+
+    def test_rob_bounds_inflight_instructions(self):
+        # A load missing to memory at the ROB head blocks commit; only
+        # rob_size instructions can enter the window behind it.  With
+        # FU-bound work (independent multiplies at 4/cycle), a large
+        # ROB overlaps that work with the miss; a tiny ROB cannot.
+        from repro.trace.records import OC_IMUL
+        records = [TraceRecord(0x400100, OC_LOAD, dst=9, src1=8,
+                               addr=DATA + 4096 * 40, mode=MODE_GLOBAL,
+                               region=REGION_DATA)]
+        records += [TraceRecord(0x400000, OC_IMUL, dst=0)
+                    for _ in range(600)]
+        trace = Trace("t", records)
+        small = simulate(trace, replace(conventional_config(2),
+                                        rob_size=32, value_predict=False))
+        large = simulate(trace, replace(conventional_config(2),
+                                        rob_size=512,
+                                        value_predict=False))
+        assert large.cycles < small.cycles - 30
+
+    def test_commit_width_floor(self):
+        trace = Trace("t", [TraceRecord(0x400000, OC_IALU, dst=0)
+                            for _ in range(320)])
+        result = simulate(trace, replace(conventional_config(2),
+                                         commit_width=4,
+                                         value_predict=False))
+        assert result.cycles >= 320 / 4

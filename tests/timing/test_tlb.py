@@ -1,0 +1,94 @@
+"""Tests for the data TLB and its integration with the pipeline."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.runtime.layout import DATA_BASE, STACK_BASE
+from repro.timing.config import conventional_config
+from repro.timing.machine import simulate
+from repro.timing.tlb import DataTLB
+from repro.trace.records import (MODE_GLOBAL, OC_LOAD, REGION_DATA, Trace,
+                                 TraceRecord)
+
+
+class TestDataTLB:
+    def test_miss_then_hit(self):
+        tlb = DataTLB(entries=4)
+        assert tlb.access(DATA_BASE) is False
+        assert tlb.access(DATA_BASE + 8) is True        # same page
+        assert tlb.access(DATA_BASE + 4096) is False    # next page
+
+    def test_lru_eviction(self):
+        tlb = DataTLB(entries=2)
+        tlb.access(DATA_BASE)                # page A
+        tlb.access(DATA_BASE + 4096)         # page B
+        tlb.access(DATA_BASE)                # touch A (MRU)
+        tlb.access(DATA_BASE + 8192)         # page C evicts B
+        assert tlb.access(DATA_BASE) is True
+        assert tlb.access(DATA_BASE + 4096) is False
+
+    def test_region_bit_recorded_on_fill(self):
+        tlb = DataTLB(entries=4)
+        tlb.access(DATA_BASE)
+        tlb.access(STACK_BASE - 4096)
+        assert tlb.region_bit(DATA_BASE) is False
+        assert tlb.region_bit(STACK_BASE - 4096) is True
+
+    def test_region_bit_requires_residency(self):
+        tlb = DataTLB(entries=1)
+        with pytest.raises(KeyError):
+            tlb.region_bit(DATA_BASE)
+
+    def test_miss_rate(self):
+        tlb = DataTLB(entries=4)
+        tlb.access(DATA_BASE)
+        tlb.access(DATA_BASE)
+        assert tlb.miss_rate == 0.5
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DataTLB(entries=0)
+        with pytest.raises(ValueError):
+            DataTLB(page_size=1000)
+
+
+class TestTLBInPipeline:
+    def _page_walk_trace(self, pages, dependent=False):
+        records = []
+        for i in range(120):
+            records.append(TraceRecord(
+                0x400100, OC_LOAD,
+                dst=5 if dependent else 0,
+                src1=5 if dependent else 8,
+                addr=DATA_BASE + (i % pages) * 4096,
+                mode=MODE_GLOBAL, region=REGION_DATA))
+        return Trace("t", records)
+
+    def test_thrashing_footprint_pays_walk_penalties(self):
+        # Pointer-chasing across 64 pages: every walk penalty sits on
+        # the critical path (independent loads would hide it under
+        # memory-level parallelism).
+        trace = self._page_walk_trace(pages=64, dependent=True)
+        small = simulate(trace, replace(conventional_config(2),
+                                        value_predict=False,
+                                        tlb_entries=8))
+        large = simulate(trace, replace(conventional_config(2),
+                                        value_predict=False,
+                                        tlb_entries=128))
+        assert small.tlb_miss_rate > large.tlb_miss_rate
+        assert small.cycles > large.cycles
+
+    def test_perfect_tlb_option(self):
+        trace = self._page_walk_trace(pages=64)
+        perfect = simulate(trace, replace(conventional_config(2),
+                                          value_predict=False,
+                                          tlb_entries=0))
+        assert perfect.tlb_miss_rate == 0.0
+
+    def test_small_footprint_unaffected(self):
+        trace = self._page_walk_trace(pages=2)
+        result = simulate(trace, replace(conventional_config(2),
+                                         value_predict=False))
+        assert result.tlb_miss_rate < 0.05
+        assert result.instructions == 120

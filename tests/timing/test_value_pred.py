@@ -1,0 +1,62 @@
+"""Tests for the stride value predictor."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.timing.value_pred import StrideValuePredictor
+
+
+class TestStridePrediction:
+    def test_entries_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            StrideValuePredictor(entries=1000)
+
+    def test_cold_entry_predicts_nothing(self):
+        vp = StrideValuePredictor()
+        assert vp.predict(0x400000) is None
+
+    def test_constant_stride_becomes_confident(self):
+        vp = StrideValuePredictor(confidence=2)
+        outcomes = [vp.observe(0x400000, v) for v in (10, 13, 16, 19, 22)]
+        # First observation seeds; two more build the streak; the rest
+        # are confident hits.
+        assert outcomes[-1] is True
+        assert vp.predict(0x400000) == 25
+
+    def test_zero_stride_constants(self):
+        vp = StrideValuePredictor(confidence=2)
+        for _ in range(5):
+            vp.observe(0x400000, 42)
+        assert vp.predict(0x400000) == 42
+
+    def test_stride_change_resets_confidence(self):
+        vp = StrideValuePredictor(confidence=2)
+        for v in (0, 1, 2, 3):
+            vp.observe(0x400000, v)
+        assert vp.predict(0x400000) == 4
+        vp.observe(0x400000, 100)          # breaks the stride
+        assert vp.predict(0x400000) is None
+
+    def test_hit_rate_accounting(self):
+        vp = StrideValuePredictor(confidence=1)
+        for v in range(10):
+            vp.observe(0x400000, v)
+        assert 0.0 < vp.hit_rate <= 1.0
+        assert vp.lookups == 10
+
+    def test_aliasing_across_pcs(self):
+        vp = StrideValuePredictor(entries=2, confidence=1)
+        # Two PCs two entries apart collide in a 2-entry table.
+        vp.observe(0x400000, 0)
+        vp.observe(0x400000, 1)
+        vp.observe(0x400000, 2)
+        assert vp.predict(0x400010) == vp.predict(0x400000)
+
+    @given(st.integers(min_value=-1000, max_value=1000),
+           st.integers(min_value=-50, max_value=50))
+    def test_any_arithmetic_sequence_learned(self, start, stride):
+        vp = StrideValuePredictor(confidence=2)
+        values = [start + i * stride for i in range(6)]
+        for v in values:
+            vp.observe(0x400000, v)
+        assert vp.predict(0x400000) == values[-1] + stride

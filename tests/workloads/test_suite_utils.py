@@ -1,0 +1,68 @@
+"""Tests for suite utilities: run_all, cache management, metadata."""
+
+import pytest
+
+from repro.workloads import suite
+
+
+@pytest.fixture(autouse=True)
+def _clear():
+    yield
+    suite.clear_caches()
+
+
+class TestRunAll:
+    def test_yields_requested_names_in_order(self):
+        names = ("db_vortex", "go_ai")
+        seen = []
+        for name, trace in suite.run_all(0.1, names):
+            seen.append(name)
+            assert len(trace) > 0
+            suite.run.cache_clear()
+        assert seen == list(names)
+
+    def test_defaults_to_full_suite(self):
+        generator = suite.run_all(0.05)
+        first_name, _ = next(generator)
+        assert first_name == suite.ALL_WORKLOADS[0]
+        generator.close()
+
+
+class TestCacheManagement:
+    def test_clear_caches_drops_compilations(self):
+        suite.compile_workload("db_vortex", 0.1)
+        assert suite.compile_workload.cache_info().currsize >= 1
+        suite.clear_caches()
+        assert suite.compile_workload.cache_info().currsize == 0
+
+    def test_compilation_cached_across_runs(self):
+        first = suite.compile_workload("db_vortex", 0.1)
+        second = suite.compile_workload("db_vortex", 0.1)
+        assert first is second
+
+
+class TestMetadata:
+    def test_kind_partition(self):
+        assert set(suite.ALL_WORKLOADS) \
+            == set(suite.INTEGER_WORKLOADS) | set(suite.FP_WORKLOADS)
+        for name in suite.INTEGER_WORKLOADS:
+            assert suite.spec(name).kind == "int"
+        for name in suite.FP_WORKLOADS:
+            assert suite.spec(name).kind == "fp"
+
+    def test_mirrors_cover_the_paper_suite(self):
+        mirrors = {suite.spec(n).mirrors for n in suite.ALL_WORKLOADS}
+        expected = {"099.go", "124.m88ksim", "126.gcc", "129.compress",
+                    "130.li", "132.ijpeg", "134.perl", "147.vortex",
+                    "101.tomcatv", "102.swim", "103.su2cor", "107.mgrid"}
+        assert mirrors == expected
+
+    def test_scaled_params_exist(self):
+        for name in suite.ALL_WORKLOADS:
+            spec = suite.spec(name)
+            param_names = {p for p, _ in spec.params}
+            for scaled in spec.scaled:
+                assert scaled in param_names, name
+
+    def test_timing_scale_reasonable(self):
+        assert 0.0 < suite.TIMING_SCALE <= 1.0
