@@ -18,6 +18,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.trace import cache as trace_cache
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Workload scale for trace-profiling experiments.
@@ -25,6 +27,22 @@ PROFILE_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 #: Workload scale for cycle-level timing experiments (costlier per insn).
 TIMING_SCALE = PROFILE_SCALE * 0.25
+
+#: Functional traces are archived here (and reused across bench runs):
+#: the experiments all replay the same 12 traces, so a warm cache
+#: skips every redundant functional simulation.  Override with
+#: ``REPRO_TRACE_CACHE``; delete the directory to force re-simulation.
+TRACE_CACHE_DIR = os.environ.get(
+    trace_cache.ENV_VAR, str(Path(__file__).parent / ".trace-cache"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _trace_cache():
+    """Route every benchmark's trace acquisition through the on-disk
+    cache for the whole session."""
+    cache = trace_cache.configure(TRACE_CACHE_DIR)
+    yield cache
+    trace_cache.reset()
 
 
 @pytest.fixture

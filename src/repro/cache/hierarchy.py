@@ -9,6 +9,8 @@ memory, fully interleaved - so no memory-bank contention is modelled).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
 from repro.cache.cache import Cache
 
 
@@ -74,7 +76,13 @@ class PortManager:
         self.conflicts += 1
         return False
 
-    def available(self, cycle: int) -> int:
+    def available(self, cycle: int, addr: Optional[int] = None) -> int:
+        """Accesses that can still start this cycle.
+
+        For a true multi-ported cache this is exact for every requester
+        regardless of address; ``addr`` is accepted for interface
+        parity with :meth:`BankManager.available`.
+        """
         if cycle != self._cycle:
             return self.ports
         return self.ports - self._used
@@ -115,7 +123,21 @@ class BankManager:
         self.grants += 1
         return True
 
-    def available(self, cycle: int) -> int:
+    def available(self, cycle: int, addr: Optional[int] = None) -> int:
+        """Accesses that can still start this cycle.
+
+        Without ``addr`` the count is only an *upper bound* across
+        requesters: ``ports - len(busy)`` banks are free, but a
+        requester whose address maps to an already-busy bank cannot use
+        any of them.  Pass the requester's ``addr`` for an exact
+        per-requester answer (1 if its bank is free, else 0).  The
+        timing simulator therefore never gates scheduling on the
+        addressless form - it calls ``try_acquire`` per access (see
+        ``timing/machine.py``).
+        """
         if cycle != self._cycle:
-            return self.ports
-        return self.ports - len(self._busy)
+            return self.ports if addr is None else 1
+        if addr is None:
+            return self.ports - len(self._busy)
+        bank = (addr >> self._line_shift) % self.ports
+        return 0 if bank in self._busy else 1

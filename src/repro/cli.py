@@ -15,10 +15,17 @@ Commands
     Access-region prediction accuracy per workload.
 ``timing [--scale S] [names...]``
     Figure 8 configurations on the chosen workloads.
-``experiment <id> [--scale S]``
+``experiment <id> [--scale S] [--jobs N] [--verbose]``
     Run one paper experiment (table1, figure2, table2, figure4,
     table3, figure5, section33, figure8) or ablation/extension
-    (a1..a7) and print its table.
+    (a1..a8) and print its table.  ``--jobs N`` fans independent
+    workload cells across N processes; ``--verbose`` prints a
+    per-stage timing report to stderr.
+
+The trace-consuming commands (``profile``, ``predict``, ``timing``,
+``experiment``) accept ``--trace-cache DIR`` (default: the
+``REPRO_TRACE_CACHE`` environment variable) to archive functional
+traces on disk and skip re-simulation on later runs.
 """
 
 from __future__ import annotations
@@ -31,8 +38,10 @@ from typing import List, Optional
 from repro import eval as evaluation
 from repro.compiler import compile_source
 from repro.cpu import run_program
+from repro.eval import engine
 from repro.predictor import evaluate_scheme
 from repro.timing import figure8_configs, simulate
+from repro.trace import cache as trace_cache
 from repro.trace.regions import region_breakdown
 from repro.trace.windows import window_stats
 from repro.workloads import suite
@@ -71,24 +80,53 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("workloads", help="list the workload suite")
 
+    def add_cache_flag(command) -> None:
+        command.add_argument(
+            "--trace-cache", metavar="DIR", default=None,
+            help="archive functional traces in DIR and reuse them on "
+                 f"later runs (default: ${trace_cache.ENV_VAR})")
+
     profile = sub.add_parser("profile", help="region-locality profile")
     profile.add_argument("names", nargs="*", default=[])
     profile.add_argument("--scale", type=float, default=0.5)
+    add_cache_flag(profile)
 
     predict = sub.add_parser("predict", help="prediction accuracy")
     predict.add_argument("names", nargs="*", default=[])
     predict.add_argument("--scale", type=float, default=0.5)
     predict.add_argument("--scheme", default="1bit-hybrid")
+    add_cache_flag(predict)
 
     timing = sub.add_parser("timing", help="Figure 8 configurations")
     timing.add_argument("names", nargs="*", default=[])
     timing.add_argument("--scale", type=float, default=0.25)
+    add_cache_flag(timing)
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("id", choices=sorted(_EXPERIMENTS))
     experiment.add_argument("--scale", type=float, default=1.0)
+    experiment.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run independent workload cells across N processes "
+             f"(default: ${engine.JOBS_ENV_VAR} or 1)")
+    experiment.add_argument(
+        "--verbose", action="store_true",
+        help="print a per-stage timing report (functional sim vs. "
+             "trace-cache I/O vs. replay) to stderr")
+    add_cache_flag(experiment)
 
     return parser
+
+
+def _apply_trace_cache(args) -> None:
+    """Activate ``--trace-cache DIR`` for this process, when given.
+
+    Without the flag the ``REPRO_TRACE_CACHE`` environment variable
+    (read lazily by :func:`repro.trace.cache.active_cache`) still
+    applies.
+    """
+    if getattr(args, "trace_cache", None):
+        trace_cache.configure(args.trace_cache)
 
 
 def _resolve_names(names: List[str]) -> List[str]:
@@ -130,9 +168,10 @@ def _cmd_workloads(_args) -> int:
 
 
 def _cmd_profile(args) -> int:
+    _apply_trace_cache(args)
     names = _resolve_names(args.names)
     for name in names:
-        trace = suite.run(name, args.scale)
+        trace = engine.trace_for(name, args.scale)
         breakdown = region_breakdown(trace)
         w32 = window_stats(trace, 32)
         classes = " ".join(
@@ -142,27 +181,29 @@ def _cmd_profile(args) -> int:
               f"multi:{100 * breakdown.multi_region_static_fraction:.1f}%  "
               f"win32 D/H/S: {w32.data.mean:.1f}/{w32.heap.mean:.1f}/"
               f"{w32.stack.mean:.1f}")
-        suite.run.cache_clear()
+        suite.evict(name, args.scale)
     return 0
 
 
 def _cmd_predict(args) -> int:
+    _apply_trace_cache(args)
     names = _resolve_names(args.names)
     for name in names:
-        trace = suite.run(name, args.scale)
+        trace = engine.trace_for(name, args.scale)
         result = evaluate_scheme(trace, args.scheme)
         print(f"{name:<12} {args.scheme:<12} "
               f"accuracy {100 * result.accuracy:6.2f}%  "
               f"mode-definitive {100 * result.definitive_fraction:5.1f}%  "
               f"ARPT entries {result.occupancy}")
-        suite.run.cache_clear()
+        suite.evict(name, args.scale)
     return 0
 
 
 def _cmd_timing(args) -> int:
+    _apply_trace_cache(args)
     names = _resolve_names(args.names)
     for name in names:
-        trace = suite.run(name, args.scale)
+        trace = engine.trace_for(name, args.scale)
         print(f"{name} ({len(trace):,} instructions):")
         baseline: Optional[int] = None
         for config in figure8_configs():
@@ -171,13 +212,20 @@ def _cmd_timing(args) -> int:
                 baseline = result.cycles
             print(f"  {config.name:<12} ipc {result.ipc:5.2f}  "
                   f"vs (2+0): {baseline / result.cycles:.3f}")
-        suite.run.cache_clear()
+        suite.evict(name, args.scale)
     return 0
 
 
 def _cmd_experiment(args) -> int:
+    _apply_trace_cache(args)
+    if args.jobs is not None:
+        engine.set_jobs(args.jobs)
+    engine.reset_stage_times()
     result = _EXPERIMENTS[args.id](scale=args.scale)
     print(result.render())
+    if args.verbose:
+        # stderr, so stdout stays byte-identical across --jobs levels.
+        print(engine.render_stage_report(), file=sys.stderr)
     return 0
 
 

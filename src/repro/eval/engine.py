@@ -1,0 +1,215 @@
+"""Experiment execution engine: trace cache + process fan-out + timing.
+
+Every experiment driver decomposes into independent *cells* - one
+``(workload, ...)`` unit of work whose result does not depend on any
+other cell.  This module runs those cells either serially or across a
+``ProcessPoolExecutor`` (``--jobs N`` on the CLI, :func:`set_jobs`
+programmatically), always returning results in the caller's submission
+order so rendered tables are byte-identical at any parallelism.
+
+It also keeps a per-stage wall-clock breakdown (functional simulation
+vs. trace-cache I/O vs. predictor/timing replay) so speedups from the
+trace cache and the fan-out are directly measurable
+(``repro experiment <id> --verbose``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.eval import reporting
+from repro.trace import cache as trace_cache
+from repro.trace.records import Trace
+from repro.workloads import suite
+
+#: Environment variable providing the default worker count.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+_jobs: Optional[int] = None
+
+
+def set_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default worker count (None = env/serial)."""
+    global _jobs
+    _jobs = jobs
+
+
+def get_jobs() -> int:
+    """The effective default worker count (>= 1)."""
+    if _jobs is not None:
+        return max(1, _jobs)
+    try:
+        return max(1, int(os.environ.get(JOBS_ENV_VAR, "1")))
+    except ValueError:
+        return 1
+
+
+# -- per-stage timing ---------------------------------------------------
+
+@dataclass
+class StageTimes:
+    """Wall-clock seconds per pipeline stage, summed over cells.
+
+    With ``--jobs N`` the stages of different cells overlap, so the sum
+    can exceed elapsed wall-clock; the report states CPU-seconds.
+    """
+
+    functional_sim: float = 0.0
+    cache_io: float = 0.0
+    replay: float = 0.0
+    cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def merge(self, other: "StageTimes") -> None:
+        self.functional_sim += other.functional_sim
+        self.cache_io += other.cache_io
+        self.replay += other.replay
+        self.cells += other.cells
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+
+    @property
+    def total(self) -> float:
+        return self.functional_sim + self.cache_io + self.replay
+
+    def render(self) -> str:
+        rows = [
+            ("functional simulation", reporting.seconds(self.functional_sim),
+             reporting.percent(self.functional_sim / max(1e-9, self.total))),
+            ("trace-cache I/O", reporting.seconds(self.cache_io),
+             reporting.percent(self.cache_io / max(1e-9, self.total))),
+            ("predictor/timing replay", reporting.seconds(self.replay),
+             reporting.percent(self.replay / max(1e-9, self.total))),
+        ]
+        cache = trace_cache.active_cache()
+        state = "off" if cache is None else str(cache.directory)
+        return reporting.format_table(
+            ["stage", "cpu-seconds", "share"], rows,
+            title=f"Stage timing: {self.cells} cells, trace cache "
+                  f"{state} ({self.cache_hits} hits / "
+                  f"{self.cache_misses} misses)")
+
+
+#: Process-local accumulator for the current driver invocation.
+_stages = StageTimes()
+
+
+def reset_stage_times() -> None:
+    global _stages
+    _stages = StageTimes()
+
+
+def stage_times() -> StageTimes:
+    return _stages
+
+
+def render_stage_report() -> str:
+    return _stages.render()
+
+
+# -- trace acquisition --------------------------------------------------
+
+def trace_for(name: str, scale: float) -> Trace:
+    """The workload's trace, via the active trace cache when one is
+    configured, timed into the current stage breakdown."""
+    cache = trace_cache.active_cache()
+    if cache is None:
+        started = time.perf_counter()
+        trace = suite.run(name, scale)
+        _stages.functional_sim += time.perf_counter() - started
+        return trace
+    before = cache.stats.snapshot()
+    trace = cache.fetch(name, scale, producer=suite.run)
+    _stages.functional_sim += cache.stats.sim_seconds - before.sim_seconds
+    _stages.cache_io += cache.stats.load_seconds - before.load_seconds
+    _stages.cache_hits += cache.stats.hits - before.hits
+    _stages.cache_misses += cache.stats.misses - before.misses
+    return trace
+
+
+# -- cell fan-out -------------------------------------------------------
+
+def _init_worker(cache_directory: Optional[str],
+                 environ_cache: Optional[str]) -> None:
+    """Worker bootstrap: mirror the parent's trace-cache decision.
+
+    Needed for spawn/forkserver start methods, and to propagate a
+    ``configure()``-time cache that never reached the environment.
+    """
+    if cache_directory is not None:
+        trace_cache.configure(cache_directory)
+    elif environ_cache is not None:
+        os.environ[trace_cache.ENV_VAR] = environ_cache
+    else:
+        trace_cache.configure(None)
+
+
+def _swap_stages(new: StageTimes) -> StageTimes:
+    global _stages
+    old = _stages
+    _stages = new
+    return old
+
+
+def _run_cell(worker: Callable, name: str, scale: float,
+              args: tuple) -> Tuple[object, StageTimes]:
+    """One cell, with its stage breakdown isolated and returned.
+
+    Runs in the parent (serial mode) or in a pool worker; either way
+    the caller merges the returned StageTimes into its accumulator.
+    """
+    local = StageTimes()
+    outer = _swap_stages(local)
+    started = time.perf_counter()
+    try:
+        result = worker(name, scale, *args)
+    finally:
+        # Restore the caller's accumulator (serial path nests inside
+        # the driver's own timing scope).
+        _swap_stages(outer)
+    elapsed = time.perf_counter() - started
+    local.replay += max(
+        0.0, elapsed - local.functional_sim - local.cache_io)
+    local.cells += 1
+    return result, local
+
+
+def run_cells(worker: Callable, names: Sequence[str], scale: float,
+              *args, jobs: Optional[int] = None) -> List[object]:
+    """Run ``worker(name, scale, *args)`` for each name; ordered results.
+
+    ``worker`` must be a module-level function (it crosses a process
+    boundary when ``jobs > 1``).  Results are returned in ``names``
+    order regardless of completion order, so any reduction over them is
+    deterministic at every parallelism level.
+    """
+    names = list(names)
+    effective = jobs if jobs is not None else get_jobs()
+    effective = max(1, min(effective, len(names) or 1))
+    if effective <= 1 or len(names) <= 1:
+        results = []
+        for name in names:
+            result, times = _run_cell(worker, name, scale, args)
+            _stages.merge(times)
+            results.append(result)
+        return results
+    cache = trace_cache.active_cache()
+    cache_dir = str(cache.directory) if cache is not None else None
+    environ_cache = os.environ.get(trace_cache.ENV_VAR)
+    with ProcessPoolExecutor(
+            max_workers=effective,
+            initializer=_init_worker,
+            initargs=(cache_dir, environ_cache)) as pool:
+        futures = [pool.submit(_run_cell, worker, name, scale, args)
+                   for name in names]
+        results = []
+        for future in futures:         # submission order == names order
+            result, times = future.result()
+            _stages.merge(times)
+            results.append(result)
+    return results

@@ -12,11 +12,12 @@ gshare front end).
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.lvc import StackCacheResult, stack_cache_hit_rate
-from repro.eval import reporting
+from repro.eval import engine, reporting
 from repro.predictor.evaluate import (PredictionResult, evaluate_scheme,
                                       occupancy_by_context)
 from repro.predictor.hints import hints_from_trace
@@ -37,12 +38,25 @@ FIGURE5_SIZES: Tuple[Optional[int], ...] = (None, 64 * 1024, 32 * 1024,
                                             256, 64)
 
 
+@contextmanager
+def _workload(name: str, scale: float):
+    """One workload's trace (via the trace cache when one is active),
+    with eviction scoped to exactly this ``(name, scale)`` entry - a
+    blanket ``cache_clear`` would drop entries other callers (CLI
+    loops, benchmarks, nested drivers) are still iterating at a
+    different scale."""
+    trace = engine.trace_for(name, scale)
+    try:
+        yield trace
+    finally:
+        suite.evict(name, scale)
+
+
 def _traces(scale: float, names: Sequence[str]):
     """Stream (name, trace) pairs, evicting each trace afterwards."""
     for name in names:
-        trace = suite.run(name, scale)
-        yield name, trace
-        suite.run.cache_clear()
+        with _workload(name, scale) as trace:
+            yield name, trace
 
 
 # ----------------------------------------------------------------------
@@ -71,19 +85,23 @@ class Table1Result:
         )
 
 
-def table1(scale: float = 1.0,
-           names: Sequence[str] = suite.ALL_WORKLOADS) -> Table1Result:
-    """T1: suite characteristics - dynamic counts and load/store mix."""
-    rows = []
-    for name, trace in _traces(scale, names):
-        rows.append(Table1Row(
+def _table1_cell(name: str, scale: float) -> Table1Row:
+    with _workload(name, scale) as trace:
+        return Table1Row(
             name=name,
             mirrors=suite.spec(name).mirrors,
             instructions=len(trace),
             load_pct=100 * trace.load_fraction(),
             store_pct=100 * trace.store_fraction(),
-        ))
-    return Table1Result(rows=rows)
+        )
+
+
+def table1(scale: float = 1.0,
+           names: Sequence[str] = suite.ALL_WORKLOADS,
+           jobs: Optional[int] = None) -> Table1Result:
+    """T1: suite characteristics - dynamic counts and load/store mix."""
+    return Table1Result(
+        rows=engine.run_cells(_table1_cell, names, scale, jobs=jobs))
 
 
 # ----------------------------------------------------------------------
@@ -116,11 +134,17 @@ class Figure2Result:
                   "region(s)")
 
 
+def _figure2_cell(name: str, scale: float) -> RegionBreakdown:
+    with _workload(name, scale) as trace:
+        return region_breakdown(trace)
+
+
 def figure2(scale: float = 1.0,
-            names: Sequence[str] = suite.ALL_WORKLOADS) -> Figure2Result:
+            names: Sequence[str] = suite.ALL_WORKLOADS,
+            jobs: Optional[int] = None) -> Figure2Result:
     """F2: static memory instructions by accessed region(s)."""
-    return Figure2Result(breakdowns=[
-        region_breakdown(trace) for _, trace in _traces(scale, names)])
+    return Figure2Result(breakdowns=engine.run_cells(
+        _figure2_cell, names, scale, jobs=jobs))
 
 
 # ----------------------------------------------------------------------
@@ -150,13 +174,18 @@ class Table2Result:
                   "window")
 
 
+def _table2_cell(name: str, scale: float)\
+        -> Tuple[RegionWindowStats, RegionWindowStats]:
+    with _workload(name, scale) as trace:
+        return window_stats(trace, 32), window_stats(trace, 64)
+
+
 def table2(scale: float = 1.0,
-           names: Sequence[str] = suite.ALL_WORKLOADS) -> Table2Result:
+           names: Sequence[str] = suite.ALL_WORKLOADS,
+           jobs: Optional[int] = None) -> Table2Result:
     """T2: per-region bandwidth and burstiness in sliding windows."""
-    stats = []
-    for _, trace in _traces(scale, names):
-        stats.append((window_stats(trace, 32), window_stats(trace, 64)))
-    return Table2Result(stats=stats)
+    return Table2Result(stats=engine.run_cells(
+        _table2_cell, names, scale, jobs=jobs))
 
 
 # ----------------------------------------------------------------------
@@ -188,17 +217,21 @@ class Figure4Result:
             title="Figure 4: correct stack/non-stack classification")
 
 
+def _figure4_cell(name: str, scale: float, schemes: Tuple[Scheme, ...])\
+        -> Dict[str, PredictionResult]:
+    with _workload(name, scale) as trace:
+        return {scheme.name: evaluate_scheme(trace, scheme)
+                for scheme in schemes}
+
+
 def figure4(scale: float = 1.0,
             names: Sequence[str] = suite.ALL_WORKLOADS,
-            schemes: Sequence[Scheme] = FIGURE4_SCHEMES) -> Figure4Result:
+            schemes: Sequence[Scheme] = FIGURE4_SCHEMES,
+            jobs: Optional[int] = None) -> Figure4Result:
     """F4: stack/non-stack classification accuracy per scheme."""
-    results: Dict[str, Dict[str, PredictionResult]] = {}
-    for name, trace in _traces(scale, names):
-        results[name] = {
-            scheme.name: evaluate_scheme(trace, scheme)
-            for scheme in schemes
-        }
-    return Figure4Result(results=results)
+    cells = engine.run_cells(_figure4_cell, names, scale, tuple(schemes),
+                             jobs=jobs)
+    return Figure4Result(results=dict(zip(names, cells)))
 
 
 # ----------------------------------------------------------------------
@@ -225,13 +258,17 @@ class Table3Result:
             title="Table 3: entries occupied in an unlimited ARPT")
 
 
+def _table3_cell(name: str, scale: float) -> Dict[str, int]:
+    with _workload(name, scale) as trace:
+        return occupancy_by_context(trace)
+
+
 def table3(scale: float = 1.0,
-           names: Sequence[str] = suite.ALL_WORKLOADS) -> Table3Result:
+           names: Sequence[str] = suite.ALL_WORKLOADS,
+           jobs: Optional[int] = None) -> Table3Result:
     """T3: unlimited-ARPT occupancy per indexing context."""
-    occupancy = {}
-    for name, trace in _traces(scale, names):
-        occupancy[name] = occupancy_by_context(trace)
-    return Table3Result(occupancy=occupancy)
+    cells = engine.run_cells(_table3_cell, names, scale, jobs=jobs)
+    return Table3Result(occupancy=dict(zip(names, cells)))
 
 
 # ----------------------------------------------------------------------
@@ -267,23 +304,30 @@ class Figure5Result:
                   "without/with compiler hints")
 
 
-def figure5(scale: float = 1.0,
-            names: Sequence[str] = suite.ALL_WORKLOADS,
-            sizes: Tuple[Optional[int], ...] = FIGURE5_SIZES)\
-        -> Figure5Result:
-    """F5: 1BIT-HYBRID accuracy vs ARPT capacity, +/- compiler hints."""
-    results: Dict[str, Dict[str, Tuple[float, float]]] = {}
-    for name, trace in _traces(scale, names):
+def _figure5_cell(name: str, scale: float,
+                  sizes: Tuple[Optional[int], ...])\
+        -> Dict[str, Tuple[float, float]]:
+    with _workload(name, scale) as trace:
         hints = hints_from_trace(trace)
         by_size: Dict[str, Tuple[float, float]] = {}
         for size in sizes:
             raw = evaluate_scheme(trace, "1bit-hybrid", table_size=size)
-            hinted = evaluate_scheme(trace, "1bit-hybrid", table_size=size,
-                                     hints=hints)
+            hinted = evaluate_scheme(trace, "1bit-hybrid",
+                                     table_size=size, hints=hints)
             by_size[Figure5Result.size_key(size)] = (raw.accuracy,
                                                      hinted.accuracy)
-        results[name] = by_size
-    return Figure5Result(results=results, sizes=sizes)
+        return by_size
+
+
+def figure5(scale: float = 1.0,
+            names: Sequence[str] = suite.ALL_WORKLOADS,
+            sizes: Tuple[Optional[int], ...] = FIGURE5_SIZES,
+            jobs: Optional[int] = None)\
+        -> Figure5Result:
+    """F5: 1BIT-HYBRID accuracy vs ARPT capacity, +/- compiler hints."""
+    cells = engine.run_cells(_figure5_cell, names, scale, tuple(sizes),
+                             jobs=jobs)
+    return Figure5Result(results=dict(zip(names, cells)), sizes=sizes)
 
 
 # ----------------------------------------------------------------------
@@ -312,13 +356,19 @@ class Section33Result:
                   "avg ~99.9%)")
 
 
+def _section33_cell(name: str, scale: float,
+                    size_bytes: int) -> StackCacheResult:
+    with _workload(name, scale) as trace:
+        return stack_cache_hit_rate(trace, size_bytes)
+
+
 def section33(scale: float = 1.0,
               names: Sequence[str] = suite.ALL_WORKLOADS,
-              size_bytes: int = 4 * 1024) -> Section33Result:
+              size_bytes: int = 4 * 1024,
+              jobs: Optional[int] = None) -> Section33Result:
     """S33: hit rate of a dedicated stack cache (paper: >99.5%)."""
-    return Section33Result(results=[
-        stack_cache_hit_rate(trace, size_bytes)
-        for _, trace in _traces(scale, names)])
+    return Section33Result(results=engine.run_cells(
+        _section33_cell, names, scale, size_bytes, jobs=jobs))
 
 
 # ----------------------------------------------------------------------
@@ -364,17 +414,24 @@ class Figure8Result:
             title="Figure 8: performance relative to (2+0)")
 
 
+def _figure8_cell(name: str, scale: float,
+                  configs: Tuple[MachineConfig, ...])\
+        -> Dict[str, TimingResult]:
+    with _workload(name, scale) as trace:
+        return {cfg.name: simulate(trace, cfg) for cfg in configs}
+
+
 def figure8(scale: float = suite.TIMING_SCALE,
             names: Sequence[str] = suite.ALL_WORKLOADS,
-            configs: Optional[Sequence[MachineConfig]] = None)\
+            configs: Optional[Sequence[MachineConfig]] = None,
+            jobs: Optional[int] = None)\
         -> Figure8Result:
     """F8: cycle-level performance of the (N+M) configurations."""
-    configs = list(configs) if configs is not None \
-        else list(figure8_configs())
-    results: Dict[str, Dict[str, TimingResult]] = {}
-    for name, trace in _traces(scale, names):
-        results[name] = {cfg.name: simulate(trace, cfg) for cfg in configs}
-    return Figure8Result(results=results)
+    configs = tuple(configs) if configs is not None \
+        else tuple(figure8_configs())
+    cells = engine.run_cells(_figure8_cell, names, scale, configs,
+                             jobs=jobs)
+    return Figure8Result(results=dict(zip(names, cells)))
 
 
 # ----------------------------------------------------------------------
@@ -395,16 +452,20 @@ class AblationTwoBitResult:
                   " lower)")
 
 
-def ablation_two_bit(scale: float = 1.0,
-                     names: Sequence[str] = suite.ALL_WORKLOADS)\
-        -> AblationTwoBitResult:
-    """A1: 1-bit vs 2-bit ARPT entries (paper footnote 8)."""
-    accuracies = {}
-    for name, trace in _traces(scale, names):
+def _two_bit_cell(name: str, scale: float) -> Tuple[float, float]:
+    with _workload(name, scale) as trace:
         one = evaluate_scheme(trace, "1bit-hybrid")
         two = evaluate_scheme(trace, "2bit-hybrid")
-        accuracies[name] = (one.accuracy, two.accuracy)
-    return AblationTwoBitResult(accuracies=accuracies)
+        return one.accuracy, two.accuracy
+
+
+def ablation_two_bit(scale: float = 1.0,
+                     names: Sequence[str] = suite.ALL_WORKLOADS,
+                     jobs: Optional[int] = None)\
+        -> AblationTwoBitResult:
+    """A1: 1-bit vs 2-bit ARPT entries (paper footnote 8)."""
+    cells = engine.run_cells(_two_bit_cell, names, scale, jobs=jobs)
+    return AblationTwoBitResult(accuracies=dict(zip(names, cells)))
 
 
 # ----------------------------------------------------------------------
@@ -429,22 +490,31 @@ class AblationContextResult:
                   "8 GBH + 24 CID bits)")
 
 
+def _context_bits_cell(name: str, scale: float,
+                       splits: Tuple[Tuple[int, int], ...])\
+        -> Dict[str, float]:
+    with _workload(name, scale) as trace:
+        by_split = {}
+        for gbh_bits, cid_bits in splits:
+            result = evaluate_scheme(trace, "1bit-hybrid",
+                                     gbh_bits=gbh_bits,
+                                     cid_bits=cid_bits)
+            by_split[f"{gbh_bits}g+{cid_bits}c"] = result.accuracy
+        return by_split
+
+
 def ablation_context_bits(scale: float = 1.0,
                           names: Sequence[str] = suite.ALL_WORKLOADS,
                           splits: Tuple[Tuple[int, int], ...] = (
                               (0, 32), (4, 28), (8, 24), (16, 16),
-                              (24, 8), (32, 0)))\
+                              (24, 8), (32, 0)),
+                          jobs: Optional[int] = None)\
         -> AblationContextResult:
     """A2: GBH/CID bit split of the hybrid context (footnote 7)."""
-    accuracies: Dict[str, Dict[str, float]] = {}
-    for name, trace in _traces(scale, names):
-        by_split = {}
-        for gbh_bits, cid_bits in splits:
-            result = evaluate_scheme(trace, "1bit-hybrid",
-                                     gbh_bits=gbh_bits, cid_bits=cid_bits)
-            by_split[f"{gbh_bits}g+{cid_bits}c"] = result.accuracy
-        accuracies[name] = by_split
-    return AblationContextResult(accuracies=accuracies, splits=splits)
+    cells = engine.run_cells(_context_bits_cell, names, scale, splits,
+                             jobs=jobs)
+    return AblationContextResult(accuracies=dict(zip(names, cells)),
+                                 splits=splits)
 
 
 # ----------------------------------------------------------------------
@@ -477,8 +547,28 @@ class HintSteeringResult:
                   "performance)")
 
 
+def _hint_steering_cell(name: str, scale: float) -> Dict[str, float]:
+    from repro.predictor.static_hints import static_hints
+    from repro.timing.config import decoupled_config
+    compiled = suite.compile_workload(name, scale)
+    hints = static_hints(compiled)
+    with _workload(name, scale) as trace:
+        arpt = simulate(trace, decoupled_config(3, 3))
+        hinted = simulate(trace, decoupled_config(3, 3), hints=hints)
+        oracle = simulate(trace, decoupled_config(3, 3,
+                                                  steering="oracle"))
+    return {
+        "arpt": float(arpt.cycles),
+        "hinted": float(hinted.cycles),
+        "oracle": float(oracle.cycles),
+        "arpt_predictions": float(arpt.arpt_predictions),
+        "hinted_predictions": float(hinted.arpt_predictions),
+    }
+
+
 def ablation_hint_steering(scale: float = suite.TIMING_SCALE,
-                           names: Sequence[str] = suite.ALL_WORKLOADS)\
+                           names: Sequence[str] = suite.ALL_WORKLOADS,
+                           jobs: Optional[int] = None)\
         -> HintSteeringResult:
     """A8: does compiler-assisted steering beat the ARPT in cycles?
 
@@ -487,26 +577,8 @@ def ablation_hint_steering(scale: float = suite.TIMING_SCALE,
     performance"; this measures that loss directly on the (3+3)
     machine, with oracle steering as the zero-loss bound.
     """
-    from repro.predictor.static_hints import static_hints
-    from repro.timing.config import decoupled_config
-    rows: Dict[str, Dict[str, float]] = {}
-    for name in names:
-        compiled = suite.compile_workload(name, scale)
-        hints = static_hints(compiled)
-        trace = suite.run(name, scale)
-        arpt = simulate(trace, decoupled_config(3, 3))
-        hinted = simulate(trace, decoupled_config(3, 3), hints=hints)
-        oracle = simulate(trace, decoupled_config(3, 3,
-                                                  steering="oracle"))
-        rows[name] = {
-            "arpt": float(arpt.cycles),
-            "hinted": float(hinted.cycles),
-            "oracle": float(oracle.cycles),
-            "arpt_predictions": float(arpt.arpt_predictions),
-            "hinted_predictions": float(hinted.arpt_predictions),
-        }
-        suite.run.cache_clear()
-    return HintSteeringResult(rows=rows)
+    cells = engine.run_cells(_hint_steering_cell, names, scale, jobs=jobs)
+    return HintSteeringResult(rows=dict(zip(names, cells)))
 
 
 # ----------------------------------------------------------------------
@@ -547,12 +619,8 @@ class FrontEndResult:
                   "same front end's (2+0))")
 
 
-def ablation_front_end(scale: float = suite.TIMING_SCALE,
-                       names: Sequence[str] = suite.ALL_WORKLOADS)\
-        -> FrontEndResult:
-    """The paper runs with perfect branch prediction "to assert the
-    maximum pressure on the data memory bandwidth"; this quantifies how
-    much a realistic gshare front end compresses the Figure 8 gaps."""
+def _front_end_cell(name: str, scale: float)\
+        -> Tuple[Dict[str, Dict[str, float]], Dict[str, float]]:
     from dataclasses import replace as dc_replace
 
     from repro.timing.config import conventional_config, decoupled_config
@@ -561,22 +629,33 @@ def ablation_front_end(scale: float = suite.TIMING_SCALE,
         "(3+3)": decoupled_config(3, 3),
         "(16+0)": conventional_config(16, name="(16+0)"),
     }
-    speedups: Dict[str, Dict[str, Dict[str, float]]] = {}
-    baseline_ipc: Dict[str, Dict[str, float]] = {}
-    for name, trace in _traces(scale, names):
-        speedups[name] = {}
-        baseline_ipc[name] = {}
+    per_fe: Dict[str, Dict[str, float]] = {}
+    ipc: Dict[str, float] = {}
+    with _workload(name, scale) as trace:
         for front_end in ("perfect", "gshare"):
             results = {}
             for label, cfg in base_configs.items():
                 cfg = dc_replace(cfg, branch_predictor=front_end)
                 results[label] = simulate(trace, cfg)
             baseline = results["(2+0)"]
-            speedups[name][front_end] = {
+            per_fe[front_end] = {
                 label: baseline.cycles / results[label].cycles
                 for label in base_configs}
-            baseline_ipc[name][front_end] = baseline.ipc
-    return FrontEndResult(speedups=speedups, baseline_ipc=baseline_ipc)
+            ipc[front_end] = baseline.ipc
+    return per_fe, ipc
+
+
+def ablation_front_end(scale: float = suite.TIMING_SCALE,
+                       names: Sequence[str] = suite.ALL_WORKLOADS,
+                       jobs: Optional[int] = None)\
+        -> FrontEndResult:
+    """The paper runs with perfect branch prediction "to assert the
+    maximum pressure on the data memory bandwidth"; this quantifies how
+    much a realistic gshare front end compresses the Figure 8 gaps."""
+    cells = engine.run_cells(_front_end_cell, names, scale, jobs=jobs)
+    return FrontEndResult(
+        speedups={name: per_fe for name, (per_fe, _) in zip(names, cells)},
+        baseline_ipc={name: ipc for name, (_, ipc) in zip(names, cells)})
 
 
 # ----------------------------------------------------------------------
@@ -609,26 +688,30 @@ class HeapDecouplingResult:
                   "decoupling brings little benefit)")
 
 
-def ablation_heap_decoupling(scale: float = suite.TIMING_SCALE,
-                             names: Sequence[str] = suite.ALL_WORKLOADS)\
-        -> HeapDecouplingResult:
-    """Tests the paper's Section 3.2.2 conclusion directly: heap
-    accesses are bursty and (for FP) rare, so giving *heap* its own
-    pipeline should win much less than giving it to the stack."""
+def _heap_decoupling_cell(name: str, scale: float) -> Dict[str, float]:
     from repro.timing.config import conventional_config, decoupled_config
     configs = {
         "(2+0)": conventional_config(2),
         "stack (2+2)": decoupled_config(2, 2, steering="oracle"),
         "heap (2+2)": decoupled_config(2, 2, steering="oracle-heap"),
     }
-    speedups: Dict[str, Dict[str, float]] = {}
-    for name, trace in _traces(scale, names):
+    with _workload(name, scale) as trace:
         results = {label: simulate(trace, cfg)
                    for label, cfg in configs.items()}
-        baseline = results["(2+0)"].cycles
-        speedups[name] = {label: baseline / results[label].cycles
-                          for label in configs}
-    return HeapDecouplingResult(speedups=speedups)
+    baseline = results["(2+0)"].cycles
+    return {label: baseline / results[label].cycles for label in configs}
+
+
+def ablation_heap_decoupling(scale: float = suite.TIMING_SCALE,
+                             names: Sequence[str] = suite.ALL_WORKLOADS,
+                             jobs: Optional[int] = None)\
+        -> HeapDecouplingResult:
+    """Tests the paper's Section 3.2.2 conclusion directly: heap
+    accesses are bursty and (for FP) rare, so giving *heap* its own
+    pipeline should win much less than giving it to the stack."""
+    cells = engine.run_cells(_heap_decoupling_cell, names, scale,
+                             jobs=jobs)
+    return HeapDecouplingResult(speedups=dict(zip(names, cells)))
 
 
 # ----------------------------------------------------------------------
@@ -659,29 +742,38 @@ class BankedResult:
                   "decoupling (speedup over ported (2+0))")
 
 
-def ablation_banked_cache(scale: float = suite.TIMING_SCALE,
-                          names: Sequence[str] = suite.ALL_WORKLOADS)\
-        -> BankedResult:
-    """The paper assumes perfect multi-porting; a banked cache is the
-    cheap alternative it is judged against.  Compares N-ported vs
-    N-banked conventional designs against the (N/2 + N/2) decoupled one.
-    """
+def _banked_configs() -> Tuple[MachineConfig, ...]:
     from repro.timing.config import conventional_config, decoupled_config
-    configs = (
+    return (
         conventional_config(2, name="(2+0)"),
         conventional_config(4, l1_latency=2, name="(4+0) ported"),
         conventional_config(4, l1_latency=2, port_policy="banks",
                             name="(4b+0) banked"),
         decoupled_config(2, 2, name="(2+2)"),
     )
-    speedups: Dict[str, Dict[str, float]] = {}
-    for name, trace in _traces(scale, names):
+
+
+def _banked_cell(name: str, scale: float) -> Dict[str, float]:
+    configs = _banked_configs()
+    with _workload(name, scale) as trace:
         results = {cfg.name: simulate(trace, cfg) for cfg in configs}
-        baseline = results["(2+0)"].cycles
-        speedups[name] = {cfg.name: baseline / results[cfg.name].cycles
-                          for cfg in configs}
-    return BankedResult(speedups=speedups,
-                        config_names=tuple(cfg.name for cfg in configs))
+    baseline = results["(2+0)"].cycles
+    return {cfg.name: baseline / results[cfg.name].cycles
+            for cfg in configs}
+
+
+def ablation_banked_cache(scale: float = suite.TIMING_SCALE,
+                          names: Sequence[str] = suite.ALL_WORKLOADS,
+                          jobs: Optional[int] = None)\
+        -> BankedResult:
+    """The paper assumes perfect multi-porting; a banked cache is the
+    cheap alternative it is judged against.  Compares N-ported vs
+    N-banked conventional designs against the (N/2 + N/2) decoupled one.
+    """
+    cells = engine.run_cells(_banked_cell, names, scale, jobs=jobs)
+    return BankedResult(
+        speedups=dict(zip(names, cells)),
+        config_names=tuple(cfg.name for cfg in _banked_configs()))
 
 
 # ----------------------------------------------------------------------
@@ -716,21 +808,16 @@ class StaticHintsResult:
                   "vs idealised profile hints, 8K-entry ARPT")
 
 
-def ablation_static_hints(scale: float = 1.0,
-                          names: Sequence[str] = suite.ALL_WORKLOADS,
-                          table_size: int = 8 * 1024)\
-        -> StaticHintsResult:
-    """A4: real Figure-6 compiler hints vs the profile-ideal hints."""
+def _static_hints_cell(name: str, scale: float,
+                       table_size: int) -> StaticHintsRow:
     from repro.predictor.static_hints import static_hint_stats, \
         static_hints
-    rows = []
-    for name in names:
-        compiled = suite.compile_workload(name, scale)
-        fig6 = static_hints(compiled)
-        stats = static_hint_stats(compiled)
-        trace = suite.run(name, scale)
+    compiled = suite.compile_workload(name, scale)
+    fig6 = static_hints(compiled)
+    stats = static_hint_stats(compiled)
+    with _workload(name, scale) as trace:
         ideal = hints_from_trace(trace)
-        rows.append(StaticHintsRow(
+        return StaticHintsRow(
             name=name,
             coverage=stats.coverage,
             accuracy_none=evaluate_scheme(
@@ -741,9 +828,17 @@ def ablation_static_hints(scale: float = 1.0,
             accuracy_ideal=evaluate_scheme(
                 trace, "1bit-hybrid", table_size=table_size,
                 hints=ideal).accuracy,
-        ))
-        suite.run.cache_clear()
-    return StaticHintsResult(rows=rows)
+        )
+
+
+def ablation_static_hints(scale: float = 1.0,
+                          names: Sequence[str] = suite.ALL_WORKLOADS,
+                          table_size: int = 8 * 1024,
+                          jobs: Optional[int] = None)\
+        -> StaticHintsResult:
+    """A4: real Figure-6 compiler hints vs the profile-ideal hints."""
+    return StaticHintsResult(rows=engine.run_cells(
+        _static_hints_cell, names, scale, table_size, jobs=jobs))
 
 
 # ----------------------------------------------------------------------
@@ -766,16 +861,21 @@ class AblationLvcResult:
             title="Ablation A3: stack-cache hit rate vs LVC size")
 
 
+def _lvc_size_cell(name: str, scale: float,
+                   sizes: Tuple[int, ...]) -> Dict[int, float]:
+    with _workload(name, scale) as trace:
+        return {size: stack_cache_hit_rate(trace, size).hit_rate
+                for size in sizes}
+
+
 def ablation_lvc_size(scale: float = 1.0,
                       names: Sequence[str] = suite.ALL_WORKLOADS,
                       sizes: Tuple[int, ...] = (1024, 2048, 4096, 8192,
-                                                16384))\
+                                                16384),
+                      jobs: Optional[int] = None)\
         -> AblationLvcResult:
     """A3: stack-cache hit rate across LVC capacities."""
-    hit_rates: Dict[str, Dict[int, float]] = {}
-    for name, trace in _traces(scale, names):
-        hit_rates[name] = {
-            size: stack_cache_hit_rate(trace, size).hit_rate
-            for size in sizes
-        }
-    return AblationLvcResult(hit_rates=hit_rates, sizes=sizes)
+    cells = engine.run_cells(_lvc_size_cell, names, scale, sizes,
+                             jobs=jobs)
+    return AblationLvcResult(hit_rates=dict(zip(names, cells)),
+                             sizes=sizes)

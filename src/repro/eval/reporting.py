@@ -48,3 +48,12 @@ def percent(value: float, digits: int = 2) -> str:
 def mean_and_std(stats) -> str:
     """Render a WindowStats as the paper's 'mean (std)' cell format."""
     return f"{stats.mean:.2f} ({stats.std:.2f})"
+
+
+def seconds(value: float) -> str:
+    """Render a wall-clock duration with sub-second detail kept legible."""
+    if value < 0.01:
+        return f"{1000 * value:.1f} ms"
+    if value < 60:
+        return f"{value:.2f} s"
+    return f"{int(value // 60)}m{value % 60:04.1f}s"

@@ -420,6 +420,10 @@ class TimingSimulator:
     # -- memory scheduling ------------------------------------------------
 
     def _schedule_memory(self, queue_id: int, cycle: int) -> None:
+        # Port arbitration is per-access (`try_acquire(cycle, addr)`),
+        # never gated on `ports.available(cycle)`: for a banked L1 the
+        # addressless count is only an upper bound - free slots don't
+        # help a requester whose address maps to a busy bank.
         config = self.config
         queue = self._queues[queue_id]
         if not queue:

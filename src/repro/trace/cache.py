@@ -1,0 +1,170 @@
+"""On-disk trace cache keyed by ``(workload, scale, format version)``.
+
+Functional simulation dominates experiment wall-clock; archiving each
+workload's trace once and replaying it through predictors, caches, and
+timing configurations amortises that cost across every driver, CLI
+invocation, and benchmark run (the SimpleScalar-era workflow the paper
+alludes to).
+
+A cache is a directory of ``save_trace`` files named
+
+    ``<workload>__s<scale>__v<format version>.npz``
+
+so bumping :data:`repro.trace.serialize._FORMAT_VERSION` invalidates
+every archived trace at once (stale files simply stop being looked up),
+and the same directory can hold traces for many scales side by side.
+
+Activation, in precedence order:
+
+1. :func:`configure` - explicit, process-wide (the CLI's
+   ``--trace-cache DIR`` and the benchmark conftest use this);
+2. the ``REPRO_TRACE_CACHE`` environment variable;
+3. otherwise caching is off and producers run every time.
+
+Writes are atomic (temp file + ``os.replace``) so parallel experiment
+workers can share one cache directory without corrupting it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.trace import serialize
+from repro.trace.records import Trace
+from repro.trace.serialize import load_trace, save_trace
+
+#: Environment variable naming the default cache directory.
+ENV_VAR = "REPRO_TRACE_CACHE"
+
+
+@dataclass
+class CacheStats:
+    """Counters and per-stage wall-clock for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    load_seconds: float = 0.0   # reading archived traces (incl. saves)
+    sim_seconds: float = 0.0    # running the producer (functional sim)
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.load_seconds,
+                          self.sim_seconds)
+
+
+@dataclass
+class TraceCache:
+    """A directory of archived workload traces."""
+
+    directory: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        if self.directory.exists() and not self.directory.is_dir():
+            raise ValueError(
+                f"trace cache path {self.directory} exists and is not "
+                f"a directory")
+
+    def key(self, name: str, scale: float) -> str:
+        return f"{name}__s{scale:g}__v{serialize._FORMAT_VERSION}"
+
+    def path_for(self, name: str, scale: float) -> Path:
+        return self.directory / f"{self.key(name, scale)}.npz"
+
+    def load(self, name: str, scale: float) -> Optional[Trace]:
+        """The archived trace, or None on a miss (or unreadable file)."""
+        path = self.path_for(name, scale)
+        if not path.exists():
+            return None
+        started = time.perf_counter()
+        try:
+            trace = load_trace(path)
+        except Exception:
+            # Truncated/corrupt/stale file: drop it and treat as a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.load_seconds += time.perf_counter() - started
+        return trace
+
+    def store(self, name: str, scale: float, trace: Trace) -> Path:
+        """Archive a trace atomically; returns the final path."""
+        started = time.perf_counter()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(name, scale)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            save_trace(trace, tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        self.stats.load_seconds += time.perf_counter() - started
+        return path
+
+    def fetch(self, name: str, scale: float,
+              producer: Optional[Callable[[str, float], Trace]] = None)\
+            -> Trace:
+        """The trace for ``(name, scale)``: archived if present, else
+        produced (default producer: ``suite.run``) and archived."""
+        trace = self.load(name, scale)
+        if trace is not None:
+            self.stats.hits += 1
+            return trace
+        if producer is None:
+            from repro.workloads import suite
+            producer = suite.run
+        started = time.perf_counter()
+        trace = producer(name, scale)
+        self.stats.sim_seconds += time.perf_counter() - started
+        self.stats.misses += 1
+        self.store(name, scale, trace)
+        return trace
+
+
+# -- process-wide active cache -----------------------------------------
+
+#: (configured?, cache) - once configure() runs, the env var no longer
+#: applies; configure(None) explicitly disables caching.
+_explicit: Optional[TraceCache] = None
+_explicitly_set = False
+_from_env: Optional[TraceCache] = None
+
+
+def configure(directory: Union[str, Path, None]) -> Optional[TraceCache]:
+    """Set (or, with None, clear) the process-wide trace cache."""
+    global _explicit, _explicitly_set
+    _explicitly_set = True
+    _explicit = TraceCache(Path(directory)) if directory else None
+    return _explicit
+
+
+def reset() -> None:
+    """Forget explicit configuration; fall back to the environment."""
+    global _explicit, _explicitly_set, _from_env
+    _explicit = None
+    _explicitly_set = False
+    _from_env = None
+
+
+def active_cache() -> Optional[TraceCache]:
+    """The cache in effect: explicit > ``REPRO_TRACE_CACHE`` > none."""
+    global _from_env
+    if _explicitly_set:
+        return _explicit
+    directory = os.environ.get(ENV_VAR)
+    if not directory:
+        _from_env = None
+        return None
+    if _from_env is None or _from_env.directory != Path(directory):
+        _from_env = TraceCache(Path(directory))
+    return _from_env

@@ -3,8 +3,8 @@
 from repro.workloads.suite import (ALL_WORKLOADS, FP_WORKLOADS,
                                    INTEGER_WORKLOADS, SPECS, TIMING_SCALE,
                                    WorkloadSpec, clear_caches,
-                                   compile_workload, run, run_all, source,
-                                   spec)
+                                   compile_workload, evict, run, run_all,
+                                   source, spec)
 
 __all__ = [
     "ALL_WORKLOADS",
@@ -15,6 +15,7 @@ __all__ = [
     "WorkloadSpec",
     "clear_caches",
     "compile_workload",
+    "evict",
     "run",
     "run_all",
     "source",

@@ -11,6 +11,7 @@ for trace length.
 
 from __future__ import annotations
 
+import collections
 import functools
 import re
 from dataclasses import dataclass
@@ -157,14 +158,62 @@ def compile_workload(name: str, scale: float = 1.0) -> CompiledProgram:
     return compile_source(source(name, scale), name)
 
 
-@functools.lru_cache(maxsize=8)
-def run(name: str, scale: float = 1.0) -> Trace:
-    """Execute one workload and return its dynamic trace (cached).
+class _TraceMemo:
+    """In-memory LRU memo over ``run_program`` with *per-entry* eviction.
 
-    The cache is deliberately small: traces are large, and experiments
-    stream one workload at a time.
+    ``functools.lru_cache`` only supports clearing the whole cache, so
+    streaming callers (experiment drivers, CLI loops) used to evict
+    every caller's entries just to drop their own.  This memo keeps the
+    ``cache_clear``/``cache_info`` surface of ``lru_cache`` and adds
+    :meth:`evict` for scoped eviction of one ``(name, scale)`` entry.
+
+    The capacity is deliberately small: traces are large, and
+    experiments stream one workload at a time.
     """
-    return run_program(compile_workload(name, scale))
+
+    def __init__(self, maxsize: int = 8) -> None:
+        self.maxsize = maxsize
+        self._entries: "collections.OrderedDict" = \
+            collections.OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def __call__(self, name: str, scale: float = 1.0) -> Trace:
+        key = (name, scale)
+        try:
+            trace = self._entries[key]
+        except KeyError:
+            self._misses += 1
+            trace = run_program(compile_workload(name, scale))
+            self._entries[key] = trace
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        else:
+            self._hits += 1
+            self._entries.move_to_end(key)
+        return trace
+
+    def evict(self, name: str, scale: float = 1.0) -> bool:
+        """Drop one ``(name, scale)`` entry; True if it was cached."""
+        return self._entries.pop((name, scale), None) is not None
+
+    def cache_clear(self) -> None:
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def cache_info(self):
+        return functools._CacheInfo(self._hits, self._misses,
+                                    self.maxsize, len(self._entries))
+
+
+#: Execute one workload and return its dynamic trace (memoised).
+run = _TraceMemo(maxsize=8)
+
+
+def evict(name: str, scale: float = 1.0) -> bool:
+    """Scoped eviction: drop only the ``(name, scale)`` trace."""
+    return run.evict(name, scale)
 
 
 def run_all(scale: float = 1.0, names: Tuple[str, ...] = ALL_WORKLOADS):

@@ -44,6 +44,22 @@ class TestBankManager:
         banks.try_acquire(0, 0x10000000)
         assert banks.available(0) == 3
 
+    def test_available_with_addr_is_exact(self):
+        """Regression: the addressless count is only an upper bound - a
+        same-bank requester cannot use any of the "free" slots.  The
+        address-aware form must answer for that specific requester."""
+        banks = BankManager(4, line_size=32)
+        addr = 0x10000000
+        assert banks.try_acquire(0, addr)
+        # Three banks remain free in aggregate...
+        assert banks.available(0) == 3
+        # ...but none is usable by a same-bank requester.
+        assert banks.available(0, addr) == 0
+        assert banks.available(0, addr + 4 * 32) == 0    # same bank
+        assert banks.available(0, addr + 32) == 1        # next bank
+        # A fresh cycle clears the conflict.
+        assert banks.available(1, addr) == 1
+
     def test_invalid_construction(self):
         with pytest.raises(ValueError):
             BankManager(0)

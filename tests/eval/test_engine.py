@@ -1,0 +1,130 @@
+"""Tests for the experiment execution engine (fan-out + stage timing).
+
+The load-bearing property is equivalence: every experiment table must be
+byte-identical whether the trace cache is disabled, cold, or warm, and
+at any ``--jobs`` level.
+"""
+
+import pytest
+
+from repro.eval import engine, figure4
+from repro.trace import cache as trace_cache
+from repro.workloads import suite
+
+SCALE = 0.2
+NAMES = ("db_vortex", "go_ai")
+
+
+@pytest.fixture(autouse=True)
+def _clean_state(monkeypatch):
+    monkeypatch.delenv(trace_cache.ENV_VAR, raising=False)
+    monkeypatch.delenv(engine.JOBS_ENV_VAR, raising=False)
+    trace_cache.reset()
+    engine.set_jobs(None)
+    engine.reset_stage_times()
+    yield
+    trace_cache.reset()
+    engine.set_jobs(None)
+    engine.reset_stage_times()
+    suite.clear_caches()
+
+
+def _cell(name, scale):
+    return f"{name}@{scale:g}"
+
+
+def _flaky_order_cell(name, scale, delays):
+    # Later-submitted cells finish first; results must still come back
+    # in submission order.
+    import time
+    time.sleep(delays[name])
+    return name
+
+
+class TestRunCells:
+    def test_serial_results_in_submission_order(self):
+        results = engine.run_cells(_cell, ("b", "a", "c"), 0.5, jobs=1)
+        assert results == ["b@0.5", "a@0.5", "c@0.5"]
+
+    def test_parallel_results_in_submission_order(self):
+        delays = {"b": 0.2, "a": 0.0, "c": 0.1}
+        results = engine.run_cells(
+            _flaky_order_cell, ("b", "a", "c"), 1.0, delays, jobs=3)
+        assert results == ["b", "a", "c"]
+
+    def test_cell_count_accumulates(self):
+        engine.run_cells(_cell, ("x", "y"), 1.0, jobs=1)
+        assert engine.stage_times().cells == 2
+
+
+class TestJobs:
+    def test_default_is_serial(self):
+        assert engine.get_jobs() == 1
+
+    def test_set_jobs(self):
+        engine.set_jobs(4)
+        assert engine.get_jobs() == 4
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv(engine.JOBS_ENV_VAR, "3")
+        assert engine.get_jobs() == 3
+
+    def test_bad_env_var_falls_back(self, monkeypatch):
+        monkeypatch.setenv(engine.JOBS_ENV_VAR, "lots")
+        assert engine.get_jobs() == 1
+
+
+class TestStageTimes:
+    def test_merge(self):
+        a = engine.StageTimes(functional_sim=1.0, replay=2.0, cells=1)
+        a.merge(engine.StageTimes(functional_sim=0.5, cache_io=0.25,
+                                  cells=2, cache_hits=3))
+        assert a.functional_sim == 1.5
+        assert a.cache_io == 0.25
+        assert a.cells == 3
+        assert a.cache_hits == 3
+        assert a.total == 1.5 + 0.25 + 2.0
+
+    def test_render_mentions_cache_state(self, tmp_path):
+        trace_cache.configure(tmp_path)
+        text = engine.StageTimes(cells=2).render()
+        assert str(tmp_path) in text
+        trace_cache.configure(None)
+        assert "off" in engine.StageTimes().render()
+
+
+class TestTraceFor:
+    def test_warm_cache_skips_functional_sim(self, tmp_path):
+        trace_cache.configure(tmp_path)
+        engine.trace_for(NAMES[0], SCALE)
+        suite.evict(NAMES[0], SCALE)   # force the next call to disk
+        engine.reset_stage_times()
+        trace = engine.trace_for(NAMES[0], SCALE)
+        times = engine.stage_times()
+        assert times.functional_sim == 0.0
+        assert times.cache_hits == 1
+        assert times.cache_io > 0.0
+        assert len(trace) > 0
+
+
+@pytest.mark.slow
+class TestEquivalence:
+    def test_cache_cold_warm_disabled_identical(self, tmp_path):
+        disabled = figure4(SCALE, NAMES).render()
+        trace_cache.configure(tmp_path)
+        cold = figure4(SCALE, NAMES).render()
+        assert trace_cache.active_cache().stats.misses == len(NAMES)
+        engine.reset_stage_times()
+        warm = figure4(SCALE, NAMES).render()
+        assert cold == disabled
+        assert warm == disabled
+        # The warm pass never ran the functional simulator.
+        times = engine.stage_times()
+        assert times.functional_sim == 0.0
+        assert times.cache_hits == len(NAMES)
+
+    def test_jobs_levels_identical(self, tmp_path):
+        trace_cache.configure(tmp_path)
+        serial = figure4(SCALE, NAMES, jobs=1).render()
+        parallel = figure4(SCALE, NAMES, jobs=4).render()
+        assert parallel == serial

@@ -105,6 +105,7 @@ class TestTimingExperiment:
         assert 0.8 < speedup < 2.0
         assert "(2+2)" in result.render()
 
+    @pytest.mark.slow
     def test_average_speedup_geomean(self):
         configs = [conventional_config(2), conventional_config(16)]
         result = figure8(SCALE, NAMES, configs)

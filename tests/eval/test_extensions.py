@@ -33,6 +33,7 @@ class TestStaticHintsExperiment:
         assert "go_ai" in text
 
 
+@pytest.mark.slow
 class TestBankedExperiment:
     def test_speedups_structure(self):
         result = ablation_banked_cache(SCALE, NAMES)

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.cli import main
+from repro.eval import engine
+from repro.trace import cache as trace_cache
 from repro.workloads import suite
 
 
@@ -10,6 +12,8 @@ from repro.workloads import suite
 def _clear_caches():
     yield
     suite.clear_caches()
+    trace_cache.reset()
+    engine.set_jobs(None)
 
 
 @pytest.fixture
@@ -61,10 +65,35 @@ class TestCli:
         out = capsys.readouterr().out
         assert "accuracy" in out
 
+    @pytest.mark.slow
     def test_experiment_command(self, capsys):
         assert main(["experiment", "section33", "--scale", "0.1"]) == 0
         out = capsys.readouterr().out
         assert "hit rate" in out
+
+    def test_profile_trace_cache_flag(self, tmp_path, capsys):
+        cache_dir = tmp_path / "traces"
+        args = ["profile", "--scale", "0.2", "--trace-cache",
+                str(cache_dir), "db_vortex"]
+        assert main(args) == 0
+        archived = list(cache_dir.glob("db_vortex__s0.2__v*.npz"))
+        assert len(archived) == 1
+        # Second invocation replays the archive (and still renders).
+        suite.clear_caches()
+        assert main(args) == 0
+        assert "db_vortex" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_experiment_jobs_and_verbose(self, tmp_path, capsys):
+        assert main(["experiment", "figure2", "--scale", "0.1",
+                     "--jobs", "2", "--verbose", "--trace-cache",
+                     str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 2" in captured.out
+        # The stage report goes to stderr so stdout stays
+        # byte-identical across --jobs levels.
+        assert "Stage timing" in captured.err
+        assert "functional simulation" in captured.err
 
     def test_unknown_workload_rejected(self):
         with pytest.raises(ValueError):

@@ -64,6 +64,7 @@ class TestEndToEnd:
                                                   steering="oracle"))
         assert abs(standalone.hit_rate - timing.lvc_hit_rate) < 0.03
 
+    @pytest.mark.slow
     def test_more_ports_never_slow_the_machine(self, trace):
         two = simulate(trace, conventional_config(2))
         four = simulate(trace, conventional_config(4, l1_latency=2))

@@ -1,0 +1,128 @@
+"""Tests for the on-disk trace cache."""
+
+import pytest
+
+from repro.trace import cache as trace_cache
+from repro.trace import serialize
+from repro.trace.cache import CacheStats, TraceCache
+from repro.trace.records import OC_IALU, Trace, TraceRecord
+
+
+def _trace(name="cached", n=4):
+    records = [TraceRecord(pc=0x400000 + 4 * i, op_class=OC_IALU,
+                           dst=1, src1=2, src2=3, addr=0, mode=-1,
+                           region=-1, taken=False, ra=0, value=i)
+               for i in range(n)]
+    return Trace(name, records, output=[n], exit_code=0)
+
+
+@pytest.fixture(autouse=True)
+def _clean_config(monkeypatch):
+    monkeypatch.delenv(trace_cache.ENV_VAR, raising=False)
+    trace_cache.reset()
+    yield
+    trace_cache.reset()
+
+
+class TestKeyScheme:
+    def test_key_includes_name_scale_and_version(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        key = cache.key("db_vortex", 0.25)
+        assert "db_vortex" in key
+        assert "s0.25" in key
+        assert f"v{serialize._FORMAT_VERSION}" in key
+
+    def test_file_as_cache_directory_rejected(self, tmp_path):
+        path = tmp_path / "notadir"
+        path.touch()
+        with pytest.raises(ValueError):
+            TraceCache(path)
+
+    def test_different_scales_get_different_paths(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        assert cache.path_for("go_ai", 1.0) != cache.path_for("go_ai", 0.5)
+
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        cache = TraceCache(tmp_path)
+        cache.store("w", 1.0, _trace())
+        assert cache.load("w", 1.0) is not None
+        monkeypatch.setattr(serialize, "_FORMAT_VERSION",
+                            serialize._FORMAT_VERSION + 1)
+        assert cache.load("w", 1.0) is None
+
+
+class TestFetch:
+    def test_miss_runs_producer_then_hit_does_not(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        calls = []
+
+        def producer(name, scale):
+            calls.append((name, scale))
+            return _trace(name)
+
+        first = cache.fetch("w", 0.5, producer=producer)
+        second = cache.fetch("w", 0.5, producer=producer)
+        assert calls == [("w", 0.5)]
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert [r.value for r in second.records] == \
+            [r.value for r in first.records]
+
+    def test_store_writes_final_path_only(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        path = cache.store("w", 1.0, _trace())
+        assert path == cache.path_for("w", 1.0)
+        assert path.exists()
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_corrupt_file_falls_back_to_producer(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        path = cache.path_for("w", 1.0)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not an npz archive")
+        fetched = cache.fetch("w", 1.0, producer=lambda n, s: _trace(n))
+        assert fetched.name == "w"
+        assert cache.stats.misses == 1
+        # The corrupt file was replaced by a valid one.
+        assert cache.load("w", 1.0) is not None
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert trace_cache.active_cache() is None
+
+    def test_env_var_activates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(trace_cache.ENV_VAR, str(tmp_path))
+        cache = trace_cache.active_cache()
+        assert cache is not None
+        assert cache.directory == tmp_path
+
+    def test_configure_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(trace_cache.ENV_VAR, str(tmp_path / "env"))
+        configured = trace_cache.configure(tmp_path / "explicit")
+        assert trace_cache.active_cache() is configured
+        assert configured.directory == tmp_path / "explicit"
+
+    def test_configure_none_disables_despite_env(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv(trace_cache.ENV_VAR, str(tmp_path))
+        trace_cache.configure(None)
+        assert trace_cache.active_cache() is None
+
+    def test_reset_restores_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(trace_cache.ENV_VAR, str(tmp_path))
+        trace_cache.configure(None)
+        trace_cache.reset()
+        cache = trace_cache.active_cache()
+        assert cache is not None
+        assert cache.directory == tmp_path
+
+
+class TestStats:
+    def test_snapshot_is_independent(self):
+        stats = CacheStats(hits=2, misses=3, load_seconds=0.5,
+                           sim_seconds=1.0)
+        snap = stats.snapshot()
+        stats.hits += 1
+        assert snap.hits == 2
+        assert snap.misses == 3

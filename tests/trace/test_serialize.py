@@ -1,10 +1,27 @@
 """Tests for trace persistence."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cpu import run_source
 from repro.predictor import evaluate_scheme
-from repro.trace.serialize import load_trace, save_trace
+from repro.trace.records import (OC_BRANCH, OC_IALU, OC_LOAD, Trace,
+                                 TraceRecord)
+from repro.trace.serialize import _NO_VALUE, load_trace, save_trace
+
+_FIELDS = ("pc", "op_class", "dst", "src1", "src2", "addr", "mode",
+           "region", "taken", "ra", "value")
+
+
+def _assert_same_trace(before, after):
+    assert after.name == before.name
+    assert after.output == before.output
+    assert after.exit_code == before.exit_code
+    assert len(after) == len(before)
+    for b, a in zip(before.records, after.records):
+        for field in _FIELDS:
+            assert getattr(b, field) == getattr(a, field), field
 
 
 @pytest.fixture(scope="module")
@@ -65,6 +82,22 @@ class TestRoundTrip:
         # should be far smaller than that.
         assert path.stat().st_size < len(trace) * 25
 
+    def test_unsuffixed_path_round_trips(self, trace, tmp_path):
+        """Regression: ``np.savez_compressed`` used to append ``.npz``
+        to suffixless names, so loading the caller's exact path raised
+        FileNotFoundError."""
+        path = tmp_path / "trace-without-extension"
+        save_trace(trace, path)
+        assert path.exists()
+        assert not (tmp_path / "trace-without-extension.npz").exists()
+        _assert_same_trace(trace, load_trace(path))
+
+    def test_unusual_suffix_round_trips(self, trace, tmp_path):
+        path = tmp_path / "trace.bin"
+        save_trace(trace, path)
+        assert path.exists()
+        _assert_same_trace(trace, load_trace(path))
+
     def test_version_check(self, trace, tmp_path):
         import json
 
@@ -77,3 +110,81 @@ class TestRoundTrip:
             meta=np.frombuffer(meta.encode(), dtype=np.uint8))
         with pytest.raises(ValueError):
             load_trace(path)
+
+
+def _record(value=None, **overrides):
+    defaults = dict(pc=0x400100, op_class=OC_IALU, dst=3, src1=4,
+                    src2=5, addr=0, mode=-1, region=-1, taken=False,
+                    ra=0, value=value)
+    defaults.update(overrides)
+    return TraceRecord(**defaults)
+
+
+class TestSentinelHandling:
+    """Regression: result values near the None sentinel must survive a
+    round-trip, and None must stay None."""
+
+    def test_values_near_sentinel_round_trip(self, tmp_path):
+        sentinel = int(_NO_VALUE)
+        values = [sentinel + 1, sentinel + 2, -1, 0, 1, None,
+                  -(2 ** 63), 2 ** 63 - 1]
+        trace = Trace("near-sentinel", [_record(value=v) for v in values])
+        path = tmp_path / "near.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert [r.value for r in loaded.records] == values
+
+    def test_none_round_trips_as_none(self, tmp_path):
+        trace = Trace("none", [_record(value=None), _record(value=7)])
+        path = tmp_path / "none.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.records[0].value is None
+        assert loaded.records[1].value == 7
+
+    def test_sentinel_valued_record_rejected_at_save(self, tmp_path):
+        trace = Trace("collide", [_record(value=int(_NO_VALUE))])
+        with pytest.raises(ValueError):
+            save_trace(trace, tmp_path / "collide.npz")
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        trace = Trace("empty", [], output=[1, 2.5, 3], exit_code=9)
+        path = tmp_path / "empty.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == 0
+        assert loaded.name == "empty"
+        assert loaded.output == [1, 2.5, 3]
+        assert loaded.exit_code == 9
+
+
+_INT64 = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+_RECORDS = st.builds(
+    TraceRecord,
+    pc=st.integers(min_value=0, max_value=2 ** 62),
+    op_class=st.sampled_from((OC_IALU, OC_LOAD, OC_BRANCH)),
+    dst=st.integers(min_value=-1, max_value=63),
+    src1=st.integers(min_value=-1, max_value=63),
+    src2=st.integers(min_value=-1, max_value=63),
+    addr=st.integers(min_value=0, max_value=2 ** 62),
+    mode=st.integers(min_value=-1, max_value=3),
+    region=st.integers(min_value=-1, max_value=2),
+    taken=st.booleans(),
+    ra=st.integers(min_value=0, max_value=2 ** 62),
+    value=st.one_of(
+        st.none(),
+        _INT64.filter(lambda v: v != int(_NO_VALUE))),
+)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(records=st.lists(_RECORDS, max_size=40),
+           exit_code=st.integers(min_value=0, max_value=255))
+    def test_random_traces_round_trip(self, records, exit_code,
+                                      tmp_path_factory):
+        trace = Trace("prop", records, output=[len(records)],
+                      exit_code=exit_code)
+        path = tmp_path_factory.mktemp("ser") / "prop.npz"
+        save_trace(trace, path)
+        _assert_same_trace(trace, load_trace(path))

@@ -38,6 +38,7 @@ class TestGoldenOutputs:
         assert len(trace.output) == 1
         assert trace.exit_code == 0
 
+    @pytest.mark.slow
     def test_compress_checksums(self):
         trace = run("compress")
         produced, check = trace.output
@@ -79,6 +80,7 @@ class TestGoldenOutputs:
         # Interned strings legitimately stay alive; nothing else may.
         assert live >= 0
 
+    @pytest.mark.slow
     def test_fp_outputs_finite(self):
         import math
         for name in suite.FP_WORKLOADS:
@@ -87,6 +89,7 @@ class TestGoldenOutputs:
             assert math.isfinite(trace.output[0]), name
 
 
+@pytest.mark.slow
 class TestHeapDiscipline:
     """malloc/free balance: the functional simulator's allocator raises
     on double frees or bad pointers, so clean termination already

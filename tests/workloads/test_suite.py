@@ -59,7 +59,22 @@ class TestExecutionDeterminism:
         b = suite.run("db_vortex", SCALE)
         assert a is b
 
+    def test_evict_is_scoped_to_one_entry(self):
+        """Regression: experiment drivers used to ``cache_clear()`` the
+        whole memo after every workload, discarding entries other
+        callers still wanted."""
+        kept = suite.run("db_vortex", SCALE)
+        evicted = suite.run("go_ai", SCALE)
+        assert suite.evict("go_ai", SCALE)
+        # The untouched entry survives...
+        assert suite.run("db_vortex", SCALE) is kept
+        # ...and the evicted one is re-simulated.
+        assert suite.run("go_ai", SCALE) is not evicted
+        # Evicting an absent entry reports False.
+        assert not suite.evict("go_ai", 0.987)
 
+
+@pytest.mark.slow
 class TestRegionSignatures:
     """Each program must exhibit the region profile of the SPEC95
     program it mirrors (DESIGN.md section 6)."""
