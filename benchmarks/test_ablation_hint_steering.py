@@ -15,7 +15,7 @@ def test_hardware_only_steering_loses_nothing(benchmark, record_result):
     result = run_once(benchmark,
                       lambda: ablation_hint_steering(scale=TIMING_SCALE))
     record_result("ablation_hint_steering", result.render())
-    for name, row in result.rows.items():
+    for name, row in result.data.rows.items():
         # Compiler assistance buys at most 1% cycles over hardware-only.
         assert row["arpt"] / row["hinted"] > 0.99, name
         # And the oracle bound confirms the ARPT is near-lossless.

@@ -16,7 +16,7 @@ def test_figure6_compiler_hints(benchmark, record_result):
     result = run_once(benchmark,
                       lambda: ablation_static_hints(scale=PROFILE_SCALE))
     record_result("ablation_static_hints", result.render())
-    for row in result.rows:
+    for row in result.data.rows:
         # The real analysis classifies most static memory instructions.
         assert row.coverage > 0.5, row.name
         # Hints never hurt, and the real compiler tracks the ideal.

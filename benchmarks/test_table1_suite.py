@@ -12,8 +12,8 @@ from repro.eval import table1
 def test_table1_suite_characteristics(benchmark, record_result):
     result = run_once(benchmark, lambda: table1(scale=PROFILE_SCALE))
     record_result("table1", result.render())
-    assert len(result.rows) == 12
-    for row in result.rows:
+    assert len(result.data.rows) == 12
+    for row in result.data.rows:
         total_mem = row.load_pct + row.store_pct
         assert 10.0 <= total_mem <= 55.0, \
             f"{row.name}: unrealistic memory mix {total_mem:.1f}%"

@@ -65,8 +65,10 @@ def main() -> None:
     print()
     for config in (conventional_config(2), decoupled_config(2, 2)):
         result = simulate(replayed, config)
+        lvc = ("  n/a" if result.lvc_hit_rate is None
+               else f"{100 * result.lvc_hit_rate:5.1f}%")
         print(f"  {config.name:<6} ipc {result.ipc:5.2f}  "
-              f"LVC hit {100 * result.lvc_hit_rate:5.1f}%  "
+              f"LVC hit {lvc}  "
               f"TLB miss {100 * result.tlb_miss_rate:.3f}%")
 
 

@@ -58,6 +58,18 @@ class CacheStats:
     def miss_rate(self) -> float:
         return self.misses / max(1, self.accesses)
 
+    def publish(self, ns) -> None:
+        """Publish these stats as counters into a metrics namespace.
+
+        ``ns`` is anything with ``counter(name).inc(amount)`` - normally
+        a :class:`repro.metrics.Namespace` scoped to this cache level
+        (kept duck-typed so the cache model stays import-light).
+        """
+        ns.counter("hits").inc(self.hits)
+        ns.counter("misses").inc(self.misses)
+        ns.counter("evictions").inc(self.evictions)
+        ns.counter("writebacks").inc(self.writebacks)
+
 
 class Cache:
     """One cache level.  ``access`` returns True on hit."""

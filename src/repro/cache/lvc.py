@@ -39,6 +39,12 @@ def stack_cache_hit_rate(trace: Trace,
         accesses += 1
         if cache.access(record.addr, record.is_store):
             hits += 1
+    from repro import metrics
+    registry = metrics.active()
+    if registry.enabled:
+        ns = registry.scoped(f"lvc.{size_bytes}B")
+        ns.counter("stack_accesses").inc(accesses)
+        ns.counter("hits").inc(hits)
     return StackCacheResult(trace_name=trace.name, size_bytes=size_bytes,
                             stack_accesses=accesses, hits=hits)
 

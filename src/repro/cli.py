@@ -9,23 +9,33 @@ Commands
     Compile a MiniC source file and print the generated assembly.
 ``workloads``
     List the built-in workload suite.
-``profile [--scale S] [names...]``
+``profile [names...]``
     Region-locality profile (Figure 2 / Table 2 style) per workload.
-``predict [--scale S] [--scheme NAME] [names...]``
+``predict [--scheme NAME] [names...]``
     Access-region prediction accuracy per workload.
-``timing [--scale S] [names...]``
+``timing [names...]``
     Figure 8 configurations on the chosen workloads.
-``experiment <id> [--scale S] [--jobs N] [--verbose]``
+``experiment <id> [names...]``
     Run one paper experiment (table1, figure2, table2, figure4,
     table3, figure5, section33, figure8) or ablation/extension
-    (a1..a8) and print its table.  ``--jobs N`` fans independent
-    workload cells across N processes; ``--verbose`` prints a
-    per-stage timing report to stderr.
+    (a1..a8) and print its table.  Every experiment id is also a
+    top-level alias: ``repro figure4`` == ``repro experiment figure4``.
+``stats <id> [names...] [--format table|json|csv] [--check]``
+    Run an experiment with metrics collection enabled and print the
+    collected per-cell metrics.  ``--check`` exits non-zero if any
+    registered metric is NaN or negative.
 
-The trace-consuming commands (``profile``, ``predict``, ``timing``,
-``experiment``) accept ``--trace-cache DIR`` (default: the
-``REPRO_TRACE_CACHE`` environment variable) to archive functional
-traces on disk and skip re-simulation on later runs.
+Shared flags
+------------
+
+Every trace-consuming command accepts the same flags via a shared
+parent parser:
+
+``--scale S``        workload scale (per-command default when omitted)
+``--jobs N``         fan independent workload cells across N processes
+``--trace-cache DIR`` archive functional traces on disk for reuse
+``--metrics-out FILE`` collect metrics and export them to FILE
+                     (JSON, or CSV when FILE ends in ``.csv``)
 """
 
 from __future__ import annotations
@@ -36,9 +46,11 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro import eval as evaluation
+from repro import metrics
 from repro.compiler import compile_source
 from repro.cpu import run_program
-from repro.eval import engine
+from repro.eval import engine, reporting
+from repro.metrics import export
 from repro.predictor import evaluate_scheme
 from repro.timing import figure8_configs, simulate
 from repro.trace import cache as trace_cache
@@ -65,68 +77,124 @@ _EXPERIMENTS = {
     "a8": evaluation.ablation_hint_steering,
 }
 
+_STATS_FORMATS = ("table", "json", "csv")
+
+
+def _common_parser() -> argparse.ArgumentParser:
+    """The shared parent parser: one flag spelling for every command."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--scale", type=float, default=None, metavar="S",
+        help="workload scale factor (default: per-command)")
+    common.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run independent workload cells across N processes "
+             f"(default: ${engine.JOBS_ENV_VAR} or 1)")
+    common.add_argument(
+        "--trace-cache", metavar="DIR", default=None,
+        help="archive functional traces in DIR and reuse them on "
+             f"later runs (default: ${trace_cache.ENV_VAR})")
+    common.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="collect metrics during the run and export them to FILE "
+             "(JSON, or CSV when FILE ends in .csv)")
+    return common
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Access Region Locality (MICRO 1999) reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _common_parser()
 
     run = sub.add_parser("run", help="compile and execute a MiniC file")
     run.add_argument("source", type=Path)
+    run.set_defaults(handler=_cmd_run)
 
     disasm = sub.add_parser("disasm", help="print generated assembly")
     disasm.add_argument("source", type=Path)
+    disasm.set_defaults(handler=_cmd_disasm)
 
-    sub.add_parser("workloads", help="list the workload suite")
+    workloads = sub.add_parser("workloads", help="list the workload suite")
+    workloads.set_defaults(handler=_cmd_workloads)
 
-    def add_cache_flag(command) -> None:
-        command.add_argument(
-            "--trace-cache", metavar="DIR", default=None,
-            help="archive functional traces in DIR and reuse them on "
-                 f"later runs (default: ${trace_cache.ENV_VAR})")
-
-    profile = sub.add_parser("profile", help="region-locality profile")
+    profile = sub.add_parser("profile", parents=[common],
+                             help="region-locality profile")
     profile.add_argument("names", nargs="*", default=[])
-    profile.add_argument("--scale", type=float, default=0.5)
-    add_cache_flag(profile)
+    profile.set_defaults(handler=_cmd_profile, default_scale=0.5)
 
-    predict = sub.add_parser("predict", help="prediction accuracy")
+    predict = sub.add_parser("predict", parents=[common],
+                             help="prediction accuracy")
     predict.add_argument("names", nargs="*", default=[])
-    predict.add_argument("--scale", type=float, default=0.5)
     predict.add_argument("--scheme", default="1bit-hybrid")
-    add_cache_flag(predict)
+    predict.set_defaults(handler=_cmd_predict, default_scale=0.5)
 
-    timing = sub.add_parser("timing", help="Figure 8 configurations")
+    timing = sub.add_parser("timing", parents=[common],
+                            help="Figure 8 configurations")
     timing.add_argument("names", nargs="*", default=[])
-    timing.add_argument("--scale", type=float, default=0.25)
-    add_cache_flag(timing)
+    timing.set_defaults(handler=_cmd_timing, default_scale=0.25)
 
-    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment = sub.add_parser("experiment", parents=[common],
+                                help="run a paper experiment")
     experiment.add_argument("id", choices=sorted(_EXPERIMENTS))
-    experiment.add_argument("--scale", type=float, default=1.0)
-    experiment.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
-        help="run independent workload cells across N processes "
-             f"(default: ${engine.JOBS_ENV_VAR} or 1)")
+    experiment.add_argument("names", nargs="*", default=[])
     experiment.add_argument(
         "--verbose", action="store_true",
         help="print a per-stage timing report (functional sim vs. "
              "trace-cache I/O vs. replay) to stderr")
-    add_cache_flag(experiment)
+    experiment.set_defaults(handler=_cmd_experiment, default_scale=1.0)
+
+    stats = sub.add_parser(
+        "stats", parents=[common],
+        help="run an experiment and print its collected metrics")
+    stats.add_argument("id", choices=sorted(_EXPERIMENTS))
+    stats.add_argument("names", nargs="*", default=[])
+    stats.add_argument("--format", choices=_STATS_FORMATS,
+                       default="table")
+    stats.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if any registered metric is NaN or negative")
+    stats.set_defaults(handler=_cmd_stats, default_scale=1.0)
+
+    # Every experiment id as a top-level alias:
+    # ``repro figure4`` == ``repro experiment figure4``.
+    for experiment_id in sorted(_EXPERIMENTS):
+        alias = sub.add_parser(experiment_id, parents=[common])
+        alias.add_argument("names", nargs="*", default=[])
+        alias.add_argument("--verbose", action="store_true")
+        alias.set_defaults(handler=_cmd_experiment, id=experiment_id,
+                           default_scale=1.0)
 
     return parser
 
 
-def _apply_trace_cache(args) -> None:
-    """Activate ``--trace-cache DIR`` for this process, when given.
+# -- shared plumbing ----------------------------------------------------
 
-    Without the flag the ``REPRO_TRACE_CACHE`` environment variable
-    (read lazily by :func:`repro.trace.cache.active_cache`) still
-    applies.
-    """
+def _apply_common(args) -> None:
+    """Apply the shared flags: trace cache, jobs, fresh accumulators."""
     if getattr(args, "trace_cache", None):
         trace_cache.configure(args.trace_cache)
+    if getattr(args, "jobs", None) is not None:
+        engine.set_jobs(args.jobs)
+    engine.reset_stage_times()
+    engine.take_metrics()           # drop any stale per-cell snapshots
+    if getattr(args, "metrics_out", None):
+        metrics.enable()
+
+
+def _scale(args) -> float:
+    return args.scale if args.scale is not None else args.default_scale
+
+
+def _export_metrics(args, experiment: str, scale: float, cells) -> None:
+    """Write the ``--metrics-out`` export and deactivate collection."""
+    if not getattr(args, "metrics_out", None):
+        return
+    document = export.experiment_document(experiment, scale, cells)
+    path = export.write_document(document, args.metrics_out)
+    print(f"metrics written to {path}", file=sys.stderr)
+    metrics.disable()
 
 
 def _resolve_names(names: List[str]) -> List[str]:
@@ -136,6 +204,8 @@ def _resolve_names(names: List[str]) -> List[str]:
         suite.spec(name)   # raises with the known-name list
     return names
 
+
+# -- command handlers ---------------------------------------------------
 
 def _cmd_run(args) -> int:
     compiled = compile_source(args.source.read_text(), args.source.stem)
@@ -167,83 +237,155 @@ def _cmd_workloads(_args) -> int:
     return 0
 
 
+def _profile_cell(name: str, scale: float) -> str:
+    """One profile line (module-level so --jobs can pickle it)."""
+    trace = engine.trace_for(name, scale)
+    breakdown = region_breakdown(trace)
+    w32 = window_stats(trace, 32)
+    suite.evict(name, scale)
+    classes = " ".join(
+        f"{cls}:{100 * breakdown.static_fraction(cls):.0f}%"
+        for cls in ("D", "H", "S"))
+    return (f"{name:<12} {len(trace):>9,} insns  {classes}  "
+            f"multi:{100 * breakdown.multi_region_static_fraction:.1f}%  "
+            f"win32 D/H/S: {w32.data.mean:.1f}/{w32.heap.mean:.1f}/"
+            f"{w32.stack.mean:.1f}")
+
+
 def _cmd_profile(args) -> int:
-    _apply_trace_cache(args)
+    _apply_common(args)
     names = _resolve_names(args.names)
-    for name in names:
-        trace = engine.trace_for(name, args.scale)
-        breakdown = region_breakdown(trace)
-        w32 = window_stats(trace, 32)
-        classes = " ".join(
-            f"{cls}:{100 * breakdown.static_fraction(cls):.0f}%"
-            for cls in ("D", "H", "S"))
-        print(f"{name:<12} {len(trace):>9,} insns  {classes}  "
-              f"multi:{100 * breakdown.multi_region_static_fraction:.1f}%  "
-              f"win32 D/H/S: {w32.data.mean:.1f}/{w32.heap.mean:.1f}/"
-              f"{w32.stack.mean:.1f}")
-        suite.evict(name, args.scale)
+    scale = _scale(args)
+    for line in engine.run_cells(_profile_cell, names, scale):
+        print(line)
+    _export_metrics(args, "profile", scale, engine.take_metrics())
     return 0
+
+
+def _predict_cell(name: str, scale: float, scheme: str) -> str:
+    """One prediction-accuracy line (module-level for --jobs)."""
+    trace = engine.trace_for(name, scale)
+    result = evaluate_scheme(trace, scheme)
+    suite.evict(name, scale)
+    return (f"{name:<12} {scheme:<12} "
+            f"accuracy {100 * result.accuracy:6.2f}%  "
+            f"mode-definitive {100 * result.definitive_fraction:5.1f}%  "
+            f"ARPT entries {result.occupancy}")
 
 
 def _cmd_predict(args) -> int:
-    _apply_trace_cache(args)
+    _apply_common(args)
     names = _resolve_names(args.names)
-    for name in names:
-        trace = engine.trace_for(name, args.scale)
-        result = evaluate_scheme(trace, args.scheme)
-        print(f"{name:<12} {args.scheme:<12} "
-              f"accuracy {100 * result.accuracy:6.2f}%  "
-              f"mode-definitive {100 * result.definitive_fraction:5.1f}%  "
-              f"ARPT entries {result.occupancy}")
-        suite.evict(name, args.scale)
+    scale = _scale(args)
+    for line in engine.run_cells(_predict_cell, names, scale,
+                                 args.scheme):
+        print(line)
+    _export_metrics(args, "predict", scale, engine.take_metrics())
     return 0
+
+
+def _timing_cell(name: str, scale: float) -> str:
+    """One workload's Figure-8 sweep (module-level for --jobs)."""
+    trace = engine.trace_for(name, scale)
+    lines = [f"{name} ({len(trace):,} instructions):"]
+    baseline: Optional[int] = None
+    for config in figure8_configs():
+        result = simulate(trace, config)
+        if baseline is None:
+            baseline = result.cycles
+        lines.append(f"  {config.name:<12} ipc {result.ipc:5.2f}  "
+                     f"vs (2+0): {baseline / result.cycles:.3f}")
+    suite.evict(name, scale)
+    return "\n".join(lines)
 
 
 def _cmd_timing(args) -> int:
-    _apply_trace_cache(args)
+    _apply_common(args)
     names = _resolve_names(args.names)
-    for name in names:
-        trace = engine.trace_for(name, args.scale)
-        print(f"{name} ({len(trace):,} instructions):")
-        baseline: Optional[int] = None
-        for config in figure8_configs():
-            result = simulate(trace, config)
-            if baseline is None:
-                baseline = result.cycles
-            print(f"  {config.name:<12} ipc {result.ipc:5.2f}  "
-                  f"vs (2+0): {baseline / result.cycles:.3f}")
-        suite.evict(name, args.scale)
+    scale = _scale(args)
+    for block in engine.run_cells(_timing_cell, names, scale):
+        print(block)
+    _export_metrics(args, "timing", scale, engine.take_metrics())
     return 0
+
+
+def _run_experiment(args):
+    """Run the selected driver with the shared flags applied."""
+    scale = _scale(args)
+    kwargs = {"scale": scale}
+    if args.names:
+        kwargs["names"] = _resolve_names(args.names)
+    return _EXPERIMENTS[args.id](**kwargs), scale
 
 
 def _cmd_experiment(args) -> int:
-    _apply_trace_cache(args)
-    if args.jobs is not None:
-        engine.set_jobs(args.jobs)
-    engine.reset_stage_times()
-    result = _EXPERIMENTS[args.id](scale=args.scale)
+    _apply_common(args)
+    result, scale = _run_experiment(args)
     print(result.render())
-    if args.verbose:
+    if getattr(args, "verbose", False):
         # stderr, so stdout stays byte-identical across --jobs levels.
         print(engine.render_stage_report(), file=sys.stderr)
+    _export_metrics(args, args.id, scale, result.metrics)
     return 0
 
 
-_HANDLERS = {
-    "run": _cmd_run,
-    "disasm": _cmd_disasm,
-    "workloads": _cmd_workloads,
-    "profile": _cmd_profile,
-    "predict": _cmd_predict,
-    "timing": _cmd_timing,
-    "experiment": _cmd_experiment,
-}
+def _metrics_table(document: dict) -> str:
+    """Human-readable summary table of an export document."""
+    rows = []
+    sections = sorted(document["cells"].items())
+    if len(sections) > 1:
+        sections.append(("TOTAL", document["totals"]))
+    for cell, snapshot in sections:
+        for name in sorted(snapshot):
+            entry = snapshot[name]
+            rows.append([cell, name, entry["kind"],
+                         export.summarize_entry(entry)])
+    return reporting.format_table(
+        ["cell", "metric", "kind", "value"], rows,
+        title=f"Metrics: {document['experiment']} "
+              f"@ scale {document['scale']}")
+
+
+def _cmd_stats(args) -> int:
+    _apply_common(args)
+    metrics.enable()        # stats always collects, even without a file
+    try:
+        result, scale = _run_experiment(args)
+    finally:
+        metrics.disable()
+    document = export.experiment_document(args.id, scale, result.metrics)
+    if args.format == "json":
+        sys.stdout.write(export.to_json(document))
+    elif args.format == "csv":
+        sys.stdout.write(export.to_csv(document))
+    else:
+        print(_metrics_table(document))
+    if args.metrics_out:
+        path = export.write_document(document, args.metrics_out)
+        print(f"metrics written to {path}", file=sys.stderr)
+    if args.check:
+        problems = export.validate(document)
+        for problem in problems:
+            print(f"invalid metric: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args, extra = parser.parse_known_args(argv)
+    if extra:
+        # argparse cannot match a trailing ``names*`` positional once
+        # optionals are interleaved after a required positional
+        # (``stats table1 --scale 0.2 db_vortex``); fold the stragglers
+        # back into ``names`` instead of rejecting them.
+        if not hasattr(args, "names") or any(
+                token.startswith("-") for token in extra):
+            parser.error(f"unrecognized arguments: {' '.join(extra)}")
+        args.names = [*args.names, *extra]
     try:
-        return _HANDLERS[args.command](args)
+        return args.handler(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         sys.stderr.close()

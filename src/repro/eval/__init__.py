@@ -1,6 +1,13 @@
-"""Experiment drivers reproducing every table and figure of the paper."""
+"""Experiment drivers reproducing every table and figure of the paper.
 
-from repro.eval import reporting
+Every driver returns an :class:`ExperimentResult`; cell execution goes
+through :func:`repro.eval.engine.run_cells`, the one public execution
+entry point (serial or ``--jobs`` process fan-out, with deterministic
+per-cell metrics collection).
+"""
+
+from repro.eval import engine, reporting
+from repro.eval.engine import run_cells
 from repro.eval.experiments import (FIGURE5_SIZES, ablation_banked_cache,
                                     ablation_context_bits,
                                     ablation_front_end,
@@ -11,9 +18,13 @@ from repro.eval.experiments import (FIGURE5_SIZES, ablation_banked_cache,
                                     ablation_two_bit, figure2, figure4,
                                     figure5, figure8, section33, table1,
                                     table2, table3)
+from repro.eval.result import ExperimentResult
 
 __all__ = [
+    "ExperimentResult",
+    "engine",
     "reporting",
+    "run_cells",
     "FIGURE5_SIZES",
     "ablation_banked_cache",
     "ablation_context_bits",

@@ -17,13 +17,17 @@ from __future__ import annotations
 
 import os
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import metrics
 from repro.eval import reporting
 from repro.trace import cache as trace_cache
-from repro.trace.records import Trace
+from repro.trace.records import (OC_BRANCH, OC_LOAD, OC_STORE,
+                                 OC_SYSCALL, REGION_DATA, REGION_HEAP,
+                                 REGION_STACK, Trace)
 from repro.workloads import suite
 
 #: Environment variable providing the default worker count.
@@ -73,6 +77,11 @@ class StageTimes:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
 
+    def snapshot(self) -> "StageTimes":
+        """An independent copy of the current accumulator state."""
+        return StageTimes(self.functional_sim, self.cache_io, self.replay,
+                          self.cells, self.cache_hits, self.cache_misses)
+
     @property
     def total(self) -> float:
         return self.functional_sim + self.cache_io + self.replay
@@ -112,6 +121,57 @@ def render_stage_report() -> str:
     return _stages.render()
 
 
+# -- per-cell metrics collection ----------------------------------------
+
+#: Per-cell metric snapshots (workload name -> snapshot) accumulated by
+#: :func:`run_cells` since the last :func:`take_metrics`, in submission
+#: order so downstream merges are deterministic at any --jobs level.
+_metric_cells: "OrderedDict[str, Dict[str, dict]]" = OrderedDict()
+
+
+def take_metrics() -> "OrderedDict[str, Dict[str, dict]]":
+    """Pop the per-cell metric snapshots collected so far."""
+    global _metric_cells
+    collected = _metric_cells
+    _metric_cells = OrderedDict()
+    return collected
+
+
+def _publish_trace_metrics(trace: Trace) -> None:
+    """Publish the functional layer's instruction/region mix.
+
+    One O(n) pass over the records, taken only when collection is
+    enabled - the disabled fast path costs a single attribute check.
+    """
+    registry = metrics.active()
+    if not registry.enabled:
+        return
+    loads = stores = branches = syscalls = 0
+    regions = {REGION_DATA: 0, REGION_HEAP: 0, REGION_STACK: 0}
+    for record in trace.records:
+        op_class = record.op_class
+        if op_class == OC_LOAD:
+            loads += 1
+            regions[record.region] += 1
+        elif op_class == OC_STORE:
+            stores += 1
+            regions[record.region] += 1
+        elif op_class == OC_BRANCH:
+            branches += 1
+        elif op_class == OC_SYSCALL:
+            syscalls += 1
+    ns = registry.scoped("cpu")
+    ns.counter("instructions").inc(len(trace))
+    ns.counter("loads").inc(loads)
+    ns.counter("stores").inc(stores)
+    ns.counter("branches").inc(branches)
+    ns.counter("syscalls").inc(syscalls)
+    region_ns = ns.scoped("region")
+    region_ns.counter("data").inc(regions[REGION_DATA])
+    region_ns.counter("heap").inc(regions[REGION_HEAP])
+    region_ns.counter("stack").inc(regions[REGION_STACK])
+
+
 # -- trace acquisition --------------------------------------------------
 
 def trace_for(name: str, scale: float) -> Trace:
@@ -122,6 +182,7 @@ def trace_for(name: str, scale: float) -> Trace:
         started = time.perf_counter()
         trace = suite.run(name, scale)
         _stages.functional_sim += time.perf_counter() - started
+        _publish_trace_metrics(trace)
         return trace
     before = cache.stats.snapshot()
     trace = cache.fetch(name, scale, producer=suite.run)
@@ -129,6 +190,7 @@ def trace_for(name: str, scale: float) -> Trace:
     _stages.cache_io += cache.stats.load_seconds - before.load_seconds
     _stages.cache_hits += cache.stats.hits - before.hits
     _stages.cache_misses += cache.stats.misses - before.misses
+    _publish_trace_metrics(trace)
     return trace
 
 
@@ -156,15 +218,20 @@ def _swap_stages(new: StageTimes) -> StageTimes:
     return old
 
 
-def _run_cell(worker: Callable, name: str, scale: float,
-              args: tuple) -> Tuple[object, StageTimes]:
-    """One cell, with its stage breakdown isolated and returned.
+def _run_cell(worker: Callable, name: str, scale: float, args: tuple,
+              collect_metrics: bool = False)\
+        -> Tuple[object, StageTimes, Optional[Dict[str, dict]]]:
+    """One cell, with its stage breakdown and metrics isolated.
 
     Runs in the parent (serial mode) or in a pool worker; either way
-    the caller merges the returned StageTimes into its accumulator.
+    the caller merges the returned StageTimes into its accumulator and
+    the metric snapshot into the per-cell collection.
     """
     local = StageTimes()
     outer = _swap_stages(local)
+    registry = metrics.MetricsRegistry() if collect_metrics else None
+    outer_registry = metrics.swap(registry) if registry is not None \
+        else None
     started = time.perf_counter()
     try:
         result = worker(name, scale, *args)
@@ -172,30 +239,53 @@ def _run_cell(worker: Callable, name: str, scale: float,
         # Restore the caller's accumulator (serial path nests inside
         # the driver's own timing scope).
         _swap_stages(outer)
+        if registry is not None:
+            metrics.swap(outer_registry)
     elapsed = time.perf_counter() - started
     local.replay += max(
         0.0, elapsed - local.functional_sim - local.cache_io)
     local.cells += 1
-    return result, local
+    snapshot = registry.snapshot() if registry is not None else None
+    return result, local, snapshot
+
+
+def _record_cell(name: str, times: StageTimes,
+                 snapshot: Optional[Dict[str, dict]]) -> None:
+    _stages.merge(times)
+    if snapshot is None:
+        return
+    existing = _metric_cells.get(name)
+    _metric_cells[name] = snapshot if existing is None \
+        else metrics.merge_snapshots(existing, snapshot)
 
 
 def run_cells(worker: Callable, names: Sequence[str], scale: float,
               *args, jobs: Optional[int] = None) -> List[object]:
     """Run ``worker(name, scale, *args)`` for each name; ordered results.
 
+    This is the one public execution entry point every experiment
+    driver (and the trace-consuming CLI commands) goes through.
     ``worker`` must be a module-level function (it crosses a process
     boundary when ``jobs > 1``).  Results are returned in ``names``
     order regardless of completion order, so any reduction over them is
     deterministic at every parallelism level.
+
+    When the active metrics registry is enabled, each cell collects
+    into a fresh registry and the per-cell snapshots are merged into
+    the accumulator behind :func:`take_metrics` in submission order -
+    so metric exports, like rendered tables, are byte-identical at any
+    ``--jobs`` level.
     """
     names = list(names)
+    collect = metrics.active().enabled
     effective = jobs if jobs is not None else get_jobs()
     effective = max(1, min(effective, len(names) or 1))
     if effective <= 1 or len(names) <= 1:
         results = []
         for name in names:
-            result, times = _run_cell(worker, name, scale, args)
-            _stages.merge(times)
+            result, times, snapshot = _run_cell(worker, name, scale,
+                                                args, collect)
+            _record_cell(name, times, snapshot)
             results.append(result)
         return results
     cache = trace_cache.active_cache()
@@ -205,11 +295,13 @@ def run_cells(worker: Callable, names: Sequence[str], scale: float,
             max_workers=effective,
             initializer=_init_worker,
             initargs=(cache_dir, environ_cache)) as pool:
-        futures = [pool.submit(_run_cell, worker, name, scale, args)
+        futures = [pool.submit(_run_cell, worker, name, scale, args,
+                               collect)
                    for name in names]
         results = []
-        for future in futures:         # submission order == names order
-            result, times = future.result()
-            _stages.merge(times)
+        for name, future in zip(names, futures):
+            # submission order == names order
+            result, times, snapshot = future.result()
+            _record_cell(name, times, snapshot)
             results.append(result)
     return results

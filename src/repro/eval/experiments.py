@@ -1,12 +1,15 @@
 """Experiment drivers: one function per table/figure of the paper.
 
 Each driver runs the full workload suite (at a configurable scale)
-through the relevant subsystem and returns structured results plus a
-formatted text table via ``render()``.  The experiment ids follow
+through the relevant subsystem and returns an
+:class:`repro.eval.result.ExperimentResult` - the uniform container
+carrying the render-ready table, per-cell metric snapshots (when the
+metrics registry is enabled), the wall-clock stage breakdown, and the
+driver's typed payload under ``data``.  The experiment ids follow
 DESIGN.md's per-experiment index: the paper artifacts (T1, F2, T2, F4,
 T3, F5, S33, F8), the ablations (A1-A3), and the extensions (A4
 Figure-6 compiler hints, A5 banked caches, A6 heap decoupling, A7
-gshare front end).
+gshare front end, A8 hint steering).
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.lvc import StackCacheResult, stack_cache_hit_rate
 from repro.eval import engine, reporting
+from repro.eval.result import ExperimentResult
 from repro.predictor.evaluate import (PredictionResult, evaluate_scheme,
                                       occupancy_by_context)
 from repro.predictor.hints import hints_from_trace
@@ -59,6 +63,42 @@ def _traces(scale: float, names: Sequence[str]):
             yield name, trace
 
 
+class _TableResult:
+    """Mixin for driver payloads: subclasses provide :meth:`table`.
+
+    ``render()`` stays available on the payload so pre-redesign call
+    sites holding a payload directly keep working.
+    """
+
+    def table(self) -> Tuple[List[str], List[list], str]:
+        """The render-ready ``(headers, rows, title)`` triple."""
+        raise NotImplementedError
+
+    def render(self) -> str:
+        """The paper-style text table."""
+        headers, rows, title = self.table()
+        return reporting.format_table(headers, rows, title=title)
+
+
+def _result(experiment: str, payload: _TableResult) -> ExperimentResult:
+    """Wrap a typed payload in the uniform :class:`ExperimentResult`.
+
+    Pops the per-cell metric snapshots the engine accumulated for this
+    driver invocation and freezes the stage-time breakdown, so the
+    result is self-contained.
+    """
+    headers, rows, title = payload.table()
+    return ExperimentResult(
+        experiment=experiment,
+        title=title,
+        headers=list(headers),
+        rows=[list(row) for row in rows],
+        metrics=engine.take_metrics(),
+        stage_times=engine.stage_times().snapshot(),
+        data=payload,
+    )
+
+
 # ----------------------------------------------------------------------
 # T1 - Table 1: suite characteristics
 # ----------------------------------------------------------------------
@@ -73,15 +113,15 @@ class Table1Row:
 
 
 @dataclass
-class Table1Result:
+class Table1Result(_TableResult):
     rows: List[Table1Row]
 
-    def render(self) -> str:
-        return reporting.format_table(
+    def table(self):
+        return (
             ["Benchmark", "Mirrors", "Inst. count", "L%", "S%"],
-            [(r.name, r.mirrors, r.instructions, f"{r.load_pct:.0f}",
-              f"{r.store_pct:.0f}") for r in self.rows],
-            title="Table 1: dynamic instruction counts and load/store mix",
+            [[r.name, r.mirrors, r.instructions, f"{r.load_pct:.0f}",
+              f"{r.store_pct:.0f}"] for r in self.rows],
+            "Table 1: dynamic instruction counts and load/store mix",
         )
 
 
@@ -98,10 +138,10 @@ def _table1_cell(name: str, scale: float) -> Table1Row:
 
 def table1(scale: float = 1.0,
            names: Sequence[str] = suite.ALL_WORKLOADS,
-           jobs: Optional[int] = None) -> Table1Result:
+           jobs: Optional[int] = None) -> ExperimentResult:
     """T1: suite characteristics - dynamic counts and load/store mix."""
-    return Table1Result(
-        rows=engine.run_cells(_table1_cell, names, scale, jobs=jobs))
+    return _result("table1", Table1Result(
+        rows=engine.run_cells(_table1_cell, names, scale, jobs=jobs)))
 
 
 # ----------------------------------------------------------------------
@@ -109,7 +149,7 @@ def table1(scale: float = 1.0,
 # ----------------------------------------------------------------------
 
 @dataclass
-class Figure2Result:
+class Figure2Result(_TableResult):
     breakdowns: List[RegionBreakdown]
 
     @property
@@ -122,16 +162,15 @@ class Figure2Result:
         values = [b.stack_only_static_fraction for b in self.breakdowns]
         return sum(values) / max(1, len(values))
 
-    def render(self) -> str:
+    def table(self):
         rows = []
         for b in self.breakdowns:
             rows.append([b.name] + [
                 reporting.percent(b.static_fraction(cls), 1)
                 for cls in REGION_CLASSES])
-        return reporting.format_table(
-            ["Benchmark"] + list(REGION_CLASSES), rows,
-            title="Figure 2: static memory instructions by accessed "
-                  "region(s)")
+        return (["Benchmark"] + list(REGION_CLASSES), rows,
+                "Figure 2: static memory instructions by accessed "
+                "region(s)")
 
 
 def _figure2_cell(name: str, scale: float) -> RegionBreakdown:
@@ -141,10 +180,10 @@ def _figure2_cell(name: str, scale: float) -> RegionBreakdown:
 
 def figure2(scale: float = 1.0,
             names: Sequence[str] = suite.ALL_WORKLOADS,
-            jobs: Optional[int] = None) -> Figure2Result:
+            jobs: Optional[int] = None) -> ExperimentResult:
     """F2: static memory instructions by accessed region(s)."""
-    return Figure2Result(breakdowns=engine.run_cells(
-        _figure2_cell, names, scale, jobs=jobs))
+    return _result("figure2", Figure2Result(breakdowns=engine.run_cells(
+        _figure2_cell, names, scale, jobs=jobs)))
 
 
 # ----------------------------------------------------------------------
@@ -152,10 +191,10 @@ def figure2(scale: float = 1.0,
 # ----------------------------------------------------------------------
 
 @dataclass
-class Table2Result:
+class Table2Result(_TableResult):
     stats: List[Tuple[RegionWindowStats, RegionWindowStats]]  # (w32, w64)
 
-    def render(self) -> str:
+    def table(self):
         rows = []
         for w32, w64 in self.stats:
             rows.append([
@@ -167,11 +206,10 @@ class Table2Result:
                 reporting.mean_and_std(w64.heap),
                 reporting.mean_and_std(w64.stack),
             ])
-        return reporting.format_table(
-            ["Benchmark", "D@32", "H@32", "S@32", "D@64", "H@64", "S@64"],
-            rows,
-            title="Table 2: mean (std) region accesses per 32/64-insn "
-                  "window")
+        return (["Benchmark", "D@32", "H@32", "S@32", "D@64", "H@64",
+                 "S@64"], rows,
+                "Table 2: mean (std) region accesses per 32/64-insn "
+                "window")
 
 
 def _table2_cell(name: str, scale: float)\
@@ -182,10 +220,10 @@ def _table2_cell(name: str, scale: float)\
 
 def table2(scale: float = 1.0,
            names: Sequence[str] = suite.ALL_WORKLOADS,
-           jobs: Optional[int] = None) -> Table2Result:
+           jobs: Optional[int] = None) -> ExperimentResult:
     """T2: per-region bandwidth and burstiness in sliding windows."""
-    return Table2Result(stats=engine.run_cells(
-        _table2_cell, names, scale, jobs=jobs))
+    return _result("table2", Table2Result(stats=engine.run_cells(
+        _table2_cell, names, scale, jobs=jobs)))
 
 
 # ----------------------------------------------------------------------
@@ -193,7 +231,7 @@ def table2(scale: float = 1.0,
 # ----------------------------------------------------------------------
 
 @dataclass
-class Figure4Result:
+class Figure4Result(_TableResult):
     results: Dict[str, Dict[str, PredictionResult]]  # name -> scheme -> res
 
     def average_accuracy(self, scheme: str,
@@ -202,7 +240,7 @@ class Figure4Result:
         return sum(self.results[n][scheme].accuracy
                    for n in names) / len(names)
 
-    def render(self) -> str:
+    def table(self):
         schemes = [s.name for s in FIGURE4_SCHEMES]
         rows = []
         for name, by_scheme in self.results.items():
@@ -212,9 +250,8 @@ class Figure4Result:
             row += [reporting.percent(by_scheme[s].accuracy, 2)
                     for s in schemes]
             rows.append(row)
-        return reporting.format_table(
-            ["Benchmark", "mode-definitive"] + schemes, rows,
-            title="Figure 4: correct stack/non-stack classification")
+        return (["Benchmark", "mode-definitive"] + schemes, rows,
+                "Figure 4: correct stack/non-stack classification")
 
 
 def _figure4_cell(name: str, scale: float, schemes: Tuple[Scheme, ...])\
@@ -227,11 +264,12 @@ def _figure4_cell(name: str, scale: float, schemes: Tuple[Scheme, ...])\
 def figure4(scale: float = 1.0,
             names: Sequence[str] = suite.ALL_WORKLOADS,
             schemes: Sequence[Scheme] = FIGURE4_SCHEMES,
-            jobs: Optional[int] = None) -> Figure4Result:
+            jobs: Optional[int] = None) -> ExperimentResult:
     """F4: stack/non-stack classification accuracy per scheme."""
     cells = engine.run_cells(_figure4_cell, names, scale, tuple(schemes),
                              jobs=jobs)
-    return Figure4Result(results=dict(zip(names, cells)))
+    return _result("figure4", Figure4Result(results=dict(zip(names,
+                                                             cells))))
 
 
 # ----------------------------------------------------------------------
@@ -239,10 +277,10 @@ def figure4(scale: float = 1.0,
 # ----------------------------------------------------------------------
 
 @dataclass
-class Table3Result:
+class Table3Result(_TableResult):
     occupancy: Dict[str, Dict[str, int]]   # name -> context -> entries
 
-    def render(self) -> str:
+    def table(self):
         rows = []
         for name, by_ctx in self.occupancy.items():
             base = max(1, by_ctx["none"])
@@ -253,9 +291,8 @@ class Table3Result:
                 f"{by_ctx['hybrid']} "
                 f"({(by_ctx['hybrid'] - base) * 100 // base}%)",
             ])
-        return reporting.format_table(
-            ["Benchmark", "PC-only", "w/ GBH", "w/ CID", "w/ Hybrid"], rows,
-            title="Table 3: entries occupied in an unlimited ARPT")
+        return (["Benchmark", "PC-only", "w/ GBH", "w/ CID", "w/ Hybrid"],
+                rows, "Table 3: entries occupied in an unlimited ARPT")
 
 
 def _table3_cell(name: str, scale: float) -> Dict[str, int]:
@@ -265,10 +302,11 @@ def _table3_cell(name: str, scale: float) -> Dict[str, int]:
 
 def table3(scale: float = 1.0,
            names: Sequence[str] = suite.ALL_WORKLOADS,
-           jobs: Optional[int] = None) -> Table3Result:
+           jobs: Optional[int] = None) -> ExperimentResult:
     """T3: unlimited-ARPT occupancy per indexing context."""
     cells = engine.run_cells(_table3_cell, names, scale, jobs=jobs)
-    return Table3Result(occupancy=dict(zip(names, cells)))
+    return _result("table3", Table3Result(occupancy=dict(zip(names,
+                                                             cells))))
 
 
 # ----------------------------------------------------------------------
@@ -276,7 +314,7 @@ def table3(scale: float = 1.0,
 # ----------------------------------------------------------------------
 
 @dataclass
-class Figure5Result:
+class Figure5Result(_TableResult):
     # name -> size-key -> (accuracy, accuracy_with_hints); key str(size).
     results: Dict[str, Dict[str, Tuple[float, float]]]
     sizes: Tuple[Optional[int], ...] = FIGURE5_SIZES
@@ -289,7 +327,7 @@ class Figure5Result:
             return f"{size // 1024}K"
         return str(size)
 
-    def render(self) -> str:
+    def table(self):
         keys = [self.size_key(s) for s in self.sizes]
         rows = []
         for name, by_size in self.results.items():
@@ -298,10 +336,9 @@ class Figure5Result:
                 accuracy, hinted = by_size[key]
                 row.append(f"{100 * accuracy:.2f}/{100 * hinted:.2f}")
             rows.append(row)
-        return reporting.format_table(
-            ["Benchmark"] + [f"{k} (raw/hints)" for k in keys], rows,
-            title="Figure 5: 1BIT-HYBRID accuracy vs ARPT size, "
-                  "without/with compiler hints")
+        return (["Benchmark"] + [f"{k} (raw/hints)" for k in keys], rows,
+                "Figure 5: 1BIT-HYBRID accuracy vs ARPT size, "
+                "without/with compiler hints")
 
 
 def _figure5_cell(name: str, scale: float,
@@ -323,11 +360,12 @@ def figure5(scale: float = 1.0,
             names: Sequence[str] = suite.ALL_WORKLOADS,
             sizes: Tuple[Optional[int], ...] = FIGURE5_SIZES,
             jobs: Optional[int] = None)\
-        -> Figure5Result:
+        -> ExperimentResult:
     """F5: 1BIT-HYBRID accuracy vs ARPT capacity, +/- compiler hints."""
     cells = engine.run_cells(_figure5_cell, names, scale, tuple(sizes),
                              jobs=jobs)
-    return Figure5Result(results=dict(zip(names, cells)), sizes=sizes)
+    return _result("figure5", Figure5Result(
+        results=dict(zip(names, cells)), sizes=sizes))
 
 
 # ----------------------------------------------------------------------
@@ -335,7 +373,7 @@ def figure5(scale: float = 1.0,
 # ----------------------------------------------------------------------
 
 @dataclass
-class Section33Result:
+class Section33Result(_TableResult):
     results: List[StackCacheResult]
 
     @property
@@ -347,13 +385,12 @@ class Section33Result:
         hits = sum(r.hits for r in self.results)
         return hits / max(1, accesses)
 
-    def render(self) -> str:
-        rows = [(r.trace_name, r.stack_accesses,
-                 reporting.percent(r.hit_rate, 2)) for r in self.results]
-        return reporting.format_table(
-            ["Benchmark", "Stack refs", "4KB LVC hit rate"], rows,
-            title="Section 3.3: stack-cache hit rate (paper: >99.5%, "
-                  "avg ~99.9%)")
+    def table(self):
+        rows = [[r.trace_name, r.stack_accesses,
+                 reporting.percent(r.hit_rate, 2)] for r in self.results]
+        return (["Benchmark", "Stack refs", "4KB LVC hit rate"], rows,
+                "Section 3.3: stack-cache hit rate (paper: >99.5%, "
+                "avg ~99.9%)")
 
 
 def _section33_cell(name: str, scale: float,
@@ -365,10 +402,10 @@ def _section33_cell(name: str, scale: float,
 def section33(scale: float = 1.0,
               names: Sequence[str] = suite.ALL_WORKLOADS,
               size_bytes: int = 4 * 1024,
-              jobs: Optional[int] = None) -> Section33Result:
+              jobs: Optional[int] = None) -> ExperimentResult:
     """S33: hit rate of a dedicated stack cache (paper: >99.5%)."""
-    return Section33Result(results=engine.run_cells(
-        _section33_cell, names, scale, size_bytes, jobs=jobs))
+    return _result("section33", Section33Result(results=engine.run_cells(
+        _section33_cell, names, scale, size_bytes, jobs=jobs)))
 
 
 # ----------------------------------------------------------------------
@@ -376,7 +413,7 @@ def section33(scale: float = 1.0,
 # ----------------------------------------------------------------------
 
 @dataclass
-class Figure8Result:
+class Figure8Result(_TableResult):
     # name -> config name -> TimingResult
     results: Dict[str, Dict[str, TimingResult]]
     baseline: str = "(2+0)"
@@ -392,7 +429,7 @@ class Figure8Result:
         logs = [math.log(self.speedup(n, config)) for n in names]
         return math.exp(sum(logs) / len(logs))
 
-    def render(self) -> str:
+    def table(self):
         configs = list(next(iter(self.results.values())))
         rows = []
         for name in self.results:
@@ -409,9 +446,8 @@ class Figure8Result:
             rows.append(["GEOMEAN-fp"] + [
                 f"{self.average_speedup(c, fp_names):.3f}"
                 for c in configs])
-        return reporting.format_table(
-            ["Benchmark"] + configs, rows,
-            title="Figure 8: performance relative to (2+0)")
+        return (["Benchmark"] + configs, rows,
+                "Figure 8: performance relative to (2+0)")
 
 
 def _figure8_cell(name: str, scale: float,
@@ -425,13 +461,14 @@ def figure8(scale: float = suite.TIMING_SCALE,
             names: Sequence[str] = suite.ALL_WORKLOADS,
             configs: Optional[Sequence[MachineConfig]] = None,
             jobs: Optional[int] = None)\
-        -> Figure8Result:
+        -> ExperimentResult:
     """F8: cycle-level performance of the (N+M) configurations."""
     configs = tuple(configs) if configs is not None \
         else tuple(figure8_configs())
     cells = engine.run_cells(_figure8_cell, names, scale, configs,
                              jobs=jobs)
-    return Figure8Result(results=dict(zip(names, cells)))
+    return _result("figure8", Figure8Result(results=dict(zip(names,
+                                                             cells))))
 
 
 # ----------------------------------------------------------------------
@@ -439,17 +476,16 @@ def figure8(scale: float = suite.TIMING_SCALE,
 # ----------------------------------------------------------------------
 
 @dataclass
-class AblationTwoBitResult:
+class AblationTwoBitResult(_TableResult):
     accuracies: Dict[str, Tuple[float, float]]   # name -> (1bit, 2bit)
 
-    def render(self) -> str:
-        rows = [(n, reporting.percent(a, 3), reporting.percent(b, 3),
-                 "1bit" if a >= b else "2bit")
+    def table(self):
+        rows = [[n, reporting.percent(a, 3), reporting.percent(b, 3),
+                 "1bit" if a >= b else "2bit"]
                 for n, (a, b) in self.accuracies.items()]
-        return reporting.format_table(
-            ["Benchmark", "1-bit", "2-bit", "winner"], rows,
-            title="Ablation A1: ARPT hysteresis (paper: 2-bit consistently"
-                  " lower)")
+        return (["Benchmark", "1-bit", "2-bit", "winner"], rows,
+                "Ablation A1: ARPT hysteresis (paper: 2-bit consistently"
+                " lower)")
 
 
 def _two_bit_cell(name: str, scale: float) -> Tuple[float, float]:
@@ -462,10 +498,11 @@ def _two_bit_cell(name: str, scale: float) -> Tuple[float, float]:
 def ablation_two_bit(scale: float = 1.0,
                      names: Sequence[str] = suite.ALL_WORKLOADS,
                      jobs: Optional[int] = None)\
-        -> AblationTwoBitResult:
+        -> ExperimentResult:
     """A1: 1-bit vs 2-bit ARPT entries (paper footnote 8)."""
     cells = engine.run_cells(_two_bit_cell, names, scale, jobs=jobs)
-    return AblationTwoBitResult(accuracies=dict(zip(names, cells)))
+    return _result("ablation-2bit", AblationTwoBitResult(
+        accuracies=dict(zip(names, cells))))
 
 
 # ----------------------------------------------------------------------
@@ -473,21 +510,20 @@ def ablation_two_bit(scale: float = 1.0,
 # ----------------------------------------------------------------------
 
 @dataclass
-class AblationContextResult:
+class AblationContextResult(_TableResult):
     # name -> "gbh/cid" -> accuracy
     accuracies: Dict[str, Dict[str, float]]
     splits: Tuple[Tuple[int, int], ...]
 
-    def render(self) -> str:
+    def table(self):
         keys = [f"{g}g+{c}c" for g, c in self.splits]
         rows = []
         for name, by_split in self.accuracies.items():
             rows.append([name] + [reporting.percent(by_split[k], 3)
                                   for k in keys])
-        return reporting.format_table(
-            ["Benchmark"] + keys, rows,
-            title="Ablation A2: hybrid context composition (paper uses "
-                  "8 GBH + 24 CID bits)")
+        return (["Benchmark"] + keys, rows,
+                "Ablation A2: hybrid context composition (paper uses "
+                "8 GBH + 24 CID bits)")
 
 
 def _context_bits_cell(name: str, scale: float,
@@ -509,12 +545,12 @@ def ablation_context_bits(scale: float = 1.0,
                               (0, 32), (4, 28), (8, 24), (16, 16),
                               (24, 8), (32, 0)),
                           jobs: Optional[int] = None)\
-        -> AblationContextResult:
+        -> ExperimentResult:
     """A2: GBH/CID bit split of the hybrid context (footnote 7)."""
     cells = engine.run_cells(_context_bits_cell, names, scale, splits,
                              jobs=jobs)
-    return AblationContextResult(accuracies=dict(zip(names, cells)),
-                                 splits=splits)
+    return _result("ablation-context", AblationContextResult(
+        accuracies=dict(zip(names, cells)), splits=splits))
 
 
 # ----------------------------------------------------------------------
@@ -522,12 +558,12 @@ def ablation_context_bits(scale: float = 1.0,
 # ----------------------------------------------------------------------
 
 @dataclass
-class HintSteeringResult:
+class HintSteeringResult(_TableResult):
     # name -> {'arpt': cycles, 'hinted': cycles, 'oracle': cycles,
     #          'arpt_pressure': entries, 'hinted_pressure': entries}
     rows: Dict[str, Dict[str, float]]
 
-    def render(self) -> str:
+    def table(self):
         table_rows = []
         for name, row in self.rows.items():
             table_rows.append([
@@ -537,14 +573,13 @@ class HintSteeringResult:
                 int(row["arpt_predictions"]),
                 int(row["hinted_predictions"]),
             ])
-        return reporting.format_table(
-            ["Benchmark", "hinted/arpt speedup", "oracle/arpt speedup",
-             "ARPT lookups (hw-only)", "ARPT lookups (hinted)"],
-            table_rows,
-            title="Extension A8: hardware-only ARPT steering vs "
-                  "Figure-6 compiler-assisted steering, (3+3) machine "
-                  "(paper Sec. 3.5.2: dynamic-only loses no noticeable "
-                  "performance)")
+        return (["Benchmark", "hinted/arpt speedup",
+                 "oracle/arpt speedup", "ARPT lookups (hw-only)",
+                 "ARPT lookups (hinted)"], table_rows,
+                "Extension A8: hardware-only ARPT steering vs "
+                "Figure-6 compiler-assisted steering, (3+3) machine "
+                "(paper Sec. 3.5.2: dynamic-only loses no noticeable "
+                "performance)")
 
 
 def _hint_steering_cell(name: str, scale: float) -> Dict[str, float]:
@@ -569,7 +604,7 @@ def _hint_steering_cell(name: str, scale: float) -> Dict[str, float]:
 def ablation_hint_steering(scale: float = suite.TIMING_SCALE,
                            names: Sequence[str] = suite.ALL_WORKLOADS,
                            jobs: Optional[int] = None)\
-        -> HintSteeringResult:
+        -> ExperimentResult:
     """A8: does compiler-assisted steering beat the ARPT in cycles?
 
     Section 3.5.2 concludes the hardware mechanism alone is accurate
@@ -578,7 +613,8 @@ def ablation_hint_steering(scale: float = suite.TIMING_SCALE,
     machine, with oracle steering as the zero-loss bound.
     """
     cells = engine.run_cells(_hint_steering_cell, names, scale, jobs=jobs)
-    return HintSteeringResult(rows=dict(zip(names, cells)))
+    return _result("ablation-hint-steering", HintSteeringResult(
+        rows=dict(zip(names, cells))))
 
 
 # ----------------------------------------------------------------------
@@ -586,7 +622,7 @@ def ablation_hint_steering(scale: float = suite.TIMING_SCALE,
 # ----------------------------------------------------------------------
 
 @dataclass
-class FrontEndResult:
+class FrontEndResult(_TableResult):
     # name -> front_end -> config -> speedup over that front end's (2+0)
     speedups: Dict[str, Dict[str, Dict[str, float]]]
     # name -> front_end -> absolute (2+0) IPC
@@ -599,7 +635,7 @@ class FrontEndResult:
                 for per_fe in self.speedups.values()]
         return math.exp(sum(logs) / len(logs))
 
-    def render(self) -> str:
+    def table(self):
         rows = []
         for name, per_fe in self.speedups.items():
             row = [name]
@@ -612,11 +648,10 @@ class FrontEndResult:
         for front_end in self.front_ends:
             headers.append(f"{front_end} ipc(2+0)")
             headers += [f"{front_end} {c}" for c in self.config_names[1:]]
-        return reporting.format_table(
-            headers, rows,
-            title="Extension A7: front-end sensitivity - perfect vs "
-                  "gshare branch prediction (speedups relative to the "
-                  "same front end's (2+0))")
+        return (headers, rows,
+                "Extension A7: front-end sensitivity - perfect vs "
+                "gshare branch prediction (speedups relative to the "
+                "same front end's (2+0))")
 
 
 def _front_end_cell(name: str, scale: float)\
@@ -648,14 +683,14 @@ def _front_end_cell(name: str, scale: float)\
 def ablation_front_end(scale: float = suite.TIMING_SCALE,
                        names: Sequence[str] = suite.ALL_WORKLOADS,
                        jobs: Optional[int] = None)\
-        -> FrontEndResult:
+        -> ExperimentResult:
     """The paper runs with perfect branch prediction "to assert the
     maximum pressure on the data memory bandwidth"; this quantifies how
     much a realistic gshare front end compresses the Figure 8 gaps."""
     cells = engine.run_cells(_front_end_cell, names, scale, jobs=jobs)
-    return FrontEndResult(
+    return _result("ablation-front-end", FrontEndResult(
         speedups={name: per_fe for name, (per_fe, _) in zip(names, cells)},
-        baseline_ipc={name: ipc for name, (_, ipc) in zip(names, cells)})
+        baseline_ipc={name: ipc for name, (_, ipc) in zip(names, cells)}))
 
 
 # ----------------------------------------------------------------------
@@ -663,7 +698,7 @@ def ablation_front_end(scale: float = suite.TIMING_SCALE,
 # ----------------------------------------------------------------------
 
 @dataclass
-class HeapDecouplingResult:
+class HeapDecouplingResult(_TableResult):
     # name -> {'(2+0)': 1.0, 'stack (2+2)': x, 'heap (2+2)': y}
     speedups: Dict[str, Dict[str, float]]
     config_names: Tuple[str, ...] = ("(2+0)", "stack (2+2)",
@@ -674,18 +709,17 @@ class HeapDecouplingResult:
                 for by_cfg in self.speedups.values()]
         return math.exp(sum(logs) / len(logs))
 
-    def render(self) -> str:
+    def table(self):
         rows = []
         for name, by_cfg in self.speedups.items():
             rows.append([name] + [f"{by_cfg[c]:.3f}"
                                   for c in self.config_names])
         rows.append(["GEOMEAN"] + [f"{self.average(c):.3f}"
                                    for c in self.config_names])
-        return reporting.format_table(
-            ["Benchmark"] + list(self.config_names), rows,
-            title="Extension A6: decoupling stack vs decoupling heap "
-                  "(speedup over (2+0); paper Sec. 3.2.2 predicts heap "
-                  "decoupling brings little benefit)")
+        return (["Benchmark"] + list(self.config_names), rows,
+                "Extension A6: decoupling stack vs decoupling heap "
+                "(speedup over (2+0); paper Sec. 3.2.2 predicts heap "
+                "decoupling brings little benefit)")
 
 
 def _heap_decoupling_cell(name: str, scale: float) -> Dict[str, float]:
@@ -705,13 +739,14 @@ def _heap_decoupling_cell(name: str, scale: float) -> Dict[str, float]:
 def ablation_heap_decoupling(scale: float = suite.TIMING_SCALE,
                              names: Sequence[str] = suite.ALL_WORKLOADS,
                              jobs: Optional[int] = None)\
-        -> HeapDecouplingResult:
+        -> ExperimentResult:
     """Tests the paper's Section 3.2.2 conclusion directly: heap
     accesses are bursty and (for FP) rare, so giving *heap* its own
     pipeline should win much less than giving it to the stack."""
     cells = engine.run_cells(_heap_decoupling_cell, names, scale,
                              jobs=jobs)
-    return HeapDecouplingResult(speedups=dict(zip(names, cells)))
+    return _result("ablation-heap-decoupling", HeapDecouplingResult(
+        speedups=dict(zip(names, cells))))
 
 
 # ----------------------------------------------------------------------
@@ -719,7 +754,7 @@ def ablation_heap_decoupling(scale: float = suite.TIMING_SCALE,
 # ----------------------------------------------------------------------
 
 @dataclass
-class BankedResult:
+class BankedResult(_TableResult):
     # name -> config name -> speedup over ported (2+0)
     speedups: Dict[str, Dict[str, float]]
     config_names: Tuple[str, ...]
@@ -729,17 +764,16 @@ class BankedResult:
                 for by_cfg in self.speedups.values()]
         return math.exp(sum(logs) / len(logs))
 
-    def render(self) -> str:
+    def table(self):
         rows = []
         for name, by_cfg in self.speedups.items():
             rows.append([name] + [f"{by_cfg[c]:.3f}"
                                   for c in self.config_names])
         rows.append(["GEOMEAN"] + [f"{self.average(c):.3f}"
                                    for c in self.config_names])
-        return reporting.format_table(
-            ["Benchmark"] + list(self.config_names), rows,
-            title="Extension A5: perfect ports vs interleaved banks vs "
-                  "decoupling (speedup over ported (2+0))")
+        return (["Benchmark"] + list(self.config_names), rows,
+                "Extension A5: perfect ports vs interleaved banks vs "
+                "decoupling (speedup over ported (2+0))")
 
 
 def _banked_configs() -> Tuple[MachineConfig, ...]:
@@ -765,15 +799,15 @@ def _banked_cell(name: str, scale: float) -> Dict[str, float]:
 def ablation_banked_cache(scale: float = suite.TIMING_SCALE,
                           names: Sequence[str] = suite.ALL_WORKLOADS,
                           jobs: Optional[int] = None)\
-        -> BankedResult:
+        -> ExperimentResult:
     """The paper assumes perfect multi-porting; a banked cache is the
     cheap alternative it is judged against.  Compares N-ported vs
     N-banked conventional designs against the (N/2 + N/2) decoupled one.
     """
     cells = engine.run_cells(_banked_cell, names, scale, jobs=jobs)
-    return BankedResult(
+    return _result("ablation-banked", BankedResult(
         speedups=dict(zip(names, cells)),
-        config_names=tuple(cfg.name for cfg in _banked_configs()))
+        config_names=tuple(cfg.name for cfg in _banked_configs())))
 
 
 # ----------------------------------------------------------------------
@@ -790,22 +824,20 @@ class StaticHintsRow:
 
 
 @dataclass
-class StaticHintsResult:
+class StaticHintsResult(_TableResult):
     rows: List[StaticHintsRow]
 
-    def render(self) -> str:
+    def table(self):
         table_rows = [
-            (r.name, reporting.percent(r.coverage, 1),
+            [r.name, reporting.percent(r.coverage, 1),
              reporting.percent(r.accuracy_none, 3),
              reporting.percent(r.accuracy_static, 3),
-             reporting.percent(r.accuracy_ideal, 3))
+             reporting.percent(r.accuracy_ideal, 3)]
             for r in self.rows]
-        return reporting.format_table(
-            ["Benchmark", "tag coverage", "no hints (8K)",
-             "Fig-6 hints", "profile hints"],
-            table_rows,
-            title="Extension A4: real compiler analysis (paper Fig. 6) "
-                  "vs idealised profile hints, 8K-entry ARPT")
+        return (["Benchmark", "tag coverage", "no hints (8K)",
+                 "Fig-6 hints", "profile hints"], table_rows,
+                "Extension A4: real compiler analysis (paper Fig. 6) "
+                "vs idealised profile hints, 8K-entry ARPT")
 
 
 def _static_hints_cell(name: str, scale: float,
@@ -835,10 +867,11 @@ def ablation_static_hints(scale: float = 1.0,
                           names: Sequence[str] = suite.ALL_WORKLOADS,
                           table_size: int = 8 * 1024,
                           jobs: Optional[int] = None)\
-        -> StaticHintsResult:
+        -> ExperimentResult:
     """A4: real Figure-6 compiler hints vs the profile-ideal hints."""
-    return StaticHintsResult(rows=engine.run_cells(
-        _static_hints_cell, names, scale, table_size, jobs=jobs))
+    return _result("ablation-static-hints", StaticHintsResult(
+        rows=engine.run_cells(_static_hints_cell, names, scale,
+                              table_size, jobs=jobs)))
 
 
 # ----------------------------------------------------------------------
@@ -846,19 +879,18 @@ def ablation_static_hints(scale: float = 1.0,
 # ----------------------------------------------------------------------
 
 @dataclass
-class AblationLvcResult:
+class AblationLvcResult(_TableResult):
     # name -> size -> hit rate
     hit_rates: Dict[str, Dict[int, float]]
     sizes: Tuple[int, ...]
 
-    def render(self) -> str:
+    def table(self):
         rows = []
         for name, by_size in self.hit_rates.items():
             rows.append([name] + [reporting.percent(by_size[s], 2)
                                   for s in self.sizes])
-        return reporting.format_table(
-            ["Benchmark"] + [f"{s // 1024}KB" for s in self.sizes], rows,
-            title="Ablation A3: stack-cache hit rate vs LVC size")
+        return (["Benchmark"] + [f"{s // 1024}KB" for s in self.sizes],
+                rows, "Ablation A3: stack-cache hit rate vs LVC size")
 
 
 def _lvc_size_cell(name: str, scale: float,
@@ -873,9 +905,9 @@ def ablation_lvc_size(scale: float = 1.0,
                       sizes: Tuple[int, ...] = (1024, 2048, 4096, 8192,
                                                 16384),
                       jobs: Optional[int] = None)\
-        -> AblationLvcResult:
+        -> ExperimentResult:
     """A3: stack-cache hit rate across LVC capacities."""
     cells = engine.run_cells(_lvc_size_cell, names, scale, sizes,
                              jobs=jobs)
-    return AblationLvcResult(hit_rates=dict(zip(names, cells)),
-                             sizes=sizes)
+    return _result("ablation-lvc-size", AblationLvcResult(
+        hit_rates=dict(zip(names, cells)), sizes=sizes))

@@ -1,0 +1,73 @@
+"""The uniform result type every experiment driver returns.
+
+Historically each driver returned its own shape (typed dataclasses,
+dicts of dicts, tuples); :class:`ExperimentResult` unifies them: one
+container carrying the render-ready table (headers + rows + title),
+the per-cell metric snapshots collected during the run, the wall-clock
+stage breakdown, and the original typed payload under ``data``.
+
+Migration shim: attribute lookups that miss on :class:`ExperimentResult`
+are forwarded to the legacy payload with a ``DeprecationWarning``, so
+``figure4(...).results`` and friends keep working for one release;
+new code should write ``figure4(...).data.results``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from functools import reduce
+from typing import Any, Dict, List, Optional
+
+from repro import metrics
+from repro.eval import reporting
+from repro.eval.engine import StageTimes
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform container for one experiment run.
+
+    ``rows`` are render-ready cells (consumed directly by
+    :func:`repro.eval.reporting.format_table`); the typed
+    per-experiment payload lives under ``data``.
+    """
+
+    experiment: str                      # driver id, e.g. "figure4"
+    title: str                           # paper-style table caption
+    headers: List[str]
+    rows: List[List[object]]
+    #: Per-workload-cell metric snapshots (collection is opt-in; empty
+    #: when the metrics registry was disabled during the run).
+    metrics: Dict[str, Dict[str, dict]] = field(default_factory=dict)
+    #: Wall-clock stage breakdown accumulated while the driver ran.
+    stage_times: Optional[StageTimes] = None
+    #: The legacy typed payload (Table1Result, Figure4Result, ...).
+    data: Any = None
+
+    def render(self) -> str:
+        """The paper-style text table."""
+        return reporting.format_table(self.headers, self.rows,
+                                      title=self.title)
+
+    def metric_totals(self) -> Dict[str, dict]:
+        """All cells' metrics merged deterministically."""
+        return reduce(metrics.merge_snapshots, self.metrics.values(), {})
+
+    def __getattr__(self, name: str) -> Any:
+        # Only reached when normal lookup fails; forward to the legacy
+        # payload so pre-redesign call sites keep working.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        try:
+            data = object.__getattribute__(self, "data")
+        except AttributeError:
+            data = None
+        if data is not None and hasattr(data, name):
+            warnings.warn(
+                f"ExperimentResult.{name} is forwarded to the legacy "
+                f"{type(data).__name__} payload; use .data.{name}",
+                DeprecationWarning, stacklevel=2)
+            return getattr(data, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")

@@ -1,0 +1,53 @@
+"""Unified metrics & instrumentation layer.
+
+Every simulation layer - functional CPU, predictor schemes, cache
+hierarchy/LVC/TLB, timing machine - publishes typed instruments
+(counters, gauges, histograms, interval time-series) into the active
+:class:`MetricsRegistry` under hierarchical dotted names.  Collection
+is opt-in: the default active registry is the no-op
+:data:`NULL_REGISTRY`, so an uninstrumented run pays one ``enabled``
+check per simulation, not per event.
+
+Typical use::
+
+    from repro import metrics
+    from repro.metrics import export
+
+    with metrics.collecting() as registry:
+        result = simulate(trace, config)
+    snapshot = registry.snapshot()
+
+The experiment engine collects one registry per workload cell and
+merges snapshots deterministically (see
+:func:`repro.metrics.merge_snapshots`), making ``--metrics-out``
+exports byte-identical across ``--jobs`` levels.
+"""
+
+from repro.metrics import export
+from repro.metrics.registry import (DEFAULT_BUCKETS,
+                                    MAX_TIMESERIES_POINTS, NULL_REGISTRY,
+                                    Counter, Gauge, Histogram,
+                                    MetricsRegistry, Namespace,
+                                    NullRegistry, Timeseries, active,
+                                    collecting, disable, enable,
+                                    merge_snapshots, swap)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timeseries",
+    "Namespace",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "MAX_TIMESERIES_POINTS",
+    "active",
+    "collecting",
+    "disable",
+    "enable",
+    "export",
+    "merge_snapshots",
+    "swap",
+]

@@ -1,0 +1,139 @@
+"""Machine-readable metric exports (JSON / CSV) and validation.
+
+An *experiment document* is the canonical export shape::
+
+    {"schema": 1,
+     "experiment": "figure4",
+     "scale": 1.0,
+     "cells":  {"db_vortex": {<metric name>: <snapshot entry>, ...},
+                ...},
+     "totals": {<metric name>: <merged snapshot entry>, ...}}
+
+``cells`` holds one registry snapshot per workload cell (keyed by
+workload name); ``totals`` is their deterministic merge.  Documents
+contain only simulation-derived values - never wall-clock - so the
+serialised form is byte-identical at every ``--jobs`` level.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from functools import reduce
+from pathlib import Path
+from typing import Dict, List, Mapping, Union
+
+from repro.metrics.registry import merge_snapshots
+
+#: Version of the export document layout.
+SCHEMA_VERSION = 1
+
+
+def experiment_document(experiment: str, scale: float,
+                        cells: Mapping[str, Dict[str, dict]]) -> dict:
+    """Build the canonical export document from per-cell snapshots."""
+    ordered = {name: cells[name] for name in cells}
+    totals = reduce(merge_snapshots, ordered.values(), {})
+    return {"schema": SCHEMA_VERSION, "experiment": experiment,
+            "scale": scale, "cells": ordered, "totals": totals}
+
+
+def to_json(document: dict) -> str:
+    """Serialise a document deterministically (sorted keys)."""
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def _flat_rows(document: dict) -> List[tuple]:
+    """(cell, metric, kind, field, value) rows, sorted."""
+    rows = []
+    sections = [(name, snapshot)
+                for name, snapshot in sorted(document["cells"].items())]
+    sections.append(("TOTAL", document["totals"]))
+    for cell, snapshot in sections:
+        for metric in sorted(snapshot):
+            entry = snapshot[metric]
+            for field in sorted(entry):
+                if field == "kind":
+                    continue
+                value = entry[field]
+                if isinstance(value, list):
+                    value = " ".join(str(v) for v in value)
+                rows.append((cell, metric, entry["kind"], field, value))
+    return rows
+
+
+def to_csv(document: dict) -> str:
+    """Serialise a document as flat CSV (one row per metric field)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["cell", "metric", "kind", "field", "value"])
+    writer.writerows(_flat_rows(document))
+    return buffer.getvalue()
+
+
+def write_document(document: dict, path: Union[str, Path]) -> Path:
+    """Write a document to ``path`` (CSV for ``.csv``, else JSON)."""
+    path = Path(path)
+    text = to_csv(document) if path.suffix.lower() == ".csv" \
+        else to_json(document)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+def summarize_entry(entry: dict) -> str:
+    """A one-cell human-readable summary of a snapshot entry."""
+    kind = entry["kind"]
+    if kind == "counter":
+        value = entry["value"]
+        return f"{value:,}" if isinstance(value, int) else f"{value:g}"
+    if kind == "gauge":
+        return "n/a" if entry["value"] is None else f"{entry['value']:g}"
+    if kind == "histogram":
+        if not entry["count"]:
+            return "empty"
+        mean = entry["sum"] / entry["count"]
+        return (f"n={entry['count']} mean={mean:.3f} "
+                f"min={entry['min']:g} max={entry['max']:g}")
+    if kind == "timeseries":
+        count = entry["count"]
+        if not count:
+            return "empty"
+        mean = entry["sum"] / count
+        std = math.sqrt(max(0.0, entry["sumsq"] / count - mean * mean))
+        return f"n={count} mean={mean:.3f} std={std:.3f}"
+    return repr(entry)
+
+
+def validate(document: dict) -> List[str]:
+    """Sanity-check every registered metric; returns problem strings.
+
+    A metric is invalid if any of its numeric fields is NaN or
+    negative - every quantity in this simulator (counts, latencies,
+    rates, occupancies) is non-negative by construction, so either
+    signals an accounting bug.  Used by CI to gate the exported
+    ``BENCH_metrics.json``.
+    """
+    problems = []
+    sections = list(document["cells"].items()) \
+        + [("totals", document["totals"])]
+    for cell, snapshot in sections:
+        for metric in sorted(snapshot):
+            entry = snapshot[metric]
+            for field in sorted(entry):
+                value = entry[field]
+                values = value if isinstance(value, list) else [value]
+                for item in values:
+                    if not isinstance(item, (int, float)) \
+                            or isinstance(item, bool):
+                        continue
+                    if math.isnan(item):
+                        problems.append(
+                            f"{cell}:{metric}.{field} is NaN")
+                    elif item < 0:
+                        problems.append(
+                            f"{cell}:{metric}.{field} is negative "
+                            f"({item})")
+    return problems

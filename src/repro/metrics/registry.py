@@ -1,0 +1,439 @@
+"""Typed metric instruments and the registry they publish into.
+
+Every simulation layer reports through one of four instrument kinds:
+
+* :class:`Counter` - monotonically increasing event counts (cache hits,
+  ARPT mispredictions, issue stalls);
+* :class:`Gauge` - last-observed values (peak queue occupancy, hit
+  rates at end of run);
+* :class:`Histogram` - bucketed distributions (per-event magnitudes);
+* :class:`Timeseries` - fixed-interval sampled series keeping the
+  moments needed for mean/std burstiness analysis (the paper's Table 2
+  sliding-window methodology).
+
+Instruments live in a :class:`MetricsRegistry` under hierarchical
+dotted names (``timing.(3+3).lsq.stall_cycles``); ``scoped()`` returns
+a namespace proxy so publishers never concatenate prefixes by hand.
+
+Collection is *opt-in*: the process-wide active registry defaults to
+:data:`NULL_REGISTRY`, whose instruments are shared no-op singletons,
+so the disabled fast path costs one attribute check per publication
+site (publication happens at end-of-run, never in per-instruction hot
+loops).  Snapshots are plain JSON-able dicts; :func:`merge_snapshots`
+defines the deterministic cross-cell merge used by the experiment
+engine to make ``--jobs 1`` and ``--jobs N`` exports byte-identical.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: Raw points retained per time-series (moments are always exact).
+MAX_TIMESERIES_POINTS = 64
+
+#: Default histogram bucket upper bounds (powers-of-two-ish decades).
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200,
+                                      500, 1000)
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (default 1) to the count."""
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """The last observed value of a quantity (None until first set)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value", "updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+        self.updates = 0
+
+    def set(self, value: Number) -> None:
+        """Record the current value of the quantity."""
+        self.value = float(value)
+        self.updates += 1
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value,
+                "updates": self.updates}
+
+
+class Histogram:
+    """A bucketed distribution of observed magnitudes.
+
+    ``bounds`` are inclusive upper bounds; one overflow bucket catches
+    everything above the last bound.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "bounds", "buckets", "count", "total",
+                 "minimum", "maximum")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[Number] = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted and "
+                             "non-empty")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.buckets[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / max(1, self.count)
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "count": self.count,
+                "sum": self.total, "min": self.minimum,
+                "max": self.maximum, "bounds": list(self.bounds),
+                "buckets": list(self.buckets)}
+
+
+class Timeseries:
+    """Fixed-interval sampled series with exact first/second moments.
+
+    Designed for the paper's Table-2 style analysis: per-window access
+    counts sampled every ``interval`` instructions, where the mean
+    measures bandwidth demand and the standard deviation measures
+    burstiness.  The first :data:`MAX_TIMESERIES_POINTS` raw samples
+    are retained for plotting; moments cover every sample.
+    """
+
+    kind = "timeseries"
+    __slots__ = ("name", "interval", "count", "total", "sumsq", "points")
+
+    def __init__(self, name: str, interval: int = 1) -> None:
+        if interval <= 0:
+            raise ValueError("timeseries interval must be positive")
+        self.name = name
+        self.interval = interval
+        self.count = 0
+        self.total = 0.0
+        self.sumsq = 0.0
+        self.points: List[float] = []
+
+    def observe(self, value: Number) -> None:
+        """Record one interval sample."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.sumsq += value * value
+        if len(self.points) < MAX_TIMESERIES_POINTS:
+            self.points.append(value)
+
+    def observe_moments(self, count: int, total: Number,
+                        sumsq: Number) -> None:
+        """Fold in pre-aggregated moments (streaming profilers)."""
+        self.count += count
+        self.total += float(total)
+        self.sumsq += float(sumsq)
+
+    @property
+    def mean(self) -> float:
+        return self.total / max(1, self.count)
+
+    @property
+    def std(self) -> float:
+        if self.count == 0:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(max(0.0, self.sumsq / self.count - mean * mean))
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "interval": self.interval,
+                "count": self.count, "sum": self.total,
+                "sumsq": self.sumsq, "points": list(self.points)}
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram,
+                                    Timeseries)}
+
+
+class Namespace:
+    """A registry proxy that prefixes every instrument name."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix
+
+    @property
+    def enabled(self) -> bool:
+        return self._registry.enabled
+
+    def _qualified(self, name: str) -> str:
+        return f"{self._prefix}.{name}" if self._prefix else name
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(self._qualified(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._registry.gauge(self._qualified(name))
+
+    def histogram(self, name: str,
+                  bounds: Sequence[Number] = DEFAULT_BUCKETS)\
+            -> Histogram:
+        return self._registry.histogram(self._qualified(name), bounds)
+
+    def timeseries(self, name: str, interval: int = 1) -> Timeseries:
+        return self._registry.timeseries(self._qualified(name), interval)
+
+    def scoped(self, prefix: str) -> "Namespace":
+        return Namespace(self._registry, self._qualified(prefix))
+
+
+class MetricsRegistry:
+    """A collection of named instruments (get-or-create semantics).
+
+    Requesting an existing name with a different instrument kind
+    raises ``TypeError`` - one name, one meaning.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, kind: str, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif instrument.kind != kind:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{instrument.kind}, requested as {kind}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get(name, "counter", lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get(name, "gauge", lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  bounds: Sequence[Number] = DEFAULT_BUCKETS)\
+            -> Histogram:
+        """Get or create the histogram called ``name``."""
+        return self._get(name, "histogram",
+                         lambda: Histogram(name, bounds))
+
+    def timeseries(self, name: str, interval: int = 1) -> Timeseries:
+        """Get or create the time-series called ``name``."""
+        return self._get(name, "timeseries",
+                         lambda: Timeseries(name, interval))
+
+    def scoped(self, prefix: str) -> Namespace:
+        """A namespace proxy prefixing every instrument name."""
+        return Namespace(self, prefix)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """All instruments as a plain, JSON-able, name-sorted dict."""
+        return {name: self._instruments[name].snapshot()
+                for name in sorted(self._instruments)}
+
+
+class _NullInstrument:
+    """Shared no-op instrument returned by the disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+    def set(self, value: Number) -> None:
+        pass
+
+    def observe(self, value: Number) -> None:
+        pass
+
+    def observe_moments(self, count: int, total: Number,
+                        sumsq: Number) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The disabled registry: every accessor returns one shared no-op
+    instrument and snapshots are empty.  Publication sites check
+    ``enabled`` once per run, so disabled-mode overhead is near zero."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        """The shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        """The shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str,
+                  bounds: Sequence[Number] = DEFAULT_BUCKETS)\
+            -> _NullInstrument:
+        """The shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def timeseries(self, name: str, interval: int = 1)\
+            -> _NullInstrument:
+        """The shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def scoped(self, prefix: str) -> "NullRegistry":
+        """Namespacing on a disabled registry is the registry itself."""
+        return self
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Always empty."""
+        return {}
+
+
+#: The process-wide disabled registry (default active registry).
+NULL_REGISTRY = NullRegistry()
+
+_active: Union[MetricsRegistry, NullRegistry] = NULL_REGISTRY
+
+
+def active() -> Union[MetricsRegistry, NullRegistry]:
+    """The registry simulation layers currently publish into."""
+    return _active
+
+
+def swap(registry: Union[MetricsRegistry, NullRegistry])\
+        -> Union[MetricsRegistry, NullRegistry]:
+    """Install ``registry`` as active; returns the previous one."""
+    global _active
+    previous = _active
+    _active = registry
+    return previous
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Activate collection into ``registry`` (fresh one by default)."""
+    registry = registry if registry is not None else MetricsRegistry()
+    swap(registry)
+    return registry
+
+
+def disable() -> None:
+    """Restore the no-op null registry."""
+    swap(NULL_REGISTRY)
+
+
+@contextmanager
+def collecting(registry: Optional[MetricsRegistry] = None):
+    """Scope-bound collection: activates a registry, restores on exit."""
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = swap(registry)
+    try:
+        yield registry
+    finally:
+        swap(previous)
+
+
+# -- snapshot merging ---------------------------------------------------
+
+def _merge_entry(base: dict, other: dict) -> dict:
+    kind = base["kind"]
+    if kind != other["kind"]:
+        raise ValueError(f"cannot merge {other['kind']} into {kind}")
+    if kind == "counter":
+        return {"kind": kind, "value": base["value"] + other["value"]}
+    if kind == "gauge":
+        merged = dict(base)
+        if other["updates"]:
+            merged["value"] = other["value"]
+        merged["updates"] = base["updates"] + other["updates"]
+        return merged
+    if kind == "histogram":
+        if base["bounds"] != other["bounds"]:
+            raise ValueError("cannot merge histograms with different "
+                             "bucket bounds")
+        minima = [m for m in (base["min"], other["min"]) if m is not None]
+        maxima = [m for m in (base["max"], other["max"]) if m is not None]
+        return {"kind": kind,
+                "count": base["count"] + other["count"],
+                "sum": base["sum"] + other["sum"],
+                "min": min(minima) if minima else None,
+                "max": max(maxima) if maxima else None,
+                "bounds": list(base["bounds"]),
+                "buckets": [a + b for a, b in zip(base["buckets"],
+                                                  other["buckets"])]}
+    if kind == "timeseries":
+        if base["interval"] != other["interval"]:
+            raise ValueError("cannot merge timeseries with different "
+                             "intervals")
+        points = (list(base["points"])
+                  + list(other["points"]))[:MAX_TIMESERIES_POINTS]
+        return {"kind": kind, "interval": base["interval"],
+                "count": base["count"] + other["count"],
+                "sum": base["sum"] + other["sum"],
+                "sumsq": base["sumsq"] + other["sumsq"],
+                "points": points}
+    raise ValueError(f"unknown instrument kind {kind!r}")
+
+
+def merge_snapshots(base: Dict[str, dict],
+                    other: Dict[str, dict]) -> Dict[str, dict]:
+    """Merge two snapshots deterministically; returns a new dict.
+
+    Counters sum; gauges keep the later (``other``) value; histograms
+    and time-series combine their moments and bucket counts.  Merging
+    per-cell snapshots in submission order makes the result identical
+    at every ``--jobs`` level.
+    """
+    merged = {name: dict(entry) for name, entry in base.items()}
+    for name, entry in other.items():
+        if name in merged:
+            merged[name] = _merge_entry(merged[name], entry)
+        else:
+            merged[name] = dict(entry)
+    return {name: merged[name] for name in sorted(merged)}

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro import metrics
 from repro.predictor.arpt import ARPT
 from repro.predictor.contexts import ContextTracker, context_function
 from repro.predictor.hints import CompilerHints
@@ -115,7 +116,7 @@ def evaluate_scheme(trace: Trace, scheme,
         if prediction == actual:
             correct += 1
 
-    return PredictionResult(
+    result = PredictionResult(
         scheme=scheme.name,
         trace_name=trace.name,
         total=total,
@@ -128,6 +129,37 @@ def evaluate_scheme(trace: Trace, scheme,
         occupancy=table.occupancy if table is not None else 0,
         table_size=table_size,
     )
+    _publish_metrics(result, hints is not None, gbh_bits, cid_bits)
+    return result
+
+
+def _publish_metrics(result: PredictionResult, hinted_run: bool,
+                     gbh_bits: int, cid_bits: int) -> None:
+    """End-of-run metrics publication (no-op when collection is off).
+
+    Labels are qualified by table size, hint usage, and non-default
+    context splits, so sweeps that evaluate the same scheme repeatedly
+    within one cell (Figure 5, ablation A2) publish distinct names.
+    """
+    registry = metrics.active()
+    if not registry.enabled:
+        return
+    label = result.scheme
+    if result.table_size is not None:
+        label += f"@{result.table_size}"
+    if hinted_run:
+        label += "+hints"
+    if (gbh_bits, cid_bits) != (8, 24):
+        label += f"+{gbh_bits}g{cid_bits}c"
+    ns = registry.scoped("predictor").scoped(label)
+    ns.counter("references").inc(result.total)
+    ns.counter("correct").inc(result.correct)
+    ns.counter("definitive").inc(result.definitive)
+    ns.counter("definitive_correct").inc(result.definitive_correct)
+    ns.counter("table_predictions").inc(result.table_predictions)
+    ns.counter("table_correct").inc(result.table_correct)
+    ns.counter("hinted").inc(result.hinted)
+    ns.gauge("occupancy").set(result.occupancy)
 
 
 def occupancy_by_context(trace: Trace,

@@ -21,6 +21,7 @@ import bisect
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro import metrics
 from repro.cache.cache import Cache, CacheConfig
 from repro.cache.hierarchy import BankManager, Hierarchy, PortManager
 from repro.predictor.arpt import ARPT
@@ -79,14 +80,19 @@ class InflightOp:
 
 @dataclass
 class TimingResult:
-    """Summary statistics of one timing-simulation run."""
+    """Summary statistics of one timing-simulation run.
+
+    ``lvc_hit_rate`` is ``None`` on a conventional (non-decoupled)
+    machine - there is no LVC, so reporting ``0.0`` would misread as
+    "an LVC that never hit".
+    """
 
     config_name: str
     trace_name: str
     instructions: int
     cycles: int
     l1_hit_rate: float
-    lvc_hit_rate: float
+    lvc_hit_rate: Optional[float]
     l2_hit_rate: float
     store_forwards: int
     port_stalls: int
@@ -96,6 +102,8 @@ class TimingResult:
     lvaq_occupancy_peak: int
     lsq_occupancy_peak: int
     tlb_miss_rate: float = 0.0
+    issue_stalls: int = 0
+    repairs: int = 0
 
     @property
     def ipc(self) -> float:
@@ -170,6 +178,8 @@ class TimingSimulator:
         self.arpt_predictions = 0
         self.arpt_mispredictions = 0
         self.vp_bypasses = 0
+        self.issue_stalls = 0
+        self.repairs = 0
         self._peak = [0, 0]
 
     # ------------------------------------------------------------------
@@ -222,6 +232,7 @@ class TimingSimulator:
             dispatch_ptr = self._dispatch(records, dispatch_ptr, cycle)
             cycle += 1
 
+        self._publish_metrics(total, cycle)
         lvc_stats = self._lvc.stats if self._lvc is not None else None
         return TimingResult(
             config_name=config.name,
@@ -229,7 +240,8 @@ class TimingSimulator:
             instructions=total,
             cycles=cycle,
             l1_hit_rate=self._l1.stats.hit_rate,
-            lvc_hit_rate=lvc_stats.hit_rate if lvc_stats else 0.0,
+            lvc_hit_rate=(lvc_stats.hit_rate if lvc_stats is not None
+                          else None),
             l2_hit_rate=self._l2.stats.hit_rate,
             store_forwards=self.store_forwards,
             port_stalls=self.port_stalls,
@@ -240,7 +252,55 @@ class TimingSimulator:
             lsq_occupancy_peak=self._peak[_LSQ],
             tlb_miss_rate=(self._tlb.miss_rate
                            if self._tlb is not None else 0.0),
+            issue_stalls=self.issue_stalls,
+            repairs=self.repairs,
         )
+
+    def _publish_metrics(self, total: int, cycles: int) -> None:
+        """End-of-run metrics publication.
+
+        Costs one ``enabled`` check per simulation when collection is
+        off; all hot-loop accounting uses the plain integer attributes
+        above.  Names are qualified by config (and non-perfect front
+        end) so sweeps that simulate several configurations per cell
+        never collide.
+        """
+        registry = metrics.active()
+        if not registry.enabled:
+            return
+        config = self.config
+        label = config.name
+        if config.branch_predictor != "perfect":
+            label = f"{label}@{config.branch_predictor}"
+        ns = registry.scoped("timing").scoped(label)
+        ns.counter("cycles").inc(cycles)
+        ns.counter("instructions").inc(total)
+        ns.counter("issue_stalls").inc(self.issue_stalls)
+        ns.counter("port_stalls").inc(self.port_stalls)
+        ns.counter("store_forwards").inc(self.store_forwards)
+        ns.counter("repairs").inc(self.repairs)
+        ns.scoped("vp").counter("bypasses").inc(self.vp_bypasses)
+        arpt_ns = ns.scoped("arpt")
+        arpt_ns.counter("predictions").inc(self.arpt_predictions)
+        arpt_ns.counter("mispredictions").inc(self.arpt_mispredictions)
+        ns.scoped("lsq").gauge("occupancy_peak").set(self._peak[_LSQ])
+        ns.scoped("lvaq").gauge("occupancy_peak").set(self._peak[_LVAQ])
+        l1_ns = ns.scoped("l1")
+        self._l1.stats.publish(l1_ns)
+        ports_ns = l1_ns.scoped("ports")
+        ports_ns.counter("grants").inc(self._l1_ports.grants)
+        ports_ns.counter("conflicts").inc(self._l1_ports.conflicts)
+        self._l2.stats.publish(ns.scoped("l2"))
+        if self._lvc is not None:
+            lvc_ns = ns.scoped("lvc")
+            self._lvc.stats.publish(lvc_ns)
+            lvc_ports = lvc_ns.scoped("ports")
+            lvc_ports.counter("grants").inc(self._lvc_ports.grants)
+            lvc_ports.counter("conflicts").inc(self._lvc_ports.conflicts)
+        if self._tlb is not None:
+            tlb_ns = ns.scoped("tlb")
+            tlb_ns.counter("hits").inc(self._tlb.hits)
+            tlb_ns.counter("misses").inc(self._tlb.misses)
 
     # -- dispatch -------------------------------------------------------
 
@@ -360,6 +420,7 @@ class TimingSimulator:
             else:
                 latency = config.latency_of(op.rec.op_class)
                 self._post(cycle + latency, 0, op)
+        self.issue_stalls += len(deferred)
         for op in deferred:
             bisect.insort(ready, op)
 
@@ -410,6 +471,7 @@ class TimingSimulator:
         real machine resolves by squashing, which the trace-driven model
         does not replay.
         """
+        self.repairs += 1
         old = self._queues[op.queue]
         old.remove(op)
         correct = self._correct_queue(op.rec)

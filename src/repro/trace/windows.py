@@ -110,7 +110,21 @@ class SlidingWindowProfiler:
 
 
 def window_stats(trace: Trace, window: int) -> RegionWindowStats:
-    """One-shot Table-2 statistics for a trace at one window size."""
+    """One-shot Table-2 statistics for a trace at one window size.
+
+    When metrics collection is enabled, publishes one
+    ``trace.window<W>.<region>`` time-series per region carrying the
+    exact moments (count, sum, sum of squares) of the per-window access
+    counts - the inputs to Table 2's mean/std burstiness analysis.
+    """
+    from repro import metrics
     profiler = SlidingWindowProfiler(window)
     profiler.observe_trace(trace.records)
+    registry = metrics.active()
+    if registry.enabled:
+        ns = registry.scoped("trace").scoped(f"window{window}")
+        for code, region in REGION_NAMES.items():
+            ns.timeseries(region, interval=window).observe_moments(
+                profiler._samples, profiler._sums[code],
+                profiler._sumsq[code])
     return profiler.result(trace.name)

@@ -36,7 +36,7 @@ class TestReporting:
 class TestProfilingExperiments:
     def test_table1_rows(self):
         result = table1(SCALE, NAMES)
-        assert [r.name for r in result.rows] == list(NAMES)
+        assert [r.name for r in result.data.rows] == list(NAMES)
         assert "Inst. count" in result.render()
 
     def test_figure2_fractions(self):

@@ -19,8 +19,8 @@ def _clear_caches():
 class TestStaticHintsExperiment:
     def test_rows_and_ordering(self):
         result = ablation_static_hints(SCALE, NAMES)
-        assert [row.name for row in result.rows] == list(NAMES)
-        for row in result.rows:
+        assert [row.name for row in result.data.rows] == list(NAMES)
+        for row in result.data.rows:
             assert 0.0 < row.coverage <= 1.0
             # no hints <= Fig-6 hints <= ideal hints (within epsilon).
             assert row.accuracy_static >= row.accuracy_none - 1e-9

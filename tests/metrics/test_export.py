@@ -1,0 +1,102 @@
+"""Tests for metric export documents (JSON/CSV) and validation."""
+
+import json
+import math
+
+import pytest
+
+from repro.metrics import MetricsRegistry, export
+
+
+def _cells():
+    left = MetricsRegistry()
+    left.counter("cpu.loads").inc(10)
+    left.gauge("lsq.peak").set(4)
+    right = MetricsRegistry()
+    right.counter("cpu.loads").inc(5)
+    return {"db_vortex": left.snapshot(), "go_ai": right.snapshot()}
+
+
+class TestDocument:
+    def test_totals_merge_cells(self):
+        document = export.experiment_document("figure4", 0.5, _cells())
+        assert document["schema"] == export.SCHEMA_VERSION
+        assert document["totals"]["cpu.loads"]["value"] == 15
+        assert document["totals"]["lsq.peak"]["value"] == 4.0
+
+    def test_json_roundtrip_and_stability(self):
+        document = export.experiment_document("figure4", 0.5, _cells())
+        text = export.to_json(document)
+        assert text.endswith("\n")
+        assert json.loads(text) == document
+        assert export.to_json(json.loads(text)) == text
+
+    def test_csv_has_total_section(self):
+        document = export.experiment_document("figure4", 0.5, _cells())
+        text = export.to_csv(document)
+        lines = text.splitlines()
+        assert lines[0] == "cell,metric,kind,field,value"
+        assert any(line.startswith("TOTAL,cpu.loads,counter,value,15")
+                   for line in lines)
+
+    def test_write_document_picks_format_by_suffix(self, tmp_path):
+        document = export.experiment_document("t", 1.0, _cells())
+        json_path = export.write_document(document, tmp_path / "m.json")
+        csv_path = export.write_document(document, tmp_path / "m.csv")
+        assert json.loads(json_path.read_text())["experiment"] == "t"
+        assert csv_path.read_text().startswith("cell,metric")
+
+    def test_write_document_creates_parents(self, tmp_path):
+        document = export.experiment_document("t", 1.0, {})
+        path = export.write_document(document,
+                                     tmp_path / "deep" / "m.json")
+        assert path.exists()
+
+
+class TestSummaries:
+    def test_counter_thousands(self):
+        assert export.summarize_entry(
+            {"kind": "counter", "value": 1234567}) == "1,234,567"
+
+    def test_unset_gauge_is_na(self):
+        entry = {"kind": "gauge", "value": None, "updates": 0}
+        assert export.summarize_entry(entry) == "n/a"
+
+    def test_timeseries_mean_std(self):
+        registry = MetricsRegistry()
+        series = registry.timeseries("t", interval=2)
+        series.observe(1)
+        series.observe(3)
+        summary = export.summarize_entry(series.snapshot())
+        assert "mean=2.000" in summary
+
+
+class TestValidate:
+    def test_clean_document_passes(self):
+        document = export.experiment_document("figure4", 0.5, _cells())
+        assert export.validate(document) == []
+
+    def test_nan_detected(self):
+        registry = MetricsRegistry()
+        registry.gauge("bad").set(math.nan)
+        document = export.experiment_document(
+            "x", 1.0, {"cell": registry.snapshot()})
+        problems = export.validate(document)
+        assert any("NaN" in p for p in problems)
+
+    def test_negative_detected(self):
+        registry = MetricsRegistry()
+        registry.counter("bad").inc(-3)
+        document = export.experiment_document(
+            "x", 1.0, {"cell": registry.snapshot()})
+        problems = export.validate(document)
+        assert any("negative" in p for p in problems)
+        # Both the cell and the merged totals are flagged.
+        assert len(problems) == 2
+
+    def test_none_and_strings_ignored(self):
+        registry = MetricsRegistry()
+        registry.gauge("unset")
+        document = export.experiment_document(
+            "x", 1.0, {"cell": registry.snapshot()})
+        assert export.validate(document) == []

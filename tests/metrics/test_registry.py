@@ -1,0 +1,187 @@
+"""Tests for the metrics registry and its instruments."""
+
+import pytest
+
+from repro import metrics
+from repro.metrics import (MAX_TIMESERIES_POINTS, MetricsRegistry,
+                           NULL_REGISTRY, merge_snapshots)
+
+
+@pytest.fixture(autouse=True)
+def _restore_active():
+    yield
+    metrics.disable()
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("cpu.loads")
+        counter.inc()
+        counter.inc(41)
+        assert counter.snapshot() == {"kind": "counter", "value": 42}
+
+    def test_gauge_none_until_set(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("lsq.occupancy_peak")
+        assert gauge.snapshot()["value"] is None
+        gauge.set(17)
+        assert gauge.snapshot() == {"kind": "gauge", "value": 17.0,
+                                    "updates": 1}
+
+    def test_histogram_buckets_and_extremes(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", bounds=(10, 100))
+        for value in (1, 5, 50, 500):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["buckets"] == [2, 1, 1]
+        assert snap["min"] == 1 and snap["max"] == 500
+        assert hist.mean == pytest.approx(556 / 4)
+
+    def test_timeseries_moments_and_point_cap(self):
+        registry = MetricsRegistry()
+        series = registry.timeseries("window", interval=32)
+        for value in range(100):
+            series.observe(value)
+        assert len(series.points) == MAX_TIMESERIES_POINTS
+        assert series.count == 100
+        assert series.mean == pytest.approx(49.5)
+        assert series.std == pytest.approx(28.866, abs=1e-3)
+
+    def test_timeseries_observe_moments(self):
+        registry = MetricsRegistry()
+        series = registry.timeseries("w", interval=8)
+        series.observe_moments(10, 50.0, 300.0)
+        snap = series.snapshot()
+        assert snap["count"] == 10
+        assert snap["sum"] == 50.0
+        assert snap["sumsq"] == 300.0
+        assert snap["points"] == []
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_namespace_prefixes(self):
+        registry = MetricsRegistry()
+        ns = registry.scoped("timing").scoped("lsq")
+        ns.counter("stall_cycles").inc(3)
+        assert registry.snapshot()["timing.lsq.stall_cycles"]["value"] == 3
+
+    def test_snapshot_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta")
+        registry.counter("alpha")
+        assert list(registry.snapshot()) == ["alpha", "zeta"]
+
+
+class TestDisabledFastPath:
+    def test_default_active_is_null(self):
+        assert metrics.active() is NULL_REGISTRY
+        assert not metrics.active().enabled
+
+    def test_null_instruments_are_one_shared_object(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.gauge("b")
+        assert NULL_REGISTRY.scoped("deep").scoped("er") is NULL_REGISTRY
+
+    def test_null_registry_accepts_all_operations(self):
+        ns = NULL_REGISTRY.scoped("x")
+        ns.counter("c").inc(5)
+        ns.gauge("g").set(1.0)
+        ns.histogram("h").observe(2)
+        ns.timeseries("t", interval=4).observe_moments(1, 2.0, 4.0)
+        assert NULL_REGISTRY.snapshot() == {}
+        assert len(NULL_REGISTRY) == 0
+
+    def test_collecting_scopes_activation(self):
+        with metrics.collecting() as registry:
+            assert metrics.active() is registry
+            registry.counter("inner").inc()
+        assert metrics.active() is NULL_REGISTRY
+        assert registry.snapshot()["inner"]["value"] == 1
+
+    def test_enable_disable_roundtrip(self):
+        registry = metrics.enable()
+        assert metrics.active() is registry
+        metrics.disable()
+        assert metrics.active() is NULL_REGISTRY
+
+
+class TestMergeSnapshots:
+    def _snap(self, **counters):
+        registry = MetricsRegistry()
+        for name, value in counters.items():
+            registry.counter(name).inc(value)
+        return registry.snapshot()
+
+    def test_counters_sum(self):
+        merged = merge_snapshots(self._snap(a=1, b=2), self._snap(a=10))
+        assert merged["a"]["value"] == 11
+        assert merged["b"]["value"] == 2
+
+    def test_result_sorted(self):
+        merged = merge_snapshots(self._snap(z=1), self._snap(a=1))
+        assert list(merged) == ["a", "z"]
+
+    def test_gauge_later_value_wins_only_if_updated(self):
+        left = MetricsRegistry()
+        left.gauge("g").set(5)
+        right = MetricsRegistry()
+        right.gauge("g")   # registered but never set
+        merged = merge_snapshots(left.snapshot(), right.snapshot())
+        assert merged["g"]["value"] == 5.0
+        right.gauge("g").set(9)
+        merged = merge_snapshots(left.snapshot(), right.snapshot())
+        assert merged["g"]["value"] == 9.0
+        assert merged["g"]["updates"] == 2
+
+    def test_histograms_require_matching_bounds(self):
+        left = MetricsRegistry()
+        left.histogram("h", bounds=(1, 2)).observe(1)
+        right = MetricsRegistry()
+        right.histogram("h", bounds=(5, 6)).observe(5)
+        with pytest.raises(ValueError):
+            merge_snapshots(left.snapshot(), right.snapshot())
+
+    def test_histogram_merge_combines_moments(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        left.histogram("h", bounds=(10,)).observe(3)
+        right.histogram("h", bounds=(10,)).observe(30)
+        merged = merge_snapshots(left.snapshot(), right.snapshot())
+        assert merged["h"]["count"] == 2
+        assert merged["h"]["min"] == 3 and merged["h"]["max"] == 30
+        assert merged["h"]["buckets"] == [1, 1]
+
+    def test_timeseries_merge_sums_moments(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        left.timeseries("t", interval=4).observe(2)
+        right.timeseries("t", interval=4).observe(4)
+        merged = merge_snapshots(left.snapshot(), right.snapshot())
+        assert merged["t"]["count"] == 2
+        assert merged["t"]["sum"] == 6.0
+        assert merged["t"]["points"] == [2.0, 4.0]
+
+    def test_merge_is_associative_for_counters(self):
+        a, b, c = (self._snap(x=i) for i in (1, 2, 3))
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        assert left == right
+
+    def test_merge_does_not_mutate_inputs(self):
+        base = self._snap(a=1)
+        other = self._snap(a=2)
+        merge_snapshots(base, other)
+        assert base["a"]["value"] == 1
+        assert other["a"]["value"] == 2

@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import metrics
 from repro.cli import main
 from repro.eval import engine
 from repro.trace import cache as trace_cache
@@ -14,6 +17,8 @@ def _clear_caches():
     suite.clear_caches()
     trace_cache.reset()
     engine.set_jobs(None)
+    metrics.disable()
+    engine.take_metrics()
 
 
 @pytest.fixture
@@ -102,3 +107,72 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "figure99"])
+
+
+class TestUnifiedFlags:
+    def test_profile_accepts_jobs(self, capsys):
+        assert main(["profile", "--scale", "0.2", "--jobs", "2",
+                     "db_vortex", "go_ai"]) == 0
+        out = capsys.readouterr().out
+        assert "db_vortex" in out and "go_ai" in out
+
+    def test_profile_metrics_out(self, tmp_path, capsys):
+        out_file = tmp_path / "profile_metrics.json"
+        assert main(["profile", "--scale", "0.2", "--metrics-out",
+                     str(out_file), "db_vortex"]) == 0
+        document = json.loads(out_file.read_text())
+        assert document["experiment"] == "profile"
+        cell = document["cells"]["db_vortex"]
+        assert cell["cpu.instructions"]["value"] > 0
+        assert "trace.window32.stack" in cell
+
+    def test_experiment_id_as_top_level_alias(self, capsys):
+        assert main(["table1", "--scale", "0.2", "db_vortex"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_experiment_accepts_workload_names(self, capsys):
+        assert main(["experiment", "table1", "--scale", "0.2",
+                     "db_vortex"]) == 0
+        out = capsys.readouterr().out
+        assert "db_vortex" in out
+        assert "go_ai" not in out
+
+    @pytest.mark.slow
+    def test_experiment_metrics_out_jobs_byte_identical(self, tmp_path,
+                                                        capsys):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        base = ["figure4", "--scale", "0.2", "db_vortex", "go_ai",
+                "--metrics-out"]
+        assert main(base + [str(serial), "--jobs", "1"]) == 0
+        suite.clear_caches()
+        assert main(base + [str(parallel), "--jobs", "4"]) == 0
+        assert serial.read_bytes() == parallel.read_bytes()
+
+
+class TestStatsCommand:
+    def test_stats_table_output(self, capsys):
+        assert main(["stats", "table1", "--scale", "0.2",
+                     "db_vortex"]) == 0
+        out = capsys.readouterr().out
+        assert "Metrics: table1" in out
+        assert "cpu.instructions" in out
+
+    def test_stats_json_output_validates(self, capsys):
+        assert main(["stats", "table1", "--scale", "0.2", "db_vortex",
+                     "--format", "json", "--check"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["experiment"] == "table1"
+        assert document["cells"]["db_vortex"]["cpu.loads"]["value"] > 0
+
+    def test_stats_csv_output(self, capsys):
+        assert main(["stats", "table1", "--scale", "0.2", "db_vortex",
+                     "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("cell,metric,kind,field,value")
+
+    def test_stats_metrics_out_writes_file(self, tmp_path, capsys):
+        out_file = tmp_path / "stats.json"
+        assert main(["stats", "table1", "--scale", "0.2", "db_vortex",
+                     "--metrics-out", str(out_file)]) == 0
+        assert json.loads(out_file.read_text())["experiment"] == "table1"

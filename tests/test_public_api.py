@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.timing",
     "repro.workloads",
     "repro.eval",
+    "repro.metrics",
 ]
 
 
