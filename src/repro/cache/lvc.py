@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Iterable, List
 
 from repro.cache.cache import local_variable_cache
-from repro.trace.records import REGION_STACK, Trace
+from repro.trace.records import OC_STORE, REGION_STACK, Trace
 
 
 @dataclass
@@ -31,13 +31,18 @@ def stack_cache_hit_rate(trace: Trace,
                          size_bytes: int = 4 * 1024) -> StackCacheResult:
     """Replay a trace's stack references through a direct-mapped LVC."""
     cache = local_variable_cache(size_bytes)
-    accesses = 0
+    # The cache replay itself is stateful and sequential, but the stack
+    # subsequence is pre-extracted from the columnar view so the loop
+    # iterates plain Python ints instead of record attributes.
+    columns = trace.columns
+    stack = columns.region == REGION_STACK
+    addresses = columns.addr[stack].tolist()
+    is_store = (columns.op_class[stack] == OC_STORE).tolist()
+    accesses = len(addresses)
     hits = 0
-    for record in trace.records:
-        if record.region != REGION_STACK:
-            continue
-        accesses += 1
-        if cache.access(record.addr, record.is_store):
+    access = cache.access
+    for address, store in zip(addresses, is_store):
+        if access(address, store):
             hits += 1
     from repro import metrics
     registry = metrics.active()

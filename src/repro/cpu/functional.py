@@ -19,11 +19,12 @@ from repro.runtime.allocator import HeapAllocator
 from repro.runtime.layout import (DATA_BASE, HEAP_BASE, STACK_LIMIT,
                                   WORD_SIZE)
 from repro.runtime.memory import Memory
+from repro.trace.columns import ColumnarTrace
 from repro.trace.records import (MODE_CONSTANT, MODE_GLOBAL, MODE_OTHER,
                                  MODE_STACK, OC_BRANCH, OC_CALL, OC_JUMP,
                                  OC_LOAD, OC_RET, OC_STORE, OC_SYSCALL,
                                  REGION_DATA, REGION_HEAP, REGION_STACK,
-                                 Trace, TraceRecord, op_class_of)
+                                 Trace, op_class_of)
 
 _MASK64 = (1 << 64) - 1
 _SIGN64 = 1 << 63
@@ -97,14 +98,23 @@ class FunctionalSimulator:
                 self.memory.store(base + i * WORD_SIZE, value)
 
     def run(self) -> Trace:
-        """Execute from the entry point until exit; returns the trace."""
+        """Execute from the entry point until exit; returns the trace.
+
+        Retired instructions are appended to a row buffer as plain
+        tuples in ``ColumnarTrace`` field order
+        ``(pc, op_class, dst, src1, src2, addr, mode, region, taken,
+        ra, value)`` and columnised once at end of run - the returned
+        trace is column-backed, so record objects only ever exist if a
+        consumer materialises them.
+        """
         program = self._program
         instructions = program.instructions
         text_base = program.text_base
         memory = self.memory
         gpr = self.gpr
         fpr = self.fpr
-        records: List[TraceRecord] = []
+        rows: List[tuple] = []
+        append = rows.append
         collect = self._collect_trace
         fpr_base = R.FPR_BASE
 
@@ -124,7 +134,6 @@ class FunctionalSimulator:
             pc = text_base + idx * INSTRUCTION_SIZE
             next_idx = idx + 1
             op = instr.op
-            rec: Optional[TraceRecord] = None
 
             if op is Op.LW or op is Op.LF:
                 base = instr.rs
@@ -135,19 +144,15 @@ class FunctionalSimulator:
                     ivalue = int(value)
                     gpr[rd] = ivalue if rd else 0
                     if collect:
-                        rec = TraceRecord(pc, OC_LOAD, dst=rd, src1=base,
-                                          addr=addr,
-                                          mode=_mode_of_base(base),
-                                          region=_region_of(addr),
-                                          ra=gpr[31], value=ivalue)
+                        append((pc, OC_LOAD, rd, base, -1, addr,
+                                _mode_of_base(base), _region_of(addr),
+                                False, gpr[31], ivalue))
                 else:
                     fpr[rd - fpr_base] = float(value)
                     if collect:
-                        rec = TraceRecord(pc, OC_LOAD, dst=rd, src1=base,
-                                          addr=addr,
-                                          mode=_mode_of_base(base),
-                                          region=_region_of(addr),
-                                          ra=gpr[31])
+                        append((pc, OC_LOAD, rd, base, -1, addr,
+                                _mode_of_base(base), _region_of(addr),
+                                False, gpr[31], None))
             elif op is Op.SW or op is Op.SF:
                 base = instr.rs
                 addr = gpr[base] + instr.imm
@@ -157,9 +162,9 @@ class FunctionalSimulator:
                 else:
                     memory.store(addr, fpr[rt - fpr_base])
                 if collect:
-                    rec = TraceRecord(pc, OC_STORE, src1=base, src2=rt,
-                                      addr=addr, mode=_mode_of_base(base),
-                                      region=_region_of(addr), ra=gpr[31])
+                    append((pc, OC_STORE, -1, base, rt, addr,
+                            _mode_of_base(base), _region_of(addr),
+                            False, gpr[31], None))
             elif op is Op.BEQZ or op is Op.BNEZ:
                 cond = gpr[instr.rs]
                 taken = (cond == 0) if op is Op.BEQZ else (cond != 0)
@@ -167,20 +172,21 @@ class FunctionalSimulator:
                     next_idx = (instr.resolved_target - text_base) \
                         // INSTRUCTION_SIZE
                 if collect:
-                    rec = TraceRecord(pc, OC_BRANCH, src1=instr.rs,
-                                      taken=taken)
+                    append((pc, OC_BRANCH, -1, instr.rs, -1, 0, -1, -1,
+                            taken, 0, None))
             elif op is Op.J:
                 next_idx = (instr.resolved_target - text_base) \
                     // INSTRUCTION_SIZE
                 if collect:
-                    rec = TraceRecord(pc, OC_JUMP)
+                    append((pc, OC_JUMP, -1, -1, -1, 0, -1, -1,
+                            False, 0, None))
             elif op is Op.JAL:
                 gpr[31] = pc + INSTRUCTION_SIZE
                 next_idx = (instr.resolved_target - text_base) \
                     // INSTRUCTION_SIZE
                 if collect:
-                    rec = TraceRecord(pc, OC_CALL, dst=R.RA,
-                                      value=gpr[31])
+                    append((pc, OC_CALL, R.RA, -1, -1, 0, -1, -1,
+                            False, 0, gpr[31]))
             elif op is Op.JR or op is Op.JALR:
                 target = gpr[instr.rs]
                 if op is Op.JALR:
@@ -192,33 +198,33 @@ class FunctionalSimulator:
                 next_idx = offset // INSTRUCTION_SIZE
                 if collect:
                     if op is Op.JALR:
-                        rec = TraceRecord(pc, OC_CALL, dst=R.RA,
-                                          src1=instr.rs, value=gpr[31])
+                        append((pc, OC_CALL, R.RA, instr.rs, -1, 0, -1, -1,
+                                False, 0, gpr[31]))
                     else:
                         oc = OC_RET if instr.rs == R.RA else OC_JUMP
-                        rec = TraceRecord(pc, oc, src1=instr.rs)
+                        append((pc, oc, -1, instr.rs, -1, 0, -1, -1,
+                                False, 0, None))
             elif op is Op.SYSCALL:
                 running = self._syscall()
                 if collect:
-                    rec = TraceRecord(pc, OC_SYSCALL, dst=R.V0, src1=R.V0,
-                                      src2=R.A0)
+                    append((pc, OC_SYSCALL, R.V0, R.V0, R.A0, 0, -1, -1,
+                            False, 0, None))
             else:
-                rec = self._execute_alu(instr, pc, collect)
-                if op is Op.DIV or op is Op.REM:
-                    pass  # handled (zero check) inside _execute_alu
+                row = self._execute_alu(instr, pc, collect)
+                if row is not None:
+                    append(row)
 
-            if rec is not None:
-                records.append(rec)
             idx = next_idx
 
         self.steps = steps
-        return Trace(name=self._compiled.name, records=records,
+        return Trace(name=self._compiled.name,
+                     columns=ColumnarTrace.from_rows(rows),
                      output=list(self.output), exit_code=self.exit_code)
 
     # ------------------------------------------------------------------
 
     def _execute_alu(self, instr: Instruction, pc: int,
-                     collect: bool) -> Optional[TraceRecord]:
+                     collect: bool) -> Optional[tuple]:
         op = instr.op
         gpr = self.gpr
         fpr = self.fpr
@@ -326,10 +332,10 @@ class FunctionalSimulator:
                 ivalue = 0  # writes to $zero are discarded
         if not collect:
             return None
-        return TraceRecord(pc, op_class_of(op), dst=-1 if rd is None else rd,
-                           src1=-1 if instr.rs is None else instr.rs,
-                           src2=-1 if instr.rt is None else instr.rt,
-                           value=ivalue)
+        return (pc, op_class_of(op), -1 if rd is None else rd,
+                -1 if instr.rs is None else instr.rs,
+                -1 if instr.rt is None else instr.rt,
+                0, -1, -1, False, 0, ivalue)
 
     def _syscall(self) -> bool:
         """Service a syscall; returns False when the program exits."""

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.trace.records import Trace
-from repro.trace.regions import RegionClassifier
+from repro.trace.regions import single_region_pcs
 
 
 @dataclass
@@ -34,10 +34,14 @@ class CompilerHints:
 
 
 def hints_from_trace(trace: Trace) -> CompilerHints:
-    """Build the idealised (profile-derived) compiler hints for a trace."""
-    classifier = RegionClassifier()
-    classifier.observe_trace(trace.records)
-    return CompilerHints(tags=classifier.single_region_pcs())
+    """Build the idealised (profile-derived) compiler hints for a trace.
+
+    Uses the vectorised per-PC region grouping over the trace's
+    columnar view; equivalent to streaming the records through
+    :class:`~repro.trace.regions.RegionClassifier` and calling its
+    ``single_region_pcs``.
+    """
+    return CompilerHints(tags=single_region_pcs(trace))
 
 
 def empty_hints() -> CompilerHints:

@@ -1,5 +1,6 @@
 """Dynamic traces and region-locality profiling."""
 
+from repro.trace.columns import ColumnarTrace
 from repro.trace.records import (OC_BRANCH, OC_CALL, OC_IALU, OC_LOAD,
                                  OC_RET, OC_STORE, REGION_DATA, REGION_HEAP,
                                  REGION_STACK, Trace, TraceRecord)
@@ -8,6 +9,6 @@ from repro.trace.serialize import load_trace, save_trace
 __all__ = [
     "OC_BRANCH", "OC_CALL", "OC_IALU", "OC_LOAD", "OC_RET", "OC_STORE",
     "REGION_DATA", "REGION_HEAP", "REGION_STACK",
-    "Trace", "TraceRecord",
+    "ColumnarTrace", "Trace", "TraceRecord",
     "load_trace", "save_trace",
 ]

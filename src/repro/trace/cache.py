@@ -23,6 +23,12 @@ Activation, in precedence order:
 
 Writes are atomic (temp file + ``os.replace``) so parallel experiment
 workers can share one cache directory without corrupting it.
+
+Warm loads are zero-copy: ``load_trace`` hands the deserialised arrays
+straight to the trace's columnar backbone
+(:class:`repro.trace.columns.ColumnarTrace`), so a cache hit allocates
+no per-record Python objects - vectorised consumers replay the arrays
+directly and only the timing machine materialises records.
 """
 
 from __future__ import annotations

@@ -15,8 +15,10 @@ Records use ``__slots__``: traces run to millions of instances.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:   # pragma: no cover - import cycle guard
+    from repro.trace.columns import ColumnarTrace
 
 from repro.isa.instructions import Op
 from repro.runtime.layout import Region
@@ -136,40 +138,113 @@ class TraceRecord:
         return f"TraceRecord({name} pc={self.pc:#x})"
 
 
-@dataclass
 class Trace:
-    """A complete dynamic trace of one program execution."""
+    """A complete dynamic trace of one program execution.
 
-    name: str
-    records: List[TraceRecord] = field(default_factory=list)
-    output: List[object] = field(default_factory=list)
-    exit_code: int = 0
+    A trace is backed by *either* a list of :class:`TraceRecord`
+    objects, a :class:`~repro.trace.columns.ColumnarTrace`
+    structure-of-arrays view, or both.  Each representation is derived
+    lazily from the other and cached:
+
+    * ``trace.columns`` builds (once) the columnar view the vectorised
+      profiler and predictor paths consume;
+    * ``trace.records`` materialises (once) record objects for the
+      consumers that truly need per-record traversal - the cycle-level
+      timing machine.
+
+    ``load_trace`` and the functional simulator construct traces
+    column-first, so the profiling experiments never allocate a record
+    object at all.
+    """
+
+    __slots__ = ("name", "output", "exit_code", "_records", "_columns",
+                 "_load_count", "_store_count", "_memory_records")
+
+    def __init__(self, name: str,
+                 records: Optional[List[TraceRecord]] = None,
+                 output: Optional[List[object]] = None,
+                 exit_code: int = 0,
+                 columns: Optional["ColumnarTrace"] = None) -> None:
+        self.name = name
+        if records is None and columns is None:
+            records = []
+        self._records = records
+        self._columns = columns
+        self.output = output if output is not None else []
+        self.exit_code = exit_code
+        self._load_count: Optional[int] = None
+        self._store_count: Optional[int] = None
+        self._memory_records: Optional[List[TraceRecord]] = None
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """The record-object view (materialised from columns on first
+        access, then cached)."""
+        if self._records is None:
+            self._records = self._columns.to_records()
+        return self._records
+
+    @property
+    def columns(self) -> "ColumnarTrace":
+        """The structure-of-arrays view (built from the record list on
+        first access, then cached)."""
+        if self._columns is None:
+            from repro.trace.columns import ColumnarTrace
+            self._columns = ColumnarTrace.from_records(self._records)
+        return self._columns
+
+    @property
+    def has_columns(self) -> bool:
+        """Whether the columnar view already exists (no conversion)."""
+        return self._columns is not None
+
+    @property
+    def has_records(self) -> bool:
+        """Whether record objects are already materialised."""
+        return self._records is not None
 
     def __len__(self) -> int:
-        return len(self.records)
+        if self._records is not None:
+            return len(self._records)
+        return len(self._columns)
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
 
+    def __repr__(self) -> str:
+        backing = "records" if self._records is not None else "columns"
+        return (f"Trace(name={self.name!r}, n={len(self)}, "
+                f"backing={backing})")
+
     @property
     def instruction_count(self) -> int:
-        return len(self.records)
+        return len(self)
 
     @property
     def load_count(self) -> int:
-        return sum(1 for r in self.records if r.op_class == OC_LOAD)
+        if self._load_count is None:
+            import numpy as np
+            self._load_count = int(np.count_nonzero(
+                self.columns.op_class == OC_LOAD))
+        return self._load_count
 
     @property
     def store_count(self) -> int:
-        return sum(1 for r in self.records if r.op_class == OC_STORE)
+        if self._store_count is None:
+            import numpy as np
+            self._store_count = int(np.count_nonzero(
+                self.columns.op_class == OC_STORE))
+        return self._store_count
 
     @property
     def memory_records(self) -> List[TraceRecord]:
-        return [r for r in self.records
-                if r.op_class in (OC_LOAD, OC_STORE)]
+        if self._memory_records is None:
+            self._memory_records = [r for r in self.records
+                                    if r.op_class in (OC_LOAD, OC_STORE)]
+        return self._memory_records
 
     def load_fraction(self) -> float:
-        return self.load_count / max(1, len(self.records))
+        return self.load_count / max(1, len(self))
 
     def store_fraction(self) -> float:
-        return self.store_count / max(1, len(self.records))
+        return self.store_count / max(1, len(self))

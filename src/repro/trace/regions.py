@@ -10,7 +10,9 @@ classes are tiny (1.8-1.9% of static instructions on average).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
 
 from repro.trace.records import (REGION_DATA, REGION_HEAP, REGION_STACK,
                                  Trace, TraceRecord)
@@ -125,8 +127,61 @@ class RegionClassifier:
         return result
 
 
+def _pc_region_masks(trace: Trace) -> Tuple[np.ndarray, np.ndarray,
+                                            np.ndarray]:
+    """Per-static-PC region bitmasks from the columnar view.
+
+    Returns ``(pcs, masks, dynamic)``: the distinct memory-instruction
+    PCs, each PC's OR of region bits (1=data, 2=heap, 4=stack - the
+    same encoding as ``_BIT_OF_REGION``), and each PC's dynamic
+    reference count.  One sort + two grouped reductions replace the
+    scalar classifier's per-record dict updates.
+    """
+    columns = trace.columns
+    region = columns.region
+    mem = region >= 0
+    pcs = columns.pc[mem]
+    bits = np.left_shift(1, region[mem].astype(np.int64))
+    order = np.argsort(pcs, kind="stable")
+    pcs = pcs[order]
+    starts = np.flatnonzero(np.concatenate(
+        ([True], pcs[1:] != pcs[:-1]))) if len(pcs) else np.zeros(
+            0, dtype=np.int64)
+    if len(pcs) == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, empty
+    masks = np.bitwise_or.reduceat(bits[order], starts)
+    dynamic = np.diff(np.append(starts, len(pcs)))
+    return pcs[starts], masks, dynamic
+
+
 def region_breakdown(trace: Trace) -> RegionBreakdown:
-    """One-shot Figure-2 breakdown of a trace."""
-    classifier = RegionClassifier()
-    classifier.observe_trace(trace.records)
-    return classifier.breakdown(trace.name)
+    """One-shot Figure-2 breakdown of a trace (vectorised).
+
+    Equivalent to streaming the trace through
+    :class:`RegionClassifier` (the retained scalar reference) but
+    computed with grouped NumPy reductions over the columnar view.
+    """
+    _, masks, dynamic = _pc_region_masks(trace)
+    static_by_mask = np.bincount(masks, minlength=8)
+    dynamic_by_mask = np.bincount(masks, weights=dynamic, minlength=8)
+    static_counts = {cls: 0 for cls in REGION_CLASSES}
+    dynamic_counts = {cls: 0 for cls in REGION_CLASSES}
+    for mask, cls in _CLASS_OF_MASK.items():
+        static_counts[cls] = int(static_by_mask[mask])
+        dynamic_counts[cls] = int(dynamic_by_mask[mask])
+    return RegionBreakdown(name=trace.name, static_counts=static_counts,
+                           dynamic_counts=dynamic_counts)
+
+
+def single_region_pcs(trace: Trace) -> Dict[int, bool]:
+    """PC -> is_stack for single-region instructions (vectorised).
+
+    Columnar counterpart of
+    :meth:`RegionClassifier.single_region_pcs`, feeding the idealised
+    compiler-hint scheme without materialising records.
+    """
+    pcs, masks, _ = _pc_region_masks(trace)
+    single = (masks == 0b001) | (masks == 0b010) | (masks == 0b100)
+    return dict(zip((pcs[single]).tolist(),
+                    (masks[single] == 0b100).tolist()))

@@ -7,22 +7,25 @@ studies of the paper's era archived SimpleScalar traces).  The on-disk
 cache in :mod:`repro.trace.cache` builds on these primitives.
 
 Records are stored column-wise in int64 arrays - about 90 bytes/record
-in memory becomes ~10 bytes/record on disk after compression.  Columns
-are built and decoded with bulk numpy conversions rather than
-per-element indexing: this is the hot path whenever the trace cache is
-warm.
+in memory becomes ~10 bytes/record on disk after compression.  The
+on-disk layout is exactly the in-memory
+:class:`~repro.trace.columns.ColumnarTrace` schema, so ``save_trace``
+writes the columnar view directly and ``load_trace`` rebuilds a trace
+*zero-copy* from the deserialised arrays - no per-record object is
+constructed on a warm cache load; consumers that need record objects
+materialise them lazily through ``Trace.records``.
 """
 
 from __future__ import annotations
 
-import gc
 import json
 from pathlib import Path
 from typing import Union
 
 import numpy as np
 
-from repro.trace.records import Trace, TraceRecord
+from repro.trace.columns import COLUMN_DTYPES, ColumnarTrace
+from repro.trace.records import Trace
 
 #: Sentinel for "no result value" (record.value is None).  Result
 #: values equal to the sentinel itself cannot round-trip and are
@@ -32,19 +35,9 @@ _NO_VALUE = np.int64(-(2 ** 62))
 _FORMAT_VERSION = 1
 
 #: (column, dtype) for every TraceRecord field except ``value``, which
-#: needs the None-sentinel treatment.
-_COLUMNS = (
-    ("pc", np.int64),
-    ("op_class", np.int8),
-    ("dst", np.int8),
-    ("src1", np.int8),
-    ("src2", np.int8),
-    ("addr", np.int64),
-    ("mode", np.int8),
-    ("region", np.int8),
-    ("taken", np.bool_),
-    ("ra", np.int64),
-)
+#: needs the None-sentinel treatment.  Shared with the in-memory
+#: columnar schema so the formats cannot drift apart.
+_COLUMNS = COLUMN_DTYPES
 
 
 def _normalised(path: Union[str, Path]) -> Path:
@@ -63,25 +56,19 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> None:
     """Write a trace to exactly ``path`` (``.npz`` layout, compressed).
 
     The file is written at the path given - with or without an ``.npz``
-    suffix - so ``load_trace`` round-trips on the same path.
+    suffix - so ``load_trace`` round-trips on the same path.  Saving
+    goes through the trace's columnar view (built and cached on the
+    trace if it does not exist yet), so a trace that was loaded or
+    simulated column-first serialises without touching record objects.
     """
-    records = trace.records
-    n = len(records)
-    columns = {
-        name: np.fromiter((getattr(r, name) for r in records),
-                          dtype=dtype, count=n)
-        for name, dtype in _COLUMNS
-    }
-    values = np.fromiter(
-        (_NO_VALUE if r.value is None else r.value for r in records),
-        dtype=np.int64, count=n)
-    none_mask = np.fromiter((r.value is None for r in records),
-                            dtype=np.bool_, count=n)
-    if bool(np.any((values == _NO_VALUE) & ~none_mask)):
+    columns = trace.columns
+    if bool(np.any((columns.value == _NO_VALUE) & columns.value_valid)):
         raise ValueError(
             f"trace contains a result value equal to the None sentinel "
             f"({int(_NO_VALUE)}); it would not survive a round-trip")
-    columns["value"] = values
+    payload = {name: getattr(columns, name) for name, _ in _COLUMNS}
+    payload["value"] = np.where(columns.value_valid, columns.value,
+                                _NO_VALUE)
     meta = json.dumps({
         "version": _FORMAT_VERSION,
         "name": trace.name,
@@ -90,36 +77,25 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> None:
     })
     with open(_normalised(path), "wb") as fh:
         np.savez_compressed(fh, meta=np.frombuffer(
-            meta.encode("utf-8"), dtype=np.uint8), **columns)
+            meta.encode("utf-8"), dtype=np.uint8), **payload)
 
 
 def load_trace(path: Union[str, Path]) -> Trace:
-    """Read a trace previously written by :func:`save_trace`."""
+    """Read a trace previously written by :func:`save_trace`.
+
+    The deserialised arrays become the trace's columnar backbone
+    as-is; record objects are only materialised if a consumer asks
+    for ``trace.records``.
+    """
     with np.load(str(_normalised(path))) as data:
         meta = json.loads(bytes(data["meta"]).decode("utf-8"))
         if meta.get("version") != _FORMAT_VERSION:
             raise ValueError(
                 f"unsupported trace format version {meta.get('version')}")
-        columns = [data[name] for name, _ in _COLUMNS]
+        arrays = [data[name] for name, _ in _COLUMNS]
         raw_values = data["value"]
-    # Bulk-convert numpy columns to Python scalars (C-level, one pass
-    # per column) instead of indexing numpy scalars per record.
-    lists = [column.tolist() for column in columns]
-    values = raw_values.tolist()
-    if bool((raw_values == _NO_VALUE).any()):
-        sentinel = int(_NO_VALUE)
-        values = [None if v == sentinel else v for v in values]
-    # Constructing n records triggers collections that rescan every
-    # object already alive (the previous workload's trace, typically) -
-    # a ~7x slowdown on warm cache loads.  Nothing allocated here can
-    # be cyclic garbage, so pause collection for the bulk build.
-    gc_was_enabled = gc.isenabled()
-    gc.disable()
-    try:
-        # _COLUMNS order matches TraceRecord's positional signature.
-        records = list(map(TraceRecord, *lists, values))
-    finally:
-        if gc_was_enabled:
-            gc.enable()
-    return Trace(name=meta["name"], records=records,
+    valid = raw_values != _NO_VALUE
+    columns = ColumnarTrace(*arrays,
+                            np.where(valid, raw_values, 0), valid)
+    return Trace(name=meta["name"], columns=columns,
                  output=meta["output"], exit_code=meta["exit_code"])

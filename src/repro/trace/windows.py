@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
 
 from repro.trace.records import (REGION_DATA, REGION_HEAP, REGION_STACK,
                                  Trace, TraceRecord)
@@ -109,8 +111,44 @@ class SlidingWindowProfiler:
         )
 
 
+def _window_moments(trace: Trace, window: int)\
+        -> Tuple[int, Dict[int, int], Dict[int, int]]:
+    """``(samples, sums, sumsq)`` of per-window region counts.
+
+    Cumulative-sum formulation of the sliding window: for the region
+    indicator array ``x``, the count of region references in the window
+    ending at instruction ``i`` (i >= window-1) is
+    ``csum[i+1] - csum[i+1-window]``.  Exact integer arithmetic, so the
+    moments match :class:`SlidingWindowProfiler` (the retained scalar
+    reference) bit for bit.
+    """
+    if window <= 0:
+        raise ValueError("window size must be positive")
+    columns = trace.columns
+    region = np.where(columns.memory_mask(), columns.region, -1)
+    n = len(region)
+    samples = max(0, n - window + 1)
+    sums: Dict[int, int] = {}
+    sumsq: Dict[int, int] = {}
+    for code in (REGION_DATA, REGION_HEAP, REGION_STACK):
+        if samples == 0:
+            sums[code] = 0
+            sumsq[code] = 0
+            continue
+        csum = np.concatenate(
+            ([0], np.cumsum((region == code).astype(np.int64))))
+        counts = csum[window:] - csum[:-window]
+        sums[code] = int(counts.sum())
+        sumsq[code] = int(np.dot(counts, counts))
+    return samples, sums, sumsq
+
+
 def window_stats(trace: Trace, window: int) -> RegionWindowStats:
     """One-shot Table-2 statistics for a trace at one window size.
+
+    Computed vectorised over the columnar view (cumulative sums of the
+    region indicator arrays); :class:`SlidingWindowProfiler` is the
+    scalar reference it is tested against.
 
     When metrics collection is enabled, publishes one
     ``trace.window<W>.<region>`` time-series per region carrying the
@@ -118,13 +156,25 @@ def window_stats(trace: Trace, window: int) -> RegionWindowStats:
     counts - the inputs to Table 2's mean/std burstiness analysis.
     """
     from repro import metrics
-    profiler = SlidingWindowProfiler(window)
-    profiler.observe_trace(trace.records)
+    samples, sums, sumsq = _window_moments(trace, window)
     registry = metrics.active()
     if registry.enabled:
         ns = registry.scoped("trace").scoped(f"window{window}")
         for code, region in REGION_NAMES.items():
             ns.timeseries(region, interval=window).observe_moments(
-                profiler._samples, profiler._sums[code],
-                profiler._sumsq[code])
-    return profiler.result(trace.name)
+                samples, sums[code], sumsq[code])
+
+    def stats(code: int) -> WindowStats:
+        if samples == 0:
+            return WindowStats(mean=0.0, std=0.0, samples=0)
+        mean = sums[code] / samples
+        variance = max(0.0, sumsq[code] / samples - mean * mean)
+        return WindowStats(mean=mean, std=math.sqrt(variance),
+                           samples=samples)
+
+    return RegionWindowStats(
+        name=trace.name, window=window,
+        data=stats(REGION_DATA),
+        heap=stats(REGION_HEAP),
+        stack=stats(REGION_STACK),
+    )

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Warm-cache experiment speed benchmark (the CI ``bench-speed`` job).
+
+Times ``repro experiment <id>`` end-to-end (subprocess wall-clock, the
+same thing a user experiences) for a set of profiling experiments at a
+given scale against a warm trace cache, and writes ``BENCH_perf.json``
+mapping each experiment to its seconds and its speedup over the
+recorded baseline in ``benchmarks/results/BENCH_perf_baseline.json``.
+
+The cache is warmed first with one untimed pass per workload (a
+``table1`` run populates every trace the profiling experiments read),
+so the timed runs measure trace loading + analysis, never functional
+simulation.  Baseline entries are only comparable at the scale they
+were recorded at; at other scales the speedup fields are null.
+
+Usage:
+    PYTHONPATH=src python tools/bench_speed.py \
+        --trace-cache /tmp/trace-cache --out BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "results" \
+    / "BENCH_perf_baseline.json"
+
+DEFAULT_EXPERIMENTS = ("figure2", "table2", "figure4")
+
+
+def _run_experiment(experiment: str, scale: float, cache: str) -> float:
+    """Wall-clock seconds for one experiment subprocess (must succeed)."""
+    command = [sys.executable, "-m", "repro.cli", "experiment",
+               experiment, "--scale", str(scale), "--trace-cache", cache]
+    started = time.perf_counter()
+    completed = subprocess.run(command, cwd=REPO_ROOT,
+                               capture_output=True, text=True)
+    elapsed = time.perf_counter() - started
+    if completed.returncode != 0:
+        sys.stderr.write(completed.stdout)
+        sys.stderr.write(completed.stderr)
+        raise SystemExit(
+            f"{experiment} failed with exit code {completed.returncode}")
+    return elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time warm-cache experiments; write BENCH_perf.json")
+    parser.add_argument("--trace-cache", required=True,
+                        help="trace cache directory (created if missing)")
+    parser.add_argument("--out", default="BENCH_perf.json",
+                        help="output JSON path [%(default)s]")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale [%(default)s]")
+    parser.add_argument("--experiments", default=",".join(
+        DEFAULT_EXPERIMENTS),
+        help="comma-separated experiment ids [%(default)s]")
+    args = parser.parse_args(argv)
+    experiments = [e for e in args.experiments.split(",") if e]
+
+    baseline = {}
+    baseline_scale = None
+    if BASELINE_PATH.exists():
+        recorded = json.loads(BASELINE_PATH.read_text())
+        baseline = recorded.get("seconds", {})
+        baseline_scale = recorded.get("scale")
+
+    # Warm pass: table1 touches every workload trace, so the timed runs
+    # below never pay for functional simulation.
+    print(f"warming trace cache at {args.trace_cache} "
+          f"(scale {args.scale:g})...", flush=True)
+    _run_experiment("table1", args.scale, args.trace_cache)
+
+    report = {"scale": args.scale, "jobs": 1, "experiments": {}}
+    comparable = baseline_scale == args.scale
+    for experiment in experiments:
+        seconds = _run_experiment(experiment, args.scale,
+                                  args.trace_cache)
+        entry = {"seconds": round(seconds, 3),
+                 "baseline_seconds": baseline.get(experiment)
+                 if comparable else None,
+                 "speedup": None}
+        if comparable and baseline.get(experiment):
+            entry["speedup"] = round(baseline[experiment] / seconds, 2)
+        report["experiments"][experiment] = entry
+        speedup = entry["speedup"]
+        print(f"{experiment}: {seconds:.2f}s"
+              + (f" ({speedup:g}x vs baseline)" if speedup else ""),
+              flush=True)
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
