@@ -36,6 +36,11 @@ parent parser:
 ``--trace-cache DIR`` archive functional traces on disk for reuse
 ``--metrics-out FILE`` collect metrics and export them to FILE
                      (JSON, or CSV when FILE ends in ``.csv``)
+``--checkpoint DIR`` journal completed cells to DIR; a re-run resumes
+                     with only the missing cells
+``--inject-fault SPEC`` deterministic fault-injection drill (worker
+                     crashes, cell failures, stalls, cache corruption;
+                     see ``repro.testing.faults``)
 """
 
 from __future__ import annotations
@@ -52,6 +57,7 @@ from repro.cpu import run_program
 from repro.eval import engine, reporting
 from repro.metrics import export
 from repro.predictor import evaluate_scheme
+from repro.testing import faults as fault_injection
 from repro.timing import figure8_configs, simulate
 from repro.trace import cache as trace_cache
 from repro.trace.regions import region_breakdown
@@ -80,6 +86,29 @@ _EXPERIMENTS = {
 _STATS_FORMATS = ("table", "json", "csv")
 
 
+def _positive_jobs(text: str) -> int:
+    """``--jobs`` values must be integers >= 1 - anything else is a
+    user error, not something to silently coerce."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid --jobs value {text!r} (expected an integer >= 1)")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 1, got {value}")
+    return value
+
+
+def _fault_spec(text: str) -> str:
+    """Validate ``--inject-fault`` at parse time for a clear error."""
+    try:
+        fault_injection.parse_spec(text)
+    except fault_injection.SpecError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return text
+
+
 def _common_parser() -> argparse.ArgumentParser:
     """The shared parent parser: one flag spelling for every command."""
     common = argparse.ArgumentParser(add_help=False)
@@ -87,7 +116,7 @@ def _common_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=None, metavar="S",
         help="workload scale factor (default: per-command)")
     common.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
+        "--jobs", type=_positive_jobs, default=None, metavar="N",
         help="run independent workload cells across N processes "
              f"(default: ${engine.JOBS_ENV_VAR} or 1)")
     common.add_argument(
@@ -98,6 +127,16 @@ def _common_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="FILE", default=None,
         help="collect metrics during the run and export them to FILE "
              "(JSON, or CSV when FILE ends in .csv)")
+    common.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="journal completed cells to DIR so an interrupted run "
+             "resumes with only the missing cells")
+    common.add_argument(
+        "--inject-fault", metavar="SPEC", type=_fault_spec,
+        default=None,
+        help="deterministic fault-injection drill, e.g. "
+             "'crash:index=1' or 'corrupt:name=db_vortex' "
+             f"(default: ${fault_injection.ENV_VAR})")
     return common
 
 
@@ -177,7 +216,12 @@ def _apply_common(args) -> None:
         trace_cache.configure(args.trace_cache)
     if getattr(args, "jobs", None) is not None:
         engine.set_jobs(args.jobs)
+    if getattr(args, "checkpoint", None):
+        engine.set_checkpoint(args.checkpoint)
+    if getattr(args, "inject_fault", None):
+        fault_injection.install(args.inject_fault)
     engine.reset_stage_times()
+    engine.reset_fault_stats()
     engine.take_metrics()           # drop any stale per-cell snapshots
     if getattr(args, "metrics_out", None):
         metrics.enable()
@@ -191,7 +235,9 @@ def _export_metrics(args, experiment: str, scale: float, cells) -> None:
     """Write the ``--metrics-out`` export and deactivate collection."""
     if not getattr(args, "metrics_out", None):
         return
-    document = export.experiment_document(experiment, scale, cells)
+    document = export.experiment_document(
+        experiment, scale, cells,
+        resilience=engine.resilience_snapshot())
     path = export.write_document(document, args.metrics_out)
     print(f"metrics written to {path}", file=sys.stderr)
     metrics.disable()
@@ -353,7 +399,9 @@ def _cmd_stats(args) -> int:
         result, scale = _run_experiment(args)
     finally:
         metrics.disable()
-    document = export.experiment_document(args.id, scale, result.metrics)
+    document = export.experiment_document(
+        args.id, scale, result.metrics,
+        resilience=engine.resilience_snapshot())
     if args.format == "json":
         sys.stdout.write(export.to_json(document))
     elif args.format == "csv":

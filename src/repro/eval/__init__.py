@@ -6,8 +6,10 @@ entry point (serial or ``--jobs`` process fan-out, with deterministic
 per-cell metrics collection).
 """
 
-from repro.eval import engine, reporting
+from repro.eval import checkpoint, engine, faults, reporting
+from repro.eval.checkpoint import CellJournal
 from repro.eval.engine import run_cells
+from repro.eval.faults import CellFailure, CellTimeout, RetryPolicy
 from repro.eval.experiments import (FIGURE5_SIZES, ablation_banked_cache,
                                     ablation_context_bits,
                                     ablation_front_end,
@@ -21,8 +23,14 @@ from repro.eval.experiments import (FIGURE5_SIZES, ablation_banked_cache,
 from repro.eval.result import ExperimentResult
 
 __all__ = [
+    "CellFailure",
+    "CellJournal",
+    "CellTimeout",
     "ExperimentResult",
+    "RetryPolicy",
+    "checkpoint",
     "engine",
+    "faults",
     "reporting",
     "run_cells",
     "FIGURE5_SIZES",

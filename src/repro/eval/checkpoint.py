@@ -1,0 +1,146 @@
+"""Cell-level checkpoint journal for interruptible experiment sweeps.
+
+A :class:`CellJournal` is a directory holding one small pickle file per
+completed cell, written atomically (temp file + ``os.replace``) the
+moment the cell finishes - so a sweep killed at any instant (SIGKILL,
+OOM, power loss) leaves a journal describing exactly the cells that
+completed.  Re-running the same sweep with the same journal directory
+(the CLI's ``--checkpoint DIR``) replays those cells from disk and
+executes only the missing ones; replayed cells restore their recorded
+metric snapshots and stage times, so a resumed run renders tables and
+exports metrics byte-identical to an uninterrupted one.
+
+Entries are keyed by a digest of the cell's identity - the worker
+function's qualified name, the workload name, the scale, and the extra
+arguments - so one journal directory can safely hold cells from
+several experiments, and a changed worker or argument list never
+matches a stale entry.  Unreadable or mismatched entries are
+quarantined (renamed aside) and treated as missing: a corrupt journal
+costs a re-run, never a crash and never wrong data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Tuple, Union
+
+#: Bump to invalidate every existing journal entry at once.
+FORMAT_VERSION = 1
+
+#: Journal file suffix (entries are ``<digest>.cell``).
+SUFFIX = ".cell"
+
+
+@dataclass
+class JournalStats:
+    """Per-journal counters (reset with :meth:`CellJournal.reset_stats`)."""
+
+    hits: int = 0        # cells replayed from the journal
+    misses: int = 0      # cells that had to run
+    corrupt: int = 0     # unreadable entries quarantined
+
+    def snapshot(self) -> "JournalStats":
+        return JournalStats(self.hits, self.misses, self.corrupt)
+
+
+def cell_key(worker: Callable, name: str, scale: float,
+             args: tuple) -> str:
+    """Stable digest identifying one cell of one sweep."""
+    ident = "\0".join((
+        getattr(worker, "__module__", "") or "",
+        getattr(worker, "__qualname__", None) or repr(worker),
+        name,
+        repr(scale),
+        repr(args),
+        str(FORMAT_VERSION),
+    ))
+    return hashlib.sha256(ident.encode("utf-8")).hexdigest()[:32]
+
+
+class CellJournal:
+    """A directory of completed-cell records (see module docstring)."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        if self.directory.exists() and not self.directory.is_dir():
+            raise ValueError(
+                f"checkpoint path {self.directory} exists and is not "
+                f"a directory")
+        self.stats = JournalStats()
+
+    def reset_stats(self) -> None:
+        self.stats = JournalStats()
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}{SUFFIX}"
+
+    # -- entry I/O ------------------------------------------------------
+
+    def load(self, worker: Callable, name: str, scale: float,
+             args: tuple) -> Optional[Tuple[object, object, object]]:
+        """The recorded ``(result, stage_times, metric_snapshot)`` for
+        a completed cell, or None (counting a miss) if absent/invalid."""
+        key = cell_key(worker, name, scale, args)
+        path = self.path_for(key)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if (payload.get("version") != FORMAT_VERSION
+                    or payload.get("key") != key):
+                raise ValueError("journal entry identity mismatch")
+            outcome = (payload["result"], payload["times"],
+                       payload["snapshot"])
+        except Exception:
+            self._quarantine(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return outcome
+
+    def record(self, worker: Callable, name: str, scale: float,
+               args: tuple, result: object, times: object,
+               snapshot: object) -> Path:
+        """Atomically journal one completed cell; returns its path."""
+        key = cell_key(worker, name, scale, args)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        payload = {"version": FORMAT_VERSION, "key": key, "name": name,
+                   "result": result, "times": times,
+                   "snapshot": snapshot}
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        return path
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable entry aside (last corrupt copy wins)."""
+        self.stats.corrupt += 1
+        try:
+            os.replace(path, path.with_name(path.name + ".quarantined"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        """Completed cells currently journalled."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for entry in self.directory.iterdir()
+                   if entry.suffix == SUFFIX)

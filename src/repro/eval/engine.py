@@ -7,6 +7,30 @@ other cell.  This module runs those cells either serially or across a
 programmatically), always returning results in the caller's submission
 order so rendered tables are byte-identical at any parallelism.
 
+Execution is fault-tolerant (policy in :mod:`repro.eval.faults`):
+
+* a cell that raises is retried with exponential backoff up to the
+  retry budget;
+* a cell that outlives the per-cell timeout is abandoned, its pool is
+  torn down, and the cell re-runs in a fresh pool (timeouts apply only
+  in pool mode - serial in-process execution cannot be pre-empted);
+* a ``BrokenProcessPool`` (worker killed by the OS, OOM, a crashing
+  extension) rebuilds the pool and re-runs only the unfinished cells;
+* once the rebuild budget is spent the engine degrades to serial
+  in-process execution for whatever remains.
+
+None of this changes results: outcomes are keyed by submission index
+and merged in submission order only after every cell has completed, so
+a run that survived retries, rebuilds, and serial fallback renders
+tables and exports metrics byte-identical to an undisturbed one.
+Recovery counters are exposed via :func:`resilience_snapshot`.
+
+With a checkpoint journal configured (:func:`set_checkpoint`, the
+CLI's ``--checkpoint DIR``), every completed cell is journalled to
+disk as it finishes and a re-run replays journalled cells instead of
+executing them - an interrupted sweep resumes with only the missing
+cells.
+
 It also keeps a per-stage wall-clock breakdown (functional simulation
 vs. trace-cache I/O vs. predictor/timing replay) so speedups from the
 trace cache and the fan-out are directly measurable
@@ -17,15 +41,21 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (Callable, Dict, List, Optional, Sequence, Set,
+                    Tuple, Union)
 
 import numpy as np
 
 from repro import metrics
-from repro.eval import reporting
+from repro.eval import checkpoint, faults, reporting
+from repro.testing import faults as fault_injection
 from repro.trace import cache as trace_cache
 from repro.trace.records import (OC_BRANCH, OC_LOAD, OC_STORE,
                                  OC_SYSCALL, REGION_DATA, REGION_HEAP,
@@ -37,6 +67,9 @@ JOBS_ENV_VAR = "REPRO_JOBS"
 
 _jobs: Optional[int] = None
 
+#: Invalid REPRO_JOBS values already warned about (warn once per value).
+_warned_jobs: Set[str] = set()
+
 
 def set_jobs(jobs: Optional[int]) -> None:
     """Set the process-wide default worker count (None = env/serial)."""
@@ -44,14 +77,34 @@ def set_jobs(jobs: Optional[int]) -> None:
     _jobs = jobs
 
 
+def _warn_invalid_jobs(raw: str) -> None:
+    if raw in _warned_jobs:
+        return
+    _warned_jobs.add(raw)
+    warnings.warn(
+        f"ignoring invalid {JOBS_ENV_VAR}={raw!r} (expected an integer "
+        f">= 1); running serial",
+        RuntimeWarning, stacklevel=3)
+
+
 def get_jobs() -> int:
-    """The effective default worker count (>= 1)."""
+    """The effective default worker count (>= 1).
+
+    A ``REPRO_JOBS`` value that is not an integer >= 1 is reported
+    once per distinct value and treated as 1 - never silently coerced.
+    """
     if _jobs is not None:
         return max(1, _jobs)
+    raw = os.environ.get(JOBS_ENV_VAR, "1")
     try:
-        return max(1, int(os.environ.get(JOBS_ENV_VAR, "1")))
+        value = int(raw)
     except ValueError:
+        _warn_invalid_jobs(raw)
         return 1
+    if value < 1:
+        _warn_invalid_jobs(raw)
+        return 1
+    return value
 
 
 # -- per-stage timing ---------------------------------------------------
@@ -62,6 +115,8 @@ class StageTimes:
 
     With ``--jobs N`` the stages of different cells overlap, so the sum
     can exceed elapsed wall-clock; the report states CPU-seconds.
+    ``cache_corrupt`` rides along so corruption detected inside pool
+    workers reaches the parent's accounting.
     """
 
     functional_sim: float = 0.0
@@ -70,6 +125,7 @@ class StageTimes:
     cells: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_corrupt: int = 0
 
     def merge(self, other: "StageTimes") -> None:
         self.functional_sim += other.functional_sim
@@ -78,11 +134,13 @@ class StageTimes:
         self.cells += other.cells
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.cache_corrupt += other.cache_corrupt
 
     def snapshot(self) -> "StageTimes":
         """An independent copy of the current accumulator state."""
         return StageTimes(self.functional_sim, self.cache_io, self.replay,
-                          self.cells, self.cache_hits, self.cache_misses)
+                          self.cells, self.cache_hits, self.cache_misses,
+                          self.cache_corrupt)
 
     @property
     def total(self) -> float:
@@ -109,6 +167,12 @@ class StageTimes:
 #: Process-local accumulator for the current driver invocation.
 _stages = StageTimes()
 
+#: Process-local recovery counters for the current driver invocation.
+_faults = faults.FaultStats()
+
+#: Active checkpoint journal (None = checkpointing off).
+_journal: Optional[checkpoint.CellJournal] = None
+
 
 def reset_stage_times() -> None:
     global _stages
@@ -119,8 +183,57 @@ def stage_times() -> StageTimes:
     return _stages
 
 
+def reset_fault_stats() -> None:
+    global _faults
+    _faults = faults.FaultStats()
+
+
+def fault_stats() -> faults.FaultStats:
+    return _faults
+
+
+def set_checkpoint(directory: Union[str, Path, None])\
+        -> Optional[checkpoint.CellJournal]:
+    """Journal completed cells under ``directory`` (None = off)."""
+    global _journal
+    _journal = checkpoint.CellJournal(directory) if directory else None
+    return _journal
+
+
+def active_journal() -> Optional[checkpoint.CellJournal]:
+    return _journal
+
+
+def resilience_snapshot() -> Dict[str, int]:
+    """Recovery counters for the current driver invocation.
+
+    These describe what this particular run survived - unlike cell
+    metrics they are *not* part of the byte-identical determinism
+    guarantee (a recovered run reports its retries; an undisturbed one
+    reports zeros).
+    """
+    snap = {
+        "engine.retries": _faults.retries,
+        "engine.timeouts": _faults.timeouts,
+        "engine.pool_rebuilds": _faults.pool_rebuilds,
+        "engine.fallbacks.serial": _faults.serial_fallbacks,
+        "trace.cache.corrupt": _stages.cache_corrupt,
+    }
+    if _journal is not None:
+        snap["checkpoint.hits"] = _journal.stats.hits
+        snap["checkpoint.misses"] = _journal.stats.misses
+        snap["checkpoint.corrupt"] = _journal.stats.corrupt
+    return snap
+
+
 def render_stage_report() -> str:
-    return _stages.render()
+    report = _stages.render()
+    recovered = {key: value for key, value
+                 in resilience_snapshot().items() if value}
+    if recovered:
+        report += "\nresilience: " + "  ".join(
+            f"{key}={value}" for key, value in sorted(recovered.items()))
+    return report
 
 
 # -- per-cell metrics collection ----------------------------------------
@@ -199,6 +312,7 @@ def trace_for(name: str, scale: float) -> Trace:
     _stages.cache_io += cache.stats.load_seconds - before.load_seconds
     _stages.cache_hits += cache.stats.hits - before.hits
     _stages.cache_misses += cache.stats.misses - before.misses
+    _stages.cache_corrupt += cache.stats.corrupt - before.corrupt
     _ensure_columns(trace)
     _publish_trace_metrics(trace)
     return trace
@@ -207,8 +321,10 @@ def trace_for(name: str, scale: float) -> Trace:
 # -- cell fan-out -------------------------------------------------------
 
 def _init_worker(cache_directory: Optional[str],
-                 environ_cache: Optional[str]) -> None:
-    """Worker bootstrap: mirror the parent's trace-cache decision.
+                 environ_cache: Optional[str],
+                 fault_spec: Optional[str] = None) -> None:
+    """Worker bootstrap: mirror the parent's trace-cache decision and
+    fault-injection plan.
 
     Needed for spawn/forkserver start methods, and to propagate a
     ``configure()``-time cache that never reached the environment.
@@ -219,6 +335,8 @@ def _init_worker(cache_directory: Optional[str],
         os.environ[trace_cache.ENV_VAR] = environ_cache
     else:
         trace_cache.configure(None)
+    if fault_spec:
+        fault_injection.install(fault_spec)
 
 
 def _swap_stages(new: StageTimes) -> StageTimes:
@@ -229,14 +347,18 @@ def _swap_stages(new: StageTimes) -> StageTimes:
 
 
 def _run_cell(worker: Callable, name: str, scale: float, args: tuple,
-              collect_metrics: bool = False)\
+              collect_metrics: bool = False, index: int = 0,
+              attempt: int = 0)\
         -> Tuple[object, StageTimes, Optional[Dict[str, dict]]]:
     """One cell, with its stage breakdown and metrics isolated.
 
     Runs in the parent (serial mode) or in a pool worker; either way
     the caller merges the returned StageTimes into its accumulator and
-    the metric snapshot into the per-cell collection.
+    the metric snapshot into the per-cell collection.  ``index`` and
+    ``attempt`` identify the execution for the deterministic
+    fault-injection harness.
     """
+    fault_injection.fire_cell(name, index, attempt)
     local = StageTimes()
     outer = _swap_stages(local)
     registry = metrics.MetricsRegistry() if collect_metrics else None
@@ -269,6 +391,169 @@ def _record_cell(name: str, times: StageTimes,
         else metrics.merge_snapshots(existing, snapshot)
 
 
+def _journal_record(journal: Optional[checkpoint.CellJournal],
+                    worker: Callable, name: str, scale: float,
+                    args: tuple, outcome: tuple) -> None:
+    if journal is None:
+        return
+    result, times, snapshot = outcome
+    journal.record(worker, name, scale, args, result, times, snapshot)
+
+
+def _run_serial(worker: Callable, names: Sequence[str], scale: float,
+                args: tuple, collect: bool, indices: Sequence[int],
+                outcomes: Dict[int, tuple], policy: faults.RetryPolicy,
+                journal: Optional[checkpoint.CellJournal]) -> None:
+    """In-process execution with per-cell retry (no timeouts: serial
+    cells cannot be pre-empted)."""
+    for i in indices:
+        attempt = 0
+        while True:
+            try:
+                outcome = _run_cell(worker, names[i], scale, args,
+                                    collect, i, attempt)
+            except Exception as exc:
+                attempt += 1
+                if attempt > policy.max_retries:
+                    raise faults.CellFailure(
+                        f"cell {names[i]!r} failed after {attempt} "
+                        f"attempts") from exc
+                _faults.retries += 1
+                faults._sleep(policy.backoff(attempt))
+            else:
+                outcomes[i] = outcome
+                _journal_record(journal, worker, names[i], scale, args,
+                                outcome)
+                break
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor, kill: bool) -> None:
+    """Release a pool; with ``kill``, terminate its workers first so a
+    stalled or wedged cell cannot hold the run hostage."""
+    if kill:
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+    pool.shutdown(wait=not kill, cancel_futures=True)
+
+
+def _harvest_done(futures: Dict[int, "object"],
+                  outcomes: Dict[int, tuple], worker: Callable,
+                  names: Sequence[str], scale: float, args: tuple,
+                  journal: Optional[checkpoint.CellJournal]) -> None:
+    """Bank results of cells that finished before a pool went down."""
+    for j, future in futures.items():
+        if j in outcomes or not future.done():
+            continue
+        try:
+            outcome = future.result(timeout=0)
+        except Exception:
+            continue        # re-runs in the next pool
+        outcomes[j] = outcome
+        _journal_record(journal, worker, names[j], scale, args, outcome)
+
+
+def _run_pool(worker: Callable, names: Sequence[str], scale: float,
+              args: tuple, collect: bool, indices: Sequence[int],
+              outcomes: Dict[int, tuple], policy: faults.RetryPolicy,
+              journal: Optional[checkpoint.CellJournal],
+              max_workers: int) -> None:
+    """Pool execution with retries, timeouts, rebuilds, and - once the
+    rebuild budget is spent - serial fallback for the remaining cells."""
+    pending = list(indices)
+    attempts = {i: 0 for i in pending}
+    rebuilds = 0
+    cache = trace_cache.active_cache()
+    cache_dir = str(cache.directory) if cache is not None else None
+    environ_cache = os.environ.get(trace_cache.ENV_VAR)
+    fault_spec = fault_injection.active_spec()
+    while pending:
+        if rebuilds > policy.max_pool_rebuilds:
+            _faults.serial_fallbacks += 1
+            _run_serial(worker, names, scale, args, collect, pending,
+                        outcomes, policy, journal)
+            return
+        pool = ProcessPoolExecutor(
+            max_workers=min(max_workers, len(pending)),
+            initializer=_init_worker,
+            initargs=(cache_dir, environ_cache, fault_spec))
+        futures = {i: pool.submit(_run_cell, worker, names[i], scale,
+                                  args, collect, i, attempts[i])
+                   for i in pending}
+        abandon = False     # the pool must be torn down forcibly
+        broken = False      # workers died (vs. a stalled cell)
+        try:
+            for i in pending:
+                while i not in outcomes:
+                    try:
+                        outcome = futures[i].result(
+                            timeout=policy.cell_timeout)
+                    except FuturesTimeout:
+                        # The worker is wedged; it occupies a pool slot
+                        # until killed, so tear the whole pool down and
+                        # re-run the unfinished cells in a fresh one.
+                        _faults.timeouts += 1
+                        attempts[i] += 1
+                        abandon = True
+                        if attempts[i] > policy.max_retries:
+                            raise faults.CellTimeout(
+                                f"cell {names[i]!r} exceeded the "
+                                f"{policy.cell_timeout:g}s timeout on "
+                                f"{attempts[i]} attempts")
+                        _faults.retries += 1
+                        break
+                    except BrokenProcessPool:
+                        rebuilds += 1
+                        _faults.pool_rebuilds += 1
+                        abandon = True
+                        broken = True
+                        break
+                    except Exception as exc:
+                        attempts[i] += 1
+                        if attempts[i] > policy.max_retries:
+                            abandon = True
+                            raise faults.CellFailure(
+                                f"cell {names[i]!r} failed after "
+                                f"{attempts[i]} attempts") from exc
+                        _faults.retries += 1
+                        faults._sleep(policy.backoff(attempts[i]))
+                        # The pool itself is healthy - only this cell
+                        # failed; resubmit it alone.
+                        try:
+                            futures[i] = pool.submit(
+                                _run_cell, worker, names[i], scale,
+                                args, collect, i, attempts[i])
+                        except BrokenProcessPool:
+                            rebuilds += 1
+                            _faults.pool_rebuilds += 1
+                            abandon = True
+                            broken = True
+                            break
+                    else:
+                        outcomes[i] = outcome
+                        _journal_record(journal, worker, names[i],
+                                        scale, args, outcome)
+                if abandon:
+                    break
+        finally:
+            if abandon:
+                _harvest_done(futures, outcomes, worker, names, scale,
+                              args, journal)
+            _shutdown_pool(pool, kill=abandon)
+        if broken:
+            # Every unfinished cell lost an execution attempt with the
+            # pool (the culprit is unknowable from the parent); the
+            # charge also lets attempt-keyed fault injection converge.
+            for j in pending:
+                if j not in outcomes:
+                    attempts[j] += 1
+                    _faults.retries += 1
+        pending = [i for i in pending if i not in outcomes]
+
+
 def run_cells(worker: Callable, names: Sequence[str], scale: float,
               *args, jobs: Optional[int] = None) -> List[object]:
     """Run ``worker(name, scale, *args)`` for each name; ordered results.
@@ -277,41 +562,47 @@ def run_cells(worker: Callable, names: Sequence[str], scale: float,
     driver (and the trace-consuming CLI commands) goes through.
     ``worker`` must be a module-level function (it crosses a process
     boundary when ``jobs > 1``).  Results are returned in ``names``
-    order regardless of completion order, so any reduction over them is
-    deterministic at every parallelism level.
+    order regardless of completion order - and regardless of retries,
+    pool rebuilds, timeouts, or serial fallback along the way - so any
+    reduction over them is deterministic at every parallelism level.
 
     When the active metrics registry is enabled, each cell collects
     into a fresh registry and the per-cell snapshots are merged into
     the accumulator behind :func:`take_metrics` in submission order -
     so metric exports, like rendered tables, are byte-identical at any
-    ``--jobs`` level.
+    ``--jobs`` level.  Stage times and metric snapshots are merged only
+    after *all* cells have completed, which keeps that guarantee intact
+    on every fault-recovery path.
+
+    With a checkpoint journal configured, journalled cells are replayed
+    from disk (restoring their recorded stage times and metric
+    snapshots) and only the missing cells execute.
     """
     names = list(names)
     collect = metrics.active().enabled
-    effective = jobs if jobs is not None else get_jobs()
-    effective = max(1, min(effective, len(names) or 1))
-    if effective <= 1 or len(names) <= 1:
-        results = []
-        for name in names:
-            result, times, snapshot = _run_cell(worker, name, scale,
-                                                args, collect)
-            _record_cell(name, times, snapshot)
-            results.append(result)
-        return results
-    cache = trace_cache.active_cache()
-    cache_dir = str(cache.directory) if cache is not None else None
-    environ_cache = os.environ.get(trace_cache.ENV_VAR)
-    with ProcessPoolExecutor(
-            max_workers=effective,
-            initializer=_init_worker,
-            initargs=(cache_dir, environ_cache)) as pool:
-        futures = [pool.submit(_run_cell, worker, name, scale, args,
-                               collect)
-                   for name in names]
-        results = []
-        for name, future in zip(names, futures):
-            # submission order == names order
-            result, times, snapshot = future.result()
-            _record_cell(name, times, snapshot)
-            results.append(result)
+    policy = faults.active_policy()
+    journal = _journal
+    outcomes: Dict[int, tuple] = {}
+    pending: List[int] = []
+    for i, name in enumerate(names):
+        cached = journal.load(worker, name, scale, args) \
+            if journal is not None else None
+        if cached is not None:
+            outcomes[i] = cached
+        else:
+            pending.append(i)
+    if pending:
+        effective = jobs if jobs is not None else get_jobs()
+        effective = max(1, min(effective, len(pending)))
+        if effective <= 1 or len(pending) <= 1:
+            _run_serial(worker, names, scale, args, collect, pending,
+                        outcomes, policy, journal)
+        else:
+            _run_pool(worker, names, scale, args, collect, pending,
+                      outcomes, policy, journal, effective)
+    results = []
+    for i, name in enumerate(names):
+        result, times, snapshot = outcomes[i]
+        _record_cell(name, times, snapshot)
+        results.append(result)
     return results

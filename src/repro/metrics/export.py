@@ -7,12 +7,18 @@ An *experiment document* is the canonical export shape::
      "scale": 1.0,
      "cells":  {"db_vortex": {<metric name>: <snapshot entry>, ...},
                 ...},
-     "totals": {<metric name>: <merged snapshot entry>, ...}}
+     "totals": {<metric name>: <merged snapshot entry>, ...},
+     "resilience": {"engine.retries": 0, ...}}          # optional
 
 ``cells`` holds one registry snapshot per workload cell (keyed by
-workload name); ``totals`` is their deterministic merge.  Documents
-contain only simulation-derived values - never wall-clock - so the
-serialised form is byte-identical at every ``--jobs`` level.
+workload name); ``totals`` is their deterministic merge.  ``cells``
+and ``totals`` contain only simulation-derived values - never
+wall-clock - so those sections are byte-identical at every ``--jobs``
+level.  The optional ``resilience`` section carries the engine's
+recovery counters (retries, pool rebuilds, quarantined cache entries,
+checkpoint hits); it describes what *this particular run* survived
+and is deliberately excluded from the determinism guarantee and from
+the flat CSV form.
 """
 
 from __future__ import annotations
@@ -21,9 +27,10 @@ import csv
 import io
 import json
 import math
+import os
 from functools import reduce
 from pathlib import Path
-from typing import Dict, List, Mapping, Union
+from typing import Dict, List, Mapping, Optional, Union
 
 from repro.metrics.registry import merge_snapshots
 
@@ -32,12 +39,17 @@ SCHEMA_VERSION = 1
 
 
 def experiment_document(experiment: str, scale: float,
-                        cells: Mapping[str, Dict[str, dict]]) -> dict:
+                        cells: Mapping[str, Dict[str, dict]],
+                        resilience: Optional[Mapping[str, int]] = None)\
+        -> dict:
     """Build the canonical export document from per-cell snapshots."""
     ordered = {name: cells[name] for name in cells}
     totals = reduce(merge_snapshots, ordered.values(), {})
-    return {"schema": SCHEMA_VERSION, "experiment": experiment,
-            "scale": scale, "cells": ordered, "totals": totals}
+    document = {"schema": SCHEMA_VERSION, "experiment": experiment,
+                "scale": scale, "cells": ordered, "totals": totals}
+    if resilience is not None:
+        document["resilience"] = dict(resilience)
+    return document
 
 
 def to_json(document: dict) -> str:
@@ -74,12 +86,26 @@ def to_csv(document: dict) -> str:
 
 
 def write_document(document: dict, path: Union[str, Path]) -> Path:
-    """Write a document to ``path`` (CSV for ``.csv``, else JSON)."""
+    """Write a document to ``path`` (CSV for ``.csv``, else JSON).
+
+    The write is atomic (temp file + ``os.replace``): an export
+    interrupted at any instant leaves either the previous file or the
+    complete new one, never a truncated half-document.
+    """
     path = Path(path)
     text = to_csv(document) if path.suffix.lower() == ".csv" \
         else to_json(document)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(text)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
     return path
 
 

@@ -1,0 +1,7 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness behind the CLI's ``--inject-fault`` flag and the chaos test
+suite.  Nothing in here runs unless explicitly activated, so shipping
+it costs production paths one module-level flag check.
+"""

@@ -1,0 +1,249 @@
+"""Deterministic fault injection for resilience drills and chaos tests.
+
+A fault *plan* is a ``;``-separated list of directives::
+
+    kind[:param=value[,param=value...]]
+
+with four kinds:
+
+``fail``
+    Raise :class:`InjectedFault` inside the matching cell.
+``crash``
+    Kill the executing *worker process* (``os._exit(137)``) at the
+    start of the matching cell.  Crashes never fire in the main
+    process, so serial fallback drills survive a directive that keeps
+    killing pool workers.
+``stall``
+    Sleep ``seconds`` inside the matching cell (drives the engine's
+    per-cell timeout path).
+``corrupt``
+    Corrupt the trace-cache file just written for the matching
+    workload (``mode`` = ``truncate`` | ``zero`` | ``garbage``).
+
+Cell-matching parameters: ``name=<workload>`` and/or ``index=N`` (the
+engine's submission index, which travels with the task across process
+boundaries), plus ``times=K`` - the directive fires on a cell's first
+``K`` *attempts* only, so a retried or re-pooled cell deterministically
+recovers without any shared mutable state.  ``corrupt`` instead counts
+stores per process (a regenerated entry is written clean once ``times``
+stores have been corrupted).
+
+Everything is deterministic: triggers key off names, submission
+indices, and attempt numbers - never wall-clock or unseeded
+randomness (``garbage`` bytes come from ``random.Random(seed)``).
+
+Activation, in precedence order: :func:`install` (the CLI's
+``--inject-fault SPEC``), else the ``REPRO_INJECT_FAULT`` environment
+variable; the experiment engine forwards the active spec to pool
+workers explicitly so drills behave identically under any start
+method.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+#: Environment variable carrying the default fault plan.
+ENV_VAR = "REPRO_INJECT_FAULT"
+
+#: Exit status used by injected worker crashes (mirrors SIGKILL's 137).
+CRASH_EXIT_CODE = 137
+
+KINDS = ("fail", "crash", "stall", "corrupt")
+CORRUPT_MODES = ("truncate", "zero", "garbage")
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by a ``fail`` directive."""
+
+
+class SpecError(ValueError):
+    """A malformed ``--inject-fault`` specification."""
+
+
+@dataclass
+class Directive:
+    """One parsed fault directive."""
+
+    kind: str
+    name: Optional[str] = None      # match this workload (None = any)
+    index: Optional[int] = None     # match this submission index
+    times: int = 1                  # fire on the first K attempts/stores
+    seconds: float = 5.0            # stall duration
+    mode: str = "truncate"          # corrupt mode
+    seed: int = 0                   # garbage-byte PRNG seed
+    fired: int = 0                  # per-process store count (corrupt)
+
+    def matches_cell(self, name: str, index: int, attempt: int) -> bool:
+        if self.kind == "corrupt":
+            return False
+        if self.name is not None and self.name != name:
+            return False
+        if self.index is not None and self.index != index:
+            return False
+        return attempt < self.times
+
+    def matches_store(self, name: str) -> bool:
+        if self.kind != "corrupt":
+            return False
+        if self.name is not None and self.name != name:
+            return False
+        return self.fired < self.times
+
+
+_INT_PARAMS = ("index", "times", "seed")
+_FLOAT_PARAMS = ("seconds",)
+_STR_PARAMS = ("name", "mode")
+
+
+def parse_spec(spec: str) -> List[Directive]:
+    """Parse a fault plan; raises :class:`SpecError` with specifics."""
+    directives = []
+    for part in spec.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        kind, _, params = part.partition(":")
+        kind = kind.strip()
+        if kind not in KINDS:
+            raise SpecError(
+                f"unknown fault kind {kind!r} (expected one of "
+                f"{', '.join(KINDS)})")
+        directive = Directive(kind)
+        for item in filter(None, (p.strip() for p in params.split(","))):
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if not sep:
+                raise SpecError(f"fault parameter {item!r} is not "
+                                f"key=value")
+            if key not in _INT_PARAMS + _FLOAT_PARAMS + _STR_PARAMS:
+                raise SpecError(
+                    f"unknown fault parameter {key!r} (expected one "
+                    f"of {', '.join(_INT_PARAMS + _FLOAT_PARAMS + _STR_PARAMS)})")
+            try:
+                if key in _INT_PARAMS:
+                    setattr(directive, key, int(value))
+                elif key in _FLOAT_PARAMS:
+                    setattr(directive, key, float(value))
+                else:
+                    setattr(directive, key, value)
+            except ValueError as exc:
+                raise SpecError(
+                    f"bad value for fault parameter {key}: {value!r}")\
+                    from exc
+        if directive.mode not in CORRUPT_MODES:
+            raise SpecError(
+                f"unknown corrupt mode {directive.mode!r} (expected "
+                f"one of {', '.join(CORRUPT_MODES)})")
+        if directive.times < 1:
+            raise SpecError("fault parameter times must be >= 1")
+        directives.append(directive)
+    if not directives:
+        raise SpecError("empty fault specification")
+    return directives
+
+
+# -- process-wide active plan -------------------------------------------
+
+_installed: Optional[str] = None
+_parsed: Optional[Tuple[str, List[Directive]]] = None
+
+
+def install(spec: Optional[str]) -> None:
+    """Set (or, with None, clear) the explicit process-wide fault plan.
+
+    Parses eagerly so a malformed spec fails at install time, not at
+    the first cell.  With no explicit plan the :data:`ENV_VAR`
+    environment variable applies.
+    """
+    global _installed
+    if spec:
+        parse_spec(spec)
+    _installed = spec or None
+
+
+def active_spec() -> Optional[str]:
+    """The fault spec in effect: installed > environment > none."""
+    if _installed is not None:
+        return _installed
+    return os.environ.get(ENV_VAR) or None
+
+
+def _plan() -> Optional[List[Directive]]:
+    global _parsed
+    spec = active_spec()
+    if not spec:
+        return None
+    if _parsed is None or _parsed[0] != spec:
+        _parsed = (spec, parse_spec(spec))
+    return _parsed[1]
+
+
+def _in_worker_process() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def fire_cell(name: str, index: int, attempt: int) -> None:
+    """Injection point at the start of every engine cell execution."""
+    plan = _plan()
+    if not plan:
+        return
+    for directive in plan:
+        if not directive.matches_cell(name, index, attempt):
+            continue
+        if directive.kind == "stall":
+            time.sleep(directive.seconds)
+        elif directive.kind == "crash":
+            # Only ever kill pool workers: a crash directive must not
+            # take down the main process once the engine has degraded
+            # to serial execution.
+            if _in_worker_process():
+                os._exit(CRASH_EXIT_CODE)
+        else:
+            raise InjectedFault(
+                f"injected failure in cell {name!r} "
+                f"(index {index}, attempt {attempt})")
+
+
+def fire_cache_store(name: str, path: Union[str, Path]) -> bool:
+    """Injection point after a trace-cache store; True if corrupted."""
+    plan = _plan()
+    if not plan:
+        return False
+    corrupted = False
+    for directive in plan:
+        if directive.matches_store(name):
+            directive.fired += 1
+            corrupt_file(path, directive.mode, directive.seed)
+            corrupted = True
+    return corrupted
+
+
+def corrupt_file(path: Union[str, Path], mode: str = "truncate",
+                 seed: int = 0) -> None:
+    """Deterministically damage a file in place.
+
+    ``truncate`` keeps the first half of the bytes (a partial write),
+    ``zero`` empties the file, ``garbage`` overwrites the head with
+    seeded pseudo-random bytes (bit rot).
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if mode == "truncate":
+        path.write_bytes(data[:len(data) // 2])
+    elif mode == "zero":
+        path.write_bytes(b"")
+    elif mode == "garbage":
+        rng = random.Random(seed)
+        head = bytes(rng.getrandbits(8)
+                     for _ in range(min(len(data), 256)))
+        path.write_bytes(head + data[len(head):])
+    else:
+        raise SpecError(f"unknown corrupt mode {mode!r}")

@@ -21,8 +21,21 @@ Activation, in precedence order:
 2. the ``REPRO_TRACE_CACHE`` environment variable;
 3. otherwise caching is off and producers run every time.
 
-Writes are atomic (temp file + ``os.replace``) so parallel experiment
-workers can share one cache directory without corrupting it.
+Integrity and concurrency guarantees:
+
+* **Atomic writes** - entries are written to a temp file and
+  ``os.replace``-d into place, so readers never observe a partial
+  archive;
+* **Verified loads** - every archive embeds a content checksum
+  (:mod:`repro.trace.serialize`); a file that is truncated,
+  zero-byte, bit-rotten, or of the wrong format version is
+  *quarantined* (renamed aside with a ``.quarantined`` suffix),
+  counted in :attr:`CacheStats.corrupt`, and regenerated - corruption
+  costs a re-simulation, never a crash and never wrong data;
+* **Advisory write locks** - concurrent writers of the same entry
+  serialise on a per-entry ``flock`` lock file, so two processes
+  missing the same trace produce it once, not twice; a lock-less
+  platform degrades to last-writer-wins atomic replaces.
 
 Warm loads are zero-copy: ``load_trace`` hands the deserialised arrays
 straight to the trace's columnar backbone
@@ -35,16 +48,26 @@ from __future__ import annotations
 
 import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Union
 
+try:
+    import fcntl
+except ImportError:          # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+from repro.testing import faults as fault_injection
 from repro.trace import serialize
 from repro.trace.records import Trace
 from repro.trace.serialize import load_trace, save_trace
 
 #: Environment variable naming the default cache directory.
 ENV_VAR = "REPRO_TRACE_CACHE"
+
+#: Suffix given to corrupt entries moved aside for post-mortems.
+QUARANTINE_SUFFIX = ".quarantined"
 
 
 @dataclass
@@ -53,11 +76,14 @@ class CacheStats:
 
     hits: int = 0
     misses: int = 0
+    corrupt: int = 0            # entries quarantined as unreadable
+    lock_waits: int = 0         # stores that waited on another writer
     load_seconds: float = 0.0   # reading archived traces (incl. saves)
     sim_seconds: float = 0.0    # running the producer (functional sim)
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.load_seconds,
+        return CacheStats(self.hits, self.misses, self.corrupt,
+                          self.lock_waits, self.load_seconds,
                           self.sim_seconds)
 
 
@@ -82,7 +108,12 @@ class TraceCache:
         return self.directory / f"{self.key(name, scale)}.npz"
 
     def load(self, name: str, scale: float) -> Optional[Trace]:
-        """The archived trace, or None on a miss (or unreadable file)."""
+        """The archived trace, or None on a miss.
+
+        A file that exists but fails to deserialise or verify - in any
+        way - is quarantined and reported as a miss, so the caller
+        regenerates it.
+        """
         path = self.path_for(name, scale)
         if not path.exists():
             return None
@@ -90,20 +121,54 @@ class TraceCache:
         try:
             trace = load_trace(path)
         except Exception:
-            # Truncated/corrupt/stale file: drop it and treat as a miss.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # Truncated, zero-byte, checksum-mismatched, or
+            # wrong-version file: move it aside and treat as a miss.
+            self._quarantine(path)
             return None
         self.stats.load_seconds += time.perf_counter() - started
         return trace
 
-    def store(self, name: str, scale: float, trace: Trace) -> Path:
-        """Archive a trace atomically; returns the final path."""
-        started = time.perf_counter()
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(name, scale)
+    def _quarantine(self, path: Path) -> None:
+        self.stats.corrupt += 1
+        try:
+            os.replace(path, path.with_name(path.name
+                                            + QUARANTINE_SUFFIX))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    @contextmanager
+    def _entry_lock(self, path: Path):
+        """Advisory per-entry writer lock (yields True if we waited).
+
+        ``flock`` locks are per open-file-description, so this must
+        not be nested for the same entry within one process (the
+        public methods never do).  Platforms without ``fcntl`` yield
+        immediately - atomic replaces still keep readers safe.
+        """
+        if fcntl is None:        # pragma: no cover - non-POSIX
+            yield False
+            return
+        lock_dir = self.directory / ".locks"
+        lock_dir.mkdir(parents=True, exist_ok=True)
+        lock_path = lock_dir / (path.name + ".lock")
+        with open(lock_path, "ab") as fh:
+            waited = False
+            try:
+                fcntl.flock(fh, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                self.stats.lock_waits += 1
+                waited = True
+                fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield waited
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    def _write(self, name: str, path: Path, trace: Trace) -> None:
+        """Atomic entry write; caller holds the entry lock."""
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
             save_trace(trace, tmp)
@@ -114,6 +179,15 @@ class TraceCache:
                     tmp.unlink()
                 except OSError:
                     pass
+        fault_injection.fire_cache_store(name, path)
+
+    def store(self, name: str, scale: float, trace: Trace) -> Path:
+        """Archive a trace atomically; returns the final path."""
+        started = time.perf_counter()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(name, scale)
+        with self._entry_lock(path):
+            self._write(name, path, trace)
         self.stats.load_seconds += time.perf_counter() - started
         return path
 
@@ -121,7 +195,12 @@ class TraceCache:
               producer: Optional[Callable[[str, float], Trace]] = None)\
             -> Trace:
         """The trace for ``(name, scale)``: archived if present, else
-        produced (default producer: ``suite.run``) and archived."""
+        produced (default producer: ``suite.run``) and archived.
+
+        On a miss the entry's writer lock is taken before producing;
+        if another process wrote the entry while we waited, its
+        archive is loaded instead of simulating a second time.
+        """
         trace = self.load(name, scale)
         if trace is not None:
             self.stats.hits += 1
@@ -129,11 +208,21 @@ class TraceCache:
         if producer is None:
             from repro.workloads import suite
             producer = suite.run
-        started = time.perf_counter()
-        trace = producer(name, scale)
-        self.stats.sim_seconds += time.perf_counter() - started
-        self.stats.misses += 1
-        self.store(name, scale, trace)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(name, scale)
+        with self._entry_lock(path) as waited:
+            if waited:
+                trace = self.load(name, scale)
+                if trace is not None:
+                    self.stats.hits += 1
+                    return trace
+            started = time.perf_counter()
+            trace = producer(name, scale)
+            self.stats.sim_seconds += time.perf_counter() - started
+            self.stats.misses += 1
+            started = time.perf_counter()
+            self._write(name, path, trace)
+            self.stats.load_seconds += time.perf_counter() - started
         return trace
 
 

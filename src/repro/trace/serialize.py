@@ -14,11 +14,19 @@ writes the columnar view directly and ``load_trace`` rebuilds a trace
 *zero-copy* from the deserialised arrays - no per-record object is
 constructed on a warm cache load; consumers that need record objects
 materialise them lazily through ``Trace.records``.
+
+Every file embeds a CRC-32 over the column bytes and trace identity;
+``load_trace`` recomputes and compares it, raising
+:class:`TraceIntegrityError` on any mismatch, so silent on-disk
+corruption (bit rot, partial writes that still unzip) can never leak
+wrong data into an experiment - the trace cache quarantines the file
+and regenerates instead.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
 from typing import Union
 
@@ -32,7 +40,14 @@ from repro.trace.records import Trace
 #: rejected at save time rather than silently loaded back as None.
 _NO_VALUE = np.int64(-(2 ** 62))
 
-_FORMAT_VERSION = 1
+#: v2 added the embedded content checksum; v1 files are rejected (the
+#: cache never looks them up - its keys embed the version - so in
+#: practice a bump just makes stale archives regenerate).
+_FORMAT_VERSION = 2
+
+
+class TraceIntegrityError(ValueError):
+    """A trace file failed its version or checksum validation."""
 
 #: (column, dtype) for every TraceRecord field except ``value``, which
 #: needs the None-sentinel treatment.  Shared with the in-memory
@@ -50,6 +65,23 @@ def _normalised(path: Union[str, Path]) -> Path:
     never rewrites the name).
     """
     return Path(path)
+
+
+def _checksum(payload: dict, name: str, output, exit_code: int) -> int:
+    """CRC-32 over the serialised column bytes and trace identity.
+
+    Computed on the exact arrays written to (or read from) disk - the
+    ``value`` column already carries the None sentinel - so save and
+    load agree bit-for-bit.
+    """
+    crc = zlib.crc32(json.dumps(
+        [name, output, exit_code], sort_keys=True).encode("utf-8"))
+    for column, _ in _COLUMNS:
+        crc = zlib.crc32(np.ascontiguousarray(payload[column]).tobytes(),
+                         crc)
+    crc = zlib.crc32(np.ascontiguousarray(payload["value"]).tobytes(),
+                     crc)
+    return crc & 0xFFFFFFFF
 
 
 def save_trace(trace: Trace, path: Union[str, Path]) -> None:
@@ -74,6 +106,8 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> None:
         "name": trace.name,
         "output": trace.output,
         "exit_code": trace.exit_code,
+        "checksum": _checksum(payload, trace.name, trace.output,
+                              trace.exit_code),
     })
     with open(_normalised(path), "wb") as fh:
         np.savez_compressed(fh, meta=np.frombuffer(
@@ -90,10 +124,19 @@ def load_trace(path: Union[str, Path]) -> Trace:
     with np.load(str(_normalised(path))) as data:
         meta = json.loads(bytes(data["meta"]).decode("utf-8"))
         if meta.get("version") != _FORMAT_VERSION:
-            raise ValueError(
+            raise TraceIntegrityError(
                 f"unsupported trace format version {meta.get('version')}")
         arrays = [data[name] for name, _ in _COLUMNS]
         raw_values = data["value"]
+    payload = {name: array for (name, _), array in zip(_COLUMNS, arrays)}
+    payload["value"] = raw_values
+    expected = meta.get("checksum")
+    actual = _checksum(payload, meta["name"], meta["output"],
+                       meta["exit_code"])
+    if expected != actual:
+        raise TraceIntegrityError(
+            f"trace checksum mismatch for {path}: stored "
+            f"{expected!r}, computed {actual}")
     valid = raw_values != _NO_VALUE
     columns = ColumnarTrace(*arrays,
                             np.where(valid, raw_values, 0), valid)

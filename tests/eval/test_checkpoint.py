@@ -1,0 +1,198 @@
+"""Checkpoint/resume tests: interrupted sweeps re-run only missing cells."""
+
+import pickle
+
+import pytest
+
+from repro import metrics
+from repro.eval import checkpoint, engine, faults
+from repro.eval.checkpoint import CellJournal, cell_key
+from repro.eval.faults import CellFailure, RetryPolicy
+from repro.testing import faults as fi
+
+NAMES = ("alpha", "beta", "gamma")
+
+
+def _cell(name, scale):
+    return f"{name}@{scale}"
+
+
+def _other_cell(name, scale):
+    return name
+
+
+def _metric_cell(name, scale):
+    metrics.active().scoped("test").counter("runs").inc(1)
+    return name
+
+
+#: Execution log for _logging_cell (meaningful in serial mode only,
+#: where cells run in this process).
+_EXECUTIONS = []
+
+
+def _logging_cell(name, scale):
+    _EXECUTIONS.append(name)
+    return _cell(name, scale)
+
+
+@pytest.fixture(autouse=True)
+def _clean(monkeypatch):
+    monkeypatch.delenv(fi.ENV_VAR, raising=False)
+    engine.set_jobs(None)
+    engine.set_checkpoint(None)
+    engine.reset_stage_times()
+    engine.reset_fault_stats()
+    engine.take_metrics()
+    fi.install(None)
+    faults.set_policy(None)
+    yield
+    metrics.disable()
+    engine.set_checkpoint(None)
+    engine.take_metrics()
+    fi.install(None)
+    faults.set_policy(None)
+
+
+class TestCellKey:
+    def test_stable(self):
+        assert cell_key(_cell, "w", 0.5, ()) == \
+            cell_key(_cell, "w", 0.5, ())
+
+    def test_distinguishes_every_identity_component(self):
+        base = cell_key(_cell, "w", 0.5, ())
+        assert cell_key(_other_cell, "w", 0.5, ()) != base
+        assert cell_key(_cell, "x", 0.5, ()) != base
+        assert cell_key(_cell, "w", 0.25, ()) != base
+        assert cell_key(_cell, "w", 0.5, (4,)) != base
+
+
+class TestJournal:
+    def test_roundtrip(self, tmp_path):
+        journal = CellJournal(tmp_path)
+        times = engine.StageTimes(replay=1.5, cells=1)
+        journal.record(_cell, "w", 0.5, (), "result", times, {"a": 1})
+        loaded = journal.load(_cell, "w", 0.5, ())
+        assert loaded is not None
+        result, loaded_times, snapshot = loaded
+        assert result == "result"
+        assert loaded_times.replay == 1.5
+        assert snapshot == {"a": 1}
+        assert journal.stats.hits == 1
+        assert len(journal) == 1
+
+    def test_miss_counted(self, tmp_path):
+        journal = CellJournal(tmp_path)
+        assert journal.load(_cell, "w", 0.5, ()) is None
+        assert journal.stats.misses == 1
+
+    def test_file_as_directory_rejected(self, tmp_path):
+        path = tmp_path / "notadir"
+        path.touch()
+        with pytest.raises(ValueError):
+            CellJournal(path)
+
+    def test_corrupt_entry_quarantined(self, tmp_path):
+        journal = CellJournal(tmp_path)
+        path = journal.record(_cell, "w", 0.5, (), "r",
+                              engine.StageTimes(), None)
+        path.write_bytes(b"\x80garbage, not a pickle")
+        assert journal.load(_cell, "w", 0.5, ()) is None
+        assert journal.stats.corrupt == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".quarantined").exists()
+
+    def test_key_mismatch_quarantined(self, tmp_path):
+        # A valid pickle recorded under the wrong filename must not be
+        # served: the embedded key is checked against the requested one.
+        journal = CellJournal(tmp_path)
+        recorded = journal.record(_cell, "w", 0.5, (), "r",
+                                  engine.StageTimes(), None)
+        alias = journal.path_for(cell_key(_cell, "other", 0.5, ()))
+        alias.write_bytes(recorded.read_bytes())
+        assert journal.load(_cell, "other", 0.5, ()) is None
+        assert journal.stats.corrupt == 1
+
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        journal = CellJournal(tmp_path)
+        path = journal.record(_cell, "w", 0.5, (), "r",
+                              engine.StageTimes(), None)
+        payload = pickle.loads(path.read_bytes())
+        payload["version"] = checkpoint.FORMAT_VERSION + 1
+        path.write_bytes(pickle.dumps(payload))
+        assert journal.load(_cell, "w", 0.5, ()) is None
+        assert journal.stats.corrupt == 1
+
+
+class TestResume:
+    def test_interrupted_sweep_resumes_missing_cells_only(self, tmp_path,
+                                                          monkeypatch):
+        """The acceptance scenario: a sweep dies mid-run, the re-run
+        replays journalled cells and executes only the missing ones."""
+        monkeypatch.setattr(faults, "_sleep", lambda _s: None)
+        engine.set_checkpoint(tmp_path)
+        faults.set_policy(RetryPolicy(max_retries=0))
+        fi.install("fail:name=gamma,times=99")     # "power cut" at cell 3
+        with pytest.raises(CellFailure):
+            engine.run_cells(_cell, NAMES, 1.0, jobs=1)
+        assert len(engine.active_journal()) == 2   # alpha, beta landed
+
+        fi.install(None)
+        journal = engine.set_checkpoint(tmp_path)  # fresh stats
+        results = engine.run_cells(_cell, NAMES, 1.0, jobs=1)
+        assert results == ["alpha@1.0", "beta@1.0", "gamma@1.0"]
+        assert journal.stats.hits == 2
+        assert journal.stats.misses == 1
+        snap = engine.resilience_snapshot()
+        assert snap["checkpoint.hits"] == 2
+        assert snap["checkpoint.misses"] == 1
+
+    def test_full_replay_executes_nothing(self, tmp_path):
+        del _EXECUTIONS[:]
+        engine.set_checkpoint(tmp_path)
+        engine.run_cells(_logging_cell, NAMES, 1.0, jobs=1)
+        assert _EXECUTIONS == list(NAMES)
+        journal = engine.set_checkpoint(tmp_path)
+        results = engine.run_cells(_logging_cell, NAMES, 1.0, jobs=1)
+        assert results == ["alpha@1.0", "beta@1.0", "gamma@1.0"]
+        assert journal.stats.hits == 3
+        assert _EXECUTIONS == list(NAMES)   # no cell ran again
+
+    def test_replay_restores_metrics_and_stage_times(self, tmp_path):
+        engine.set_checkpoint(tmp_path)
+        metrics.enable()
+        engine.run_cells(_metric_cell, NAMES, 1.0, jobs=1)
+        first = engine.take_metrics()
+        first_cells = engine.stage_times().cells
+
+        engine.reset_stage_times()
+        engine.set_checkpoint(tmp_path)
+        engine.run_cells(_metric_cell, NAMES, 1.0, jobs=1)
+        replayed = engine.take_metrics()
+        assert replayed == first
+        assert engine.stage_times().cells == first_cells
+
+    def test_different_args_never_match(self, tmp_path):
+        engine.set_checkpoint(tmp_path)
+        engine.run_cells(_cell, NAMES, 1.0, jobs=1)
+        journal = engine.set_checkpoint(tmp_path)
+        engine.run_cells(_cell, NAMES, 2.0, jobs=1)   # different scale
+        assert journal.stats.hits == 0
+        assert journal.stats.misses == 3
+
+    def test_corrupt_journal_entry_reruns_cell(self, tmp_path):
+        engine.set_checkpoint(tmp_path)
+        engine.run_cells(_cell, NAMES, 1.0, jobs=1)
+        entry = engine.active_journal().path_for(
+            cell_key(_cell, "beta", 1.0, ()))
+        entry.write_bytes(b"scrambled")
+        journal = engine.set_checkpoint(tmp_path)
+        results = engine.run_cells(_cell, NAMES, 1.0, jobs=1)
+        assert results == ["alpha@1.0", "beta@1.0", "gamma@1.0"]
+        assert journal.stats.hits == 2
+        assert journal.stats.corrupt == 1
+        assert engine.resilience_snapshot()["checkpoint.corrupt"] == 1
+        # The re-run re-journalled the cell, so a third run fully hits.
+        journal = engine.set_checkpoint(tmp_path)
+        engine.run_cells(_cell, NAMES, 1.0, jobs=1)
+        assert journal.stats.hits == 3

@@ -73,6 +73,28 @@ class TestJobs:
         monkeypatch.setenv(engine.JOBS_ENV_VAR, "lots")
         assert engine.get_jobs() == 1
 
+    def test_bad_env_var_warns_naming_value(self, monkeypatch):
+        monkeypatch.setenv(engine.JOBS_ENV_VAR, "lots")
+        engine._warned_jobs.clear()
+        with pytest.warns(RuntimeWarning, match="'lots'"):
+            assert engine.get_jobs() == 1
+
+    def test_nonpositive_env_var_warns(self, monkeypatch):
+        monkeypatch.setenv(engine.JOBS_ENV_VAR, "-2")
+        engine._warned_jobs.clear()
+        with pytest.warns(RuntimeWarning, match="'-2'"):
+            assert engine.get_jobs() == 1
+
+    def test_bad_env_var_warns_once_per_value(self, monkeypatch):
+        import warnings as warnings_module
+        monkeypatch.setenv(engine.JOBS_ENV_VAR, "zero")
+        engine._warned_jobs.clear()
+        with pytest.warns(RuntimeWarning):
+            engine.get_jobs()
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert engine.get_jobs() == 1   # already reported: silent
+
 
 class TestStageTimes:
     def test_merge(self):

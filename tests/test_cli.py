@@ -7,6 +7,7 @@ import pytest
 from repro import metrics
 from repro.cli import main
 from repro.eval import engine
+from repro.testing import faults as fault_injection
 from repro.trace import cache as trace_cache
 from repro.workloads import suite
 
@@ -17,6 +18,9 @@ def _clear_caches():
     suite.clear_caches()
     trace_cache.reset()
     engine.set_jobs(None)
+    engine.set_checkpoint(None)
+    engine.reset_fault_stats()
+    fault_injection.install(None)
     metrics.disable()
     engine.take_metrics()
 
@@ -148,6 +152,64 @@ class TestUnifiedFlags:
         suite.clear_caches()
         assert main(base + [str(parallel), "--jobs", "4"]) == 0
         assert serial.read_bytes() == parallel.read_bytes()
+
+
+class TestResilienceFlags:
+    def test_jobs_zero_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["profile", "--jobs", "0", "db_vortex"])
+        assert exc_info.value.code == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_jobs_noninteger_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["profile", "--jobs", "many", "db_vortex"])
+        assert exc_info.value.code == 2
+        assert "expected an integer >= 1" in capsys.readouterr().err
+
+    def test_bad_inject_fault_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["profile", "--inject-fault", "explode:index=0",
+                  "db_vortex"])
+        assert exc_info.value.code == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_injected_failure_is_retried_and_reported(self, tmp_path,
+                                                      capsys):
+        out_file = tmp_path / "metrics.json"
+        assert main(["profile", "--scale", "0.2", "--inject-fault",
+                     "fail:index=0", "--metrics-out", str(out_file),
+                     "db_vortex"]) == 0
+        assert "db_vortex" in capsys.readouterr().out
+        document = json.loads(out_file.read_text())
+        assert document["resilience"]["engine.retries"] == 1
+        assert document["cells"]["db_vortex"]["cpu.instructions"][
+            "value"] > 0
+
+    def test_fault_free_run_reports_zero_resilience(self, tmp_path):
+        out_file = tmp_path / "metrics.json"
+        assert main(["profile", "--scale", "0.2", "--metrics-out",
+                     str(out_file), "db_vortex"]) == 0
+        document = json.loads(out_file.read_text())
+        assert set(document["resilience"].values()) == {0}
+
+    def test_checkpoint_flag_resumes(self, tmp_path):
+        journal_dir = tmp_path / "journal"
+        base = ["profile", "--scale", "0.2", "--checkpoint",
+                str(journal_dir), "db_vortex"]
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main(base + ["--metrics-out", str(first)]) == 0
+        suite.clear_caches()
+        assert main(base + ["--metrics-out", str(second)]) == 0
+        resumed = json.loads(second.read_text())
+        assert resumed["resilience"]["checkpoint.hits"] == 1
+        assert json.loads(first.read_text())[
+            "resilience"]["checkpoint.misses"] == 1
+        # Replayed cells restore their metrics byte-for-byte.
+        a = json.loads(first.read_text())
+        b = json.loads(second.read_text())
+        assert a["cells"] == b["cells"]
 
 
 class TestStatsCommand:

@@ -8,7 +8,8 @@ from repro.cpu import run_source
 from repro.predictor import evaluate_scheme
 from repro.trace.records import (OC_BRANCH, OC_IALU, OC_LOAD, Trace,
                                  TraceRecord)
-from repro.trace.serialize import _NO_VALUE, load_trace, save_trace
+from repro.trace.serialize import (_NO_VALUE, TraceIntegrityError,
+                                   load_trace, save_trace)
 
 _FIELDS = ("pc", "op_class", "dst", "src1", "src2", "addr", "mode",
            "region", "taken", "ra", "value")
@@ -108,7 +109,62 @@ class TestRoundTrip:
         np.savez_compressed(
             str(path),
             meta=np.frombuffer(meta.encode(), dtype=np.uint8))
-        with pytest.raises(ValueError):
+        with pytest.raises(TraceIntegrityError):
+            load_trace(path)
+
+
+def _rewrite(path, mutate):
+    """Round-trip the raw npz payload through ``mutate`` - simulating
+    on-disk corruption that still unzips cleanly."""
+    import json
+
+    import numpy as np
+    with np.load(str(path)) as data:
+        payload = {key: data[key] for key in data.files}
+    meta = json.loads(bytes(payload.pop("meta")).decode("utf-8"))
+    mutate(meta, payload)
+    payload["meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(str(path), **payload)
+
+
+class TestIntegrity:
+    """The embedded CRC-32 catches corruption that still deserialises."""
+
+    def test_integrity_error_is_a_value_error(self):
+        assert issubclass(TraceIntegrityError, ValueError)
+
+    def test_intact_file_loads(self, trace, tmp_path):
+        path = tmp_path / "ok.npz"
+        save_trace(trace, path)
+        _rewrite(path, lambda meta, payload: None)   # no-op rewrite
+        _assert_same_trace(trace, load_trace(path))
+
+    def test_tampered_column_detected(self, trace, tmp_path):
+        path = tmp_path / "bitrot.npz"
+        save_trace(trace, path)
+
+        def flip(meta, payload):
+            payload["addr"] = payload["addr"].copy()
+            payload["addr"][0] ^= 1
+
+        _rewrite(path, flip)
+        with pytest.raises(TraceIntegrityError, match="checksum"):
+            load_trace(path)
+
+    def test_tampered_identity_detected(self, trace, tmp_path):
+        path = tmp_path / "renamed.npz"
+        save_trace(trace, path)
+        _rewrite(path, lambda meta, payload:
+                 meta.__setitem__("name", "impostor"))
+        with pytest.raises(TraceIntegrityError, match="checksum"):
+            load_trace(path)
+
+    def test_missing_checksum_detected(self, trace, tmp_path):
+        path = tmp_path / "unchecked.npz"
+        save_trace(trace, path)
+        _rewrite(path, lambda meta, payload: meta.pop("checksum"))
+        with pytest.raises(TraceIntegrityError, match="checksum"):
             load_trace(path)
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import time
@@ -95,9 +96,24 @@ def main(argv=None) -> int:
               + (f" ({speedup:g}x vs baseline)" if speedup else ""),
               flush=True)
 
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    _atomic_write(Path(args.out), json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
     return 0
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Temp file + ``os.replace`` so an interrupted benchmark run never
+    leaves a truncated report behind."""
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
 
 if __name__ == "__main__":
