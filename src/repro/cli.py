@@ -9,8 +9,9 @@ Commands
     Compile a MiniC source file and print the generated assembly.
 ``workloads``
     List the built-in workload suite.
-``profile [names...]``
-    Region-locality profile (Figure 2 / Table 2 style) per workload.
+``regions [names...]``
+    Region-locality profile (Figure 2 / Table 2 style) per workload
+    (named ``profile`` before the span profiler took that name).
 ``predict [--scheme NAME] [names...]``
     Access-region prediction accuracy per workload.
 ``timing [names...]``
@@ -24,6 +25,10 @@ Commands
     Run an experiment with metrics collection enabled and print the
     collected per-cell metrics.  ``--check`` exits non-zero if any
     registered metric is NaN or negative.
+``profile <run> [--chrome FILE] [--check]``
+    Aggregate a ``--trace-spans`` run directory into a wall-clock
+    span tree, optionally export Chrome trace-event / Perfetto JSON,
+    and (``--check``) gate against the recorded perf baseline.
 
 Shared flags
 ------------
@@ -41,11 +46,15 @@ parent parser:
 ``--inject-fault SPEC`` deterministic fault-injection drill (worker
                      crashes, cell failures, stalls, cache corruption;
                      see ``repro.testing.faults``)
+``--trace-spans DIR`` write a run manifest and hierarchical span
+                     journal to DIR (``repro profile DIR`` reads it);
+                     purely additive - results stay byte-identical
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -56,6 +65,9 @@ from repro.compiler import compile_source
 from repro.cpu import run_program
 from repro.eval import engine, reporting
 from repro.metrics import export
+from repro.obs import manifest as run_manifest
+from repro.obs import profile as obs_profile
+from repro.obs import spans
 from repro.predictor import evaluate_scheme
 from repro.testing import faults as fault_injection
 from repro.timing import figure8_configs, simulate
@@ -137,6 +149,10 @@ def _common_parser() -> argparse.ArgumentParser:
         help="deterministic fault-injection drill, e.g. "
              "'crash:index=1' or 'corrupt:name=db_vortex' "
              f"(default: ${fault_injection.ENV_VAR})")
+    common.add_argument(
+        "--trace-spans", metavar="DIR", default=None,
+        help="write a run manifest and span journal to DIR for "
+             f"'repro profile DIR' (default: ${spans.ENV_VAR})")
     return common
 
 
@@ -158,10 +174,10 @@ def _build_parser() -> argparse.ArgumentParser:
     workloads = sub.add_parser("workloads", help="list the workload suite")
     workloads.set_defaults(handler=_cmd_workloads)
 
-    profile = sub.add_parser("profile", parents=[common],
+    regions = sub.add_parser("regions", parents=[common],
                              help="region-locality profile")
-    profile.add_argument("names", nargs="*", default=[])
-    profile.set_defaults(handler=_cmd_profile, default_scale=0.5)
+    regions.add_argument("names", nargs="*", default=[])
+    regions.set_defaults(handler=_cmd_regions, default_scale=0.5)
 
     predict = sub.add_parser("predict", parents=[common],
                              help="prediction accuracy")
@@ -195,6 +211,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="exit non-zero if any registered metric is NaN or negative")
     stats.set_defaults(handler=_cmd_stats, default_scale=1.0)
+
+    profile = sub.add_parser(
+        "profile",
+        help="aggregate a --trace-spans run: span tree, Perfetto "
+             "export, perf-regression gate")
+    profile.add_argument(
+        "run", type=Path,
+        help="run directory written by --trace-spans (or a bare "
+             "spans.jsonl file)")
+    profile.add_argument(
+        "--chrome", metavar="FILE", type=Path, default=None,
+        help="also export Chrome trace-event JSON (loadable in "
+             "Perfetto / chrome://tracing)")
+    profile.add_argument(
+        "--check", action="store_true",
+        help="compare the run's wall-clock against the recorded "
+             "baseline; exit non-zero on a regression")
+    profile.add_argument(
+        "--baseline", metavar="FILE", type=Path,
+        default=obs_profile.DEFAULT_BASELINE,
+        help="baseline JSON for --check [%(default)s]")
+    profile.add_argument(
+        "--threshold", type=float,
+        default=obs_profile.DEFAULT_THRESHOLD, metavar="FRAC",
+        help="allowed fractional slowdown before --check fails "
+             "[%(default)s]")
+    profile.set_defaults(handler=_cmd_profile)
 
     # Every experiment id as a top-level alias:
     # ``repro figure4`` == ``repro experiment figure4``.
@@ -283,8 +326,8 @@ def _cmd_workloads(_args) -> int:
     return 0
 
 
-def _profile_cell(name: str, scale: float) -> str:
-    """One profile line (module-level so --jobs can pickle it)."""
+def _regions_cell(name: str, scale: float) -> str:
+    """One region-profile line (module-level so --jobs can pickle it)."""
     trace = engine.trace_for(name, scale)
     breakdown = region_breakdown(trace)
     w32 = window_stats(trace, 32)
@@ -298,13 +341,36 @@ def _profile_cell(name: str, scale: float) -> str:
             f"{w32.stack.mean:.1f}")
 
 
-def _cmd_profile(args) -> int:
+def _cmd_regions(args) -> int:
     _apply_common(args)
     names = _resolve_names(args.names)
     scale = _scale(args)
-    for line in engine.run_cells(_profile_cell, names, scale):
+    for line in engine.run_cells(_regions_cell, names, scale):
         print(line)
-    _export_metrics(args, "profile", scale, engine.take_metrics())
+    _export_metrics(args, "regions", scale, engine.take_metrics())
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Aggregate a span journal: tree, Chrome export, baseline gate."""
+    try:
+        run = obs_profile.load_run(args.run)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    # Export before printing: the artifact still lands when stdout is
+    # piped into a pager/head that closes early.
+    if args.chrome is not None:
+        path = obs_profile.write_chrome(run, args.chrome)
+        print(f"chrome trace written to {path}", file=sys.stderr)
+    print(obs_profile.render_tree(run))
+    if args.check:
+        verdict = obs_profile.compare_baseline(
+            run, baseline_path=args.baseline,
+            threshold=args.threshold)
+        for message in verdict.messages:
+            print(message, file=sys.stderr)
+        return verdict.exit_code
     return 0
 
 
@@ -420,6 +486,43 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _observed(args, argv: Optional[List[str]]) -> int:
+    """Run the handler, tracing it when ``--trace-spans`` (or the
+    environment) names a run directory.
+
+    Tracing is strictly additive: the manifest and span journal go to
+    the run directory, the root CLI span wraps the whole handler, and
+    worker journals are merged when the tracer is torn down - stdout
+    and every export stay byte-identical to an untraced run.
+    """
+    directory = getattr(args, "trace_spans", None) \
+        or os.environ.get(spans.ENV_VAR)
+    if not directory:
+        return args.handler(args)
+    tracer = spans.enable(directory)
+    experiment = getattr(args, "id", None)
+    scale = getattr(args, "scale", None)
+    if scale is None:
+        scale = getattr(args, "default_scale", None)
+    jobs = getattr(args, "jobs", None)
+    run_manifest.write_manifest(directory, run_manifest.build_manifest(
+        run_id=tracer.run_id,
+        command=args.command,
+        argv=argv if argv is not None else sys.argv[1:],
+        experiment=experiment,
+        scale=scale,
+        jobs=jobs if jobs is not None else engine.get_jobs(),
+    ))
+    try:
+        with spans.span(f"cli:{args.command}", experiment=experiment,
+                        scale=scale) as root:
+            code = args.handler(args)
+            root.set("exit_code", code)
+            return code
+    finally:
+        spans.disable()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args, extra = parser.parse_known_args(argv)
@@ -433,7 +536,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(f"unrecognized arguments: {' '.join(extra)}")
         args.names = [*args.names, *extra]
     try:
-        return args.handler(args)
+        return _observed(args, argv)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         sys.stderr.close()

@@ -55,6 +55,7 @@ import numpy as np
 
 from repro import metrics
 from repro.eval import checkpoint, faults, reporting
+from repro.obs import spans
 from repro.testing import faults as fault_injection
 from repro.trace import cache as trace_cache
 from repro.trace.records import (OC_BRANCH, OC_LOAD, OC_STORE,
@@ -173,10 +174,25 @@ _faults = faults.FaultStats()
 #: Active checkpoint journal (None = checkpointing off).
 _journal: Optional[checkpoint.CellJournal] = None
 
+#: Per-cell ``[cache hits, cache misses, checkpoint replays]`` in
+#: submission order, for the ``--verbose`` per-cell report line.
+_cell_notes: "OrderedDict[str, List[int]]" = OrderedDict()
+
+
+def _note_cell(name: str, hits: int = 0, misses: int = 0,
+               replays: int = 0) -> None:
+    entry = _cell_notes.get(name)
+    if entry is None:
+        entry = _cell_notes[name] = [0, 0, 0]
+    entry[0] += hits
+    entry[1] += misses
+    entry[2] += replays
+
 
 def reset_stage_times() -> None:
     global _stages
     _stages = StageTimes()
+    _cell_notes.clear()
 
 
 def stage_times() -> StageTimes:
@@ -228,6 +244,13 @@ def resilience_snapshot() -> Dict[str, int]:
 
 def render_stage_report() -> str:
     report = _stages.render()
+    if _cell_notes:
+        width = max(len(name) for name in _cell_notes)
+        lines = [f"  {name:<{width}}  cache {hits} hit / {misses} miss"
+                 f"  replays {replays}"
+                 for name, (hits, misses, replays)
+                 in _cell_notes.items()]
+        report += "\nper-cell:\n" + "\n".join(lines)
     recovered = {key: value for key, value
                  in resilience_snapshot().items() if value}
     if recovered:
@@ -291,7 +314,8 @@ def _ensure_columns(trace: Trace) -> None:
     if trace.has_columns:
         return
     started = time.perf_counter()
-    trace.columns
+    with spans.span("trace:columnar"):
+        trace.columns
     _stages.cache_io += time.perf_counter() - started
 
 
@@ -299,35 +323,50 @@ def trace_for(name: str, scale: float) -> Trace:
     """The workload's trace, via the active trace cache when one is
     configured, timed into the current stage breakdown."""
     cache = trace_cache.active_cache()
-    if cache is None:
-        started = time.perf_counter()
-        trace = suite.run(name, scale)
-        _stages.functional_sim += time.perf_counter() - started
+    with spans.span("trace:fetch", workload=name) as sp:
+        if cache is None:
+            started = time.perf_counter()
+            trace = suite.run(name, scale)
+            _stages.functional_sim += time.perf_counter() - started
+            sp.set("cache", "off")
+            _ensure_columns(trace)
+            _publish_trace_metrics(trace)
+            return trace
+        before = cache.stats.snapshot()
+        trace = cache.fetch(name, scale, producer=suite.run)
+        _stages.functional_sim += cache.stats.sim_seconds \
+            - before.sim_seconds
+        _stages.cache_io += cache.stats.load_seconds \
+            - before.load_seconds
+        _stages.cache_hits += cache.stats.hits - before.hits
+        _stages.cache_misses += cache.stats.misses - before.misses
+        _stages.cache_corrupt += cache.stats.corrupt - before.corrupt
+        if cache.stats.hits > before.hits:
+            sp.set("cache", "hit")
+        elif cache.stats.corrupt > before.corrupt:
+            sp.set("cache", "corrupt")
+        else:
+            sp.set("cache", "miss")
         _ensure_columns(trace)
         _publish_trace_metrics(trace)
         return trace
-    before = cache.stats.snapshot()
-    trace = cache.fetch(name, scale, producer=suite.run)
-    _stages.functional_sim += cache.stats.sim_seconds - before.sim_seconds
-    _stages.cache_io += cache.stats.load_seconds - before.load_seconds
-    _stages.cache_hits += cache.stats.hits - before.hits
-    _stages.cache_misses += cache.stats.misses - before.misses
-    _stages.cache_corrupt += cache.stats.corrupt - before.corrupt
-    _ensure_columns(trace)
-    _publish_trace_metrics(trace)
-    return trace
 
 
 # -- cell fan-out -------------------------------------------------------
 
 def _init_worker(cache_directory: Optional[str],
                  environ_cache: Optional[str],
-                 fault_spec: Optional[str] = None) -> None:
-    """Worker bootstrap: mirror the parent's trace-cache decision and
-    fault-injection plan.
+                 fault_spec: Optional[str] = None,
+                 obs_state: Optional[tuple] = None) -> None:
+    """Worker bootstrap: mirror the parent's trace-cache decision,
+    fault-injection plan, and span-tracing state.
 
     Needed for spawn/forkserver start methods, and to propagate a
     ``configure()``-time cache that never reached the environment.
+    ``obs_state`` is :func:`repro.obs.spans.worker_state` output: the
+    worker journals spans locally (``spans-<pid>.jsonl``) with its
+    top-level spans parented to the engine span that spawned the pool;
+    the parent merges worker journals at finalisation.
     """
     if cache_directory is not None:
         trace_cache.configure(cache_directory)
@@ -337,6 +376,8 @@ def _init_worker(cache_directory: Optional[str],
         trace_cache.configure(None)
     if fault_spec:
         fault_injection.install(fault_spec)
+    if obs_state is not None:
+        spans.enable_worker(*obs_state)
 
 
 def _swap_stages(new: StageTimes) -> StageTimes:
@@ -366,7 +407,11 @@ def _run_cell(worker: Callable, name: str, scale: float, args: tuple,
         else None
     started = time.perf_counter()
     try:
-        result = worker(name, scale, *args)
+        # The cell span opens after the registry swap so its metric
+        # delta is exactly this cell's counters.
+        with spans.span("cell", capture_metrics=True, workload=name,
+                        index=index, attempt=attempt):
+            result = worker(name, scale, *args)
     finally:
         # Restore the caller's accumulator (serial path nests inside
         # the driver's own timing scope).
@@ -384,6 +429,7 @@ def _run_cell(worker: Callable, name: str, scale: float, args: tuple,
 def _record_cell(name: str, times: StageTimes,
                  snapshot: Optional[Dict[str, dict]]) -> None:
     _stages.merge(times)
+    _note_cell(name, hits=times.cache_hits, misses=times.cache_misses)
     if snapshot is None:
         return
     existing = _metric_cells.get(name)
@@ -470,6 +516,7 @@ def _run_pool(worker: Callable, names: Sequence[str], scale: float,
     cache_dir = str(cache.directory) if cache is not None else None
     environ_cache = os.environ.get(trace_cache.ENV_VAR)
     fault_spec = fault_injection.active_spec()
+    obs_state = spans.worker_state()
     while pending:
         if rebuilds > policy.max_pool_rebuilds:
             _faults.serial_fallbacks += 1
@@ -479,7 +526,7 @@ def _run_pool(worker: Callable, names: Sequence[str], scale: float,
         pool = ProcessPoolExecutor(
             max_workers=min(max_workers, len(pending)),
             initializer=_init_worker,
-            initargs=(cache_dir, environ_cache, fault_spec))
+            initargs=(cache_dir, environ_cache, fault_spec, obs_state))
         futures = {i: pool.submit(_run_cell, worker, names[i], scale,
                                   args, collect, i, attempts[i])
                    for i in pending}
@@ -584,25 +631,32 @@ def run_cells(worker: Callable, names: Sequence[str], scale: float,
     journal = _journal
     outcomes: Dict[int, tuple] = {}
     pending: List[int] = []
-    for i, name in enumerate(names):
-        cached = journal.load(worker, name, scale, args) \
-            if journal is not None else None
-        if cached is not None:
-            outcomes[i] = cached
-        else:
-            pending.append(i)
-    if pending:
-        effective = jobs if jobs is not None else get_jobs()
-        effective = max(1, min(effective, len(pending)))
-        if effective <= 1 or len(pending) <= 1:
-            _run_serial(worker, names, scale, args, collect, pending,
-                        outcomes, policy, journal)
-        else:
-            _run_pool(worker, names, scale, args, collect, pending,
-                      outcomes, policy, journal, effective)
-    results = []
-    for i, name in enumerate(names):
-        result, times, snapshot = outcomes[i]
-        _record_cell(name, times, snapshot)
-        results.append(result)
-    return results
+    with spans.span("engine:run_cells", cells=len(names)) as run_span:
+        for i, name in enumerate(names):
+            if journal is None:
+                pending.append(i)
+                continue
+            with spans.span("checkpoint:replay", workload=name) as sp:
+                cached = journal.load(worker, name, scale, args)
+                sp.set("hit", cached is not None)
+            if cached is not None:
+                outcomes[i] = cached
+                _note_cell(name, replays=1)
+            else:
+                pending.append(i)
+        if pending:
+            effective = jobs if jobs is not None else get_jobs()
+            effective = max(1, min(effective, len(pending)))
+            run_span.set("jobs", effective)
+            if effective <= 1 or len(pending) <= 1:
+                _run_serial(worker, names, scale, args, collect,
+                            pending, outcomes, policy, journal)
+            else:
+                _run_pool(worker, names, scale, args, collect, pending,
+                          outcomes, policy, journal, effective)
+        results = []
+        for i, name in enumerate(names):
+            result, times, snapshot = outcomes[i]
+            _record_cell(name, times, snapshot)
+            results.append(result)
+        return results

@@ -1,0 +1,320 @@
+"""Span-journal aggregation: trees, Chrome traces, regression gating.
+
+Backs the ``repro profile`` subcommand.  A *run* is a directory
+holding a ``manifest.json`` and a ``spans.jsonl`` journal (plus any
+unmerged worker journals left behind by a crashed run - those are
+folded in on load, so a killed sweep still profiles).  Three consumers:
+
+* :func:`render_tree` - the per-stage/per-cell wall-clock tree plus an
+  aggregate by span name, for reading in a terminal;
+* :func:`chrome_document` - Chrome trace-event JSON (the ``ph: "X"``
+  complete-event form), loadable in Perfetto / ``chrome://tracing``
+  for flamegraph viewing;
+* :func:`compare_baseline` - compares the run's root wall-clock
+  against the recorded per-experiment baseline
+  (``benchmarks/results/BENCH_perf_baseline.json``) and flags
+  regressions beyond a threshold, the CI perf gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.eval import reporting
+from repro.obs import manifest as run_manifest
+from repro.obs.spans import JOURNAL, WORKER_PREFIX
+
+#: Default baseline consulted by ``repro profile --check`` (relative to
+#: the working directory, i.e. the repository root in normal use).
+DEFAULT_BASELINE = Path("benchmarks") / "results" \
+    / "BENCH_perf_baseline.json"
+
+#: Default allowed slowdown over baseline before --check fails (25%).
+DEFAULT_THRESHOLD = 0.25
+
+#: Children rendered per parent before eliding the rest.
+MAX_CHILDREN = 32
+
+#: Attributes promoted into the rendered tree label, in display order.
+_LABEL_ATTRS = ("workload", "scheme", "config", "cache", "index",
+                "attempt", "hit", "cells", "jobs", "error")
+
+
+@dataclass
+class RunProfile:
+    """One loaded span journal plus its manifest."""
+
+    source: Path
+    manifest: dict = field(default_factory=dict)
+    spans: List[dict] = field(default_factory=list)
+    skipped: int = 0            # malformed journal lines dropped
+
+    @property
+    def roots(self) -> List[dict]:
+        """Spans whose parent is absent from the journal, sorted."""
+        known = {span["id"] for span in self.spans}
+        return [span for span in self.spans
+                if span.get("parent") not in known]
+
+    @property
+    def origin(self) -> float:
+        """The earliest monotonic timestamp in the journal."""
+        if not self.spans:
+            return 0.0
+        return min(span["start"] for span in self.spans)
+
+
+def _read_journal(path: Path) -> Tuple[List[dict], int]:
+    spans, skipped = [], 0
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        if not raw.strip():
+            continue
+        try:
+            entry = json.loads(raw)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if not isinstance(entry, dict) or "id" not in entry \
+                or "start" not in entry:
+            skipped += 1
+            continue
+        entry.setdefault("name", "?")
+        entry.setdefault("dur", 0.0)
+        entry.setdefault("pid", 0)
+        entry.setdefault("tid", 0)
+        entry.setdefault("attrs", {})
+        spans.append(entry)
+    return spans, skipped
+
+
+def load_run(path: Union[str, Path]) -> RunProfile:
+    """Load a run directory (or a bare ``.jsonl`` journal file).
+
+    Raises ``FileNotFoundError`` when no journal exists at ``path``.
+    """
+    path = Path(path)
+    profile = RunProfile(source=path)
+    if path.is_dir():
+        profile.manifest = run_manifest.load_manifest(path) or {}
+        journals = [path / JOURNAL] \
+            + sorted(path.glob(WORKER_PREFIX + "*.jsonl"))
+        journals = [j for j in journals if j.exists()]
+        if not journals:
+            raise FileNotFoundError(
+                f"no span journal ({JOURNAL}) under {path}")
+    else:
+        if not path.exists():
+            raise FileNotFoundError(f"no span journal at {path}")
+        journals = [path]
+        profile.manifest = run_manifest.load_manifest(path.parent) or {}
+    for journal in journals:
+        spans, skipped = _read_journal(journal)
+        profile.spans.extend(spans)
+        profile.skipped += skipped
+    profile.spans.sort(key=lambda s: (s["start"], s["pid"], s["id"]))
+    return profile
+
+
+# -- tree rendering -----------------------------------------------------
+
+
+def _children_by_parent(spans: List[dict]) -> Dict[Optional[str],
+                                                   List[dict]]:
+    children: Dict[Optional[str], List[dict]] = {}
+    known = {span["id"] for span in spans}
+    for span in spans:
+        parent = span.get("parent")
+        key = parent if parent in known else None
+        children.setdefault(key, []).append(span)
+    return children
+
+
+def _label(span: dict) -> str:
+    parts = [span["name"]]
+    attrs = span.get("attrs", {})
+    detail = [f"{key}={attrs[key]}" for key in _LABEL_ATTRS
+              if key in attrs]
+    if detail:
+        parts.append("[" + " ".join(detail) + "]")
+    return " ".join(parts)
+
+
+def _tree_rows(span: dict,
+               children: Dict[Optional[str], List[dict]],
+               depth: int, total: float,
+               rows: List[Tuple[str, str, str]]) -> None:
+    share = span["dur"] / total if total > 0 else 0.0
+    rows.append(("  " * depth + _label(span),
+                 reporting.seconds(span["dur"]),
+                 reporting.percent(share, 1)))
+    kids = children.get(span["id"], [])
+    for child in kids[:MAX_CHILDREN]:
+        _tree_rows(child, children, depth + 1, total, rows)
+    if len(kids) > MAX_CHILDREN:
+        rows.append(("  " * (depth + 1)
+                     + f"... ({len(kids) - MAX_CHILDREN} more)", "", ""))
+
+
+def aggregate_by_name(profile: RunProfile) -> List[Tuple[str, int,
+                                                         float, float]]:
+    """``(name, count, total seconds, max seconds)`` per span name."""
+    totals: Dict[str, List[float]] = {}
+    for span in profile.spans:
+        entry = totals.setdefault(span["name"], [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += span["dur"]
+        entry[2] = max(entry[2], span["dur"])
+    return [(name, int(count), total, peak)
+            for name, (count, total, peak) in sorted(totals.items())]
+
+
+def render_tree(profile: RunProfile) -> str:
+    """The run as an aligned wall-clock tree plus per-name aggregates."""
+    manifest = profile.manifest
+    caption = "Span tree"
+    if manifest:
+        what = manifest.get("experiment") or manifest.get("command") \
+            or "?"
+        caption += f": {what}"
+        if manifest.get("scale") is not None:
+            caption += f" @ scale {manifest['scale']:g}"
+        if manifest.get("run_id"):
+            caption += f" (run {manifest['run_id']})"
+    roots = profile.roots
+    total = max((span["dur"] for span in roots), default=0.0)
+    children = _children_by_parent(profile.spans)
+    rows: List[Tuple[str, str, str]] = []
+    for root in roots:
+        _tree_rows(root, children, 0, total, rows)
+    lines = [reporting.format_table(["span", "wall-clock", "share"],
+                                    rows, title=caption)]
+    agg_rows = [[name, count, reporting.seconds(total_s),
+                 reporting.seconds(total_s / count),
+                 reporting.seconds(peak)]
+                for name, count, total_s, peak
+                in aggregate_by_name(profile)]
+    lines.append("")
+    lines.append(reporting.format_table(
+        ["span name", "count", "total", "mean", "max"], agg_rows,
+        title="Aggregate by span name"))
+    if profile.skipped:
+        lines.append(f"({profile.skipped} malformed journal lines "
+                     f"skipped)")
+    return "\n".join(lines)
+
+
+# -- Chrome trace-event export ------------------------------------------
+
+
+def chrome_document(profile: RunProfile) -> dict:
+    """The run as a Chrome trace-event document (Perfetto-loadable).
+
+    Every span becomes one complete event (``ph: "X"``) with
+    microsecond timestamps relative to the earliest span, keeping the
+    parent/worker interleave visible per pid/tid track.
+    """
+    origin = profile.origin
+    events = []
+    for span in profile.spans:
+        args = dict(span.get("attrs", {}))
+        args["id"] = span["id"]
+        if span.get("parent"):
+            args["parent"] = span["parent"]
+        events.append({
+            "name": span["name"],
+            "cat": "repro",
+            "ph": "X",
+            "ts": round((span["start"] - origin) * 1e6, 3),
+            "dur": round(span["dur"] * 1e6, 3),
+            "pid": span["pid"],
+            "tid": span["tid"],
+            "args": args,
+        })
+    other = {key: profile.manifest.get(key)
+             for key in ("run_id", "experiment", "scale", "jobs",
+                         "git_sha")
+             if profile.manifest.get(key) is not None}
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": other}
+
+
+def write_chrome(profile: RunProfile, path: Union[str, Path]) -> Path:
+    """Write the Chrome trace-event JSON for ``profile`` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_document(profile)) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+# -- baseline comparison ------------------------------------------------
+
+
+@dataclass
+class BaselineVerdict:
+    """Outcome of comparing one run against the recorded baseline."""
+
+    status: str                   # "ok" | "regression" | "skipped"
+    messages: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """Non-zero only for a confirmed regression (CI gate)."""
+        return 1 if self.status == "regression" else 0
+
+
+def compare_baseline(profile: RunProfile,
+                     baseline_path: Union[str, Path] = DEFAULT_BASELINE,
+                     threshold: float = DEFAULT_THRESHOLD)\
+        -> BaselineVerdict:
+    """Compare the run's root wall-clock against the baseline.
+
+    The run regresses when its root span is more than
+    ``threshold`` (fractional) slower than the baseline seconds
+    recorded for the same experiment at the same scale.  A run that
+    cannot be compared - no baseline file, experiment not recorded,
+    scale mismatch, no root span - is ``skipped`` (exit 0) with an
+    explanatory message, so the gate never fails for a missing
+    baseline, only for a measured slowdown.
+    """
+    baseline_path = Path(baseline_path)
+    if not baseline_path.exists():
+        return BaselineVerdict("skipped", [
+            f"no baseline at {baseline_path}; nothing to compare"])
+    try:
+        recorded = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return BaselineVerdict("skipped", [
+            f"unreadable baseline {baseline_path}: {exc}"])
+    experiment = profile.manifest.get("experiment") \
+        or profile.manifest.get("command")
+    if not experiment:
+        return BaselineVerdict("skipped", [
+            "run manifest names no experiment; cannot match a baseline"])
+    seconds = recorded.get("seconds", {})
+    base = seconds.get(experiment)
+    if base is None:
+        return BaselineVerdict("skipped", [
+            f"baseline records no entry for {experiment!r}"])
+    baseline_scale = recorded.get("scale")
+    run_scale = profile.manifest.get("scale")
+    if baseline_scale is not None and run_scale is not None \
+            and baseline_scale != run_scale:
+        return BaselineVerdict("skipped", [
+            f"scale mismatch: run @ {run_scale:g}, baseline @ "
+            f"{baseline_scale:g}; not comparable"])
+    roots = profile.roots
+    if not roots:
+        return BaselineVerdict("skipped", ["journal holds no spans"])
+    duration = max(span["dur"] for span in roots)
+    limit = base * (1.0 + threshold)
+    ratio = duration / base if base > 0 else float("inf")
+    summary = (f"{experiment}: {duration:.2f}s vs baseline "
+               f"{base:.2f}s ({ratio:.2f}x, threshold "
+               f"{1.0 + threshold:.2f}x)")
+    if duration > limit:
+        return BaselineVerdict("regression", [f"REGRESSION {summary}"])
+    return BaselineVerdict("ok", [f"ok {summary}"])

@@ -1,0 +1,326 @@
+"""Hierarchical span tracing with a JSONL journal.
+
+A *span* is one timed region of the pipeline - a CLI invocation, one
+experiment cell (including each retry attempt), a trace-cache fetch, a
+predictor replay, a timing simulation - identified by a process-unique
+id and linked to its parent span, so a run's journal reconstructs into
+a wall-clock tree (``repro profile``).
+
+Design constraints, in order:
+
+* **Near-zero overhead when disabled.**  Tracing is off by default;
+  :func:`span` then returns one shared no-op context manager and the
+  only cost at an instrumentation site is the call itself.  Spans are
+  placed at coarse pipeline boundaries (per cell, per fetch, per
+  simulation), never inside per-instruction loops.
+* **Results never change.**  Spans are written to their own journal
+  files under the run directory; stdout, rendered tables, and
+  ``--metrics-out`` exports are untouched, so a traced run stays
+  byte-identical to an untraced one.
+* **Process-safe.**  Span ids embed the producing pid; pool workers
+  journal locally to ``spans-<pid>.jsonl`` (one flushed line per span,
+  so a killed worker loses at most its in-flight span) and the parent
+  merges worker journals deterministically at finalisation - sorted by
+  ``(start, pid, id)``, an order independent of file-system listing
+  order or completion races.
+
+Clocks: span timestamps use :func:`time.monotonic` (CLOCK_MONOTONIC),
+which shares an epoch across processes on the same boot, so parent and
+worker spans interleave correctly on one timeline.  The run manifest
+(:mod:`repro.obs.manifest`) anchors that timeline to wall-clock time.
+
+Typical use::
+
+    from repro.obs import spans
+
+    with spans.span("predict:replay", scheme=scheme.name) as sp:
+        result = replay(...)
+        sp.set("accuracy", result.accuracy)
+
+    @spans.traced("trace:columnar")
+    def materialize(...): ...
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro import metrics
+
+#: Environment variable naming the default span-journal directory.
+ENV_VAR = "REPRO_TRACE_SPANS"
+
+#: The parent process's merged journal file name.
+JOURNAL = "spans.jsonl"
+
+#: Prefix of per-worker journal files merged by the parent.
+WORKER_PREFIX = "spans-"
+
+
+def _counter_values(snapshot: Dict[str, dict]) -> Dict[str, float]:
+    """Counter values of a metrics-registry snapshot (for deltas)."""
+    return {name: entry["value"] for name, entry in snapshot.items()
+            if entry.get("kind") == "counter"}
+
+
+class Span:
+    """One timed region; use as a context manager.
+
+    Attributes set via :meth:`set` (or the ``attrs`` passed to
+    :func:`span`) ride along in the journal line.  With
+    ``capture_metrics=True`` and an enabled metrics registry, the span
+    also records the delta of every counter that changed while it was
+    open (the engine uses this on cell spans, where the per-cell
+    registry makes the delta exactly the cell's counters).
+    """
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "start",
+                 "duration", "attrs", "_capture", "_before")
+
+    def __init__(self, tracer: "SpanTracer", name: str, attrs: dict,
+                 capture_metrics: bool = False) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = ""
+        self.parent_id: Optional[str] = None
+        self.start = 0.0
+        self.duration = 0.0
+        self.attrs = attrs
+        self._capture = capture_metrics
+        self._before: Optional[Dict[str, float]] = None
+
+    def set(self, key: str, value) -> None:
+        """Attach one attribute to the span."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.span_id = tracer.next_id()
+        self.parent_id = tracer.current_span_id()
+        if self._capture:
+            registry = metrics.active()
+            if registry.enabled:
+                self._before = _counter_values(registry.snapshot())
+        tracer.push(self)
+        self.start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.monotonic() - self.start
+        self._tracer.pop(self)
+        if self._before is not None:
+            after = _counter_values(metrics.active().snapshot())
+            delta = {name: value - self._before.get(name, 0)
+                     for name, value in after.items()
+                     if value != self._before.get(name, 0)}
+            if delta:
+                self.attrs["metrics"] = delta
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer.write(self)
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanTracer:
+    """Process-local tracer writing completed spans to one JSONL file.
+
+    The parent process writes :data:`JOURNAL`; pool workers
+    (:func:`enable_worker`) write ``spans-<pid>.jsonl`` with their
+    top-level spans parented to the engine span that spawned them.
+    Every line is flushed as written, so spans survive worker kills.
+    """
+
+    def __init__(self, directory: Union[str, Path], run_id: str,
+                 journal_name: str = JOURNAL,
+                 default_parent: Optional[str] = None) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.run_id = run_id
+        self.pid = os.getpid()
+        self.default_parent = default_parent
+        self.path = self.directory / journal_name
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._ids = itertools.count(1)
+        self._stack = threading.local()
+        self._write_lock = threading.Lock()
+
+    # -- id / stack management -----------------------------------------
+
+    def next_id(self) -> str:
+        return f"{self.pid:x}.{next(self._ids):x}"
+
+    def _frames(self) -> List[Span]:
+        frames = getattr(self._stack, "frames", None)
+        if frames is None:
+            frames = self._stack.frames = []
+        return frames
+
+    def current_span_id(self) -> Optional[str]:
+        frames = self._frames()
+        return frames[-1].span_id if frames else self.default_parent
+
+    def push(self, span: Span) -> None:
+        self._frames().append(span)
+
+    def pop(self, span: Span) -> None:
+        frames = self._frames()
+        if frames and frames[-1] is span:
+            frames.pop()
+        elif span in frames:          # tolerate out-of-order exits
+            frames.remove(span)
+
+    # -- journal I/O ----------------------------------------------------
+
+    def write(self, span: Span) -> None:
+        line = json.dumps({
+            "name": span.name,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "pid": self.pid,
+            "tid": threading.get_ident(),
+            "start": span.start,
+            "dur": span.duration,
+            "attrs": span.attrs,
+        }, sort_keys=True, default=str)
+        with self._write_lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+
+    def merge_worker_journals(self) -> int:
+        """Fold every ``spans-<pid>.jsonl`` into the main journal.
+
+        Worker lines are sorted by ``(start, pid, id)`` before being
+        appended - a deterministic order for a given set of spans,
+        independent of directory listing order - and the worker files
+        are removed.  Malformed lines (a worker killed mid-write) are
+        dropped.  Returns the number of spans merged.
+        """
+        entries = []
+        worker_files = sorted(self.directory.glob(WORKER_PREFIX
+                                                  + "*.jsonl"))
+        for path in worker_files:
+            for raw in path.read_text(encoding="utf-8").splitlines():
+                try:
+                    entry = json.loads(raw)
+                except json.JSONDecodeError:
+                    continue
+                entries.append(entry)
+        entries.sort(key=lambda e: (e.get("start", 0.0),
+                                    e.get("pid", 0), e.get("id", "")))
+        if entries:
+            with self._write_lock:
+                for entry in entries:
+                    self._fh.write(json.dumps(entry, sort_keys=True)
+                                   + "\n")
+                self._fh.flush()
+        for path in worker_files:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return len(entries)
+
+
+#: The process-wide active tracer (None = tracing disabled).
+_tracer: Optional[SpanTracer] = None
+
+
+def active() -> Optional[SpanTracer]:
+    """The tracer spans currently journal into, if any."""
+    return _tracer
+
+
+def enable(directory: Union[str, Path],
+           run_id: Optional[str] = None) -> SpanTracer:
+    """Start tracing into ``directory`` as the parent process."""
+    global _tracer
+    if run_id is None:
+        run_id = f"{int(time.time())}-{os.getpid()}"
+    _tracer = SpanTracer(directory, run_id)
+    return _tracer
+
+
+def enable_worker(directory: Union[str, Path], run_id: str,
+                  parent_span_id: Optional[str]) -> SpanTracer:
+    """Start tracing in a pool worker: local journal, inherited parent."""
+    global _tracer
+    _tracer = SpanTracer(directory, run_id,
+                         journal_name=f"{WORKER_PREFIX}{os.getpid()}"
+                                      f".jsonl",
+                         default_parent=parent_span_id)
+    return _tracer
+
+
+def disable(merge: bool = True) -> None:
+    """Stop tracing; the parent merges worker journals first."""
+    global _tracer
+    if _tracer is None:
+        return
+    if merge and _tracer.default_parent is None:
+        _tracer.merge_worker_journals()
+    _tracer.close()
+    _tracer = None
+
+
+def worker_state() -> Optional[Tuple[str, str, Optional[str]]]:
+    """``(directory, run_id, current span id)`` to ship to pool workers,
+    or None when tracing is off."""
+    tracer = _tracer
+    if tracer is None:
+        return None
+    return (str(tracer.directory), tracer.run_id,
+            tracer.current_span_id())
+
+
+def span(name: str, capture_metrics: bool = False, **attrs):
+    """A context manager timing one region (no-op when disabled)."""
+    tracer = _tracer
+    if tracer is None:
+        return NULL_SPAN
+    return Span(tracer, name, attrs, capture_metrics=capture_metrics)
+
+
+def traced(name: str, **attrs):
+    """Decorator form of :func:`span` (checks enablement per call)."""
+    def decorate(fn):
+        def wrapper(*args, **kwargs):
+            if _tracer is None:
+                return fn(*args, **kwargs)
+            with span(name, **attrs):
+                return fn(*args, **kwargs)
+        wrapper.__name__ = getattr(fn, "__name__", "wrapper")
+        wrapper.__qualname__ = getattr(fn, "__qualname__",
+                                       wrapper.__name__)
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__wrapped__ = fn
+        return wrapper
+    return decorate

@@ -30,6 +30,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro import metrics
+from repro.obs import spans
 from repro.predictor.arpt import ARPT, PC_SHIFT
 from repro.predictor.contexts import CONTEXT_KINDS, ContextTracker, \
     context_function
@@ -255,9 +256,14 @@ def evaluate_scheme(trace: Trace, scheme,
     """
     if isinstance(scheme, str):
         scheme = scheme_by_name(scheme)
-    prepass = _ReplayPrepass(trace, gbh_bits, cid_bits)
-    return _evaluate_prepassed(prepass, scheme, trace.name, table_size,
-                               hints, gbh_bits, cid_bits)
+    with spans.span("predict:replay", scheme=scheme.name,
+                    workload=trace.name) as sp:
+        prepass = _ReplayPrepass(trace, gbh_bits, cid_bits)
+        result = _evaluate_prepassed(prepass, scheme, trace.name,
+                                     table_size, hints, gbh_bits,
+                                     cid_bits)
+        sp.set("references", result.total)
+        return result
 
 
 def evaluate_scheme_scalar(trace: Trace, scheme,

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro import metrics
+from repro.obs import spans
 from repro.cache.cache import Cache, CacheConfig
 from repro.cache.hierarchy import BankManager, Hierarchy, PortManager
 from repro.predictor.arpt import ARPT
@@ -599,4 +600,14 @@ def simulate(trace: Trace, config: MachineConfig,
     tagged instructions directly (Section 3.5.2's compiler-assisted
     decoupling).
     """
-    return TimingSimulator(config, hints=hints).run(trace)
+    with spans.span("timing:simulate", config=config.name,
+                    workload=trace.name) as sp:
+        with spans.span("timing:materialize"):
+            # Record materialisation is the one columnar->records
+            # conversion left in the pipeline; forcing it here keeps
+            # the cycle loop's span honest.
+            trace.records
+        result = TimingSimulator(config, hints=hints).run(trace)
+        sp.set("cycles", result.cycles)
+        sp.set("instructions", result.instructions)
+        return result

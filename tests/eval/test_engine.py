@@ -192,3 +192,24 @@ class TestEquivalence:
         serial = figure4(SCALE, NAMES, jobs=1).render()
         parallel = figure4(SCALE, NAMES, jobs=4).render()
         assert parallel == serial
+
+
+class TestCellNotes:
+    def test_verbose_report_aligns_per_cell_lines(self):
+        engine._note_cell("db_vortex", hits=2, misses=1)
+        engine._note_cell("go_ai", replays=1)
+        engine._note_cell("db_vortex", replays=1)
+        report = engine.render_stage_report()
+        lines = [line for line in report.splitlines()
+                 if "cache" in line and "replays" in line]
+        # One aligned line per cell, in submission order, accumulating
+        # across repeated notes for the same cell.
+        assert lines == [
+            "  db_vortex  cache 2 hit / 1 miss  replays 1",
+            "  go_ai      cache 0 hit / 0 miss  replays 1",
+        ]
+
+    def test_reset_clears_cell_notes(self):
+        engine._note_cell("db_vortex", hits=1)
+        engine.reset_stage_times()
+        assert "per-cell:" not in engine.render_stage_report()

@@ -1,0 +1,172 @@
+"""Tests for span-journal aggregation and the ``repro profile`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import manifest as run_manifest
+from repro.obs import profile, spans
+
+
+def _span(name, span_id, parent, start, dur, pid=100, **attrs):
+    return {"name": name, "id": span_id, "parent": parent, "pid": pid,
+            "tid": 1, "start": start, "dur": dur, "attrs": attrs}
+
+
+def _write_run(directory, spans_list, experiment="figure2", scale=1.0):
+    lines = [json.dumps(entry) for entry in spans_list]
+    (directory / spans.JOURNAL).write_text("\n".join(lines) + "\n")
+    document = run_manifest.build_manifest(
+        "test-run", command="experiment", experiment=experiment,
+        scale=scale, jobs=2)
+    run_manifest.write_manifest(directory, document)
+
+
+def _three_span_run(directory, root_dur=5.0, **kwargs):
+    _write_run(directory, [
+        _span("cell", "100.3", "100.2", 1.1, 2.0, workload="db_vortex"),
+        _span("engine:run_cells", "100.2", "100.1", 1.0, 4.0, cells=1),
+        _span("cli:experiment", "100.1", None, 0.5, root_dur),
+    ], **kwargs)
+
+
+def _baseline(path, seconds, scale=1.0):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"scale": scale, "seconds": seconds}))
+    return path
+
+
+class TestLoadRun:
+    def test_load_sorts_and_finds_roots(self, tmp_path):
+        _three_span_run(tmp_path)
+        run = profile.load_run(tmp_path)
+        assert [s["name"] for s in run.spans] \
+            == ["cli:experiment", "engine:run_cells", "cell"]
+        assert [s["name"] for s in run.roots] == ["cli:experiment"]
+        assert run.manifest["experiment"] == "figure2"
+        assert run.origin == 0.5
+
+    def test_load_skips_malformed_lines(self, tmp_path):
+        (tmp_path / spans.JOURNAL).write_text(
+            json.dumps(_span("ok", "1.1", None, 0.0, 1.0))
+            + "\n{broken\n")
+        run = profile.load_run(tmp_path)
+        assert len(run.spans) == 1
+        assert run.skipped == 1
+
+    def test_load_folds_unmerged_worker_journals(self, tmp_path):
+        _three_span_run(tmp_path)
+        stray = tmp_path / f"{spans.WORKER_PREFIX}42.jsonl"
+        stray.write_text(json.dumps(
+            _span("cell", "2a.1", "100.2", 1.2, 1.5, pid=42)) + "\n")
+        run = profile.load_run(tmp_path)
+        assert len(run.spans) == 4
+        assert {s["pid"] for s in run.spans} == {100, 42}
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            profile.load_run(tmp_path)
+
+
+class TestRendering:
+    def test_tree_nests_and_aggregates(self, tmp_path):
+        _three_span_run(tmp_path)
+        text = profile.render_tree(profile.load_run(tmp_path))
+        assert "Span tree: figure2 @ scale 1" in text
+        assert "cli:experiment" in text
+        assert "    cell [workload=db_vortex]" in text
+        assert "Aggregate by span name" in text
+
+    def test_chrome_document_is_trace_event_json(self, tmp_path):
+        _three_span_run(tmp_path)
+        run = profile.load_run(tmp_path)
+        document = profile.chrome_document(run)
+        events = document["traceEvents"]
+        assert len(events) == 3
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+            assert isinstance(event["pid"], int)
+        # Timestamps are rebased to the earliest span, in microseconds.
+        assert min(e["ts"] for e in events) == 0.0
+        assert document["otherData"]["experiment"] == "figure2"
+        out = profile.write_chrome(run, tmp_path / "out" / "trace.json")
+        json.loads(out.read_text())
+
+
+class TestBaseline:
+    def test_ok_within_threshold(self, tmp_path):
+        _three_span_run(tmp_path, root_dur=5.0)
+        baseline = _baseline(tmp_path / "base.json", {"figure2": 4.5})
+        verdict = profile.compare_baseline(
+            profile.load_run(tmp_path), baseline, threshold=0.25)
+        assert verdict.status == "ok"
+        assert verdict.exit_code == 0
+
+    def test_regression_beyond_threshold(self, tmp_path):
+        _three_span_run(tmp_path, root_dur=8.0)
+        baseline = _baseline(tmp_path / "base.json", {"figure2": 4.0})
+        verdict = profile.compare_baseline(
+            profile.load_run(tmp_path), baseline, threshold=0.25)
+        assert verdict.status == "regression"
+        assert verdict.exit_code == 1
+        assert any("REGRESSION" in m for m in verdict.messages)
+
+    def test_skipped_when_no_baseline_file(self, tmp_path):
+        _three_span_run(tmp_path)
+        verdict = profile.compare_baseline(
+            profile.load_run(tmp_path), tmp_path / "absent.json")
+        assert verdict.status == "skipped"
+        assert verdict.exit_code == 0
+
+    def test_skipped_when_experiment_not_recorded(self, tmp_path):
+        _three_span_run(tmp_path, experiment="figure8")
+        baseline = _baseline(tmp_path / "base.json", {"figure2": 4.0})
+        verdict = profile.compare_baseline(
+            profile.load_run(tmp_path), baseline)
+        assert verdict.status == "skipped"
+
+    def test_skipped_on_scale_mismatch(self, tmp_path):
+        _three_span_run(tmp_path, scale=0.2)
+        baseline = _baseline(tmp_path / "base.json", {"figure2": 4.0},
+                             scale=1.0)
+        verdict = profile.compare_baseline(
+            profile.load_run(tmp_path), baseline)
+        assert verdict.status == "skipped"
+        assert verdict.exit_code == 0
+
+
+class TestProfileCommand:
+    def test_renders_tree_and_exits_zero(self, tmp_path, capsys):
+        _three_span_run(tmp_path)
+        assert main(["profile", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Span tree" in out
+        assert "engine:run_cells" in out
+
+    def test_missing_run_exits_two(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path / "nowhere")]) == 2
+        assert "no span journal" in capsys.readouterr().err
+
+    def test_chrome_export_flag(self, tmp_path, capsys):
+        _three_span_run(tmp_path)
+        trace = tmp_path / "perfetto.json"
+        assert main(["profile", str(tmp_path),
+                     "--chrome", str(trace)]) == 0
+        document = json.loads(trace.read_text())
+        assert {e["name"] for e in document["traceEvents"]} \
+            == {"cli:experiment", "engine:run_cells", "cell"}
+
+    def test_check_gate_exit_codes(self, tmp_path, capsys):
+        _three_span_run(tmp_path, root_dur=8.0)
+        baseline = _baseline(tmp_path / "base.json", {"figure2": 4.0})
+        assert main(["profile", str(tmp_path), "--check",
+                     "--baseline", str(baseline)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+        assert main(["profile", str(tmp_path), "--check",
+                     "--baseline", str(baseline),
+                     "--threshold", "2.0"]) == 0
+        assert main(["profile", str(tmp_path), "--check",
+                     "--baseline", str(tmp_path / "absent.json")]) == 0

@@ -62,8 +62,8 @@ class TestCli:
         for name in suite.ALL_WORKLOADS:
             assert name in out
 
-    def test_profile_command(self, capsys):
-        assert main(["profile", "--scale", "0.2", "db_vortex"]) == 0
+    def test_regions_command(self, capsys):
+        assert main(["regions", "--scale", "0.2", "db_vortex"]) == 0
         out = capsys.readouterr().out
         assert "db_vortex" in out
         assert "multi:" in out
@@ -80,9 +80,9 @@ class TestCli:
         out = capsys.readouterr().out
         assert "hit rate" in out
 
-    def test_profile_trace_cache_flag(self, tmp_path, capsys):
+    def test_regions_trace_cache_flag(self, tmp_path, capsys):
         cache_dir = tmp_path / "traces"
-        args = ["profile", "--scale", "0.2", "--trace-cache",
+        args = ["regions", "--scale", "0.2", "--trace-cache",
                 str(cache_dir), "db_vortex"]
         assert main(args) == 0
         archived = list(cache_dir.glob("db_vortex__s0.2__v*.npz"))
@@ -103,10 +103,14 @@ class TestCli:
         # byte-identical across --jobs levels.
         assert "Stage timing" in captured.err
         assert "functional simulation" in captured.err
+        # One aligned per-cell line: cache hits/misses + replays.
+        assert "per-cell:" in captured.err
+        assert any("cache" in line and "replays" in line
+                   for line in captured.err.splitlines())
 
     def test_unknown_workload_rejected(self):
         with pytest.raises(ValueError):
-            main(["profile", "176.gcc"])
+            main(["regions", "176.gcc"])
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
@@ -114,18 +118,18 @@ class TestCli:
 
 
 class TestUnifiedFlags:
-    def test_profile_accepts_jobs(self, capsys):
-        assert main(["profile", "--scale", "0.2", "--jobs", "2",
+    def test_regions_accepts_jobs(self, capsys):
+        assert main(["regions", "--scale", "0.2", "--jobs", "2",
                      "db_vortex", "go_ai"]) == 0
         out = capsys.readouterr().out
         assert "db_vortex" in out and "go_ai" in out
 
-    def test_profile_metrics_out(self, tmp_path, capsys):
+    def test_regions_metrics_out(self, tmp_path, capsys):
         out_file = tmp_path / "profile_metrics.json"
-        assert main(["profile", "--scale", "0.2", "--metrics-out",
+        assert main(["regions", "--scale", "0.2", "--metrics-out",
                      str(out_file), "db_vortex"]) == 0
         document = json.loads(out_file.read_text())
-        assert document["experiment"] == "profile"
+        assert document["experiment"] == "regions"
         cell = document["cells"]["db_vortex"]
         assert cell["cpu.instructions"]["value"] > 0
         assert "trace.window32.stack" in cell
@@ -157,19 +161,19 @@ class TestUnifiedFlags:
 class TestResilienceFlags:
     def test_jobs_zero_rejected(self, capsys):
         with pytest.raises(SystemExit) as exc_info:
-            main(["profile", "--jobs", "0", "db_vortex"])
+            main(["regions", "--jobs", "0", "db_vortex"])
         assert exc_info.value.code == 2
         assert "--jobs must be >= 1" in capsys.readouterr().err
 
     def test_jobs_noninteger_rejected(self, capsys):
         with pytest.raises(SystemExit) as exc_info:
-            main(["profile", "--jobs", "many", "db_vortex"])
+            main(["regions", "--jobs", "many", "db_vortex"])
         assert exc_info.value.code == 2
         assert "expected an integer >= 1" in capsys.readouterr().err
 
     def test_bad_inject_fault_spec_rejected(self, capsys):
         with pytest.raises(SystemExit) as exc_info:
-            main(["profile", "--inject-fault", "explode:index=0",
+            main(["regions", "--inject-fault", "explode:index=0",
                   "db_vortex"])
         assert exc_info.value.code == 2
         assert "unknown fault kind" in capsys.readouterr().err
@@ -177,7 +181,7 @@ class TestResilienceFlags:
     def test_injected_failure_is_retried_and_reported(self, tmp_path,
                                                       capsys):
         out_file = tmp_path / "metrics.json"
-        assert main(["profile", "--scale", "0.2", "--inject-fault",
+        assert main(["regions", "--scale", "0.2", "--inject-fault",
                      "fail:index=0", "--metrics-out", str(out_file),
                      "db_vortex"]) == 0
         assert "db_vortex" in capsys.readouterr().out
@@ -188,14 +192,14 @@ class TestResilienceFlags:
 
     def test_fault_free_run_reports_zero_resilience(self, tmp_path):
         out_file = tmp_path / "metrics.json"
-        assert main(["profile", "--scale", "0.2", "--metrics-out",
+        assert main(["regions", "--scale", "0.2", "--metrics-out",
                      str(out_file), "db_vortex"]) == 0
         document = json.loads(out_file.read_text())
         assert set(document["resilience"].values()) == {0}
 
     def test_checkpoint_flag_resumes(self, tmp_path):
         journal_dir = tmp_path / "journal"
-        base = ["profile", "--scale", "0.2", "--checkpoint",
+        base = ["regions", "--scale", "0.2", "--checkpoint",
                 str(journal_dir), "db_vortex"]
         first = tmp_path / "first.json"
         second = tmp_path / "second.json"
@@ -238,3 +242,64 @@ class TestStatsCommand:
         assert main(["stats", "table1", "--scale", "0.2", "db_vortex",
                      "--metrics-out", str(out_file)]) == 0
         assert json.loads(out_file.read_text())["experiment"] == "table1"
+
+
+class TestObservability:
+    def test_untraced_run_writes_no_journal(self, tmp_path, capsys):
+        assert main(["table1", "--scale", "0.2", "db_vortex"]) == 0
+        assert not list(tmp_path.rglob("spans.jsonl"))
+
+    @pytest.mark.slow
+    def test_trace_spans_journal_survives_pool_merge(self, tmp_path,
+                                                     capsys):
+        obs = tmp_path / "obs"
+        assert main(["table1", "--scale", "0.2", "--jobs", "2",
+                     "db_vortex", "go_ai",
+                     "--trace-spans", str(obs)]) == 0
+        entries = [json.loads(line) for line
+                   in (obs / "spans.jsonl").read_text().splitlines()]
+        ids = {e["id"] for e in entries}
+        # Parent/child closure: every parent id resolves, even for
+        # spans journaled by pool workers and merged afterwards.
+        assert all(e["parent"] is None or e["parent"] in ids
+                   for e in entries)
+        names = {e["name"] for e in entries}
+        assert "engine:run_cells" in names
+        assert any(name.startswith("cli:") for name in names)
+        run_span = next(e for e in entries
+                        if e["name"] == "engine:run_cells")
+        cells = [e for e in entries if e["name"] == "cell"]
+        assert {c["attrs"]["workload"] for c in cells} \
+            == {"db_vortex", "go_ai"}
+        assert all(c["parent"] == run_span["id"] for c in cells)
+        # Worker journals were folded in and removed.
+        assert not list(obs.glob("spans-*.jsonl"))
+        manifest_doc = json.loads((obs / "manifest.json").read_text())
+        assert manifest_doc["jobs"] == 2
+        assert manifest_doc["run_id"]
+
+    @pytest.mark.slow
+    def test_trace_spans_keeps_metrics_byte_identical(self, tmp_path,
+                                                      capsys):
+        plain = tmp_path / "plain.json"
+        traced = tmp_path / "traced.json"
+        base = ["table1", "--scale", "0.2", "db_vortex", "go_ai",
+                "--jobs", "4", "--metrics-out"]
+        assert main(base + [str(plain)]) == 0
+        first_out = capsys.readouterr().out
+        suite.clear_caches()
+        assert main(base + [str(traced), "--trace-spans",
+                            str(tmp_path / "obs")]) == 0
+        second_out = capsys.readouterr().out
+        assert plain.read_bytes() == traced.read_bytes()
+        assert first_out == second_out
+
+    def test_profile_of_traced_run(self, tmp_path, capsys):
+        obs = tmp_path / "obs"
+        assert main(["table1", "--scale", "0.2", "db_vortex",
+                     "--trace-spans", str(obs)]) == 0
+        capsys.readouterr()
+        assert main(["profile", str(obs)]) == 0
+        out = capsys.readouterr().out
+        assert "Span tree" in out
+        assert "cell [workload=db_vortex" in out

@@ -13,6 +13,11 @@ so the timed runs measure trace loading + analysis, never functional
 simulation.  Baseline entries are only comparable at the scale they
 were recorded at; at other scales the speedup fields are null.
 
+Each run also appends one line to
+``benchmarks/results/history.jsonl`` (timestamp, git SHA, scale,
+jobs, per-experiment seconds) so performance can be trended across
+commits; disable with ``--no-history``.
+
 Usage:
     PYTHONPATH=src python tools/bench_speed.py \
         --trace-cache /tmp/trace-cache --out BENCH_perf.json
@@ -31,6 +36,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "benchmarks" / "results" \
     / "BENCH_perf_baseline.json"
+HISTORY_PATH = REPO_ROOT / "benchmarks" / "results" / "history.jsonl"
 
 DEFAULT_EXPERIMENTS = ("figure2", "table2", "figure4")
 
@@ -63,6 +69,11 @@ def main(argv=None) -> int:
     parser.add_argument("--experiments", default=",".join(
         DEFAULT_EXPERIMENTS),
         help="comma-separated experiment ids [%(default)s]")
+    parser.add_argument("--history", type=Path, default=HISTORY_PATH,
+                        help="benchmark history journal to append to "
+                             "[%(default)s]")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip the history.jsonl append")
     args = parser.parse_args(argv)
     experiments = [e for e in args.experiments.split(",") if e]
 
@@ -98,7 +109,34 @@ def main(argv=None) -> int:
 
     _atomic_write(Path(args.out), json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
+    if not args.no_history:
+        _append_history(args.history, report)
+        print(f"appended {args.history}")
     return 0
+
+
+def _git_sha() -> str:
+    try:
+        from repro.obs.manifest import git_revision
+        sha = git_revision(cwd=REPO_ROOT)
+    except ImportError:
+        sha = None
+    return sha or "unknown"
+
+
+def _append_history(path: Path, report: dict) -> None:
+    """Append one trend line per benchmark run (append-only journal)."""
+    line = json.dumps({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": _git_sha(),
+        "scale": report["scale"],
+        "jobs": report["jobs"],
+        "experiments": {name: entry["seconds"] for name, entry
+                        in report["experiments"].items()},
+    }, sort_keys=True)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
 
 
 def _atomic_write(path: Path, text: str) -> None:
