@@ -28,6 +28,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Tuple, Union
 
+from repro import quarantine
+
 #: Bump to invalidate every existing journal entry at once.
 FORMAT_VERSION = 1
 
@@ -42,9 +44,11 @@ class JournalStats:
     hits: int = 0        # cells replayed from the journal
     misses: int = 0      # cells that had to run
     corrupt: int = 0     # unreadable entries quarantined
+    quarantine_gc: int = 0   # expired quarantined files collected
 
     def snapshot(self) -> "JournalStats":
-        return JournalStats(self.hits, self.misses, self.corrupt)
+        return JournalStats(self.hits, self.misses, self.corrupt,
+                            self.quarantine_gc)
 
 
 def cell_key(worker: Callable, name: str, scale: float,
@@ -71,6 +75,10 @@ class CellJournal:
                 f"checkpoint path {self.directory} exists and is not "
                 f"a directory")
         self.stats = JournalStats()
+        # Opening a journal garbage-collects expired quarantined
+        # entries (same knobs as the trace cache: see
+        # :mod:`repro.quarantine`).
+        self.stats.quarantine_gc += quarantine.collect(self.directory)
 
     def reset_stats(self) -> None:
         self.stats = JournalStats()

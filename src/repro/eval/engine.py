@@ -40,6 +40,8 @@ trace cache and the fan-out are directly measurable
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
 import warnings
 from collections import OrderedDict
@@ -235,10 +237,15 @@ def resilience_snapshot() -> Dict[str, int]:
         "engine.fallbacks.serial": _faults.serial_fallbacks,
         "trace.cache.corrupt": _stages.cache_corrupt,
     }
+    cache = trace_cache.active_cache()
+    if cache is not None:
+        snap["trace.cache.quarantine_gc"] = cache.stats.quarantine_gc
     if _journal is not None:
         snap["checkpoint.hits"] = _journal.stats.hits
         snap["checkpoint.misses"] = _journal.stats.misses
         snap["checkpoint.corrupt"] = _journal.stats.corrupt
+        snap["checkpoint.quarantine_gc"] = \
+            _journal.stats.quarantine_gc
     return snap
 
 
@@ -446,18 +453,77 @@ def _journal_record(journal: Optional[checkpoint.CellJournal],
     journal.record(worker, name, scale, args, result, times, snapshot)
 
 
+class _SerialCellTimeout(Exception):
+    """Internal: raised by the serial watchdog's SIGALRM handler."""
+
+
+def _serial_watchdog_usable() -> bool:
+    """Whether a SIGALRM watchdog can pre-empt serial cells here.
+
+    Interval timers only deliver to the main thread, and non-POSIX
+    platforms have no ``SIGALRM`` at all; elsewhere the serial path
+    degrades to its historical no-timeout behaviour.
+    """
+    return (hasattr(signal, "SIGALRM") and hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread())
+
+
+def _run_cell_with_watchdog(timeout: float, worker: Callable, name: str,
+                            scale: float, args: tuple, collect: bool,
+                            index: int, attempt: int) -> tuple:
+    """Run one serial cell under a real-time alarm.
+
+    Raises :class:`_SerialCellTimeout` if the cell outlives
+    ``timeout`` seconds, mirroring the pool path's per-cell
+    ``future.result(timeout=...)`` pre-emption so ``--jobs 1`` honours
+    ``REPRO_CELL_TIMEOUT`` too.  The previous handler and timer are
+    always restored.
+    """
+    def _alarm(signum, frame):
+        raise _SerialCellTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return _run_cell(worker, name, scale, args, collect, index,
+                         attempt)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def _run_serial(worker: Callable, names: Sequence[str], scale: float,
                 args: tuple, collect: bool, indices: Sequence[int],
                 outcomes: Dict[int, tuple], policy: faults.RetryPolicy,
                 journal: Optional[checkpoint.CellJournal]) -> None:
-    """In-process execution with per-cell retry (no timeouts: serial
-    cells cannot be pre-empted)."""
+    """In-process execution with per-cell retry.
+
+    ``policy.cell_timeout`` is enforced with a SIGALRM watchdog where
+    the platform allows (main thread, POSIX), so a wedged cell fails
+    the same way at any ``--jobs`` level; where it doesn't, serial
+    cells run untimed as before.
+    """
+    timeout = policy.cell_timeout
+    watchdog = timeout is not None and _serial_watchdog_usable()
     for i in indices:
         attempt = 0
         while True:
             try:
-                outcome = _run_cell(worker, names[i], scale, args,
-                                    collect, i, attempt)
+                if watchdog:
+                    outcome = _run_cell_with_watchdog(
+                        timeout, worker, names[i], scale, args,
+                        collect, i, attempt)
+                else:
+                    outcome = _run_cell(worker, names[i], scale, args,
+                                        collect, i, attempt)
+            except _SerialCellTimeout:
+                _faults.timeouts += 1
+                attempt += 1
+                if attempt > policy.max_retries:
+                    raise faults.CellTimeout(
+                        f"cell {names[i]!r} exceeded the {timeout:g}s "
+                        f"timeout on {attempt} attempts") from None
+                _faults.retries += 1
             except Exception as exc:
                 attempt += 1
                 if attempt > policy.max_retries:

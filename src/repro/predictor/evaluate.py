@@ -15,10 +15,14 @@ history via a convolution over the branch-outcome array, caller id from
 the link-register column) are likewise precomputed vectorised.  For
 rule-4 references, the 1-bit ARPT replay is exact in NumPy too (a
 tagless 1-bit entry predicts the *previous* outcome observed at its
-index, which one stable sort per table exposes as a grouped shift);
-only the 2-bit hysteresis ablation falls back to a tight sequential
-loop fed by pre-extracted Python lists.  ``evaluate_scheme_scalar`` is
-the retained record-at-a-time reference implementation the equivalence
+index, which one stable sort per table exposes as a grouped shift).
+The 2-bit hysteresis ablation is vectorised as well: a saturating
+counter is the composition of clamp-add steps, and such compositions
+form a closed monoid (``f(x) = min(hi, max(lo, x + a))``), so one
+segmented Hillis-Steele scan over per-index groups replays every
+counter in ``O(n log L)`` array operations (L = longest per-index run;
+see :func:`_replay_table`).  ``evaluate_scheme_scalar`` is the
+retained record-at-a-time reference implementation the equivalence
 tests pin the fast path against.
 """
 
@@ -155,37 +159,148 @@ def _hint_tags_for(pc: np.ndarray, hints: Optional[CompilerHints])\
     return per_unique[inverse]
 
 
+def _validate_table_size(table_size: Optional[int]) -> None:
+    """Reject table sizes the direct-mapped model cannot index.
+
+    The replay masks indices with ``table_size - 1``, which only
+    equals ``index % table_size`` for powers of two; a non-power-of-two
+    size would silently alias references onto wrong entries.  The live
+    :class:`ARPT` enforces the same rule in its constructor.
+    """
+    if table_size is None:
+        return
+    if table_size <= 0 or table_size & (table_size - 1):
+        raise ValueError("ARPT size must be a power of two")
+
+
+def _counter_states(first: np.ndarray, d: np.ndarray) -> np.ndarray:
+    """Saturating-counter state *before* each access, per sorted group.
+
+    ``first`` flags group starts in an index-sorted reference stream;
+    ``d`` is the per-access counter increment (+1 stack, -1 non-stack).
+    Each group replays ``c = clip(c + d, 0, 3)`` from a cold 0.  A
+    clamp-add step is ``f(x) = min(hi, max(lo, x + a))`` and the
+    composition of two such functions is again one (apply ``f`` then
+    ``g``: ``a' = a_f + a_g``, ``lo' = clip(lo_f + a_g, lo_g, hi_g)``,
+    ``hi' = clip(hi_f + a_g, lo_g, hi_g)``), so the per-group inclusive
+    prefix compositions fall out of a segmented Hillis-Steele doubling
+    scan - ``O(n log L)`` array ops for a longest group run of L.
+
+    The shift term ``a`` of every window composite is just a
+    difference of the global cumulative sum of ``d`` (windows never
+    straddle a group boundary), so only the ``lo``/``hi`` bound arrays
+    are actually scanned.  A window whose composite has saturated
+    (``lo == hi``) is a constant function - no wider window can change
+    it - so such references *freeze* and drop out of the scan.  Real
+    reference streams are heavily biased per index and freeze almost
+    entirely by window 4, leaving a couple of dense doubling passes
+    plus a shrinking gather/scatter over the unfrozen stragglers.
+    """
+    n = len(d)
+    starts = np.flatnonzero(first)
+    runs = np.diff(np.append(starts, n))
+    # Position of each reference within its group (int32: n < 2^31).
+    pos = np.arange(n, dtype=np.int32)
+    pos -= np.repeat(starts.astype(np.int32), runs)
+    cum = np.cumsum(d, dtype=np.int32)
+    lo = np.zeros(n, dtype=np.int32)
+    hi = np.full(n, 3, dtype=np.int32)
+    offset = 1
+    max_run = int(runs.max()) if n else 0
+    active = None           # compacted unfrozen targets, once sparse
+    while offset < max_run:
+        if active is None:
+            # Dense: whole-tail slice arithmetic, masked write-back.
+            tail = slice(offset, None)
+            mask = pos[tail] >= offset
+            gain = cum[tail] - cum[:-offset]
+            lo_t, hi_t = lo[tail], hi[tail]
+            new_lo = np.clip(lo[:-offset] + gain, lo_t, hi_t)
+            new_hi = np.clip(hi[:-offset] + gain, lo_t, hi_t)
+            np.copyto(lo_t, new_lo, where=mask)
+            np.copyto(hi_t, new_hi, where=mask)
+            offset *= 2
+            # Still-live references sit deep enough in their group to
+            # keep combining AND have not saturated yet; compact to an
+            # index set once they are the minority.
+            live = (pos >= offset) & (lo != hi)
+            if int(np.count_nonzero(live)) * 4 < n:
+                active = np.flatnonzero(live)
+        else:
+            if not len(active):
+                break
+            source = active - offset
+            gain = cum[active] - cum[source]
+            lo_t, hi_t = lo[active], hi[active]
+            lo[active] = np.clip(lo[source] + gain, lo_t, hi_t)
+            hi[active] = np.clip(hi[source] + gain, lo_t, hi_t)
+            offset *= 2
+            active = active[pos[active] >= offset]
+            active = active[lo[active] != hi[active]]
+    # Inclusive composite applied to the cold state 0 = state *after*
+    # each access (its shift term is the within-group prefix sum); the
+    # predicting state is the previous access's.
+    within = cum - np.repeat(cum[starts] - d[starts], runs)
+    after = np.clip(within, lo, hi)
+    before = np.empty(n, dtype=np.int32)
+    before[0] = 0
+    before[1:] = after[:-1]
+    before[first] = 0
+    return before
+
+
 def _replay_table(index: np.ndarray, actual: np.ndarray, bits: int,
                   table_size: Optional[int]) -> Tuple[int, int]:
     """Replay rule-4 references through a tagless ARPT.
 
-    Returns ``(table_correct, occupancy)``.  The 1-bit table stores the
-    last observed outcome per index, so after a stable sort by index
-    each reference's prediction is simply the previous actual within
-    its group (first access reads the cold "non-stack" entry) - fully
-    vectorised.  The 2-bit saturating-counter ablation is inherently
-    sequential per entry and replays in a dict-based loop.
+    Returns ``(table_correct, occupancy)``.  Both entry widths replay
+    fully vectorised after one stable sort by table index: the 1-bit
+    table predicts the previous actual within each group (a grouped
+    shift; first access reads the cold "non-stack" entry), and the
+    2-bit saturating-counter ablation replays through the segmented
+    clamp-add scan in :func:`_counter_states`.
+    ``_replay_table_scalar`` is the retained dict-loop reference the
+    equivalence tests pin this path against.
     """
+    _validate_table_size(table_size)
     if table_size is not None:
         index = index & (table_size - 1)
     n = len(index)
     if n == 0:
         return 0, 0
+    order = np.argsort(index, kind="stable")
+    sorted_actual = actual[order]
+    first = np.empty(n, dtype=np.bool_)
+    first[0] = True
+    sorted_index = index[order]
+    np.not_equal(sorted_index[1:], sorted_index[:-1], out=first[1:])
     if bits == 1:
-        order = np.argsort(index, kind="stable")
-        sorted_actual = actual[order]
-        first = np.empty(n, dtype=np.bool_)
-        first[0] = True
-        sorted_index = index[order]
-        np.not_equal(sorted_index[1:], sorted_index[:-1], out=first[1:])
         prediction = np.empty(n, dtype=np.bool_)
         prediction[0] = False
         prediction[1:] = sorted_actual[:-1]
         prediction[first] = False  # cold entries predict non-stack
-        correct = int(np.count_nonzero(prediction == sorted_actual))
-        return correct, int(np.count_nonzero(first))
+    else:
+        d = np.where(sorted_actual, np.int32(1), np.int32(-1))
+        prediction = _counter_states(first, d) >= 2
+    correct = int(np.count_nonzero(prediction == sorted_actual))
+    return correct, int(np.count_nonzero(first))
+
+
+def _replay_table_scalar(index: np.ndarray, actual: np.ndarray,
+                         bits: int, table_size: Optional[int])\
+        -> Tuple[int, int]:
+    """Dict-loop reference for :func:`_replay_table` (tests only)."""
+    _validate_table_size(table_size)
+    if table_size is not None:
+        index = index & (table_size - 1)
     entries: Dict[int, int] = {}
     correct = 0
+    if bits == 1:
+        for idx, is_stack in zip(index.tolist(), actual.tolist()):
+            if (entries.get(idx, 0) == 1) == is_stack:
+                correct += 1
+            entries[idx] = 1 if is_stack else 0
+        return correct, len(entries)
     for idx, is_stack in zip(index.tolist(), actual.tolist()):
         counter = entries.get(idx, 0)
         if (counter >= 2) == is_stack:
@@ -256,6 +371,7 @@ def evaluate_scheme(trace: Trace, scheme,
     """
     if isinstance(scheme, str):
         scheme = scheme_by_name(scheme)
+    _validate_table_size(table_size)
     with spans.span("predict:replay", scheme=scheme.name,
                     workload=trace.name) as sp:
         prepass = _ReplayPrepass(trace, gbh_bits, cid_bits)
@@ -282,6 +398,7 @@ def evaluate_scheme_scalar(trace: Trace, scheme,
     """
     if isinstance(scheme, str):
         scheme = scheme_by_name(scheme)
+    _validate_table_size(table_size)
     tracker = ContextTracker(gbh_bits=gbh_bits, cid_bits=cid_bits)
     table = ARPT(size=table_size, bits=scheme.bits) if scheme.uses_table \
         else None

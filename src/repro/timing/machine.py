@@ -18,6 +18,7 @@ unknown store addresses the way conservative LSQ scheduling does.
 from __future__ import annotations
 
 import bisect
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -126,9 +127,11 @@ class TimingSimulator:
     compiler-assisted decoupling.
     """
 
-    def __init__(self, config: MachineConfig, hints=None) -> None:
+    def __init__(self, config: MachineConfig, hints=None,
+                 idle_skip: bool = True) -> None:
         config.validate()
         self.config = config
+        self.idle_skip = idle_skip
         line = config.line_size
         self._l1 = Cache(CacheConfig("L1D", config.l1_size, config.l1_assoc,
                                      line, config.l1_latency))
@@ -166,12 +169,31 @@ class TimingSimulator:
                      if config.tlb_entries else None)
         self._fetch_blocked_by: Optional[InflightOp] = None
         self._fetch_resume_cycle = 0
+        # O(1) issue-latency lookup (config.latency_of walks a tuple).
+        self._latency = dict(config.latencies)
         # Run state.
         self._queues: List[List[InflightOp]] = [[], []]
         self._rob: List[InflightOp] = []
         self._rob_head = 0
         self._ready: List[InflightOp] = []   # ops with deps satisfied
         self._events: Dict[int, List] = {}
+        # Incremental memory-scheduler state (one slot per queue), so
+        # each cycle touches only the entries that could actually act
+        # instead of rescanning whole queues:
+        #   _mem_pending   seq-sorted issuable candidates (address
+        #                  resolved, not yet issued, correctly steered)
+        #   _unknown_stores  lazy min-heap of stores whose address is
+        #                  still unresolved (ordering fences)
+        #   _wrong_stores  mis-steered stores awaiting repair (these
+        #                  fence like unknown-address stores)
+        #   _stores_by_word  queue stores keyed by aligned word, the
+        #                  forwarding index (trace-driven: a record's
+        #                  address is known to the model up front)
+        self._mem_pending: List[List[InflightOp]] = [[], []]
+        self._unknown_stores: List[List[InflightOp]] = [[], []]
+        self._wrong_stores: List[List[InflightOp]] = [[], []]
+        self._stores_by_word: List[Dict[int, List[InflightOp]]] = \
+            [{}, {}]
         self._reg_producer: List[Optional[InflightOp]] = [None] * 64
         # Statistics.
         self.store_forwards = 0
@@ -194,6 +216,7 @@ class TimingSimulator:
         cycle = 0
         max_cycles = 200 * total + 100_000
 
+        idle_skip = self.idle_skip
         while committed < total:
             if cycle > max_cycles:
                 raise RuntimeError(
@@ -218,20 +241,52 @@ class TimingSimulator:
                             continue
                     op.addr_known = True
                     self._verify_region(op, cycle)
+                    if op.wrong_queue:
+                        # Fences its queue until repaired (stores only;
+                        # a mis-steered load just waits).
+                        if op.is_store:
+                            self._wrong_stores[op.queue].append(op)
+                    else:
+                        bisect.insort(self._mem_pending[op.queue], op)
                 else:               # repair: move to the correct queue
                     self._repair(op)
             # 2. Commit (frees ROB and queue slots for this cycle's
             #    dispatch).
-            committed += self._commit()
+            commit_count = self._commit()
+            committed += commit_count
             # 3. Memory scheduling.
-            self._schedule_memory(_LSQ, cycle)
+            mem_active = self._schedule_memory(_LSQ, cycle)
             if config.decoupled:
-                self._schedule_memory(_LVAQ, cycle)
+                mem_active |= self._schedule_memory(_LVAQ, cycle)
             # 4. Issue.
             self._issue(cycle)
             # 5. Dispatch.
-            dispatch_ptr = self._dispatch(records, dispatch_ptr, cycle)
-            cycle += 1
+            new_ptr = self._dispatch(records, dispatch_ptr, cycle)
+            # 6. Idle-cycle skip.  A cycle with no events, no commit, no
+            #    memory activity (issued OR port-stalled), an empty ready
+            #    list, and no dispatch progress changes nothing; every
+            #    machine state transition except the fetch-redirect timer
+            #    is event-driven, so jump straight to the next event (or
+            #    the fetch resume point) instead of spinning.  Skipped
+            #    cycles replay as exact no-ops: counters (issue/port
+            #    stalls) only move on non-idle cycles, keeping results
+            #    byte-identical to the cycle-by-cycle walk.
+            if idle_skip and not events and not commit_count \
+                    and not mem_active and new_ptr == dispatch_ptr \
+                    and not self._ready and committed < total:
+                target = None
+                if self._events:
+                    target = min(self._events)
+                blocker = self._fetch_blocked_by
+                if blocker is not None and blocker.completed:
+                    resume = self._fetch_resume_cycle
+                    if target is None or resume < target:
+                        target = resume
+                cycle = target if target is not None \
+                    and target > cycle else cycle + 1
+            else:
+                cycle += 1
+            dispatch_ptr = new_ptr
 
         self._publish_metrics(total, cycle)
         lvc_stats = self._lvc.stats if self._lvc is not None else None
@@ -340,55 +395,79 @@ class TimingSimulator:
         rob_free = config.rob_size - (len(self._rob) - self._rob_head)
         width = min(config.decode_width, rob_free)
         queue_limit = (config.lsq_size, config.lvaq_size)
+        total = len(records)
+        reg_producer = self._reg_producer
+        rob_append = self._rob.append
+        # Dispatch order is seq order and every in-flight op is older,
+        # so a freshly ready op always belongs at the tail of the
+        # (seq-sorted) ready list: plain append, no insort.
+        ready_append = self._ready.append
+        tracker = self._tracker
+        bpred = self._bpred
+        vp = self._vp
+        arpt = self._arpt
+        hint_tags = self._hint_tags
+        queues = self._queues
         count = 0
-        while count < width and ptr < len(records):
+        while count < width and ptr < total:
             rec = records[ptr]
             op = InflightOp(rec, ptr)
             mispredicted_branch = False
             if rec.op_class == OC_BRANCH:
-                self._tracker.observe_branch(rec.taken)
-                if self._bpred is not None:
-                    mispredicted_branch = not self._bpred                         .predict_and_update(rec.pc, rec.taken)
-            if op.is_load or op.is_store:
+                tracker.observe_branch(rec.taken)
+                if bpred is not None:
+                    mispredicted_branch = not bpred                         .predict_and_update(rec.pc, rec.taken)
+            is_store = op.is_store
+            if op.is_load or is_store:
                 queue = self._steer(rec, op)
-                if len(self._queues[queue]) >= queue_limit[queue]:
+                if len(queues[queue]) >= queue_limit[queue]:
                     break   # in-order dispatch stalls on a full queue
-                if self._arpt is not None and rec.mode == MODE_OTHER \
-                        and rec.pc not in self._hint_tags:
+                if arpt is not None and rec.mode == MODE_OTHER \
+                        and rec.pc not in hint_tags:
                     self.arpt_predictions += 1
                 op.queue = queue
-                self._queues[queue].append(op)
+                queues[queue].append(op)
                 self._peak[queue] = max(self._peak[queue],
-                                        len(self._queues[queue]))
+                                        len(queues[queue]))
+                if is_store:
+                    # Address unresolved until address generation runs;
+                    # only conservatively ordered queues consult the
+                    # fence heap, so fast-forwarding LVAQs skip it.
+                    if queue == _LSQ or not config.lvaq_fast_forwarding:
+                        heapq.heappush(self._unknown_stores[queue], op)
+                    self._stores_by_word[queue].setdefault(
+                        rec.addr >> 3, []).append(op)
             # Register dependences.  For stores the data register is
             # tracked separately: the address can issue before the data
             # is ready.
-            sources = []
             if rec.src1 >= 0:
-                sources.append(rec.src1)
-            if rec.src2 >= 0 and not op.is_store:
-                sources.append(rec.src2)
-            for reg in sources:
-                producer = self._reg_producer[reg]
+                producer = reg_producer[rec.src1]
                 if producer is not None and not producer.completed \
                         and not producer.value_bypassed:
                     op.deps_remaining += 1
                     producer.consumers.append(op)
-            if op.is_store and rec.src2 >= 0:
-                producer = self._reg_producer[rec.src2]
-                if producer is not None and not producer.completed:
-                    op.data_producer = producer
+            if rec.src2 >= 0:
+                if is_store:
+                    producer = reg_producer[rec.src2]
+                    if producer is not None and not producer.completed:
+                        op.data_producer = producer
+                else:
+                    producer = reg_producer[rec.src2]
+                    if producer is not None and not producer.completed \
+                            and not producer.value_bypassed:
+                        op.deps_remaining += 1
+                        producer.consumers.append(op)
             # Value prediction: a confidently correct prediction makes
             # the result available to consumers immediately.
-            if self._vp is not None and rec.value is not None:
-                if self._vp.observe(rec.pc, rec.value):
+            if vp is not None and rec.value is not None:
+                if vp.observe(rec.pc, rec.value):
                     op.value_bypassed = True
                     self.vp_bypasses += 1
             if rec.dst > 0:
-                self._reg_producer[rec.dst] = op
-            self._rob.append(op)
+                reg_producer[rec.dst] = op
+            rob_append(op)
             if op.deps_remaining == 0:
-                bisect.insort(self._ready, op)
+                ready_append(op)
             count += 1
             ptr += 1
             if mispredicted_branch:
@@ -401,14 +480,28 @@ class TimingSimulator:
     # -- issue ----------------------------------------------------------
 
     def _issue(self, cycle: int) -> None:
+        ready = self._ready
+        if not ready:
+            return
         config = self.config
         fu_free = dict(config.fu_counts)
         slots = config.issue_width
         deferred: List[InflightOp] = []
-        ready = self._ready
-        while slots and ready:
-            op = ready.pop(0)
-            fu = FU_CLASS[op.rec.op_class]
+        latency_of = self._latency
+        fu_class = FU_CLASS
+        post = self._post
+        # Batched selection: walk the (seq-sorted) ready list once
+        # instead of pop(0)/insort churn.  Ops visited but FU-starved
+        # go to `deferred`; ops past the issue-width cut are untouched.
+        # Both sublists stay seq-ordered and every deferred seq precedes
+        # every unvisited seq, so concatenation preserves sortedness.
+        taken = 0
+        for op in ready:
+            if not slots:
+                break
+            taken += 1
+            op_class = op.rec.op_class
+            fu = fu_class[op_class]
             if fu is not None:
                 if fu_free.get(fu, 0) <= 0:
                     deferred.append(op)
@@ -417,13 +510,11 @@ class TimingSimulator:
             slots -= 1
             if op.is_load or op.is_store:
                 # Address generation; region verified when it resolves.
-                self._post(cycle + 1, 1, op)
+                post(cycle + 1, 1, op)
             else:
-                latency = config.latency_of(op.rec.op_class)
-                self._post(cycle + latency, 0, op)
+                post(cycle + latency_of[op_class], 0, op)
         self.issue_stalls += len(deferred)
-        for op in deferred:
-            bisect.insort(ready, op)
+        self._ready = deferred + ready[taken:]
 
     def _post(self, cycle: int, kind: int, op: InflightOp) -> None:
         self._events.setdefault(cycle, []).append((kind, op))
@@ -473,24 +564,44 @@ class TimingSimulator:
         does not replay.
         """
         self.repairs += 1
-        old = self._queues[op.queue]
-        old.remove(op)
+        previous = op.queue
+        self._queues[previous].remove(op)
         correct = self._correct_queue(op.rec)
+        if op.is_store:
+            self._wrong_stores[previous].remove(op)
+            word = op.rec.addr >> 3
+            old_words = self._stores_by_word[previous]
+            old_words[word].remove(op)
+            if not old_words[word]:
+                del old_words[word]
+            bisect.insort(self._stores_by_word[correct]
+                          .setdefault(word, []), op)
         op.queue = correct
         op.wrong_queue = False
         bisect.insort(self._queues[correct], op)
+        # A repaired op arrives with a resolved, unissued address: it
+        # is immediately a scheduling candidate in its new queue.
+        bisect.insort(self._mem_pending[correct], op)
 
     # -- memory scheduling ------------------------------------------------
 
-    def _schedule_memory(self, queue_id: int, cycle: int) -> None:
+    def _schedule_memory(self, queue_id: int, cycle: int) -> bool:
         # Port arbitration is per-access (`try_acquire(cycle, addr)`),
         # never gated on `ports.available(cycle)`: for a banked L1 the
         # addressless count is only an upper bound - free slots don't
         # help a requester whose address maps to a busy bank.
+        #
+        # Returns True when the scan did (or attempted) any memory
+        # access this cycle; False means the queue provably cannot act
+        # until an event fires, which is what makes idle-cycle skipping
+        # in ``run`` sound.  Only ``_mem_pending`` - the seq-sorted
+        # issuable candidates - is walked, which visits exactly the
+        # entries the full-queue scan would have acted on, in the same
+        # order, so port grants and stall counts replay identically.
+        pending = self._mem_pending[queue_id]
+        if not pending:
+            return False
         config = self.config
-        queue = self._queues[queue_id]
-        if not queue:
-            return
         if queue_id == _LSQ:
             ports = self._l1_ports
             hierarchy = self._l1_hier
@@ -502,50 +613,63 @@ class TimingSimulator:
             # when the LVAQ holds stack references.
             blocking = not config.lvaq_fast_forwarding
         forward_latency = config.forward_latency
+        # The ordering fence: the oldest store whose address is still
+        # unresolved (conservative queues only) or that awaits repair.
+        # Unresolved stores sit in a lazy min-heap - entries whose
+        # address has since resolved are popped on sight.
         min_unknown_store = None
-        for op in queue:
-            if op.wrong_queue:
-                # Awaiting repair; treat its address as unknown for
-                # ordering purposes.
-                if op.is_store and min_unknown_store is None:
-                    min_unknown_store = op.seq
-                continue
+        if blocking:
+            unknown = self._unknown_stores[queue_id]
+            while unknown and unknown[0].addr_known:
+                heapq.heappop(unknown)
+            if unknown:
+                min_unknown_store = unknown[0].seq
+        for store in self._wrong_stores[queue_id]:
+            if min_unknown_store is None or store.seq < min_unknown_store:
+                min_unknown_store = store.seq
+        acted = False
+        kept: List[InflightOp] = []
+        for op in pending:
             if op.is_store:
-                if not op.addr_known:
-                    if blocking and min_unknown_store is None:
-                        min_unknown_store = op.seq
+                if not op.data_ready:
+                    kept.append(op)
                     continue
-                if op.mem_issued or not op.data_ready:
-                    continue
+                acted = True
                 if ports.try_acquire(cycle, op.rec.addr):
                     op.mem_issued = True
                     hierarchy.access(op.rec.addr, is_write=True)
                     self._post(cycle + 1, 0, op)
                 else:
                     self.port_stalls += 1
+                    kept.append(op)
                 continue
             # Load.
-            if not op.addr_known or op.mem_issued:
-                continue
             if min_unknown_store is not None and op.seq > min_unknown_store:
+                kept.append(op)
                 continue
-            store = self._forwarding_store(queue, op,
+            store = self._forwarding_store(queue_id, op,
                                            require_addr_known=blocking)
             if store is not None:
                 if store.data_ready:
+                    acted = True
                     op.mem_issued = True
                     self.store_forwards += 1
                     self._post(cycle + forward_latency, 0, op)
-                continue   # matching store without data: wait
+                else:
+                    kept.append(op)   # matching store without data: wait
+                continue
+            acted = True
             if ports.try_acquire(cycle, op.rec.addr):
                 op.mem_issued = True
                 result = hierarchy.access(op.rec.addr, is_write=False)
                 self._post(cycle + result.latency, 0, op)
             else:
                 self.port_stalls += 1
+                kept.append(op)
+        pending[:] = kept
+        return acted
 
-    @staticmethod
-    def _forwarding_store(queue: List[InflightOp], op: InflightOp,
+    def _forwarding_store(self, queue_id: int, op: InflightOp,
                           require_addr_known: bool = True)\
             -> Optional[InflightOp]:
         """Youngest earlier store to the same word, if any.
@@ -553,16 +677,18 @@ class TimingSimulator:
         In the LVAQ (``require_addr_known=False``) the offset comparison
         happens at dispatch - stack addresses are $sp/$fp + constant - so
         a store matches even before its address generation has run; this
-        is the paper's *fast forwarding*.
+        is the paper's *fast forwarding*.  The lookup walks the per-word
+        forwarding index, not the queue, and matches the full-scan
+        semantics: wrong-queue and already-issued stores still forward.
         """
-        word = op.rec.addr >> 3
+        stores = self._stores_by_word[queue_id].get(op.rec.addr >> 3)
+        if not stores:
+            return None
         best = None
-        for other in queue:
+        for other in stores:
             if other.seq >= op.seq:
                 break
-            if other.is_store and (other.addr_known
-                                   or not require_addr_known) \
-                    and (other.rec.addr >> 3) == word:
+            if other.addr_known or not require_addr_known:
                 best = other
         return best
 
@@ -582,6 +708,13 @@ class TimingSimulator:
                 # The committing op is the oldest in flight, hence at (or
                 # near, after repairs) the front of its queue.
                 queue.remove(op)
+                if op.is_store:
+                    words = self._stores_by_word[op.queue]
+                    word = op.rec.addr >> 3
+                    entries = words[word]
+                    entries.remove(op)
+                    if not entries:
+                        del words[word]
                 op.queue = None
             head += 1
             count += 1
@@ -592,13 +725,16 @@ class TimingSimulator:
         return count
 
 
-def simulate(trace: Trace, config: MachineConfig,
-             hints=None) -> TimingResult:
+def simulate(trace: Trace, config: MachineConfig, hints=None,
+             idle_skip: bool = True) -> TimingResult:
     """Run one trace through one machine configuration.
 
     ``hints`` optionally provides Figure-6 compiler tags that steer
     tagged instructions directly (Section 3.5.2's compiler-assisted
-    decoupling).
+    decoupling).  ``idle_skip=False`` disables event-driven idle-cycle
+    skipping and walks every cycle; results are identical either way
+    (the equivalence tests pin this), it only trades speed for a
+    literal cycle-by-cycle execution.
     """
     with spans.span("timing:simulate", config=config.name,
                     workload=trace.name) as sp:
@@ -607,7 +743,8 @@ def simulate(trace: Trace, config: MachineConfig,
             # conversion left in the pipeline; forcing it here keeps
             # the cycle loop's span honest.
             trace.records
-        result = TimingSimulator(config, hints=hints).run(trace)
+        result = TimingSimulator(config, hints=hints,
+                                 idle_skip=idle_skip).run(trace)
         sp.set("cycles", result.cycles)
         sp.set("instructions", result.instructions)
         return result

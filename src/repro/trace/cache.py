@@ -58,6 +58,7 @@ try:
 except ImportError:          # pragma: no cover - non-POSIX platforms
     fcntl = None
 
+from repro import quarantine
 from repro.testing import faults as fault_injection
 from repro.trace import serialize
 from repro.trace.records import Trace
@@ -66,8 +67,9 @@ from repro.trace.serialize import load_trace, save_trace
 #: Environment variable naming the default cache directory.
 ENV_VAR = "REPRO_TRACE_CACHE"
 
-#: Suffix given to corrupt entries moved aside for post-mortems.
-QUARANTINE_SUFFIX = ".quarantined"
+#: Suffix given to corrupt entries moved aside for post-mortems
+#: (collected on cache open, see :mod:`repro.quarantine`).
+QUARANTINE_SUFFIX = quarantine.SUFFIX
 
 
 @dataclass
@@ -80,11 +82,12 @@ class CacheStats:
     lock_waits: int = 0         # stores that waited on another writer
     load_seconds: float = 0.0   # reading archived traces (incl. saves)
     sim_seconds: float = 0.0    # running the producer (functional sim)
+    quarantine_gc: int = 0      # expired quarantined files collected
 
     def snapshot(self) -> "CacheStats":
         return CacheStats(self.hits, self.misses, self.corrupt,
                           self.lock_waits, self.load_seconds,
-                          self.sim_seconds)
+                          self.sim_seconds, self.quarantine_gc)
 
 
 @dataclass
@@ -100,6 +103,11 @@ class TraceCache:
             raise ValueError(
                 f"trace cache path {self.directory} exists and is not "
                 f"a directory")
+        # Opening the cache garbage-collects expired quarantined
+        # entries (bounded by REPRO_QUARANTINE_MAX_AGE_DAYS /
+        # REPRO_QUARANTINE_MAX_FILES) so post-mortem copies never
+        # accumulate without limit.
+        self.stats.quarantine_gc += quarantine.collect(self.directory)
 
     def key(self, name: str, scale: float) -> str:
         return f"{name}__s{scale:g}__v{serialize._FORMAT_VERSION}"

@@ -184,3 +184,55 @@ class TestPoolRecovery:
         recovered = engine.run_cells(_ok_cell, NAMES, 2.0, jobs=2)
         assert recovered == baseline
         assert engine.fault_stats().any
+
+
+class TestSerialWatchdog:
+    """``--jobs 1`` honours ``cell_timeout`` through a SIGALRM
+    watchdog (POSIX main thread only), mirroring the pool path's
+    timeout/retry semantics."""
+
+    def test_watchdog_is_usable_here(self):
+        # CI and dev boxes are POSIX and pytest runs in the main
+        # thread; if this fails the rest of the class is vacuous.
+        assert engine._serial_watchdog_usable()
+
+    def test_stalled_cell_times_out_and_recovers(self):
+        faults.set_policy(RetryPolicy(max_retries=2, backoff_base=0.0,
+                                      cell_timeout=1.0))
+        fi.install("stall:index=1,seconds=60")
+        started = time.monotonic()
+        results = engine.run_cells(_ok_cell, NAMES, 1.0, jobs=1)
+        assert results == ["alpha@1.0", "beta@1.0", "gamma@1.0"]
+        assert engine.fault_stats().timeouts == 1
+        assert engine.fault_stats().retries == 1
+        # The wedged attempt was interrupted, not waited out.
+        assert time.monotonic() - started < 30
+
+    def test_persistent_stall_raises_cell_timeout(self):
+        faults.set_policy(RetryPolicy(max_retries=1, backoff_base=0.0,
+                                      cell_timeout=0.5))
+        fi.install("stall:index=0,times=5,seconds=60")
+        started = time.monotonic()
+        with pytest.raises(CellTimeout, match="alpha.*0.5s timeout"):
+            engine.run_cells(_ok_cell, NAMES, 1.0, jobs=1)
+        assert time.monotonic() - started < 30
+        assert engine.fault_stats().timeouts == 2   # both attempts
+
+    def test_prior_alarm_handler_restored(self):
+        import signal
+        sentinel = lambda signum, frame: None
+        previous = signal.signal(signal.SIGALRM, sentinel)
+        try:
+            faults.set_policy(RetryPolicy(max_retries=0,
+                                          cell_timeout=5.0))
+            engine.run_cells(_ok_cell, NAMES, 1.0, jobs=1)
+            assert signal.getsignal(signal.SIGALRM) is sentinel
+            assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+        finally:
+            signal.signal(signal.SIGALRM, previous)
+
+    def test_no_watchdog_without_timeout(self):
+        faults.set_policy(RetryPolicy(max_retries=0))
+        assert engine.run_cells(_ok_cell, NAMES, 1.0, jobs=1) \
+            == ["alpha@1.0", "beta@1.0", "gamma@1.0"]
+        assert engine.fault_stats().timeouts == 0

@@ -155,6 +155,92 @@ class TestSchemeEquivalence:
         _assert_equivalent(Trace("prop", records), scheme, table_size=4)
 
 
+_TWO_BIT_SCHEMES = tuple(s.name for s in ALL_SCHEMES if s.bits == 2)
+
+
+class TestTwoBitEquivalence:
+    """The grouped freeze-scan 2-bit replay vs. live saturating
+    counters: correct/total counts, occupancy, the works."""
+
+    @pytest.mark.parametrize("scheme", _TWO_BIT_SCHEMES)
+    @pytest.mark.parametrize("seed", (0, 1, 2, 19, 23))
+    def test_fixed_seeds(self, scheme, seed):
+        _assert_equivalent(_random_trace(seed, n=600), scheme)
+
+    @pytest.mark.parametrize("scheme", _TWO_BIT_SCHEMES)
+    @pytest.mark.parametrize("table_size", (1, 4, 64, 256))
+    def test_limited_table(self, scheme, table_size):
+        _assert_equivalent(_random_trace(17), scheme,
+                           table_size=table_size)
+
+    @pytest.mark.parametrize("scheme", _TWO_BIT_SCHEMES)
+    def test_real_trace(self, real_trace, scheme):
+        _assert_equivalent(real_trace, scheme)
+        _assert_equivalent(real_trace, scheme, table_size=128)
+        _assert_equivalent(real_trace, scheme,
+                           hints=hints_from_trace(real_trace))
+
+    def test_long_biased_runs_saturate(self):
+        """Long same-direction runs pin counters at 0/3 - the freeze
+        fast path - with direction flips at run boundaries."""
+        records = []
+        for block in range(8):
+            stack = block % 2 == 0
+            for _ in range(50):
+                records.append(TraceRecord(
+                    0x400100 + 8 * (block % 3), OC_LOAD,
+                    addr=0x10000000, mode=3,
+                    region=REGION_STACK if stack else REGION_HEAP,
+                    ra=0x400008))
+        trace = Trace("biased", records)
+        for scheme in _TWO_BIT_SCHEMES:
+            _assert_equivalent(trace, scheme)
+            _assert_equivalent(trace, scheme, table_size=2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(choices=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=4),
+                  st.integers(min_value=0, max_value=3),
+                  st.sampled_from(_REGIONS),
+                  st.integers(min_value=0, max_value=2),
+                  st.booleans()), max_size=120),
+        scheme=st.sampled_from(_TWO_BIT_SCHEMES))
+    def test_property_random_traces(self, choices, scheme):
+        records = []
+        for pc_slot, mode, region, ra_slot, is_branch in choices:
+            if is_branch:
+                records.append(TraceRecord(0x400800, OC_BRANCH,
+                                           taken=mode % 2 == 0))
+            else:
+                records.append(TraceRecord(
+                    0x400100 + 8 * pc_slot, OC_LOAD, addr=0x10000000,
+                    mode=mode, region=region,
+                    ra=0x400008 + 8 * ra_slot))
+        trace = Trace("prop2bit", records)
+        _assert_equivalent(trace, scheme)
+        _assert_equivalent(trace, scheme, table_size=8)
+
+
+class TestTableSizeValidation:
+    """Non-power-of-two sizes would silently alias under the index
+    mask; both replay paths must reject them up front."""
+
+    @pytest.mark.parametrize("table_size", (100, 3, 12, 0, -16))
+    @pytest.mark.parametrize("scheme", ("1bit", "2bit-hybrid"))
+    def test_rejects_invalid_sizes(self, scheme, table_size):
+        trace = _random_trace(5, n=40)
+        with pytest.raises(ValueError, match="power of two"):
+            evaluate_scheme(trace, scheme, table_size=table_size)
+        with pytest.raises(ValueError, match="power of two"):
+            evaluate_scheme_scalar(trace, scheme,
+                                   table_size=table_size)
+
+    def test_accepts_powers_of_two_and_unlimited(self):
+        trace = _random_trace(5, n=40)
+        for table_size in (None, 1, 2, 64, 1024):
+            evaluate_scheme(trace, "2bit", table_size=table_size)
+
+
 class TestOccupancyByContext:
     @pytest.mark.parametrize("seed", range(3))
     def test_matches_scalar_probes(self, seed):

@@ -219,6 +219,64 @@ class TestDecoupling:
         assert result.store_forwards == 30
 
 
+class TestIdleCycleSkip:
+    """Event-driven idle-cycle skipping trades speed for nothing:
+    every TimingResult field must match the walk-every-cycle run."""
+
+    def _assert_same(self, trace, config, hints=None):
+        fast = simulate(trace, config, hints=hints, idle_skip=True)
+        slow = simulate(trace, config, hints=hints, idle_skip=False)
+        assert fast == slow
+
+    def test_long_memory_stalls(self):
+        # A dependent chain of loads to distinct 4 KiB-apart lines:
+        # every access misses to L2/memory, leaving long idle gaps
+        # the skipper must jump over without changing a single stat.
+        records = [load(dst=5, base_reg=5, addr=DATA + i * 4096)
+                   for i in range(30)]
+        self._assert_same(Trace("t", records), base_config())
+
+    def test_store_fences_and_forwarding(self):
+        records = []
+        for i in range(40):
+            addr = DATA + (i % 4) * 4096
+            records.append(store(data_reg=0, addr=addr))
+            records.append(load(dst=5, base_reg=5, addr=addr))
+        self._assert_same(Trace("t", records), base_config())
+
+    def test_decoupled_mixed_traffic(self):
+        records = []
+        for i in range(80):
+            records.append(load(dst=0, addr=DATA + (i % 64) * 64,
+                                region=REGION_DATA, mode=MODE_GLOBAL,
+                                pc=0x400100))
+            records.append(load(dst=0, addr=STACK - (i % 64) * 8,
+                                region=REGION_STACK, mode=MODE_OTHER,
+                                pc=0x400108))
+        self._assert_same(Trace("t", records),
+                          no_vp(decoupled_config(2, 2)))
+
+    def test_value_prediction(self):
+        records = [ialu(dst=5, src1=5, value=i) for i in range(120)]
+        records += [load(dst=5, base_reg=5, addr=DATA + i * 4096)
+                    for i in range(10)]
+        self._assert_same(Trace("t", records),
+                          replace(conventional_config(2),
+                                  value_predict=True))
+
+    def test_figure8_configs(self):
+        records = []
+        for i in range(50):
+            records.append(load(dst=5, base_reg=5,
+                                addr=DATA + i * 4096))
+            records.append(store(data_reg=5,
+                                 addr=STACK - (i % 8) * 8,
+                                 region=REGION_STACK, mode=MODE_STACK))
+        trace = Trace("t", records)
+        for config in figure8_configs()[:4]:
+            self._assert_same(trace, config)
+
+
 class TestValuePrediction:
     def test_stride_chain_accelerated(self):
         # A chained counter with a perfect stride: value prediction

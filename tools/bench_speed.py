@@ -7,16 +7,24 @@ given scale against a warm trace cache, and writes ``BENCH_perf.json``
 mapping each experiment to its seconds and its speedup over the
 recorded baseline in ``benchmarks/results/BENCH_perf_baseline.json``.
 
-The cache is warmed first with one untimed pass per workload (a
-``table1`` run populates every trace the profiling experiments read),
-so the timed runs measure trace loading + analysis, never functional
-simulation.  Baseline entries are only comparable at the scale they
-were recorded at; at other scales the speedup fields are null.
+Benchmark entries are *specs* of the form ``id[:name1+name2][@scale]``:
+a bare experiment id runs at ``--scale``, an optional ``:names`` part
+restricts the run to those workloads, and an optional ``@scale`` pins
+the entry to a fixed scale regardless of ``--scale`` (used to keep a
+timing-machine cell affordable: ``figure8:compress@0.25``).  Baseline
+keys are the full spec strings.
+
+The cache is warmed first with one untimed ``table1`` pass per
+distinct scale (restricted to the needed workloads for pinned-scale
+specs), so the timed runs measure trace loading + analysis, never
+functional simulation.  Baseline entries are only comparable at the
+scale they were recorded at (pinned specs always are); elsewhere the
+speedup fields are null.
 
 Each run also appends one line to
 ``benchmarks/results/history.jsonl`` (timestamp, git SHA, scale,
-jobs, per-experiment seconds) so performance can be trended across
-commits; disable with ``--no-history``.
+jobs, per-spec seconds) so performance can be trended across commits
+(render with ``tools/bench_trend.py``); disable with ``--no-history``.
 
 Usage:
     PYTHONPATH=src python tools/bench_speed.py \
@@ -38,13 +46,35 @@ BASELINE_PATH = REPO_ROOT / "benchmarks" / "results" \
     / "BENCH_perf_baseline.json"
 HISTORY_PATH = REPO_ROOT / "benchmarks" / "results" / "history.jsonl"
 
-DEFAULT_EXPERIMENTS = ("figure2", "table2", "figure4")
+DEFAULT_EXPERIMENTS = ("figure2", "table2", "figure4", "a1",
+                       "figure8:compress@0.25")
 
 
-def _run_experiment(experiment: str, scale: float, cache: str) -> float:
+def _parse_spec(spec: str, default_scale: float):
+    """``id[:name1+name2][@scale]`` -> (experiment, names, scale,
+    pinned)."""
+    body = spec
+    scale = default_scale
+    pinned = "@" in spec
+    if pinned:
+        body, _, scale_text = spec.rpartition("@")
+        try:
+            scale = float(scale_text)
+        except ValueError:
+            raise SystemExit(f"bad scale in benchmark spec {spec!r}")
+    experiment, _, name_text = body.partition(":")
+    if not experiment:
+        raise SystemExit(f"bad benchmark spec {spec!r}")
+    names = [name for name in name_text.split("+") if name]
+    return experiment, names, scale, pinned
+
+
+def _run_experiment(experiment: str, scale: float, cache: str,
+                    names=()) -> float:
     """Wall-clock seconds for one experiment subprocess (must succeed)."""
     command = [sys.executable, "-m", "repro.cli", "experiment",
-               experiment, "--scale", str(scale), "--trace-cache", cache]
+               experiment, *names, "--scale", str(scale),
+               "--trace-cache", cache]
     started = time.perf_counter()
     completed = subprocess.run(command, cwd=REPO_ROOT,
                                capture_output=True, text=True)
@@ -75,7 +105,9 @@ def main(argv=None) -> int:
     parser.add_argument("--no-history", action="store_true",
                         help="skip the history.jsonl append")
     args = parser.parse_args(argv)
-    experiments = [e for e in args.experiments.split(",") if e]
+    specs = [_parse_spec(s, args.scale)
+             for s in args.experiments.split(",") if s]
+    spec_names = [s for s in args.experiments.split(",") if s]
 
     baseline = {}
     baseline_scale = None
@@ -84,26 +116,39 @@ def main(argv=None) -> int:
         baseline = recorded.get("seconds", {})
         baseline_scale = recorded.get("scale")
 
-    # Warm pass: table1 touches every workload trace, so the timed runs
-    # below never pay for functional simulation.
-    print(f"warming trace cache at {args.trace_cache} "
-          f"(scale {args.scale:g})...", flush=True)
-    _run_experiment("table1", args.scale, args.trace_cache)
+    # Warm pass: one untimed table1 per distinct scale touches every
+    # trace the timed runs read, so they never pay for functional
+    # simulation.  Pinned-scale specs only warm the workloads they
+    # name (None = all).
+    warm = {}
+    for experiment, names, scale, pinned in specs:
+        wanted = warm.setdefault(scale, set())
+        if wanted is not None:
+            if names:
+                wanted.update(names)
+            else:
+                warm[scale] = None
+    for scale, names in sorted(warm.items()):
+        print(f"warming trace cache at {args.trace_cache} "
+              f"(scale {scale:g})...", flush=True)
+        _run_experiment("table1", scale, args.trace_cache,
+                        sorted(names) if names else ())
 
     report = {"scale": args.scale, "jobs": 1, "experiments": {}}
-    comparable = baseline_scale == args.scale
-    for experiment in experiments:
-        seconds = _run_experiment(experiment, args.scale,
-                                  args.trace_cache)
+    for spec, (experiment, names, scale, pinned) in zip(spec_names,
+                                                        specs):
+        seconds = _run_experiment(experiment, scale, args.trace_cache,
+                                  names)
+        comparable = pinned or baseline_scale == args.scale
         entry = {"seconds": round(seconds, 3),
-                 "baseline_seconds": baseline.get(experiment)
+                 "baseline_seconds": baseline.get(spec)
                  if comparable else None,
                  "speedup": None}
-        if comparable and baseline.get(experiment):
-            entry["speedup"] = round(baseline[experiment] / seconds, 2)
-        report["experiments"][experiment] = entry
+        if comparable and baseline.get(spec):
+            entry["speedup"] = round(baseline[spec] / seconds, 2)
+        report["experiments"][spec] = entry
         speedup = entry["speedup"]
-        print(f"{experiment}: {seconds:.2f}s"
+        print(f"{spec}: {seconds:.2f}s"
               + (f" ({speedup:g}x vs baseline)" if speedup else ""),
               flush=True)
 

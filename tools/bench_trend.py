@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Render the benchmark trajectory from ``history.jsonl``.
+
+``tools/bench_speed.py`` appends one JSON line per run (timestamp,
+git SHA, scale, per-spec seconds) to
+``benchmarks/results/history.jsonl``.  This tool turns that journal
+into a human-readable trend table - one row per run, one column per
+benchmark spec - plus a per-spec summary line (first, last, best, and
+the last/first ratio) so a perf regression or win is visible at a
+glance in CI logs and artifacts.
+
+Malformed journal lines are skipped with a warning (the journal is
+append-only and may interleave writers), and specs that only appear
+in some runs render as blanks in the others.
+
+Usage:
+    python tools/bench_trend.py                       # default journal
+    python tools/bench_trend.py --history PATH --out trend.txt
+    python tools/bench_trend.py --last 20             # newest 20 runs
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+HISTORY_PATH = REPO_ROOT / "benchmarks" / "results" / "history.jsonl"
+
+
+def load_history(path: Path):
+    """Parsed journal entries, oldest first; bad lines are skipped."""
+    entries = []
+    if not path.exists():
+        return entries
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+            experiments = entry["experiments"]
+            if not isinstance(experiments, dict):
+                raise TypeError("experiments is not a mapping")
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"warning: {path}:{lineno}: skipping bad line "
+                  f"({exc})", file=sys.stderr)
+            continue
+        entries.append(entry)
+    return entries
+
+
+def _spec_columns(entries):
+    """Benchmark specs in first-seen order across the journal."""
+    specs = []
+    for entry in entries:
+        for spec in entry["experiments"]:
+            if spec not in specs:
+                specs.append(spec)
+    return specs
+
+
+def render(entries, last=None) -> str:
+    """The trend table + summary as one printable string."""
+    if not entries:
+        return "no benchmark history recorded yet\n"
+    shown = entries[-last:] if last else entries
+    specs = _spec_columns(shown)
+    header = ["timestamp", "sha", "scale"] + specs
+    rows = [header]
+    for entry in shown:
+        sha = str(entry.get("git_sha", "unknown"))[:9]
+        row = [str(entry.get("timestamp", "?")), sha,
+               f"{entry.get('scale', '?'):g}"
+               if isinstance(entry.get("scale"), (int, float))
+               else str(entry.get("scale", "?"))]
+        for spec in specs:
+            seconds = entry["experiments"].get(spec)
+            row.append(f"{seconds:.2f}" if isinstance(
+                seconds, (int, float)) else "")
+        rows.append(row)
+    widths = [max(len(row[i]) for row in rows)
+              for i in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append("  ".join(
+            cell.ljust(widths[i]) if i < 3 else cell.rjust(widths[i])
+            for i, cell in enumerate(row)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    lines.append("")
+    lines.append("per-spec trend (seconds):")
+    for spec in specs:
+        series = [entry["experiments"][spec] for entry in shown
+                  if isinstance(entry["experiments"].get(spec),
+                                (int, float))]
+        if not series:
+            continue
+        first, latest, best = series[0], series[-1], min(series)
+        ratio = f"{latest / first:.2f}x" if first else "n/a"
+        lines.append(f"  {spec}: first {first:.2f}  last {latest:.2f}"
+                     f"  best {best:.2f}  last/first {ratio}"
+                     f"  ({len(series)} runs)")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Render benchmark trend from history.jsonl")
+    parser.add_argument("--history", type=Path, default=HISTORY_PATH,
+                        help="history journal to read [%(default)s]")
+    parser.add_argument("--last", type=int, default=None,
+                        help="only show the newest N runs")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the rendering to this file")
+    args = parser.parse_args(argv)
+    text = render(load_history(args.history), last=args.last)
+    sys.stdout.write(text)
+    if args.out:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
