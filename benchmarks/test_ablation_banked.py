@@ -15,9 +15,9 @@ def test_banked_vs_ported(benchmark, record_result):
     result = run_once(benchmark,
                       lambda: ablation_banked_cache(scale=TIMING_SCALE))
     record_result("ablation_banked", result.render())
-    ported = result.average("(4+0) ported")
-    banked = result.average("(4b+0) banked")
-    decoupled = result.average("(2+2)")
+    ported = result.data.average("(4+0) ported")
+    banked = result.data.average("(4b+0) banked")
+    decoupled = result.data.average("(2+2)")
     # Banking can only lose to true multi-porting of the same width.
     assert banked <= ported + 0.005
     # Banking still beats the 2-ported baseline on average.

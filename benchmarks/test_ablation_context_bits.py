@@ -13,15 +13,15 @@ def test_hybrid_context_split(benchmark, record_result):
     result = run_once(benchmark,
                       lambda: ablation_context_bits(scale=PROFILE_SCALE))
     record_result("ablation_context_bits", result.render())
-    names = list(result.accuracies)
+    names = list(result.data.accuracies)
 
     def average(key):
-        return sum(result.accuracies[n][key] for n in names) / len(names)
+        return sum(result.data.accuracies[n][key] for n in names) / len(names)
 
     paper_split = average("8g+24c")
     # The paper's split is within noise of the best split on average.
-    best = max(average(f"{g}g+{c}c") for g, c in result.splits)
+    best = max(average(f"{g}g+{c}c") for g, c in result.data.splits)
     assert paper_split >= best - 0.004
     # Every split still keeps the predictor in its high-accuracy regime.
-    for gbh_bits, cid_bits in result.splits:
+    for gbh_bits, cid_bits in result.data.splits:
         assert average(f"{gbh_bits}g+{cid_bits}c") > 0.98

@@ -20,17 +20,17 @@ def test_front_end_sensitivity(benchmark, record_result):
 
     # (i) a real front end lowers absolute performance...
     slowdowns = 0
-    for name, per_fe in result.baseline_ipc.items():
+    for name, per_fe in result.data.baseline_ipc.items():
         if per_fe["gshare"] < per_fe["perfect"] - 1e-9:
             slowdowns += 1
-    assert slowdowns >= len(result.baseline_ipc) - 1
+    assert slowdowns >= len(result.data.baseline_ipc) - 1
 
     # ...which compresses the bandwidth gaps (perfect front end really
     # does maximise the pressure).
-    assert result.average("gshare", "(16+0)") \
-        <= result.average("perfect", "(16+0)") + 0.01
+    assert result.data.average("gshare", "(16+0)") \
+        <= result.data.average("perfect", "(16+0)") + 0.01
 
     # (ii) but the paper's conclusion is robust: decoupling still wins
     # over the starved baseline, under either front end.
     for front_end in ("perfect", "gshare"):
-        assert result.average(front_end, "(3+3)") > 1.0
+        assert result.data.average(front_end, "(3+3)") > 1.0

@@ -17,11 +17,11 @@ def test_heap_decoupling_counterfactual(benchmark, record_result):
     result = run_once(benchmark,
                       lambda: ablation_heap_decoupling(scale=TIMING_SCALE))
     record_result("ablation_heap_decoupling", result.render())
-    stack_avg = result.average("stack (2+2)")
-    heap_avg = result.average("heap (2+2)")
+    stack_avg = result.data.average("stack (2+2)")
+    heap_avg = result.data.average("heap (2+2)")
     # The paper's design choice: stack decoupling wins on average.
     assert stack_avg > heap_avg
     # And for the FP programs, heap decoupling buys ~nothing at all.
     for name in suite.FP_WORKLOADS:
-        heap_gain = result.speedups[name]["heap (2+2)"] - 1.0
+        heap_gain = result.data.speedups[name]["heap (2+2)"] - 1.0
         assert heap_gain < 0.05, name

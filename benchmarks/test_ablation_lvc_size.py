@@ -12,12 +12,12 @@ def test_lvc_size_sweep(benchmark, record_result):
     result = run_once(benchmark,
                       lambda: ablation_lvc_size(scale=PROFILE_SCALE))
     record_result("ablation_lvc_size", result.render())
-    for name, by_size in result.hit_rates.items():
+    for name, by_size in result.data.hit_rates.items():
         sizes = sorted(by_size)
         # Hit rate is monotonically non-decreasing in capacity (small
         # slack for direct-mapped conflict luck).
         for small, large in zip(sizes, sizes[1:]):
             assert by_size[large] >= by_size[small] - 0.01, name
-    avg_4k = sum(r[4096] for r in result.hit_rates.values()) \
-        / len(result.hit_rates)
+    avg_4k = sum(r[4096] for r in result.data.hit_rates.values()) \
+        / len(result.data.hit_rates)
     assert avg_4k > 0.97

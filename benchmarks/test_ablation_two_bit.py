@@ -14,11 +14,11 @@ def test_one_bit_beats_two_bit(benchmark, record_result):
     result = run_once(benchmark,
                       lambda: ablation_two_bit(scale=PROFILE_SCALE))
     record_result("ablation_two_bit", result.render())
-    one_avg = sum(a for a, _ in result.accuracies.values()) \
-        / len(result.accuracies)
-    two_avg = sum(b for _, b in result.accuracies.values()) \
-        / len(result.accuracies)
+    one_avg = sum(a for a, _ in result.data.accuracies.values()) \
+        / len(result.data.accuracies)
+    two_avg = sum(b for _, b in result.data.accuracies.values()) \
+        / len(result.data.accuracies)
     assert one_avg >= two_avg - 1e-6
     # 2-bit should never win by a wide margin on any single program.
-    for name, (one, two) in result.accuracies.items():
+    for name, (one, two) in result.data.accuracies.items():
         assert two <= one + 0.002, name

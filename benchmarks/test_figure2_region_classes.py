@@ -16,10 +16,10 @@ def test_figure2_region_class_breakdown(benchmark, record_result):
     result = run_once(benchmark, lambda: figure2(scale=PROFILE_SCALE))
     record_result("figure2", result.render())
     # (i) access region locality: multi-region instructions are rare.
-    assert result.average_multi_region_static < 0.06
+    assert result.data.average_multi_region_static < 0.06
     # (ii) stack-only instructions are the largest class on average.
-    assert result.average_stack_only_static > 0.40
+    assert result.data.average_stack_only_static > 0.40
     # (iii) FP programs have (almost) no heap-only instructions.
-    for breakdown in result.breakdowns:
+    for breakdown in result.data.breakdowns:
         if breakdown.name in suite.FP_WORKLOADS:
             assert breakdown.static_fraction("H") < 0.10, breakdown.name

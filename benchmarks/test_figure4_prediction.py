@@ -15,18 +15,18 @@ from repro.eval import figure4
 def test_figure4_prediction_accuracy(benchmark, record_result):
     result = run_once(benchmark, lambda: figure4(scale=PROFILE_SCALE))
     record_result("figure4", result.render())
-    names = list(result.results)
+    names = list(result.data.results)
     # (i) addressing modes alone cover a large share of references.
     avg_definitive = sum(
-        result.results[n]["static"].definitive_fraction
+        result.data.results[n]["static"].definitive_fraction
         for n in names) / len(names)
     assert avg_definitive > 0.40
     # (ii) the 1-bit ARPT classifies >99% of references everywhere.
     for name in names:
-        assert result.results[name]["1bit"].accuracy > 0.99, name
+        assert result.data.results[name]["1bit"].accuracy > 0.99, name
     # (iii) hybrid reaches the paper's >99.5%-average headline.
-    assert result.average_accuracy("1bit-hybrid") > 0.995
+    assert result.data.average_accuracy("1bit-hybrid") > 0.995
     # (iv) every table scheme beats static-only on average.
-    static_avg = result.average_accuracy("static")
+    static_avg = result.data.average_accuracy("static")
     for scheme in ("1bit", "1bit-gbh", "1bit-cid", "1bit-hybrid"):
-        assert result.average_accuracy(scheme) >= static_avg - 1e-9, scheme
+        assert result.data.average_accuracy(scheme) >= static_avg - 1e-9, scheme

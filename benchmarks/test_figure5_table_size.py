@@ -13,11 +13,11 @@ from repro.eval import figure5
 def test_figure5_accuracy_vs_table_size(benchmark, record_result):
     result = run_once(benchmark, lambda: figure5(scale=PROFILE_SCALE))
     record_result("figure5", result.render())
-    names = list(result.results)
+    names = list(result.data.results)
 
     def average(size_key, hinted):
         index = 1 if hinted else 0
-        return sum(result.results[n][size_key][index]
+        return sum(result.data.results[n][size_key][index]
                    for n in names) / len(names)
 
     # (i) the paper's 32K-entry headline configuration: >99.9% average.

@@ -24,8 +24,8 @@ def test_figure8_decoupled_configurations(benchmark, record_result):
     int_names = list(suite.INTEGER_WORKLOADS)
     fp_names = list(suite.FP_WORKLOADS)
 
-    unlimited_int = result.average_speedup("(16+0)", int_names)
-    unlimited_fp = result.average_speedup("(16+0)", fp_names)
+    unlimited_int = result.data.average_speedup("(16+0)", int_names)
+    unlimited_fp = result.data.average_speedup("(16+0)", fp_names)
     # (2+0) leaves substantial performance on the table (paper: +33%
     # int / +25% fp; our ILP-limited MiniC suite shows ~+8-12% int /
     # ~+20% fp - same direction, smaller magnitude; see EXPERIMENTS.md).
@@ -33,20 +33,20 @@ def test_figure8_decoupled_configurations(benchmark, record_result):
     assert unlimited_fp > 1.08
 
     # (3+3) approaches the unlimited-bandwidth bound for integer codes.
-    decoupled_int = result.average_speedup("(3+3)", int_names)
+    decoupled_int = result.data.average_speedup("(3+3)", int_names)
     assert decoupled_int > 1.0
     assert decoupled_int > (unlimited_int - 1.0) * 0.6 + 1.0
 
     # Extra LVC ports do not help FP programs; extra data ports do.
-    fp_22 = result.average_speedup("(2+2)", fp_names)
-    fp_23 = result.average_speedup("(2+3)", fp_names)
-    fp_33 = result.average_speedup("(3+3)", fp_names)
+    fp_22 = result.data.average_speedup("(2+2)", fp_names)
+    fp_23 = result.data.average_speedup("(2+3)", fp_names)
+    fp_33 = result.data.average_speedup("(3+3)", fp_names)
     assert fp_23 <= fp_22 + 0.02
     assert fp_33 >= fp_23
 
     # (3+3) is competitive with the conventional (4+0) design.
-    conventional = result.average_speedup("(4+0)")
-    decoupled = result.average_speedup("(3+3)")
+    conventional = result.data.average_speedup("(4+0)")
+    decoupled = result.data.average_speedup("(3+3)")
     assert decoupled > conventional - 0.05
 
     # Steering accuracy: the trace-replay ARPT hits >99.9% (Figure 4);
@@ -54,6 +54,6 @@ def test_figure8_decoupled_configurations(benchmark, record_result):
     # made before their verifying updates land, so the effective
     # steering accuracy is a little lower - but must stay high enough
     # that repairs are noise.
-    for name, by_config in result.results.items():
+    for name, by_config in result.data.results.items():
         timing = by_config["(3+3)"]
         assert timing.arpt_accuracy > 0.93, name

@@ -8,8 +8,8 @@ from repro.eval import section33
 def test_stack_cache_hit_rate(benchmark, record_result):
     result = run_once(benchmark, lambda: section33(scale=PROFILE_SCALE))
     record_result("section33", result.render())
-    assert result.average_hit_rate > 0.97
-    for entry in result.results:
+    assert result.data.average_hit_rate > 0.97
+    for entry in result.data.results:
         # Programs with a trivial stack population (e.g. the multigrid
         # kernel) are all cold misses; the paper's claim concerns
         # programs with real stack traffic.

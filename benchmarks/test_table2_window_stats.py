@@ -17,7 +17,7 @@ def test_table2_window_statistics(benchmark, record_result):
     record_result("table2", result.render())
     fp_names = set(suite.FP_WORKLOADS)
     data_burst, stack_burst = [], []
-    for w32, _w64 in result.stats:
+    for w32, _w64 in result.data.stats:
         # (i) heap never dominates both data and stack.
         assert w32.heap.mean <= max(w32.data.mean, w32.stack.mean) + 1e-9, \
             w32.name

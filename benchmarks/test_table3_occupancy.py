@@ -13,7 +13,7 @@ def test_table3_arpt_occupancy(benchmark, record_result):
     result = run_once(benchmark, lambda: table3(scale=PROFILE_SCALE))
     record_result("table3", result.render())
     grew_with_hybrid = 0
-    for name, by_ctx in result.occupancy.items():
+    for name, by_ctx in result.data.occupancy.items():
         base = by_ctx["none"]
         assert base > 0, name
         # Context indexing can only create (never merge) distinct
@@ -23,4 +23,4 @@ def test_table3_arpt_occupancy(benchmark, record_result):
         if by_ctx["hybrid"] > base:
             grew_with_hybrid += 1
     # The hybrid context inflates occupancy in (nearly) every program.
-    assert grew_with_hybrid >= len(result.occupancy) - 2
+    assert grew_with_hybrid >= len(result.data.occupancy) - 2

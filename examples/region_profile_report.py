@@ -33,10 +33,10 @@ def main() -> None:
     breakdown = figure2(scale)
     print()
     print(f"average multi-region static instructions: "
-          f"{100 * breakdown.average_multi_region_static:.1f}% "
+          f"{100 * breakdown.data.average_multi_region_static:.1f}% "
           f"(paper: ~1.8-1.9%)")
     print(f"average stack-only static instructions:   "
-          f"{100 * breakdown.average_stack_only_static:.1f}% "
+          f"{100 * breakdown.data.average_stack_only_static:.1f}% "
           f"(paper: >50%)")
 
 

@@ -23,4 +23,4 @@ Quickstart::
     print(result.accuracy)
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

@@ -1,0 +1,59 @@
+"""Public programmatic API: the :class:`Session` facade.
+
+``repro.api`` is the stable surface embedders program against.  The
+batch CLI subcommands, the experiment engine's callers, and the
+``repro serve`` daemon all route through it, which is what guarantees
+that the same query answered by any entry point produces byte-identical
+payloads.
+
+Typical use::
+
+    from repro import api
+
+    session = api.Session(resident=True)
+    session.warm([("db_vortex", 0.2)])
+    response = session.predict(api.PredictRequest(
+        names=("db_vortex",), scale=0.2))
+    print(response.text, end="")
+
+Everything exported here is covered by ``tests/test_public_api.py``
+and the surface-pinning test in ``tests/serve/``.
+"""
+
+from repro.api.session import (DEFAULT_EXPERIMENT_SCALE,
+                               DEFAULT_PREDICT_SCALE,
+                               DEFAULT_REGIONS_SCALE, DEFAULT_SCHEME,
+                               DEFAULT_TIMING_SCALE, EXPERIMENT_IDS,
+                               EXPERIMENTS, ExperimentRequest,
+                               ExperimentResponse, PredictRequest,
+                               PredictResponse, RegionsRequest,
+                               RegionsResponse, Session, TimingRequest,
+                               TimingResponse, predict_cell,
+                               predict_line, regions_cell, regions_line,
+                               resolve_names, timing_block, timing_cell)
+
+__all__ = [
+    "Session",
+    "RegionsRequest",
+    "RegionsResponse",
+    "PredictRequest",
+    "PredictResponse",
+    "TimingRequest",
+    "TimingResponse",
+    "ExperimentRequest",
+    "ExperimentResponse",
+    "EXPERIMENTS",
+    "EXPERIMENT_IDS",
+    "DEFAULT_REGIONS_SCALE",
+    "DEFAULT_PREDICT_SCALE",
+    "DEFAULT_TIMING_SCALE",
+    "DEFAULT_EXPERIMENT_SCALE",
+    "DEFAULT_SCHEME",
+    "resolve_names",
+    "regions_line",
+    "predict_line",
+    "timing_block",
+    "regions_cell",
+    "predict_cell",
+    "timing_cell",
+]

@@ -1,5 +1,9 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every query-shaped command routes through the :class:`repro.api.Session`
+facade - the same facade the ``repro serve`` daemon answers from - so
+batch stdout and served payloads are byte-identical by construction.
+
 Commands
 --------
 
@@ -29,6 +33,23 @@ Commands
     Aggregate a ``--trace-spans`` run directory into a wall-clock
     span tree, optionally export Chrome trace-event / Perfetto JSON,
     and (``--check``) gate against the recorded perf baseline.
+``serve [--port P] [--warm W[@S] ...]``
+    Long-running daemon keeping traces and predictor state resident
+    in memory, answering predict/regions/timing/experiment queries
+    from many concurrent clients over a line-JSON TCP/Unix socket
+    (admission control, latency histograms, health/stats endpoints).
+``bench load [--clients N] [--count M]``
+    Multiprocess load generator against a running daemon; reports
+    p50/p95/p99 latency and sustained QPS into ``BENCH_serve.json``.
+
+Exit codes
+----------
+
+``0`` success - except ``repro run``, which propagates the simulated
+program's own exit code.  ``2`` validation errors (unknown workload or
+experiment, malformed flags, missing input files).  ``1`` runtime
+failures (cell failures after retries, connection failures, crashes).
+``repro --version`` prints the package version.
 
 Shared flags
 ------------
@@ -55,12 +76,14 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
+import threading
+import traceback
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from repro import eval as evaluation
-from repro import metrics
+from repro import __version__, api, metrics
 from repro.compiler import compile_source
 from repro.cpu import run_program
 from repro.eval import engine, reporting
@@ -68,32 +91,9 @@ from repro.metrics import export
 from repro.obs import manifest as run_manifest
 from repro.obs import profile as obs_profile
 from repro.obs import spans
-from repro.predictor import evaluate_scheme
 from repro.testing import faults as fault_injection
-from repro.timing import figure8_configs, simulate
 from repro.trace import cache as trace_cache
-from repro.trace.regions import region_breakdown
-from repro.trace.windows import window_stats
 from repro.workloads import suite
-
-_EXPERIMENTS = {
-    "table1": evaluation.table1,
-    "figure2": evaluation.figure2,
-    "table2": evaluation.table2,
-    "figure4": evaluation.figure4,
-    "table3": evaluation.table3,
-    "figure5": evaluation.figure5,
-    "section33": evaluation.section33,
-    "figure8": evaluation.figure8,
-    "a1": evaluation.ablation_two_bit,
-    "a2": evaluation.ablation_context_bits,
-    "a3": evaluation.ablation_lvc_size,
-    "a4": evaluation.ablation_static_hints,
-    "a5": evaluation.ablation_banked_cache,
-    "a6": evaluation.ablation_heap_decoupling,
-    "a7": evaluation.ablation_front_end,
-    "a8": evaluation.ablation_hint_steering,
-}
 
 _STATS_FORMATS = ("table", "json", "csv")
 
@@ -160,6 +160,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Access Region Locality (MICRO 1999) reproduction")
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
     common = _common_parser()
 
@@ -177,40 +179,45 @@ def _build_parser() -> argparse.ArgumentParser:
     regions = sub.add_parser("regions", parents=[common],
                              help="region-locality profile")
     regions.add_argument("names", nargs="*", default=[])
-    regions.set_defaults(handler=_cmd_regions, default_scale=0.5)
+    regions.set_defaults(handler=_cmd_regions,
+                         default_scale=api.DEFAULT_REGIONS_SCALE)
 
     predict = sub.add_parser("predict", parents=[common],
                              help="prediction accuracy")
     predict.add_argument("names", nargs="*", default=[])
-    predict.add_argument("--scheme", default="1bit-hybrid")
-    predict.set_defaults(handler=_cmd_predict, default_scale=0.5)
+    predict.add_argument("--scheme", default=api.DEFAULT_SCHEME)
+    predict.set_defaults(handler=_cmd_predict,
+                         default_scale=api.DEFAULT_PREDICT_SCALE)
 
     timing = sub.add_parser("timing", parents=[common],
                             help="Figure 8 configurations")
     timing.add_argument("names", nargs="*", default=[])
-    timing.set_defaults(handler=_cmd_timing, default_scale=0.25)
+    timing.set_defaults(handler=_cmd_timing,
+                        default_scale=api.DEFAULT_TIMING_SCALE)
 
     experiment = sub.add_parser("experiment", parents=[common],
                                 help="run a paper experiment")
-    experiment.add_argument("id", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("id", choices=list(api.EXPERIMENT_IDS))
     experiment.add_argument("names", nargs="*", default=[])
     experiment.add_argument(
         "--verbose", action="store_true",
         help="print a per-stage timing report (functional sim vs. "
              "trace-cache I/O vs. replay) to stderr")
-    experiment.set_defaults(handler=_cmd_experiment, default_scale=1.0)
+    experiment.set_defaults(handler=_cmd_experiment,
+                            default_scale=api.DEFAULT_EXPERIMENT_SCALE)
 
     stats = sub.add_parser(
         "stats", parents=[common],
         help="run an experiment and print its collected metrics")
-    stats.add_argument("id", choices=sorted(_EXPERIMENTS))
+    stats.add_argument("id", choices=list(api.EXPERIMENT_IDS))
     stats.add_argument("names", nargs="*", default=[])
     stats.add_argument("--format", choices=_STATS_FORMATS,
                        default="table")
     stats.add_argument(
         "--check", action="store_true",
         help="exit non-zero if any registered metric is NaN or negative")
-    stats.set_defaults(handler=_cmd_stats, default_scale=1.0)
+    stats.set_defaults(handler=_cmd_stats,
+                       default_scale=api.DEFAULT_EXPERIMENT_SCALE)
 
     profile = sub.add_parser(
         "profile",
@@ -239,14 +246,83 @@ def _build_parser() -> argparse.ArgumentParser:
              "[%(default)s]")
     profile.set_defaults(handler=_cmd_profile)
 
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="serve predict/regions/timing/experiment queries from a "
+             "resident session over a line-JSON socket")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address [%(default)s]")
+    serve.add_argument("--port", type=int, default=None, metavar="P",
+                       help="TCP port (0 = ephemeral) "
+                            "[default: 7907]")
+    serve.add_argument("--unix-socket", metavar="PATH", default=None,
+                       help="serve on a Unix-domain socket instead "
+                            "of TCP")
+    serve.add_argument("--workers", type=_positive_jobs, default=8,
+                       metavar="N",
+                       help="max concurrently executing requests "
+                            "[%(default)s]")
+    serve.add_argument("--queue", type=int, default=16, metavar="D",
+                       help="admission queue depth; requests beyond "
+                            "workers+queue are rejected with a 503 "
+                            "response [%(default)s]")
+    serve.add_argument("--warm", action="append", default=[],
+                       metavar="WORKLOAD[@SCALE]",
+                       help="pre-warm this workload's trace before "
+                            "accepting traffic ('all' = full suite; "
+                            "scale defaults to --scale); repeatable")
+    serve.add_argument("--port-file", metavar="FILE", default=None,
+                       help="write the bound TCP port to FILE once "
+                            "the daemon is warmed and serving")
+    serve.set_defaults(handler=_cmd_serve,
+                       default_scale=api.DEFAULT_PREDICT_SCALE)
+
+    bench = sub.add_parser("bench", help="serving benchmarks")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    load = bench_sub.add_parser(
+        "load", help="multiprocess load generator against a running "
+                     "'repro serve' daemon")
+    load.add_argument("--clients", type=_positive_jobs, default=4,
+                      metavar="N", help="client processes [%(default)s]")
+    load.add_argument("--count", type=_positive_jobs, default=50,
+                      metavar="M",
+                      help="requests per client [%(default)s]")
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, default=None,
+                      help="daemon TCP port [default: 7907]")
+    load.add_argument("--unix-socket", metavar="PATH", default=None)
+    load.add_argument("--op", default="predict",
+                      choices=("predict", "regions", "timing",
+                               "experiment"),
+                      help="request type to issue [%(default)s]")
+    load.add_argument("--workloads", nargs="+", default=["db_vortex"],
+                      metavar="NAME",
+                      help="workload names in each request "
+                           "[%(default)s]")
+    load.add_argument("--scale", type=float, default=0.2,
+                      help="workload scale in each request "
+                           "[%(default)s]")
+    load.add_argument("--scheme", default=api.DEFAULT_SCHEME,
+                      help="prediction scheme for --op predict "
+                           "[%(default)s]")
+    load.add_argument("--experiment", default="table1",
+                      choices=list(api.EXPERIMENT_IDS),
+                      help="experiment id for --op experiment "
+                           "[%(default)s]")
+    load.add_argument("--out", default="BENCH_serve.json",
+                      metavar="FILE",
+                      help="write the JSON load report to FILE "
+                           "[%(default)s]")
+    load.set_defaults(handler=_cmd_bench_load)
+
     # Every experiment id as a top-level alias:
     # ``repro figure4`` == ``repro experiment figure4``.
-    for experiment_id in sorted(_EXPERIMENTS):
+    for experiment_id in api.EXPERIMENT_IDS:
         alias = sub.add_parser(experiment_id, parents=[common])
         alias.add_argument("names", nargs="*", default=[])
         alias.add_argument("--verbose", action="store_true")
         alias.set_defaults(handler=_cmd_experiment, id=experiment_id,
-                           default_scale=1.0)
+                           default_scale=api.DEFAULT_EXPERIMENT_SCALE)
 
     return parser
 
@@ -286,14 +362,6 @@ def _export_metrics(args, experiment: str, scale: float, cells) -> None:
     metrics.disable()
 
 
-def _resolve_names(names: List[str]) -> List[str]:
-    if not names:
-        return list(suite.ALL_WORKLOADS)
-    for name in names:
-        suite.spec(name)   # raises with the known-name list
-    return names
-
-
 # -- command handlers ---------------------------------------------------
 
 def _cmd_run(args) -> int:
@@ -326,28 +394,14 @@ def _cmd_workloads(_args) -> int:
     return 0
 
 
-def _regions_cell(name: str, scale: float) -> str:
-    """One region-profile line (module-level so --jobs can pickle it)."""
-    trace = engine.trace_for(name, scale)
-    breakdown = region_breakdown(trace)
-    w32 = window_stats(trace, 32)
-    suite.evict(name, scale)
-    classes = " ".join(
-        f"{cls}:{100 * breakdown.static_fraction(cls):.0f}%"
-        for cls in ("D", "H", "S"))
-    return (f"{name:<12} {len(trace):>9,} insns  {classes}  "
-            f"multi:{100 * breakdown.multi_region_static_fraction:.1f}%  "
-            f"win32 D/H/S: {w32.data.mean:.1f}/{w32.heap.mean:.1f}/"
-            f"{w32.stack.mean:.1f}")
-
-
 def _cmd_regions(args) -> int:
     _apply_common(args)
-    names = _resolve_names(args.names)
-    scale = _scale(args)
-    for line in engine.run_cells(_regions_cell, names, scale):
+    response = api.Session().regions(api.RegionsRequest(
+        names=tuple(args.names), scale=_scale(args)))
+    for line in response.lines:
         print(line)
-    _export_metrics(args, "regions", scale, engine.take_metrics())
+    _export_metrics(args, "regions", response.request.scale,
+                    engine.take_metrics())
     return 0
 
 
@@ -374,60 +428,35 @@ def _cmd_profile(args) -> int:
     return 0
 
 
-def _predict_cell(name: str, scale: float, scheme: str) -> str:
-    """One prediction-accuracy line (module-level for --jobs)."""
-    trace = engine.trace_for(name, scale)
-    result = evaluate_scheme(trace, scheme)
-    suite.evict(name, scale)
-    return (f"{name:<12} {scheme:<12} "
-            f"accuracy {100 * result.accuracy:6.2f}%  "
-            f"mode-definitive {100 * result.definitive_fraction:5.1f}%  "
-            f"ARPT entries {result.occupancy}")
-
-
 def _cmd_predict(args) -> int:
     _apply_common(args)
-    names = _resolve_names(args.names)
-    scale = _scale(args)
-    for line in engine.run_cells(_predict_cell, names, scale,
-                                 args.scheme):
+    response = api.Session().predict(api.PredictRequest(
+        names=tuple(args.names), scale=_scale(args),
+        scheme=args.scheme))
+    for line in response.lines:
         print(line)
-    _export_metrics(args, "predict", scale, engine.take_metrics())
+    _export_metrics(args, "predict", response.request.scale,
+                    engine.take_metrics())
     return 0
-
-
-def _timing_cell(name: str, scale: float) -> str:
-    """One workload's Figure-8 sweep (module-level for --jobs)."""
-    trace = engine.trace_for(name, scale)
-    lines = [f"{name} ({len(trace):,} instructions):"]
-    baseline: Optional[int] = None
-    for config in figure8_configs():
-        result = simulate(trace, config)
-        if baseline is None:
-            baseline = result.cycles
-        lines.append(f"  {config.name:<12} ipc {result.ipc:5.2f}  "
-                     f"vs (2+0): {baseline / result.cycles:.3f}")
-    suite.evict(name, scale)
-    return "\n".join(lines)
 
 
 def _cmd_timing(args) -> int:
     _apply_common(args)
-    names = _resolve_names(args.names)
-    scale = _scale(args)
-    for block in engine.run_cells(_timing_cell, names, scale):
+    response = api.Session().timing(api.TimingRequest(
+        names=tuple(args.names), scale=_scale(args)))
+    for block in response.lines:
         print(block)
-    _export_metrics(args, "timing", scale, engine.take_metrics())
+    _export_metrics(args, "timing", response.request.scale,
+                    engine.take_metrics())
     return 0
 
 
 def _run_experiment(args):
-    """Run the selected driver with the shared flags applied."""
-    scale = _scale(args)
-    kwargs = {"scale": scale}
-    if args.names:
-        kwargs["names"] = _resolve_names(args.names)
-    return _EXPERIMENTS[args.id](**kwargs), scale
+    """Run the selected driver through the Session facade."""
+    response = api.Session().experiment(api.ExperimentRequest(
+        experiment=args.id, names=tuple(args.names),
+        scale=_scale(args)))
+    return response.result, response.request.scale
 
 
 def _cmd_experiment(args) -> int:
@@ -486,6 +515,96 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+# -- serving ------------------------------------------------------------
+
+def _parse_warm(specs: List[str],
+                default_scale: float) -> List[Tuple[str, float]]:
+    """``--warm WORKLOAD[@SCALE]`` entries as (name, scale) pairs."""
+    pairs: List[Tuple[str, float]] = []
+    for text in specs:
+        name, _, scale_text = text.partition("@")
+        if scale_text:
+            try:
+                scale = float(scale_text)
+            except ValueError:
+                raise ValueError(
+                    f"invalid --warm spec {text!r} (expected "
+                    f"WORKLOAD or WORKLOAD@SCALE)") from None
+        else:
+            scale = default_scale
+        names = suite.ALL_WORKLOADS if name in ("all", "*") else (name,)
+        for workload in names:
+            suite.spec(workload)    # raises with the known-name list
+            pairs.append((workload, scale))
+    return pairs
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.server import DEFAULT_PORT, ReproServer
+    _apply_common(args)
+    pairs = _parse_warm(args.warm, _scale(args))
+    port = args.port if args.port is not None else DEFAULT_PORT
+    session = api.Session(resident=True)
+    server = ReproServer(session, host=args.host, port=port,
+                         unix_socket=args.unix_socket,
+                         max_inflight=args.workers,
+                         queue_depth=args.queue)
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    installed = []
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            installed.append((signum, signal.signal(signum, _on_signal)))
+    address = server.start()
+    try:
+        if pairs:
+            warmed = session.warm(pairs)
+            print(f"repro serve: warmed {len(warmed)} trace(s)",
+                  file=sys.stderr)
+        where = address if isinstance(address, str) \
+            else f"{address[0]}:{address[1]}"
+        print(f"repro serve: listening on {where} "
+              f"(workers={args.workers}, queue={args.queue})",
+              file=sys.stderr)
+        if args.port_file and not isinstance(address, str):
+            Path(args.port_file).write_text(f"{address[1]}\n")
+        while not (stop.is_set() or server.stop_requested.is_set()):
+            server.stop_requested.wait(0.2)
+    finally:
+        for signum, previous in installed:
+            signal.signal(signum, previous)
+        server.shutdown(drain=True)
+    print("repro serve: stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_load(args) -> int:
+    from repro.serve import bench
+    from repro.serve.server import DEFAULT_PORT
+    if args.unix_socket:
+        address = args.unix_socket
+    else:
+        port = args.port if args.port is not None else DEFAULT_PORT
+        address = (args.host, port)
+    params = {"names": list(args.workloads), "scale": args.scale}
+    if args.op == "predict":
+        params["scheme"] = args.scheme
+    elif args.op == "experiment":
+        params = {"experiment": args.experiment,
+                  "names": list(args.workloads), "scale": args.scale}
+    report = bench.run_load(address, clients=args.clients,
+                            count=args.count, op=args.op,
+                            params=params, out=args.out)
+    print(bench.render_report(report))
+    print(f"load report written to {args.out}", file=sys.stderr)
+    return 0 if report["errors"] == 0 else 1
+
+
+# -- entry point --------------------------------------------------------
+
 def _observed(args, argv: Optional[List[str]]) -> int:
     """Run the handler, tracing it when ``--trace-spans`` (or the
     environment) names a run directory.
@@ -541,6 +660,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Output piped into a pager/head that closed early: not an error.
         sys.stderr.close()
         return 0
+    except KeyboardInterrupt:
+        return 130
+    except (ValueError, FileNotFoundError, IsADirectoryError,
+            NotADirectoryError) as exc:
+        # Validation errors: the request itself was malformed.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:
+        # Runtime failures: a well-formed request that could not be
+        # served.  The traceback goes to stderr so failures in long
+        # sweeps and CI logs stay diagnosable.
+        traceback.print_exc()
+        print(f"repro: runtime failure: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -6,15 +6,13 @@ container carrying the render-ready table (headers + rows + title),
 the per-cell metric snapshots collected during the run, the wall-clock
 stage breakdown, and the original typed payload under ``data``.
 
-Migration shim: attribute lookups that miss on :class:`ExperimentResult`
-are forwarded to the legacy payload with a ``DeprecationWarning``, so
-``figure4(...).results`` and friends keep working for one release;
-new code should write ``figure4(...).data.results``.
+The typed payload is reached explicitly - ``figure4(...).data.results``
+- with no attribute forwarding: an unknown attribute on
+:class:`ExperimentResult` raises ``AttributeError`` like any dataclass.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from functools import reduce
 from typing import Any, Dict, List, Optional
@@ -53,21 +51,3 @@ class ExperimentResult:
     def metric_totals(self) -> Dict[str, dict]:
         """All cells' metrics merged deterministically."""
         return reduce(metrics.merge_snapshots, self.metrics.values(), {})
-
-    def __getattr__(self, name: str) -> Any:
-        # Only reached when normal lookup fails; forward to the legacy
-        # payload so pre-redesign call sites keep working.
-        if name.startswith("_"):
-            raise AttributeError(name)
-        try:
-            data = object.__getattribute__(self, "data")
-        except AttributeError:
-            data = None
-        if data is not None and hasattr(data, name):
-            warnings.warn(
-                f"ExperimentResult.{name} is forwarded to the legacy "
-                f"{type(data).__name__} payload; use .data.{name}",
-                DeprecationWarning, stacklevel=2)
-            return getattr(data, name)
-        raise AttributeError(
-            f"{type(self).__name__!r} object has no attribute {name!r}")

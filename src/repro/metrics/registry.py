@@ -119,11 +119,52 @@ class Histogram:
     def mean(self) -> float:
         return self.total / max(1, self.count)
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated value at quantile ``q`` (0..1) from the buckets.
+
+        Linear interpolation within the containing bucket, clamped to
+        the observed ``[min, max]`` envelope; ``None`` before any
+        observation.  An estimate by construction - the ``repro serve``
+        ``stats`` endpoint uses it for live p50/p95/p99 without
+        retaining raw samples.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for i, occupancy in enumerate(self.buckets):
+            if occupancy and cumulative + occupancy >= target:
+                lower = self.bounds[i - 1] if i > 0 else self.minimum
+                upper = self.bounds[i] if i < len(self.bounds) \
+                    else self.maximum
+                fraction = (target - cumulative) / occupancy
+                estimate = lower + (upper - lower) * fraction
+                return min(self.maximum, max(self.minimum, estimate))
+            cumulative += occupancy
+        return self.maximum
+
     def snapshot(self) -> dict:
         return {"kind": self.kind, "count": self.count,
                 "sum": self.total, "min": self.minimum,
                 "max": self.maximum, "bounds": list(self.bounds),
                 "buckets": list(self.buckets)}
+
+    @classmethod
+    def from_snapshot(cls, name: str, entry: dict) -> "Histogram":
+        """Rebuild a histogram from a :meth:`snapshot` dict (so
+        consumers of exported documents can query quantiles)."""
+        if entry.get("kind") != cls.kind:
+            raise ValueError(f"snapshot kind {entry.get('kind')!r} is "
+                             f"not a histogram")
+        histogram = cls(name, entry["bounds"])
+        histogram.buckets = list(entry["buckets"])
+        histogram.count = entry["count"]
+        histogram.total = entry["sum"]
+        histogram.minimum = entry["min"]
+        histogram.maximum = entry["max"]
+        return histogram
 
 
 class Timeseries:

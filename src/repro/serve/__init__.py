@@ -1,0 +1,30 @@
+"""Prediction-as-a-service: the ``repro serve`` daemon and its clients.
+
+The daemon (:class:`ReproServer`) keeps a resident
+:class:`repro.api.Session` - hot columnar traces plus memoised
+prediction/experiment responses - behind a thread-per-connection
+front end speaking a line-delimited JSON protocol
+(:mod:`repro.serve.protocol`) over TCP or Unix-domain sockets, with
+admission control, per-request latency histograms, and live
+``health``/``stats`` endpoints.  :class:`ServeClient` is the blocking
+client; :func:`run_load` is the multiprocess load generator behind
+``repro bench load``.
+"""
+
+from repro.serve import protocol
+from repro.serve.bench import render_report, run_load
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import (CONTROL_OPS, DEFAULT_PORT,
+                                LATENCY_BUCKETS_MS, ReproServer)
+
+__all__ = [
+    "ReproServer",
+    "ServeClient",
+    "ServeError",
+    "run_load",
+    "render_report",
+    "protocol",
+    "DEFAULT_PORT",
+    "CONTROL_OPS",
+    "LATENCY_BUCKETS_MS",
+]

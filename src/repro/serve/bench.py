@@ -1,0 +1,176 @@
+"""Multiprocess load generator for ``repro serve``.
+
+``repro bench load --clients N --count M`` forks N independent client
+processes (the py-tpcc/cbperf driver model: real processes, not
+threads, so client-side work never serialises on one GIL), each
+holding one persistent connection and issuing M identical requests
+back to back.  The parent aggregates per-request latencies into
+p50/p95/p99/mean/max, computes sustained QPS over the overlapping
+client window, fetches the daemon's ``health`` and ``stats``
+documents, and writes the whole report to ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import queue as pyqueue
+import time
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.serve.client import ServeClient
+from repro.serve.server import Address
+
+
+def _client_worker(address: Address, count: int, op: str, params: dict,
+                   barrier, queue) -> None:
+    """One load-generating client process.
+
+    Waits on the start barrier so every client begins together, then
+    issues ``count`` requests, recording per-request wall latency.
+    Results (latencies, error/rejection counts, active window) go back
+    through ``queue``.
+    """
+    latencies_ms: List[float] = []
+    ok = errors = rejected = 0
+    sample = None
+    client = None
+    try:
+        client = ServeClient(address)
+        barrier.wait(timeout=60)
+        started = time.perf_counter()
+        for _ in range(count):
+            t0 = time.perf_counter()
+            response = client.call(op, **params)
+            latencies_ms.append((time.perf_counter() - t0) * 1000.0)
+            if response.get("ok"):
+                ok += 1
+                if sample is None:
+                    sample = response.get("result")
+            elif response.get("status") == 503:
+                rejected += 1
+            else:
+                errors += 1
+        ended = time.perf_counter()
+        queue.put({"latencies_ms": latencies_ms, "ok": ok,
+                   "errors": errors, "rejected": rejected,
+                   "start": started, "end": ended, "sample": sample})
+    except Exception as exc:         # surfaced by the parent
+        queue.put({"fatal": f"{type(exc).__name__}: {exc}"})
+    finally:
+        if client is not None:
+            client.close()
+
+
+def run_load(address: Address, clients: int = 4, count: int = 50,
+             op: str = "predict", params: Optional[dict] = None,
+             out: Union[str, Path, None] = None) -> dict:
+    """Drive the daemon at ``address`` and return the load report.
+
+    Raises ``RuntimeError`` if any client dies outright (connection
+    refused, protocol failure); per-request errors and admission
+    rejections are counted, not fatal.
+    """
+    if clients < 1 or count < 1:
+        raise ValueError("clients and count must both be >= 1")
+    params = dict(params or {})
+    context = multiprocessing.get_context()
+    queue = context.Queue()
+    barrier = context.Barrier(clients)
+    processes = [context.Process(target=_client_worker,
+                                 args=(address, count, op, params,
+                                       barrier, queue),
+                                 daemon=True)
+                 for _ in range(clients)]
+    for process in processes:
+        process.start()
+    results: List[dict] = []
+    deadline = time.monotonic() + 600
+    while len(results) < len(processes):
+        try:
+            result = queue.get(timeout=0.5)
+        except pyqueue.Empty:
+            # A client that died without reporting (killed, crashed
+            # before its except clause) must not hang the parent.
+            dead = [p for p in processes
+                    if not p.is_alive() and p.exitcode not in (0, None)]
+            if dead or time.monotonic() > deadline:
+                for process in processes:
+                    process.terminate()
+                reason = (f"exited with code {dead[0].exitcode} "
+                          f"without reporting" if dead else "timed out")
+                raise RuntimeError(f"load client failed: {reason}")
+            continue
+        if "fatal" in result:
+            for process in processes:
+                process.terminate()
+            raise RuntimeError(f"load client failed: {result['fatal']}")
+        results.append(result)
+    for process in processes:
+        process.join(timeout=60)
+
+    latencies = np.array([lat for result in results
+                          for lat in result["latencies_ms"]],
+                         dtype=np.float64)
+    ok = sum(result["ok"] for result in results)
+    wall_s = max(result["end"] for result in results) \
+        - min(result["start"] for result in results)
+    report = {
+        "op": op,
+        "params": params,
+        "clients": clients,
+        "count": count,
+        "requests": int(latencies.size),
+        "ok": ok,
+        "errors": sum(result["errors"] for result in results),
+        "rejected": sum(result["rejected"] for result in results),
+        "wall_s": round(float(wall_s), 6),
+        "qps": round(ok / max(1e-9, wall_s), 3),
+        "latency_ms": {
+            "p50": round(float(np.percentile(latencies, 50)), 3),
+            "p95": round(float(np.percentile(latencies, 95)), 3),
+            "p99": round(float(np.percentile(latencies, 99)), 3),
+            "mean": round(float(latencies.mean()), 3),
+            "max": round(float(latencies.max()), 3),
+        } if latencies.size else {},
+        "sample": next((result["sample"] for result in results
+                        if result.get("sample") is not None), None),
+    }
+    # Live endpoint snapshots ride along so CI can assert on them.
+    with ServeClient(address) as probe:
+        report["health"] = probe.health()
+        report["stats"] = probe.stats()
+    if out is not None:
+        path = Path(out)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(report, indent=2, sort_keys=True)
+                       + "\n")
+        os.replace(tmp, path)
+    return report
+
+
+def render_report(report: dict) -> str:
+    """A one-screen human summary of a load report."""
+    latency = report.get("latency_ms") or {}
+    lines = [
+        f"load: {report['clients']} clients x {report['count']} "
+        f"requests  op={report['op']}",
+        f"  ok {report['ok']}  errors {report['errors']}  "
+        f"rejected {report['rejected']}  wall {report['wall_s']:.2f}s  "
+        f"qps {report['qps']:.1f}",
+    ]
+    if latency:
+        lines.append(
+            f"  latency ms  p50 {latency['p50']:.2f}  "
+            f"p95 {latency['p95']:.2f}  p99 {latency['p99']:.2f}  "
+            f"mean {latency['mean']:.2f}  max {latency['max']:.2f}")
+    health = report.get("health") or {}
+    if health:
+        lines.append(f"  server: pid {health.get('pid')}  uptime "
+                     f"{health.get('uptime_s')}s  warmed "
+                     f"{len(health.get('warmed', []))} trace(s)")
+    return "\n".join(lines)

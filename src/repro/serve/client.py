@@ -1,0 +1,110 @@
+"""Blocking client for the ``repro serve`` line-JSON protocol.
+
+Used by the load generator (:mod:`repro.serve.bench`), the test suite,
+and anyone scripting against a running daemon::
+
+    from repro.serve import ServeClient
+
+    with ServeClient(("127.0.0.1", 7907)) as client:
+        response = client.call("predict", names=["db_vortex"],
+                               scale=0.2)
+        print("\\n".join(response["result"]["lines"]))
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Optional
+
+from repro.serve import protocol
+from repro.serve.server import Address
+
+
+class ServeError(RuntimeError):
+    """An error response from the daemon (carries the status code)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+
+
+class ServeClient:
+    """One persistent connection to a :class:`ReproServer`.
+
+    ``address`` is a ``(host, port)`` tuple or a Unix-socket path.
+    Not thread-safe: each concurrent client should own a connection,
+    matching the daemon's thread-per-connection model.
+    """
+
+    def __init__(self, address: Address,
+                 timeout: Optional[float] = 120.0) -> None:
+        self.address = address
+        if isinstance(address, str):
+            self._sock = socket.socket(socket.AF_UNIX,
+                                       socket.SOCK_STREAM)
+        else:
+            self._sock = socket.socket(socket.AF_INET,
+                                       socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(address)
+        self._buffer = b""
+        self._next_id = 0
+
+    # -- plumbing -------------------------------------------------------
+
+    def _read_line(self) -> bytes:
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = self._buffer[:newline]
+                self._buffer = self._buffer[newline + 1:]
+                return line
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError(
+                    "server closed the connection mid-response")
+            self._buffer += chunk
+
+    def call(self, op: str, **params) -> dict:
+        """Send one request and return the raw response document."""
+        self._next_id += 1
+        self._sock.sendall(protocol.encode_request(
+            op, params or None, request_id=self._next_id))
+        return json.loads(self._read_line().decode("utf-8"))
+
+    def result(self, op: str, **params) -> dict:
+        """Like :meth:`call` but unwraps ``result`` or raises
+        :class:`ServeError` on a failure response."""
+        response = self.call(op, **params)
+        if not response.get("ok"):
+            raise ServeError(response.get("status", 500),
+                             response.get("error", "unknown error"))
+        return response["result"]
+
+    # -- convenience ops ------------------------------------------------
+
+    def health(self) -> dict:
+        """The daemon's ``health`` document."""
+        return self.result("health")
+
+    def stats(self) -> dict:
+        """The daemon's live metrics snapshot."""
+        return self.result("stats")
+
+    def shutdown(self) -> dict:
+        """Request a graceful daemon shutdown."""
+        return self.result("shutdown")
+
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,103 @@
+"""Line-delimited JSON request/response protocol for ``repro serve``.
+
+One request per line, one response per line, over a TCP or Unix-domain
+socket.  Requests are JSON objects::
+
+    {"op": "predict", "id": 7, "params": {"names": ["db_vortex"],
+                                          "scale": 0.2}}
+
+``op`` is required; ``id`` is an optional client-chosen correlation
+token echoed back verbatim; ``params`` is an op-specific object.
+Responses::
+
+    {"id": 7, "ok": true, "status": 200, "elapsed_ms": 1.4,
+     "result": {...}}
+    {"id": 7, "ok": false, "status": 503, "error": "server busy ..."}
+
+``status`` follows HTTP conventions so clients can branch without
+string-matching: 200 success, 400 invalid request/parameters, 404
+unknown op, 500 handler failure, 503 admission-control rejection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Tuple
+
+#: HTTP-style status codes used by the daemon.
+STATUS_OK = 200
+STATUS_BAD_REQUEST = 400
+STATUS_NOT_FOUND = 404
+STATUS_ERROR = 500
+STATUS_BUSY = 503
+
+#: Longest accepted request line (defensive bound, not a real limit).
+MAX_LINE = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A request line that does not parse into a valid request."""
+
+
+def encode(document: dict) -> bytes:
+    """One protocol message as a newline-terminated JSON line."""
+    return (json.dumps(document, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def encode_request(op: str, params: Optional[dict] = None,
+                   request_id=None) -> bytes:
+    """A request line for ``op`` with optional params and id."""
+    document = {"op": op}
+    if request_id is not None:
+        document["id"] = request_id
+    if params:
+        document["params"] = params
+    return encode(document)
+
+
+def decode_request(line: bytes) -> Tuple[str, dict, object]:
+    """Parse one request line into ``(op, params, request_id)``.
+
+    Raises :class:`ProtocolError` on malformed JSON or shapes.
+    """
+    if len(line) > MAX_LINE:
+        raise ProtocolError(f"request line exceeds {MAX_LINE} bytes")
+    try:
+        document = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON request: {exc}") from None
+    if not isinstance(document, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = document.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("request needs a non-empty string 'op'")
+    params = document.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be a JSON object")
+    return op, params, document.get("id")
+
+
+def ok_response(request_id, result: dict,
+                elapsed_ms: Optional[float] = None) -> dict:
+    """A success response document."""
+    document = {"id": request_id, "ok": True, "status": STATUS_OK,
+                "result": result}
+    if elapsed_ms is not None:
+        document["elapsed_ms"] = round(elapsed_ms, 3)
+    return document
+
+
+def error_response(request_id, status: int, message: str) -> dict:
+    """A failure response document."""
+    return {"id": request_id, "ok": False, "status": status,
+            "error": message}
+
+
+def check_params(params: dict, allowed: frozenset) -> None:
+    """Reject unknown parameter keys with a clear error."""
+    unknown = set(params) - set(allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}")

@@ -1,0 +1,413 @@
+"""The ``repro serve`` daemon: prediction-as-a-service over sockets.
+
+A :class:`ReproServer` wraps one resident :class:`repro.api.Session`
+behind a thread-per-connection front end speaking the line-delimited
+JSON protocol of :mod:`repro.serve.protocol` on a TCP or Unix-domain
+socket.  Traces and memoised responses stay hot in the session, so a
+warm request costs a dictionary lookup plus serialisation rather than
+a functional simulation.
+
+Operational posture:
+
+* **Admission control.**  Work ops (``predict``/``regions``/
+  ``timing``/``experiment``) pass a two-level gate: at most
+  ``max_inflight`` execute concurrently and at most ``queue_depth``
+  more wait; anything beyond is rejected immediately with a
+  ``503``-style response instead of queueing unboundedly.
+  Control ops (``health``/``stats``/``shutdown``) bypass the gate so
+  the daemon stays observable under overload.
+* **Metrics.**  Per-request latency histograms (overall and per op),
+  request/error/rejection counters, and the session's ``api.*``
+  residency counters all live in one metrics registry; ``stats``
+  returns a live snapshot of it, with p50/p95/p99 estimated from the
+  latency histogram.
+* **Spans.**  When span tracing is enabled (``--trace-spans``), every
+  request lifecycle is journalled as a ``serve:request`` span carrying
+  op and status attributes.
+* **Clean shutdown.**  :meth:`shutdown` stops accepting, lets in-flight
+  requests finish and their responses flush (drain), then closes every
+  connection; the ``shutdown`` op requests the same from the wire.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro import api
+from repro.metrics.registry import Histogram
+from repro.obs import spans
+from repro.serve import protocol
+
+#: Default TCP port (an unassigned port in the user range).
+DEFAULT_PORT = 7907
+
+#: Latency histogram bucket bounds (milliseconds).
+LATENCY_BUCKETS_MS = (0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500,
+                      1000, 2000, 5000, 10000)
+
+#: Ops that bypass admission control (must respond under overload).
+CONTROL_OPS = frozenset({"health", "stats", "shutdown"})
+
+#: Either a ``(host, port)`` TCP address or a Unix-socket path.
+Address = Union[Tuple[str, int], str]
+
+#: Poll interval for socket timeouts (how fast loops notice shutdown).
+_POLL_S = 0.2
+
+
+class ReproServer:
+    """A daemon answering :mod:`repro.api` queries for many clients.
+
+    Construct, :meth:`start`, and query the bound :attr:`address`; or
+    pass the instance around embedded in tests.  ``session`` defaults
+    to a fresh resident :class:`repro.api.Session`; pass your own to
+    pre-warm or to share a metrics registry.
+    """
+
+    def __init__(self, session: Optional[api.Session] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 unix_socket: Optional[str] = None,
+                 max_inflight: int = 8, queue_depth: int = 16,
+                 debug_ops: bool = False) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        self.session = session if session is not None \
+            else api.Session(resident=True)
+        self.registry = self.session.metrics
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self._host = host
+        self._port = port
+        self._unix_socket = unix_socket
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._conns: List[socket.socket] = []
+        self._conn_lock = threading.Lock()
+        self._stopping = threading.Event()
+        #: Set by the ``shutdown`` op; the owner (CLI main loop or a
+        #: test) observes it and calls :meth:`shutdown`.
+        self.stop_requested = threading.Event()
+        self._running = threading.Semaphore(max_inflight)
+        self._admission = threading.Semaphore(max_inflight + queue_depth)
+        self._metrics_lock = threading.Lock()
+        self._inflight = 0
+        self._started_at = time.monotonic()
+        self._ops = {
+            "predict": self._op_predict,
+            "regions": self._op_regions,
+            "timing": self._op_timing,
+            "experiment": self._op_experiment,
+            "health": self._op_health,
+            "stats": self._op_stats,
+            "shutdown": self._op_shutdown,
+        }
+        if debug_ops:
+            self._ops["sleep"] = self._op_sleep
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def address(self) -> Address:
+        """The bound address: ``(host, port)`` or the Unix-socket path."""
+        if self._unix_socket is not None:
+            return self._unix_socket
+        return (self._host, self._port)
+
+    def start(self) -> Address:
+        """Bind, listen, and start the accept loop; returns the address."""
+        if self._unix_socket is not None:
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                os.unlink(self._unix_socket)
+            except OSError:
+                pass
+            listener.bind(self._unix_socket)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self._host, self._port))
+            self._host, self._port = listener.getsockname()
+        listener.listen(128)
+        listener.settimeout(_POLL_S)
+        self._listener = listener
+        self._started_at = time.monotonic()
+        accept = threading.Thread(target=self._accept_loop,
+                                  name="repro-serve-accept", daemon=True)
+        accept.start()
+        self._threads.append(accept)
+        return self.address
+
+    def wait_for_stop(self, timeout: Optional[float] = None) -> bool:
+        """Block until a wire-side ``shutdown`` op arrives."""
+        return self.stop_requested.wait(timeout)
+
+    def shutdown(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the daemon.
+
+        With ``drain`` (the default), requests already executing finish
+        and their responses are flushed before connections close; the
+        accept loop stops immediately either way.
+        """
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if drain:
+            deadline = time.monotonic() + timeout
+            for thread in list(self._threads):
+                remaining = max(0.0, deadline - time.monotonic())
+                thread.join(remaining)
+        with self._conn_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._unix_socket is not None:
+            try:
+                os.unlink(self._unix_socket)
+            except OSError:
+                pass
+
+    # -- socket loops ---------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            conn.settimeout(_POLL_S)
+            with self._conn_lock:
+                self._conns.append(conn)
+            thread = threading.Thread(target=self._client_loop,
+                                      args=(conn,), daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _client_loop(self, conn: socket.socket) -> None:
+        """One persistent connection: request line in, response out."""
+        buffer = b""
+        try:
+            while True:
+                newline = buffer.find(b"\n")
+                if newline >= 0:
+                    line, buffer = buffer[:newline], buffer[newline + 1:]
+                    if not line.strip():
+                        continue
+                    response = self._dispatch(line)
+                    conn.sendall(protocol.encode(response))
+                    # Drain semantics: finish the request in hand, then
+                    # stop reading once shutdown has begun.
+                    if self._stopping.is_set():
+                        break
+                    continue
+                if self._stopping.is_set():
+                    break
+                if len(buffer) > protocol.MAX_LINE:
+                    conn.sendall(protocol.encode(protocol.error_response(
+                        None, protocol.STATUS_BAD_REQUEST,
+                        "request line too long")))
+                    break
+                try:
+                    chunk = conn.recv(65536)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                buffer += chunk
+        except OSError:
+            pass        # client went away mid-response
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._conn_lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
+
+    # -- dispatch -------------------------------------------------------
+
+    def _observe(self, op: str, status: int, elapsed_ms: float) -> None:
+        """Record one finished request into the metrics registry."""
+        ns = self.registry.scoped("serve")
+        with self._metrics_lock:
+            ns.counter("requests").inc()
+            ns.counter(f"op.{op}.requests").inc()
+            ns.counter(f"status.{status}").inc()
+            if status >= 400:
+                ns.counter("errors").inc()
+            ns.histogram("latency_ms", LATENCY_BUCKETS_MS)\
+                .observe(elapsed_ms)
+            ns.histogram(f"op.{op}.latency_ms", LATENCY_BUCKETS_MS)\
+                .observe(elapsed_ms)
+
+    def _dispatch(self, line: bytes) -> dict:
+        started = time.perf_counter()
+        try:
+            op, params, request_id = protocol.decode_request(line)
+        except protocol.ProtocolError as exc:
+            self._observe("invalid", protocol.STATUS_BAD_REQUEST,
+                          (time.perf_counter() - started) * 1000.0)
+            return protocol.error_response(
+                None, protocol.STATUS_BAD_REQUEST, str(exc))
+        handler = self._ops.get(op)
+        if handler is None:
+            self._observe(op, protocol.STATUS_NOT_FOUND,
+                          (time.perf_counter() - started) * 1000.0)
+            return protocol.error_response(
+                request_id, protocol.STATUS_NOT_FOUND,
+                f"unknown op {op!r}; known: {sorted(self._ops)}")
+        if op in CONTROL_OPS:
+            return self._execute(op, handler, params, request_id, started)
+        if not self._admission.acquire(blocking=False):
+            with self._metrics_lock:
+                self.registry.scoped("serve").counter("rejected").inc()
+            self._observe(op, protocol.STATUS_BUSY,
+                          (time.perf_counter() - started) * 1000.0)
+            return protocol.error_response(
+                request_id, protocol.STATUS_BUSY,
+                f"server busy: {self.max_inflight} in flight and "
+                f"{self.queue_depth} queued (admission limit)")
+        try:
+            with self._running:
+                return self._execute(op, handler, params, request_id,
+                                     started)
+        finally:
+            self._admission.release()
+
+    def _execute(self, op: str, handler, params: dict, request_id,
+                 started: float) -> dict:
+        with spans.span("serve:request", op=op) as sp:
+            with self._metrics_lock:
+                self._inflight += 1
+            try:
+                result = handler(params)
+                status = protocol.STATUS_OK
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                response = protocol.ok_response(request_id, result,
+                                                elapsed_ms)
+            except ValueError as exc:
+                status = protocol.STATUS_BAD_REQUEST
+                response = protocol.error_response(request_id, status,
+                                                   str(exc))
+            except Exception as exc:
+                status = protocol.STATUS_ERROR
+                response = protocol.error_response(
+                    request_id, status,
+                    f"{type(exc).__name__}: {exc}")
+            finally:
+                with self._metrics_lock:
+                    self._inflight -= 1
+            sp.set("status", status)
+            self._observe(op, status,
+                          (time.perf_counter() - started) * 1000.0)
+            return response
+
+    # -- op handlers ----------------------------------------------------
+
+    def _op_predict(self, params: dict) -> dict:
+        protocol.check_params(params, frozenset({"names", "scale",
+                                                 "scheme"}))
+        request = api.PredictRequest(
+            names=tuple(params.get("names") or ()),
+            scale=float(params.get("scale", api.DEFAULT_PREDICT_SCALE)),
+            scheme=str(params.get("scheme", api.DEFAULT_SCHEME)))
+        response = self.session.predict(request)
+        return {"lines": list(response.lines),
+                "names": list(response.request.names),
+                "scale": response.request.scale,
+                "scheme": response.request.scheme}
+
+    def _op_regions(self, params: dict) -> dict:
+        protocol.check_params(params, frozenset({"names", "scale"}))
+        request = api.RegionsRequest(
+            names=tuple(params.get("names") or ()),
+            scale=float(params.get("scale", api.DEFAULT_REGIONS_SCALE)))
+        response = self.session.regions(request)
+        return {"lines": list(response.lines),
+                "names": list(response.request.names),
+                "scale": response.request.scale}
+
+    def _op_timing(self, params: dict) -> dict:
+        protocol.check_params(params, frozenset({"names", "scale"}))
+        request = api.TimingRequest(
+            names=tuple(params.get("names") or ()),
+            scale=float(params.get("scale", api.DEFAULT_TIMING_SCALE)))
+        response = self.session.timing(request)
+        return {"lines": list(response.lines),
+                "names": list(response.request.names),
+                "scale": response.request.scale}
+
+    def _op_experiment(self, params: dict) -> dict:
+        protocol.check_params(params, frozenset({"experiment", "names",
+                                                 "scale"}))
+        experiment = params.get("experiment")
+        if not isinstance(experiment, str):
+            raise ValueError("'experiment' (string) is required")
+        request = api.ExperimentRequest(
+            experiment=experiment,
+            names=tuple(params.get("names") or ()),
+            scale=params.get("scale"))
+        response = self.session.experiment(request)
+        return {"rendered": response.rendered,
+                "experiment": response.request.experiment,
+                "names": list(response.request.names),
+                "scale": response.request.scale}
+
+    def _op_health(self, params: dict) -> dict:
+        protocol.check_params(params, frozenset())
+        with self._metrics_lock:
+            inflight = self._inflight
+        return {"status": "ok",
+                "pid": os.getpid(),
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "inflight": inflight,
+                "max_inflight": self.max_inflight,
+                "queue_depth": self.queue_depth,
+                "warmed": [list(pair) for pair
+                           in self.session.warmed()]}
+
+    def _op_stats(self, params: dict) -> dict:
+        protocol.check_params(params, frozenset())
+        with self._metrics_lock:
+            snapshot = self.registry.snapshot()
+        summary = {}
+        entry = snapshot.get("serve.latency_ms")
+        if entry is not None:
+            histogram = Histogram.from_snapshot("serve.latency_ms",
+                                                entry)
+            summary = {"p50": histogram.quantile(0.50),
+                       "p95": histogram.quantile(0.95),
+                       "p99": histogram.quantile(0.99),
+                       "mean": histogram.mean,
+                       "count": histogram.count}
+        return {"uptime_s": round(time.monotonic() - self._started_at, 3),
+                "latency_ms": summary,
+                "metrics": snapshot}
+
+    def _op_shutdown(self, params: dict) -> dict:
+        protocol.check_params(params, frozenset())
+        self.stop_requested.set()
+        return {"stopping": True}
+
+    def _op_sleep(self, params: dict) -> dict:
+        """Debug-only: hold a worker slot (admission-control tests)."""
+        protocol.check_params(params, frozenset({"seconds"}))
+        seconds = min(30.0, float(params.get("seconds", 0.1)))
+        time.sleep(seconds)
+        return {"slept_s": seconds}

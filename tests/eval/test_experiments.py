@@ -41,13 +41,13 @@ class TestProfilingExperiments:
 
     def test_figure2_fractions(self):
         result = figure2(SCALE, NAMES)
-        for breakdown in result.breakdowns:
+        for breakdown in result.data.breakdowns:
             assert 0.0 <= breakdown.multi_region_static_fraction <= 1.0
         assert "Figure 2" in result.render()
 
     def test_table2_window_pairs(self):
         result = table2(SCALE, NAMES)
-        for w32, w64 in result.stats:
+        for w32, w64 in result.data.stats:
             assert w32.window == 32
             assert w64.window == 64
             # Doubling the window roughly doubles the mean counts.
@@ -59,40 +59,40 @@ class TestProfilingExperiments:
     def test_figure4_schemes_present(self):
         result = figure4(SCALE, NAMES)
         for name in NAMES:
-            assert set(result.results[name]) == {
+            assert set(result.data.results[name]) == {
                 "static", "1bit", "1bit-gbh", "1bit-cid", "1bit-hybrid"}
-        assert 0.9 < result.average_accuracy("1bit") <= 1.0
+        assert 0.9 < result.data.average_accuracy("1bit") <= 1.0
 
     def test_table3_contexts_present(self):
         result = table3(SCALE, NAMES)
         for name in NAMES:
-            assert set(result.occupancy[name]) == {"none", "gbh", "cid",
+            assert set(result.data.occupancy[name]) == {"none", "gbh", "cid",
                                                    "hybrid"}
         assert "Table 3" in result.render()
 
     def test_figure5_sizes_and_hints(self):
         result = figure5(SCALE, NAMES, sizes=(None, 8 * 1024))
         for name in NAMES:
-            raw, hinted = result.results[name]["unlimited"]
+            raw, hinted = result.data.results[name]["unlimited"]
             assert hinted >= raw - 1e-9
         assert "Figure 5" in result.render()
 
     def test_section33(self):
         result = section33(SCALE, NAMES)
-        assert 0.0 < result.average_hit_rate <= 1.0
+        assert 0.0 < result.data.average_hit_rate <= 1.0
         assert "99.5%" in result.render()
 
 
 class TestAblations:
     def test_two_bit_ablation(self):
         result = ablation_two_bit(SCALE, NAMES)
-        for one, two in result.accuracies.values():
+        for one, two in result.data.accuracies.values():
             assert 0.9 < one <= 1.0
             assert 0.9 < two <= 1.0
 
     def test_lvc_ablation_monotone(self):
         result = ablation_lvc_size(SCALE, NAMES, sizes=(1024, 8192))
-        for by_size in result.hit_rates.values():
+        for by_size in result.data.hit_rates.values():
             assert by_size[8192] >= by_size[1024] - 0.01
 
 
@@ -100,8 +100,8 @@ class TestTimingExperiment:
     def test_figure8_small(self):
         configs = [conventional_config(2), decoupled_config(2, 2)]
         result = figure8(SCALE, ("db_vortex",), configs)
-        assert result.speedup("db_vortex", "(2+0)") == 1.0
-        speedup = result.speedup("db_vortex", "(2+2)")
+        assert result.data.speedup("db_vortex", "(2+0)") == 1.0
+        speedup = result.data.speedup("db_vortex", "(2+2)")
         assert 0.8 < speedup < 2.0
         assert "(2+2)" in result.render()
 
@@ -109,6 +109,6 @@ class TestTimingExperiment:
     def test_average_speedup_geomean(self):
         configs = [conventional_config(2), conventional_config(16)]
         result = figure8(SCALE, NAMES, configs)
-        geomean = result.average_speedup("(16+0)")
-        individual = [result.speedup(n, "(16+0)") for n in NAMES]
+        geomean = result.data.average_speedup("(16+0)")
+        individual = [result.data.speedup(n, "(16+0)") for n in NAMES]
         assert min(individual) <= geomean <= max(individual)

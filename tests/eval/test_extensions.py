@@ -38,7 +38,7 @@ class TestBankedExperiment:
     def test_speedups_structure(self):
         result = ablation_banked_cache(SCALE, NAMES)
         for name in NAMES:
-            by_cfg = result.speedups[name]
+            by_cfg = result.data.speedups[name]
             assert by_cfg["(2+0)"] == 1.0
             # Banked never beats ported at the same width (per program
             # small slack for simulation noise).

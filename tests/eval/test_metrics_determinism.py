@@ -111,16 +111,19 @@ class TestExperimentResult:
         result = table1(SCALE, ("db_vortex",), jobs=1)
         assert result.render() == result.data.render()
 
-    def test_legacy_attribute_warns_but_works(self):
+    def test_payload_reached_only_through_data(self):
+        """The PR 2 legacy-forwarding shim is retired: payload
+        attributes are reached explicitly via ``.data``, and misses
+        raise ``AttributeError`` without any deprecation detour."""
         result = table1(SCALE, ("db_vortex",), jobs=1)
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            rows = result.data.rows
-            legacy = result.data
-            assert legacy.rows is rows
-        assert not caught   # .data access itself never warns
-        with pytest.warns(DeprecationWarning):
-            assert result.table() == result.data.table()
+            assert result.data.rows is result.data.rows
+            with pytest.raises(AttributeError):
+                result.table       # only .data.table() exists now
+            with pytest.raises(AttributeError):
+                result.no_such_attribute
+        assert not caught
 
     def test_unknown_attribute_still_raises(self):
         result = table1(SCALE, ("db_vortex",), jobs=1)

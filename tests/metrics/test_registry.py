@@ -40,6 +40,35 @@ class TestInstruments:
         assert snap["min"] == 1 and snap["max"] == 500
         assert hist.mean == pytest.approx(556 / 4)
 
+    def test_histogram_quantile_estimation(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", bounds=(10, 100, 1000))
+        assert hist.quantile(0.5) is None       # no observations yet
+        for value in range(1, 101):             # uniform 1..100
+            hist.observe(value)
+        # Exact within a bucket under the uniform assumption; always
+        # clamped to the observed envelope.
+        assert hist.quantile(0.0) == 1
+        assert hist.quantile(1.0) == 100
+        assert hist.quantile(0.05) == pytest.approx(5.5, abs=1.0)
+        assert 10 <= hist.quantile(0.5) <= 100
+        assert hist.quantile(0.99) <= 100       # clamped to max
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_histogram_from_snapshot_round_trip(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", bounds=(10, 100))
+        for value in (1, 5, 50, 500):
+            hist.observe(value)
+        from repro.metrics.registry import Histogram
+        rebuilt = Histogram.from_snapshot("lat", hist.snapshot())
+        assert rebuilt.snapshot() == hist.snapshot()
+        for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert rebuilt.quantile(q) == hist.quantile(q)
+        with pytest.raises(ValueError):
+            Histogram.from_snapshot("x", {"kind": "counter", "value": 1})
+
     def test_timeseries_moments_and_point_cap(self):
         registry = MetricsRegistry()
         series = registry.timeseries("window", interval=32)

@@ -1,0 +1,84 @@
+"""The multiprocess load generator behind ``repro bench load``."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.cli import main
+from repro.serve.bench import render_report, run_load
+from repro.serve.server import ReproServer
+from repro.workloads import suite
+
+SCALE = 0.2
+NAME = "db_vortex"
+
+
+@pytest.fixture(scope="module")
+def warm_server():
+    session = api.Session(resident=True)
+    session.warm([(NAME, SCALE)])
+    server = ReproServer(session, port=0)
+    address = server.start()
+    yield server, address
+    server.shutdown(drain=True)
+    suite.clear_caches()
+
+
+class TestRunLoad:
+    def test_report_shape_and_artifact(self, warm_server, tmp_path):
+        _, address = warm_server
+        out = tmp_path / "BENCH_serve.json"
+        report = run_load(address, clients=2, count=5,
+                          params={"names": [NAME], "scale": SCALE},
+                          out=out)
+        assert report["requests"] == 10
+        assert report["ok"] == 10
+        assert report["errors"] == 0
+        assert report["qps"] > 0
+        latency = report["latency_ms"]
+        assert latency["p50"] <= latency["p95"] <= latency["p99"]
+        assert latency["max"] >= latency["p99"]
+        # The daemon's live endpoints ride along for CI assertions.
+        assert report["health"]["status"] == "ok"
+        assert report["stats"]["metrics"]["serve.requests"]["value"] \
+            >= 10
+        # The artifact on disk is the same document.
+        assert json.loads(out.read_text()) == report
+        # A served payload sample is embedded for spot-checking.
+        assert report["sample"]["lines"]
+
+    def test_render_report_mentions_the_numbers(self, warm_server,
+                                                tmp_path):
+        _, address = warm_server
+        report = run_load(address, clients=1, count=3,
+                          params={"names": [NAME], "scale": SCALE})
+        text = render_report(report)
+        assert "1 clients x 3 requests" in text
+        assert "qps" in text and "p99" in text
+
+    def test_dead_server_raises(self, tmp_path):
+        with pytest.raises(RuntimeError, match="load client failed"):
+            run_load(("127.0.0.1", 1), clients=1, count=1)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            run_load(("127.0.0.1", 1), clients=0, count=1)
+
+
+class TestBenchCli:
+    def test_bench_load_against_running_daemon(self, warm_server,
+                                               tmp_path, capsys,
+                                               monkeypatch):
+        _, address = warm_server
+        monkeypatch.chdir(tmp_path)
+        host, port = address
+        assert main(["bench", "load", "--clients", "2", "--count", "4",
+                     "--host", host, "--port", str(port),
+                     "--workloads", NAME, "--scale", str(SCALE)]) == 0
+        captured = capsys.readouterr()
+        assert "qps" in captured.out
+        assert "load report written to BENCH_serve.json" in captured.err
+        report = json.loads((tmp_path / "BENCH_serve.json").read_text())
+        assert report["ok"] == 8
+        assert report["params"]["scheme"] == api.DEFAULT_SCHEME

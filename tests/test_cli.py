@@ -108,13 +108,52 @@ class TestCli:
         assert any("cache" in line and "replays" in line
                    for line in captured.err.splitlines())
 
-    def test_unknown_workload_rejected(self):
-        with pytest.raises(ValueError):
-            main(["regions", "176.gcc"])
+    def test_unknown_workload_rejected(self, capsys):
+        # Validation errors are reported, not raised: exit code 2.
+        assert main(["regions", "176.gcc"]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert "unknown workload" in err
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "figure99"])
+
+
+class TestExitCodes:
+    def test_version_flag(self, capsys):
+        import repro
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        assert capsys.readouterr().out.strip() \
+            == f"repro {repro.__version__}"
+
+    def test_missing_source_file_is_validation_error(self, tmp_path,
+                                                     capsys):
+        assert main(["run", str(tmp_path / "nope.mc")]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_unknown_scheme_is_validation_error(self, capsys):
+        assert main(["predict", "--scale", "0.2", "--scheme",
+                     "telepathy", "db_vortex"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_runtime_failure_exits_one(self, monkeypatch, capsys):
+        # Exhausting the retry budget is a runtime failure (a
+        # well-formed request that could not be served): exit code 1.
+        monkeypatch.setenv("REPRO_RETRIES", "0")
+        assert main(["regions", "--scale", "0.2", "--inject-fault",
+                     "fail:index=0", "db_vortex"]) == 1
+        err = capsys.readouterr().err
+        assert "repro: runtime failure:" in err
+        assert "failed after" in err
+
+    def test_bench_load_without_daemon_is_runtime_failure(self, capsys):
+        # Connection refused is a runtime failure, not bad input.
+        assert main(["bench", "load", "--clients", "1", "--count", "1",
+                     "--port", "1"]) == 1
+        assert "repro: runtime failure:" in capsys.readouterr().err
 
 
 class TestUnifiedFlags:

@@ -72,5 +72,5 @@ class TestDeterminism:
         suite.clear_caches()
         second = figure4(0.1, names)
         for scheme in ("static", "1bit", "1bit-hybrid"):
-            assert first.results["db_vortex"][scheme].accuracy \
-                == second.results["db_vortex"][scheme].accuracy
+            assert first.data.results["db_vortex"][scheme].accuracy \
+                == second.data.results["db_vortex"][scheme].accuracy

@@ -18,6 +18,8 @@ PACKAGES = [
     "repro.workloads",
     "repro.eval",
     "repro.metrics",
+    "repro.api",
+    "repro.serve",
 ]
 
 
@@ -66,3 +68,35 @@ def test_version_string():
     assert repro.__version__
     parts = repro.__version__.split(".")
     assert len(parts) == 3
+
+
+def test_api_surface_is_pinned():
+    """``repro.api`` is the stable embedding surface: additions are
+    deliberate (update this list alongside the docs), removals are
+    breaking changes."""
+    from repro import api
+    assert sorted(api.__all__) == sorted([
+        "Session",
+        "RegionsRequest", "RegionsResponse",
+        "PredictRequest", "PredictResponse",
+        "TimingRequest", "TimingResponse",
+        "ExperimentRequest", "ExperimentResponse",
+        "EXPERIMENTS", "EXPERIMENT_IDS",
+        "DEFAULT_REGIONS_SCALE", "DEFAULT_PREDICT_SCALE",
+        "DEFAULT_TIMING_SCALE", "DEFAULT_EXPERIMENT_SCALE",
+        "DEFAULT_SCHEME",
+        "resolve_names",
+        "regions_line", "predict_line", "timing_block",
+        "regions_cell", "predict_cell", "timing_cell",
+    ])
+
+
+def test_request_dataclasses_are_frozen_and_hashable():
+    """Requests key memoisation tables in resident sessions, so they
+    must stay frozen (hence hashable) dataclasses."""
+    from repro import api
+    request = api.PredictRequest(names=("db_vortex",), scale=0.2)
+    assert hash(request) == hash(
+        api.PredictRequest(names=("db_vortex",), scale=0.2))
+    with pytest.raises(Exception):
+        request.scale = 0.3
