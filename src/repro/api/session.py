@@ -42,6 +42,7 @@ from repro.obs import spans
 from repro.predictor import evaluate_scheme, scheme_by_name
 from repro.timing import figure8_configs, simulate
 from repro.trace import cache as trace_cache
+from repro.trace import shards as trace_shards
 from repro.trace.records import Trace
 from repro.trace.regions import region_breakdown
 from repro.trace.windows import window_stats
@@ -223,8 +224,13 @@ def timing_block(name: str, trace: Trace) -> str:
 # -- engine cell wrappers (module-level so --jobs can pickle them) ------
 
 def regions_cell(name: str, scale: float) -> str:
-    """One region-profile cell routed through the engine."""
-    trace = engine.trace_for(name, scale)
+    """One region-profile cell routed through the engine.
+
+    Uses the streaming trace handle: with ``--shard-rows`` set the
+    region/window reductions fold shard-by-shard and peak memory stays
+    bounded by the shard size, not the trace length.
+    """
+    trace = engine.trace_handle(name, scale)
     try:
         return regions_line(name, trace)
     finally:
@@ -233,7 +239,7 @@ def regions_cell(name: str, scale: float) -> str:
 
 def predict_cell(name: str, scale: float, scheme: str) -> str:
     """One prediction-accuracy cell routed through the engine."""
-    trace = engine.trace_for(name, scale)
+    trace = engine.trace_handle(name, scale)
     try:
         return predict_line(name, trace, scheme)
     finally:
@@ -264,14 +270,24 @@ class Session:
     defers to the engine's own default, i.e. ``--jobs``/``REPRO_JOBS``);
     resident sessions default to in-process serial execution because
     the server provides concurrency across requests instead.
+    ``shard_rows`` streams traces as bounded row shards (the CLI's
+    ``--shard-rows``); batch queries then fold their reductions
+    shard-by-shard in bounded memory, byte-identical to in-RAM runs.
     """
 
     def __init__(self, resident: bool = False,
                  jobs: Optional[int] = None,
                  registry: Optional[metrics.MetricsRegistry] = None,
-                 max_resident_traces: int = 16) -> None:
+                 max_resident_traces: int = 16,
+                 shard_rows: Optional[int] = None) -> None:
         self.resident = resident
         self.jobs = jobs if jobs is not None else (1 if resident else None)
+        # ``shard_rows`` mirrors the CLI's ``--shard-rows``: a process-
+        # wide knob (like the engine's jobs default), applied here so
+        # programmatic sessions stream out-of-core without touching the
+        # environment.  None defers to $REPRO_SHARD_ROWS / off.
+        if shard_rows is not None:
+            trace_shards.set_shard_rows(shard_rows)
         #: The session-private metrics registry (always collecting;
         #: independent of the process-global ``repro.metrics`` switch).
         self.metrics = registry if registry is not None \

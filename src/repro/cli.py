@@ -38,9 +38,12 @@ Commands
     in memory, answering predict/regions/timing/experiment queries
     from many concurrent clients over a line-JSON TCP/Unix socket
     (admission control, latency histograms, health/stats endpoints).
-``bench load [--clients N] [--count M]``
+``bench load [--clients N] [--count M] [--history FILE]``
     Multiprocess load generator against a running daemon; reports
-    p50/p95/p99 latency and sustained QPS into ``BENCH_serve.json``.
+    p50/p95/p99 latency and sustained QPS into ``BENCH_serve.json``
+    and (``--history``) appends a trend line to the shared
+    ``benchmarks/results/history.jsonl`` journal rendered by
+    ``tools/bench_trend.py``.
 
 Exit codes
 ----------
@@ -59,6 +62,10 @@ parent parser:
 
 ``--scale S``        workload scale (per-command default when omitted)
 ``--jobs N``         fan independent workload cells across N processes
+``--shard-rows R``   stream traces as bounded R-row shards so peak
+                     memory stays independent of trace length; the
+                     engine fans experiment cells out over
+                     (workload, shard) pairs (0 = off)
 ``--trace-cache DIR`` archive functional traces on disk for reuse
 ``--metrics-out FILE`` collect metrics and export them to FILE
                      (JSON, or CSV when FILE ends in ``.csv``)
@@ -93,6 +100,7 @@ from repro.obs import profile as obs_profile
 from repro.obs import spans
 from repro.testing import faults as fault_injection
 from repro.trace import cache as trace_cache
+from repro.trace import shards as trace_shards
 from repro.workloads import suite
 
 _STATS_FORMATS = ("table", "json", "csv")
@@ -109,6 +117,20 @@ def _positive_jobs(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"--jobs must be >= 1, got {value}")
+    return value
+
+
+def _shard_rows(text: str) -> int:
+    """``--shard-rows`` values must be integers >= 0 (0 = off)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid --shard-rows value {text!r} (expected an "
+            f"integer >= 0; 0 disables sharding)")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"--shard-rows must be >= 0, got {value}")
     return value
 
 
@@ -135,6 +157,11 @@ def _common_parser() -> argparse.ArgumentParser:
         "--trace-cache", metavar="DIR", default=None,
         help="archive functional traces in DIR and reuse them on "
              f"later runs (default: ${trace_cache.ENV_VAR})")
+    common.add_argument(
+        "--shard-rows", type=_shard_rows, default=None, metavar="R",
+        help="stream traces as bounded R-row shards so peak memory "
+             "stays independent of trace length; 0 disables "
+             f"(default: ${trace_shards.ENV_VAR} or off)")
     common.add_argument(
         "--metrics-out", metavar="FILE", default=None,
         help="collect metrics during the run and export them to FILE "
@@ -313,6 +340,10 @@ def _build_parser() -> argparse.ArgumentParser:
                       metavar="FILE",
                       help="write the JSON load report to FILE "
                            "[%(default)s]")
+    load.add_argument("--history", metavar="FILE", default=None,
+                      help="also append a trend line to this "
+                           "append-only journal (render with "
+                           "tools/bench_trend.py)")
     load.set_defaults(handler=_cmd_bench_load)
 
     # Every experiment id as a top-level alias:
@@ -335,6 +366,8 @@ def _apply_common(args) -> None:
         trace_cache.configure(args.trace_cache)
     if getattr(args, "jobs", None) is not None:
         engine.set_jobs(args.jobs)
+    if getattr(args, "shard_rows", None) is not None:
+        trace_shards.set_shard_rows(args.shard_rows)
     if getattr(args, "checkpoint", None):
         engine.set_checkpoint(args.checkpoint)
     if getattr(args, "inject_fault", None):
@@ -600,6 +633,9 @@ def _cmd_bench_load(args) -> int:
                             params=params, out=args.out)
     print(bench.render_report(report))
     print(f"load report written to {args.out}", file=sys.stderr)
+    if args.history:
+        path = bench.append_history(report, args.history)
+        print(f"trend line appended to {path}", file=sys.stderr)
     return 0 if report["errors"] == 0 else 1
 
 

@@ -1,10 +1,11 @@
 """Functional CPU simulation and the guest syscall interface."""
 
-from repro.cpu.functional import (FunctionalSimulator, SimulationError,
-                                  run_program, run_source)
+from repro.cpu.functional import (DEFAULT_MAX_STEPS, FunctionalSimulator,
+                                  SimulationError, run_program, run_source)
 from repro.cpu import syscalls
 
 __all__ = [
+    "DEFAULT_MAX_STEPS",
     "FunctionalSimulator",
     "SimulationError",
     "run_program",

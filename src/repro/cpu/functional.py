@@ -71,11 +71,19 @@ def _region_of(addr: int) -> int:
     raise SimulationError(f"data access to text/unmapped address {addr:#x}")
 
 
+#: Default runaway-loop backstop (retired-instruction ceiling).  Ample
+#: for every workload at the default scales; scale-aware callers
+#: (``workloads.suite.step_ceiling``) raise it linearly for large
+#: ``--scale`` runs so legitimate long simulations are not mistaken
+#: for infinite loops.
+DEFAULT_MAX_STEPS = 50_000_000
+
+
 class FunctionalSimulator:
     """Executes a compiled program and produces its dynamic trace."""
 
     def __init__(self, compiled: CompiledProgram,
-                 max_steps: int = 50_000_000,
+                 max_steps: int = DEFAULT_MAX_STEPS,
                  collect_trace: bool = True) -> None:
         self._compiled = compiled
         self._program = compiled.program
@@ -97,7 +105,7 @@ class FunctionalSimulator:
             for i, value in enumerate(symbol.init_values):
                 self.memory.store(base + i * WORD_SIZE, value)
 
-    def run(self) -> Trace:
+    def run(self, sink=None, spill_rows: Optional[int] = None) -> Trace:
         """Execute from the entry point until exit; returns the trace.
 
         Retired instructions are appended to a row buffer as plain
@@ -106,6 +114,15 @@ class FunctionalSimulator:
         ra, value)`` and columnised once at end of run - the returned
         trace is column-backed, so record objects only ever exist if a
         consumer materialises them.
+
+        With a ``sink`` (and positive ``spill_rows``) the buffer is
+        instead *spilled*: every time it reaches ``spill_rows`` rows it
+        is handed to ``sink`` and replaced, and once more (possibly
+        short) at end of run.  Peak memory is then bounded by the spill
+        size regardless of trace length; the returned trace carries
+        output/exit code but empty columns (the sink - a shard writer -
+        owns the rows).  The default path pays one extra comparison per
+        retired instruction.
         """
         program = self._program
         instructions = program.instructions
@@ -116,6 +133,13 @@ class FunctionalSimulator:
         rows: List[tuple] = []
         append = rows.append
         collect = self._collect_trace
+        spill_at = 0
+        if sink is not None and collect:
+            if not spill_rows or spill_rows <= 0:
+                raise ValueError(
+                    f"spill_rows must be positive with a sink, "
+                    f"got {spill_rows!r}")
+            spill_at = spill_rows
         fpr_base = R.FPR_BASE
 
         idx = program.labels["__start"]
@@ -214,9 +238,20 @@ class FunctionalSimulator:
                 if row is not None:
                     append(row)
 
+            if spill_at and len(rows) >= spill_at:
+                sink(rows)
+                rows = []
+                append = rows.append
             idx = next_idx
 
         self.steps = steps
+        if spill_at:
+            if rows:
+                sink(rows)
+            return Trace(name=self._compiled.name,
+                         columns=ColumnarTrace.empty(),
+                         output=list(self.output),
+                         exit_code=self.exit_code)
         return Trace(name=self._compiled.name,
                      columns=ColumnarTrace.from_rows(rows),
                      output=list(self.output), exit_code=self.exit_code)
@@ -359,7 +394,7 @@ class FunctionalSimulator:
         raise SimulationError(f"unknown syscall code {code}")
 
 
-def run_program(compiled: CompiledProgram, max_steps: int = 50_000_000,
+def run_program(compiled: CompiledProgram, max_steps: int = DEFAULT_MAX_STEPS,
                 collect_trace: bool = True) -> Trace:
     """Compile-free convenience: execute a linked program, return its trace."""
     return FunctionalSimulator(compiled, max_steps=max_steps,
@@ -367,7 +402,7 @@ def run_program(compiled: CompiledProgram, max_steps: int = 50_000_000,
 
 
 def run_source(source: str, name: str = "program",
-               max_steps: int = 50_000_000,
+               max_steps: int = DEFAULT_MAX_STEPS,
                collect_trace: bool = True) -> Trace:
     """Compile MiniC source and execute it."""
     from repro.compiler.linker import compile_source

@@ -31,7 +31,7 @@ from typing import Callable, Optional, Tuple, Union
 from repro import quarantine
 
 #: Bump to invalidate every existing journal entry at once.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 #: Journal file suffix (entries are ``<digest>.cell``).
 SUFFIX = ".cell"
@@ -51,6 +51,22 @@ class JournalStats:
                             self.quarantine_gc)
 
 
+def _stable_repr(value: object) -> str:
+    """``repr`` that is stable across processes.
+
+    Plain function reprs embed a memory address, which would make any
+    cell whose extra args carry a worker function (the sharded
+    fan-out's dispatch cells) miss its own journal entry on every
+    re-run; name functions by module and qualname instead.
+    """
+    if callable(value):
+        qualname = getattr(value, "__qualname__", None)
+        if qualname:
+            return (f"<fn {getattr(value, '__module__', '')}"
+                    f".{qualname}>")
+    return repr(value)
+
+
 def cell_key(worker: Callable, name: str, scale: float,
              args: tuple) -> str:
     """Stable digest identifying one cell of one sweep."""
@@ -59,7 +75,7 @@ def cell_key(worker: Callable, name: str, scale: float,
         getattr(worker, "__qualname__", None) or repr(worker),
         name,
         repr(scale),
-        repr(args),
+        "(" + ", ".join(_stable_repr(arg) for arg in args) + ")",
         str(FORMAT_VERSION),
     ))
     return hashlib.sha256(ident.encode("utf-8")).hexdigest()[:32]

@@ -60,9 +60,11 @@ from repro.eval import checkpoint, faults, reporting
 from repro.obs import spans
 from repro.testing import faults as fault_injection
 from repro.trace import cache as trace_cache
+from repro.trace import shards
 from repro.trace.records import (OC_BRANCH, OC_LOAD, OC_STORE,
                                  OC_SYSCALL, REGION_DATA, REGION_HEAP,
                                  REGION_STACK, Trace)
+from repro.trace.shards import ShardedTrace
 from repro.workloads import suite
 
 #: Environment variable providing the default worker count.
@@ -181,8 +183,15 @@ _journal: Optional[checkpoint.CellJournal] = None
 _cell_notes: "OrderedDict[str, List[int]]" = OrderedDict()
 
 
+def _cell_key(name: str) -> str:
+    """Reporting key for a cell: per-shard pseudo-cells (``name#i``
+    from the sharded fan-out) aggregate under their workload name."""
+    return name.split("#", 1)[0]
+
+
 def _note_cell(name: str, hits: int = 0, misses: int = 0,
                replays: int = 0) -> None:
+    name = _cell_key(name)
     entry = _cell_notes.get(name)
     if entry is None:
         entry = _cell_notes[name] = [0, 0, 0]
@@ -202,8 +211,11 @@ def stage_times() -> StageTimes:
 
 
 def reset_fault_stats() -> None:
+    """Zero the per-invocation recovery counters, including the
+    module-global shard I/O tallies they surface."""
     global _faults
     _faults = faults.FaultStats()
+    shards.STATS.reset()
 
 
 def fault_stats() -> faults.FaultStats:
@@ -237,9 +249,11 @@ def resilience_snapshot() -> Dict[str, int]:
         "engine.fallbacks.serial": _faults.serial_fallbacks,
         "trace.cache.corrupt": _stages.cache_corrupt,
     }
+    snap.update(shards.STATS.snapshot())
     cache = trace_cache.active_cache()
     if cache is not None:
         snap["trace.cache.quarantine_gc"] = cache.stats.quarantine_gc
+        snap["trace.cache.evictions"] = cache.stats.evictions
     if _journal is not None:
         snap["checkpoint.hits"] = _journal.stats.hits
         snap["checkpoint.misses"] = _journal.stats.misses
@@ -326,9 +340,90 @@ def _ensure_columns(trace: Trace) -> None:
     _stages.cache_io += time.perf_counter() - started
 
 
+def _publish_manifest_metrics(trace: ShardedTrace) -> None:
+    """Publish the ``cpu.*`` instruction/region mix from the shard
+    manifest's per-shard tallies - zero shard I/O, byte-identical to
+    :func:`_publish_trace_metrics` over the materialised columns."""
+    registry = metrics.active()
+    if not registry.enabled:
+        return
+    counts = trace.counts()
+    ns = registry.scoped("cpu")
+    ns.counter("instructions").inc(counts["instructions"])
+    ns.counter("loads").inc(counts["loads"])
+    ns.counter("stores").inc(counts["stores"])
+    ns.counter("branches").inc(counts["branches"])
+    ns.counter("syscalls").inc(counts["syscalls"])
+    region_ns = ns.scoped("region")
+    region_ns.counter("data").inc(counts["region_data"])
+    region_ns.counter("heap").inc(counts["region_heap"])
+    region_ns.counter("stack").inc(counts["region_stack"])
+
+
+def _open_sharded(name: str, scale: float) -> ShardedTrace:
+    """Fetch (or produce) the sharded trace, timed into the current
+    stage breakdown; publishes nothing."""
+    cache = trace_cache.active_cache()
+    shard_rows = shards.get_shard_rows()
+    if cache is None:
+        started = time.perf_counter()
+        writer = shards.MemoryShardWriter(name, shard_rows)
+        trace = shards.simulate_sharded(name, scale, writer)
+        _stages.functional_sim += time.perf_counter() - started
+        return trace
+    before = cache.stats.snapshot()
+    trace = cache.fetch_sharded(name, scale, shard_rows)
+    _stages.functional_sim += cache.stats.sim_seconds \
+        - before.sim_seconds
+    _stages.cache_io += cache.stats.load_seconds - before.load_seconds
+    _stages.cache_hits += cache.stats.hits - before.hits
+    _stages.cache_misses += cache.stats.misses - before.misses
+    _stages.cache_corrupt += cache.stats.corrupt - before.corrupt
+    return trace
+
+
+def trace_handle(name: str, scale: float):
+    """A trace *handle* for streaming reductions.
+
+    With sharding enabled (``--shard-rows`` / ``REPRO_SHARD_ROWS``)
+    this is a :class:`~repro.trace.shards.ShardedTrace` - disk-backed
+    through the active trace cache, memory-chunked otherwise - whose
+    chunks stream through the reductions without ever materialising
+    the whole trace.  With sharding off it is the plain in-RAM
+    :class:`Trace` from :func:`trace_for`.  Either way the workload's
+    ``cpu.*`` metrics are published exactly once (from the shard
+    manifest's tallies in the sharded case - no shard I/O).
+    """
+    if not shards.sharding_enabled():
+        return trace_for(name, scale)
+    with spans.span("trace:fetch", workload=name, sharded=True) as sp:
+        cache = trace_cache.active_cache()
+        before = cache.stats.snapshot() if cache is not None else None
+        trace = _open_sharded(name, scale)
+        if cache is None:
+            sp.set("cache", "off")
+        elif cache.stats.hits > before.hits:
+            sp.set("cache", "hit")
+        elif cache.stats.corrupt > before.corrupt:
+            sp.set("cache", "corrupt")
+        else:
+            sp.set("cache", "miss")
+        _publish_manifest_metrics(trace)
+        return trace
+
+
 def trace_for(name: str, scale: float) -> Trace:
     """The workload's trace, via the active trace cache when one is
     configured, timed into the current stage breakdown."""
+    if shards.sharding_enabled():
+        # Reuse the sharded entry rather than simulating twice: the
+        # consumer needs full columns (e.g. the timing machine), so
+        # materialise them from the shard set.
+        handle = trace_handle(name, scale)
+        started = time.perf_counter()
+        trace = handle.materialize()
+        _stages.cache_io += time.perf_counter() - started
+        return trace
     cache = trace_cache.active_cache()
     with spans.span("trace:fetch", workload=name) as sp:
         if cache is None:
@@ -364,7 +459,8 @@ def trace_for(name: str, scale: float) -> Trace:
 def _init_worker(cache_directory: Optional[str],
                  environ_cache: Optional[str],
                  fault_spec: Optional[str] = None,
-                 obs_state: Optional[tuple] = None) -> None:
+                 obs_state: Optional[tuple] = None,
+                 shard_rows: Optional[int] = None) -> None:
     """Worker bootstrap: mirror the parent's trace-cache decision,
     fault-injection plan, and span-tracing state.
 
@@ -385,6 +481,8 @@ def _init_worker(cache_directory: Optional[str],
         fault_injection.install(fault_spec)
     if obs_state is not None:
         spans.enable_worker(*obs_state)
+    if shard_rows is not None:
+        shards.set_shard_rows(shard_rows)
 
 
 def _swap_stages(new: StageTimes) -> StageTimes:
@@ -435,6 +533,7 @@ def _run_cell(worker: Callable, name: str, scale: float, args: tuple,
 
 def _record_cell(name: str, times: StageTimes,
                  snapshot: Optional[Dict[str, dict]]) -> None:
+    name = _cell_key(name)
     _stages.merge(times)
     _note_cell(name, hits=times.cache_hits, misses=times.cache_misses)
     if snapshot is None:
@@ -592,7 +691,8 @@ def _run_pool(worker: Callable, names: Sequence[str], scale: float,
         pool = ProcessPoolExecutor(
             max_workers=min(max_workers, len(pending)),
             initializer=_init_worker,
-            initargs=(cache_dir, environ_cache, fault_spec, obs_state))
+            initargs=(cache_dir, environ_cache, fault_spec, obs_state,
+                      shards.get_shard_rows()))
         futures = {i: pool.submit(_run_cell, worker, names[i], scale,
                                   args, collect, i, attempts[i])
                    for i in pending}
@@ -726,3 +826,100 @@ def run_cells(worker: Callable, names: Sequence[str], scale: float,
             _record_cell(name, times, snapshot)
             results.append(result)
         return results
+
+
+# -- (cell x shard) fan-out ---------------------------------------------
+
+def _produce_cell(name: str, scale: float) -> int:
+    """Pass-1 worker: ensure the sharded entry exists; shard count.
+
+    Also the cell that publishes the workload's ``cpu.*`` metrics (from
+    the manifest tallies), so the fan-out's merged per-workload
+    snapshot carries them exactly once, like a monolithic cell.
+    """
+    handle = trace_handle(name, scale)
+    if not isinstance(handle, ShardedTrace):
+        raise RuntimeError(
+            "sharded fan-out requires sharding enabled in the worker")
+    return handle.num_shards
+
+
+def _shard_cell(pseudo: str, scale: float, shard_worker: Callable,
+                *args) -> object:
+    """Pass-2 worker: run ``shard_worker`` over one ``name#i`` shard.
+
+    Loads exactly one shard (lazy manifest open + one chunk read) and
+    publishes no metrics - every publication belongs to the produce or
+    combine cells so merged snapshots match the monolithic run.
+    """
+    name, _, index = pseudo.partition("#")
+    index = int(index)
+    trace = _open_sharded(name, scale)
+    chunk = trace.chunk(index)
+    return shard_worker(name, scale, chunk, index, *args)
+
+
+def _combine_cell(name: str, scale: float, combine_worker: Callable,
+                  partials: Dict[str, list], *args) -> object:
+    """Pass-3 worker: fold one workload's ordered shard partials."""
+    return combine_worker(name, scale, partials[name], *args)
+
+
+def run_cells_sharded(shard_worker: Callable, combine_worker: Callable,
+                      names: Sequence[str], scale: float, *args,
+                      jobs: Optional[int] = None,
+                      fallback: Optional[Callable] = None)\
+        -> List[object]:
+    """Fan one experiment out over every ``(workload, shard)`` pair.
+
+    Three passes, each through :func:`run_cells` (so retries, pool
+    rebuilds, checkpointing, and ordered merging all apply):
+
+    1. *produce* - one cell per workload materialises its sharded
+       trace into the cache and publishes the ``cpu.*`` metrics;
+    2. *shard* - one cell per ``(workload, shard)`` runs
+       ``shard_worker(name, scale, chunk, index, *args)``, loading
+       only that shard (this is where ``--jobs`` buys wall-clock);
+    3. *combine* - in-process per workload,
+       ``combine_worker(name, scale, partials, *args)`` folds the
+       ordered shard partials and publishes the reduction's metrics.
+
+    Byte-identity: shard cells publish nothing, the produce and
+    combine cells publish exactly what one monolithic cell would, and
+    partials are folded in shard order - so tables and metric exports
+    match the unsharded run at any ``--jobs`` / ``--shard-rows``.
+
+    Requires sharding *and* a disk-backed trace cache (pool workers
+    read shards by path); otherwise every workload runs through
+    ``fallback`` (default ``combine_worker``-compatible monolithic
+    worker supplied by the driver) via plain :func:`run_cells`.
+    """
+    if (not shards.sharding_enabled()
+            or trace_cache.active_cache() is None):
+        if fallback is None:
+            raise ValueError("run_cells_sharded needs a fallback "
+                             "worker when sharding is unavailable")
+        return run_cells(fallback, names, scale, *args, jobs=jobs)
+    names = list(names)
+    with spans.span("engine:fanout", cells=len(names)) as sp:
+        counts = run_cells(_produce_cell, names, scale, jobs=jobs)
+        pseudo = [f"{name}#{index}"
+                  for name, count in zip(names, counts)
+                  for index in range(count)]
+        sp.set("shards", len(pseudo))
+        flat = run_cells(_shard_cell, pseudo, scale, shard_worker,
+                         *args, jobs=jobs)
+        partials: Dict[str, list] = {name: [] for name in names}
+        for pseudo_name, partial in zip(pseudo, flat):
+            partials[_cell_key(pseudo_name)].append(partial)
+        # The combine pass is cheap, in-process, and fully derivable
+        # from the journalled shard cells - journalling it would key
+        # entries on the partials themselves (huge, repr-truncated),
+        # so it always re-runs instead.
+        global _journal
+        journal, _journal = _journal, None
+        try:
+            return run_cells(_combine_cell, names, scale,
+                             combine_worker, partials, *args, jobs=1)
+        finally:
+            _journal = journal

@@ -28,9 +28,14 @@ from repro.predictor.hints import hints_from_trace
 from repro.predictor.schemes import FIGURE4_SCHEMES, Scheme
 from repro.timing.config import MachineConfig, figure8_configs
 from repro.timing.machine import TimingResult, simulate
-from repro.trace.regions import REGION_CLASSES, RegionBreakdown, \
-    region_breakdown
-from repro.trace.windows import RegionWindowStats, window_stats
+from repro.trace.regions import (REGION_CLASSES, RegionBreakdown,
+                                 breakdown_from_partial,
+                                 fold_pc_partials, pc_region_partial,
+                                 region_breakdown)
+from repro.trace.windows import (RegionWindowStats,
+                                 combine_window_partials,
+                                 stats_from_moments,
+                                 window_shard_partial, window_stats)
 from repro.workloads import suite
 
 #: ARPT capacities evaluated in the paper's Figure 5 (None = unlimited),
@@ -50,6 +55,24 @@ def _workload(name: str, scale: float):
     loops, benchmarks, nested drivers) are still iterating at a
     different scale."""
     trace = engine.trace_for(name, scale)
+    try:
+        yield trace
+    finally:
+        suite.evict(name, scale)
+
+
+@contextmanager
+def _workload_handle(name: str, scale: float):
+    """Like :func:`_workload`, but yields a streaming *handle*.
+
+    With sharding enabled (``--shard-rows``) this is a
+    :class:`~repro.trace.shards.ShardedTrace` whose chunks stream
+    through the region/window/predictor reductions one shard at a time
+    - peak RSS stays bounded by the shard size, not the trace length.
+    With sharding off it degrades to the plain in-RAM trace.  Every
+    reduction taking a handle is byte-identical across both forms.
+    """
+    trace = engine.trace_handle(name, scale)
     try:
         yield trace
     finally:
@@ -126,7 +149,9 @@ class Table1Result(_TableResult):
 
 
 def _table1_cell(name: str, scale: float) -> Table1Row:
-    with _workload(name, scale) as trace:
+    # Under sharding every figure here comes straight from the shard
+    # manifest's tallies - the cell performs zero shard I/O.
+    with _workload_handle(name, scale) as trace:
         return Table1Row(
             name=name,
             mirrors=suite.spec(name).mirrors,
@@ -174,16 +199,35 @@ class Figure2Result(_TableResult):
 
 
 def _figure2_cell(name: str, scale: float) -> RegionBreakdown:
-    with _workload(name, scale) as trace:
+    with _workload_handle(name, scale) as trace:
         return region_breakdown(trace)
+
+
+def _figure2_shard(name: str, scale: float, chunk, index: int):
+    """Per-shard Figure-2 partial: bounded per-PC region masks."""
+    return pc_region_partial(chunk)
+
+
+def _figure2_combine(name: str, scale: float,
+                     partials: list) -> RegionBreakdown:
+    _, masks, dynamic = fold_pc_partials(partials)
+    return breakdown_from_partial(name, masks, dynamic)
 
 
 def figure2(scale: float = 1.0,
             names: Sequence[str] = suite.ALL_WORKLOADS,
             jobs: Optional[int] = None) -> ExperimentResult:
-    """F2: static memory instructions by accessed region(s)."""
-    return _result("figure2", Figure2Result(breakdowns=engine.run_cells(
-        _figure2_cell, names, scale, jobs=jobs)))
+    """F2: static memory instructions by accessed region(s).
+
+    With sharding enabled and a trace cache active, fans out over
+    every ``(workload, shard)`` pair - each shard's per-PC partial is
+    computed in its own cell and the bounded partials fold in shard
+    order, byte-identical to the monolithic reduction.
+    """
+    return _result("figure2", Figure2Result(
+        breakdowns=engine.run_cells_sharded(
+            _figure2_shard, _figure2_combine, names, scale, jobs=jobs,
+            fallback=_figure2_cell)))
 
 
 # ----------------------------------------------------------------------
@@ -212,18 +256,48 @@ class Table2Result(_TableResult):
                 "window")
 
 
+#: The two window widths of the paper's Table 2.
+_TABLE2_WINDOWS = (32, 64)
+
+
 def _table2_cell(name: str, scale: float)\
         -> Tuple[RegionWindowStats, RegionWindowStats]:
-    with _workload(name, scale) as trace:
-        return window_stats(trace, 32), window_stats(trace, 64)
+    with _workload_handle(name, scale) as trace:
+        return tuple(window_stats(trace, window)
+                     for window in _TABLE2_WINDOWS)
+
+
+def _table2_shard(name: str, scale: float, chunk, index: int):
+    """Per-shard Table-2 partials (inner moments + boundary edges)."""
+    return tuple(window_shard_partial(chunk, window)
+                 for window in _TABLE2_WINDOWS)
+
+
+def _table2_combine(name: str, scale: float, partials: list)\
+        -> Tuple[RegionWindowStats, RegionWindowStats]:
+    out = []
+    for position, window in enumerate(_TABLE2_WINDOWS):
+        moments = combine_window_partials(
+            [p[position] for p in partials], window)
+        out.append(stats_from_moments(name, window, *moments))
+    return tuple(out)
 
 
 def table2(scale: float = 1.0,
            names: Sequence[str] = suite.ALL_WORKLOADS,
            jobs: Optional[int] = None) -> ExperimentResult:
-    """T2: per-region bandwidth and burstiness in sliding windows."""
-    return _result("table2", Table2Result(stats=engine.run_cells(
-        _table2_cell, names, scale, jobs=jobs)))
+    """T2: per-region bandwidth and burstiness in sliding windows.
+
+    Fans out over ``(workload, shard)`` when sharding is enabled: each
+    shard contributes exact inner moments plus its boundary edges, the
+    combine step reconstructs every window straddling a shard boundary,
+    and the folded moments (and the published ``trace.window<W>.*``
+    time-series) match the monolithic pass bit for bit.
+    """
+    return _result("table2", Table2Result(
+        stats=engine.run_cells_sharded(
+            _table2_shard, _table2_combine, names, scale, jobs=jobs,
+            fallback=_table2_cell)))
 
 
 # ----------------------------------------------------------------------
@@ -256,7 +330,7 @@ class Figure4Result(_TableResult):
 
 def _figure4_cell(name: str, scale: float, schemes: Tuple[Scheme, ...])\
         -> Dict[str, PredictionResult]:
-    with _workload(name, scale) as trace:
+    with _workload_handle(name, scale) as trace:
         return {scheme.name: evaluate_scheme(trace, scheme)
                 for scheme in schemes}
 
@@ -296,7 +370,7 @@ class Table3Result(_TableResult):
 
 
 def _table3_cell(name: str, scale: float) -> Dict[str, int]:
-    with _workload(name, scale) as trace:
+    with _workload_handle(name, scale) as trace:
         return occupancy_by_context(trace)
 
 
@@ -344,7 +418,7 @@ class Figure5Result(_TableResult):
 def _figure5_cell(name: str, scale: float,
                   sizes: Tuple[Optional[int], ...])\
         -> Dict[str, Tuple[float, float]]:
-    with _workload(name, scale) as trace:
+    with _workload_handle(name, scale) as trace:
         hints = hints_from_trace(trace)
         by_size: Dict[str, Tuple[float, float]] = {}
         for size in sizes:
@@ -489,7 +563,7 @@ class AblationTwoBitResult(_TableResult):
 
 
 def _two_bit_cell(name: str, scale: float) -> Tuple[float, float]:
-    with _workload(name, scale) as trace:
+    with _workload_handle(name, scale) as trace:
         one = evaluate_scheme(trace, "1bit-hybrid")
         two = evaluate_scheme(trace, "2bit-hybrid")
         return one.accuracy, two.accuracy
@@ -529,7 +603,7 @@ class AblationContextResult(_TableResult):
 def _context_bits_cell(name: str, scale: float,
                        splits: Tuple[Tuple[int, int], ...])\
         -> Dict[str, float]:
-    with _workload(name, scale) as trace:
+    with _workload_handle(name, scale) as trace:
         by_split = {}
         for gbh_bits, cid_bits in splits:
             result = evaluate_scheme(trace, "1bit-hybrid",
@@ -847,7 +921,7 @@ def _static_hints_cell(name: str, scale: float,
     compiled = suite.compile_workload(name, scale)
     fig6 = static_hints(compiled)
     stats = static_hint_stats(compiled)
-    with _workload(name, scale) as trace:
+    with _workload_handle(name, scale) as trace:
         ideal = hints_from_trace(trace)
         return StaticHintsRow(
             name=name,

@@ -62,6 +62,26 @@ JOURNAL = "spans.jsonl"
 #: Prefix of per-worker journal files merged by the parent.
 WORKER_PREFIX = "spans-"
 
+#: Size bound (bytes) for one journal segment; 0/unset = unbounded.
+#: On overflow the journal rotates to ``<name>.old`` (one rotated
+#: segment kept), so ``--trace-spans`` stays bounded on long sharded
+#: sweeps at the cost of dropping the oldest spans.
+MAX_BYTES_ENV_VAR = "REPRO_SPAN_MAX_BYTES"
+
+#: Suffix of the single rotated journal segment.
+ROTATED_SUFFIX = ".old"
+
+
+def _env_max_bytes() -> int:
+    raw = os.environ.get(MAX_BYTES_ENV_VAR)
+    if raw is None or not raw.strip():
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        return 0
+    return value if value > 0 else 0
+
 
 def _counter_values(snapshot: Dict[str, dict]) -> Dict[str, float]:
     """Counter values of a metrics-registry snapshot (for deltas)."""
@@ -162,6 +182,11 @@ class SpanTracer:
         self.pid = os.getpid()
         self.default_parent = default_parent
         self.path = self.directory / journal_name
+        self.max_bytes = _env_max_bytes()
+        try:
+            self._bytes = os.path.getsize(self.path)
+        except OSError:
+            self._bytes = 0
         self._fh = open(self.path, "a", encoding="utf-8")
         self._ids = itertools.count(1)
         self._stack = threading.local()
@@ -208,6 +233,32 @@ class SpanTracer:
         with self._write_lock:
             self._fh.write(line + "\n")
             self._fh.flush()
+            self._bytes += len(line) + 1
+            self._maybe_rotate()
+
+    def _maybe_rotate(self) -> None:
+        """Rotate the journal once it exceeds ``REPRO_SPAN_MAX_BYTES``
+        (call with the write lock held).
+
+        The current segment moves to ``<name>.old`` - replacing any
+        previous rotation - and writing restarts on a fresh file, so
+        disk usage is bounded by roughly two segments while the newest
+        spans are always retained.
+        """
+        if not self.max_bytes or self._bytes <= self.max_bytes:
+            return
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+        try:
+            os.replace(self.path,
+                       self.path.with_name(self.path.name
+                                           + ROTATED_SUFFIX))
+        except OSError:
+            pass
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._bytes = 0
 
     def close(self) -> None:
         try:
@@ -225,8 +276,10 @@ class SpanTracer:
         dropped.  Returns the number of spans merged.
         """
         entries = []
+        # Rotated worker segments (``spans-<pid>.jsonl.old``) merge
+        # too - each is bounded by REPRO_SPAN_MAX_BYTES.
         worker_files = sorted(self.directory.glob(WORKER_PREFIX
-                                                  + "*.jsonl"))
+                                                  + "*.jsonl*"))
         for path in worker_files:
             for raw in path.read_text(encoding="utf-8").splitlines():
                 try:
@@ -239,9 +292,11 @@ class SpanTracer:
         if entries:
             with self._write_lock:
                 for entry in entries:
-                    self._fh.write(json.dumps(entry, sort_keys=True)
-                                   + "\n")
+                    line = json.dumps(entry, sort_keys=True)
+                    self._fh.write(line + "\n")
+                    self._bytes += len(line) + 1
                 self._fh.flush()
+                self._maybe_rotate()
         for path in worker_files:
             try:
                 path.unlink()

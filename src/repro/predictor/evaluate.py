@@ -87,16 +87,23 @@ class _ReplayPrepass:
     tallies, and the per-reference GBH/CID context values.  Evaluating
     several schemes - or `occupancy_by_context`'s four probes - on the
     same trace only repeats the (cheap) rule-4 table replay.
+
+    The sharded replay builds one prepass per chunk, threading the
+    *branch-outcome carry* through: ``gbh_carry`` holds the last
+    ``min(gbh_bits, branches so far)`` outcomes, which fully determine
+    the global-history register at the chunk boundary, and
+    ``branch_tail`` is the carry to hand to the next chunk.
     """
 
     __slots__ = ("pc", "actual", "mode_unknown", "gbh", "cid",
-                 "gbh_bits", "total", "definitive", "definitive_correct")
+                 "gbh_bits", "total", "definitive", "definitive_correct",
+                 "branch_tail")
 
-    def __init__(self, trace: Trace, gbh_bits: int, cid_bits: int) -> None:
+    def __init__(self, columns, gbh_bits: int, cid_bits: int,
+                 gbh_carry: Optional[np.ndarray] = None) -> None:
         if gbh_bits < 0 or cid_bits < 0:
             raise ValueError("context bit widths must be non-negative")
         self.gbh_bits = gbh_bits
-        columns = trace.columns
         op = columns.op_class
         mem = columns.memory_mask()
         mem_idx = np.flatnonzero(mem)
@@ -118,15 +125,26 @@ class _ReplayPrepass:
         # [1, 2, 4, ...] truncated to gbh_bits taps; a searchsorted
         # maps each reference to the number of branches retired before
         # it.  Matches ContextTracker's shift register bit for bit.
+        # With a carry, the carried outcomes are prepended so windows
+        # straddling the chunk boundary see the real history; the
+        # register after k branches only depends on the last
+        # min(gbh_bits, k) outcomes, so the carry is always enough.
         branch_idx = np.flatnonzero(op == OC_BRANCH)
-        if gbh_bits and len(branch_idx):
-            outcomes = columns.taken[branch_idx].astype(np.int64)
+        carry = gbh_carry if gbh_carry is not None \
+            else np.zeros(0, dtype=np.int64)
+        if gbh_bits and (len(branch_idx) or len(carry)):
+            outcomes = np.concatenate(
+                (carry, columns.taken[branch_idx].astype(np.int64)))
             kernel = np.left_shift(1, np.arange(gbh_bits, dtype=np.int64))
             history = np.concatenate(
                 ([0], np.convolve(outcomes, kernel)[:len(outcomes)]))
-            self.gbh = history[np.searchsorted(branch_idx, mem_idx)]
+            self.gbh = history[len(carry)
+                               + np.searchsorted(branch_idx, mem_idx)]
+            self.branch_tail = outcomes[max(0, len(outcomes)
+                                            - gbh_bits):]
         else:
             self.gbh = np.zeros(self.total, dtype=np.int64)
+            self.branch_tail = carry
 
         cid_mask = (1 << cid_bits) - 1 if cid_bits else 0
         self.cid = (columns.ra[mem_idx] >> _CID_SHIFT) & cid_mask
@@ -173,12 +191,18 @@ def _validate_table_size(table_size: Optional[int]) -> None:
         raise ValueError("ARPT size must be a power of two")
 
 
-def _counter_states(first: np.ndarray, d: np.ndarray) -> np.ndarray:
-    """Saturating-counter state *before* each access, per sorted group.
+def _counter_states(first: np.ndarray, d: np.ndarray,
+                    seed: Optional[np.ndarray] = None)\
+        -> Tuple[np.ndarray, np.ndarray]:
+    """Saturating-counter states around each access, per sorted group.
 
-    ``first`` flags group starts in an index-sorted reference stream;
-    ``d`` is the per-access counter increment (+1 stack, -1 non-stack).
-    Each group replays ``c = clip(c + d, 0, 3)`` from a cold 0.  A
+    Returns ``(before, after)``: the counter value each access read and
+    the value it left behind.  ``first`` flags group starts in an
+    index-sorted reference stream; ``d`` is the per-access counter
+    increment (+1 stack, -1 non-stack).  Each group replays
+    ``c = clip(c + d, 0, 3)`` from its ``seed`` entry (one value per
+    group in start order; cold 0 when omitted) - the shard replay seeds
+    each group with the entry state carried from earlier shards.  A
     clamp-add step is ``f(x) = min(hi, max(lo, x + a))`` and the
     composition of two such functions is again one (apply ``f`` then
     ``g``: ``a' = a_f + a_g``, ``lo' = clip(lo_f + a_g, lo_g, hi_g)``,
@@ -237,16 +261,26 @@ def _counter_states(first: np.ndarray, d: np.ndarray) -> np.ndarray:
             offset *= 2
             active = active[pos[active] >= offset]
             active = active[lo[active] != hi[active]]
-    # Inclusive composite applied to the cold state 0 = state *after*
-    # each access (its shift term is the within-group prefix sum); the
-    # predicting state is the previous access's.
+    # Inclusive composite applied to the group's seed = state *after*
+    # each access (its shift term is the within-group prefix sum, and
+    # the scanned lo/hi bounds are seed-independent); the predicting
+    # state is the previous access's, and group firsts read the seed.
     within = cum - np.repeat(cum[starts] - d[starts], runs)
-    after = np.clip(within, lo, hi)
-    before = np.empty(n, dtype=np.int32)
-    before[0] = 0
-    before[1:] = after[:-1]
-    before[first] = 0
-    return before
+    if seed is None:
+        after = np.clip(within, lo, hi)
+        before = np.empty(n, dtype=np.int32)
+        before[0] = 0
+        before[1:] = after[:-1]
+        before[first] = 0
+    else:
+        seeds = np.asarray(seed, dtype=np.int32)
+        after = np.clip(np.repeat(seeds, runs) + within, lo, hi)
+        before = np.empty(n, dtype=np.int32)
+        if n:
+            before[0] = 0
+            before[1:] = after[:-1]
+            before[starts] = seeds
+    return before, after
 
 
 def _replay_table(index: np.ndarray, actual: np.ndarray, bits: int,
@@ -281,7 +315,7 @@ def _replay_table(index: np.ndarray, actual: np.ndarray, bits: int,
         prediction[first] = False  # cold entries predict non-stack
     else:
         d = np.where(sorted_actual, np.int32(1), np.int32(-1))
-        prediction = _counter_states(first, d) >= 2
+        prediction = _counter_states(first, d)[0] >= 2
     correct = int(np.count_nonzero(prediction == sorted_actual))
     return correct, int(np.count_nonzero(first))
 
@@ -310,6 +344,151 @@ def _replay_table_scalar(index: np.ndarray, actual: np.ndarray,
         else:
             entries[idx] = max(0, counter - 1)
     return correct, len(entries)
+
+
+class _TableReplayState:
+    """Cross-shard carry for the tagless-ARPT replay.
+
+    Holds one entry state per table index written so far (the 1-bit
+    last outcome or the 2-bit counter value) - the *entire* hardware
+    state of the table, so feeding shards through :meth:`observe` in
+    trace order replays exactly the sequence a whole-trace
+    :func:`_replay_table` would.  Each shard still replays vectorised:
+    one stable sort, then per-group seeds drawn from the carried
+    entries (the grouped-shift / segmented-scan maths is unchanged -
+    only the cold state of each group differs).
+    """
+
+    __slots__ = ("bits", "table_size", "entries", "correct")
+
+    def __init__(self, bits: int, table_size: Optional[int]) -> None:
+        _validate_table_size(table_size)
+        self.bits = bits
+        self.table_size = table_size
+        self.entries: Dict[int, int] = {}
+        self.correct = 0
+
+    def observe(self, index: np.ndarray, actual: np.ndarray) -> None:
+        if self.table_size is not None:
+            index = index & (self.table_size - 1)
+        n = len(index)
+        if n == 0:
+            return
+        order = np.argsort(index, kind="stable")
+        sorted_index = index[order]
+        sorted_actual = actual[order]
+        first = np.empty(n, dtype=np.bool_)
+        first[0] = True
+        np.not_equal(sorted_index[1:], sorted_index[:-1], out=first[1:])
+        starts = np.flatnonzero(first)
+        ends = np.append(starts[1:], n) - 1
+        keys = sorted_index[starts].tolist()
+        entries = self.entries
+        if self.bits == 1:
+            prediction = np.empty(n, dtype=np.bool_)
+            prediction[0] = False
+            prediction[1:] = sorted_actual[:-1]
+            prediction[starts] = np.fromiter(
+                (entries.get(k, 0) == 1 for k in keys),
+                dtype=np.bool_, count=len(keys))
+            final = sorted_actual[ends].tolist()
+            for key, value in zip(keys, final):
+                entries[key] = 1 if value else 0
+        else:
+            d = np.where(sorted_actual, np.int32(1), np.int32(-1))
+            seeds = np.fromiter((entries.get(k, 0) for k in keys),
+                                dtype=np.int32, count=len(keys))
+            before, after = _counter_states(first, d, seeds)
+            prediction = before >= 2
+            for key, value in zip(keys, after[ends].tolist()):
+                entries[key] = value
+        self.correct += int(np.count_nonzero(
+            prediction == sorted_actual))
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.entries)
+
+
+class _SchemeReplay:
+    """One scheme's streaming evaluation, folded shard by shard.
+
+    Scalar tallies (definitive, hinted, static rule-4) are plain sums;
+    the only genuine cross-shard state is the ARPT contents, carried in
+    :class:`_TableReplayState`.  After the last shard, :meth:`result`
+    matches the in-RAM :func:`evaluate_scheme` field for field.
+    """
+
+    __slots__ = ("scheme", "table_size", "hints", "total", "definitive",
+                 "definitive_correct", "hinted", "hinted_correct",
+                 "table_predictions", "rule4_static_correct", "table")
+
+    def __init__(self, scheme: Scheme, table_size: Optional[int],
+                 hints: Optional[CompilerHints]) -> None:
+        self.scheme = scheme
+        self.table_size = table_size
+        self.hints = hints
+        self.total = self.definitive = self.definitive_correct = 0
+        self.hinted = self.hinted_correct = 0
+        self.table_predictions = self.rule4_static_correct = 0
+        self.table = _TableReplayState(scheme.bits, table_size) \
+            if scheme.uses_table else None
+
+    def observe(self, prepass: "_ReplayPrepass") -> None:
+        self.total += prepass.total
+        self.definitive += prepass.definitive
+        self.definitive_correct += prepass.definitive_correct
+        unknown = prepass.mode_unknown
+        pc = prepass.pc[unknown]
+        actual = prepass.actual[unknown]
+        tags = _hint_tags_for(pc, self.hints)
+        hinted_mask = tags >= 0
+        self.hinted += int(np.count_nonzero(hinted_mask))
+        self.hinted_correct += int(np.count_nonzero(
+            hinted_mask & ((tags == 1) == actual)))
+        remaining = ~hinted_mask
+        if self.table is not None:
+            context = prepass.context(
+                self.scheme.context)[unknown][remaining]
+            index = (pc[remaining] >> PC_SHIFT) ^ context
+            self.table.observe(index, actual[remaining])
+            self.table_predictions += int(np.count_nonzero(remaining))
+        else:
+            self.rule4_static_correct += int(np.count_nonzero(
+                remaining & ~actual))
+
+    def result(self, trace_name: str) -> PredictionResult:
+        table_correct = self.table.correct if self.table is not None \
+            else 0
+        rule4_correct = table_correct if self.table is not None \
+            else self.rule4_static_correct
+        return PredictionResult(
+            scheme=self.scheme.name,
+            trace_name=trace_name,
+            total=self.total,
+            correct=(self.definitive_correct + self.hinted_correct
+                     + rule4_correct),
+            definitive=self.definitive,
+            definitive_correct=self.definitive_correct,
+            table_predictions=self.table_predictions,
+            table_correct=table_correct,
+            hinted=self.hinted,
+            occupancy=(self.table.occupancy
+                       if self.table is not None else 0),
+            table_size=self.table_size,
+        )
+
+
+def _replay_sharded(trace, replays, gbh_bits: int,
+                    cid_bits: int) -> None:
+    """Stream a sharded trace once through several scheme replays."""
+    carry: Optional[np.ndarray] = None
+    for chunk in trace.chunks():
+        prepass = _ReplayPrepass(chunk, gbh_bits, cid_bits,
+                                 gbh_carry=carry)
+        carry = prepass.branch_tail
+        for replay in replays:
+            replay.observe(prepass)
 
 
 def _evaluate_prepassed(prepass: _ReplayPrepass, scheme: Scheme,
@@ -368,16 +547,29 @@ def evaluate_scheme(trace: Trace, scheme,
     None models the unlimited ARPT.  When ``hints`` are provided, tagged
     instructions bypass the predictor (and are correct by construction,
     matching the paper's idealised-compiler methodology).
+
+    ``trace`` may also be a :class:`~repro.trace.shards.ShardedTrace`:
+    the replay then streams shard by shard, carrying the branch-outcome
+    history and the full ARPT entry state across boundaries, and scores
+    byte-identically to the in-RAM replay at any shard size.
     """
+    from repro.trace.shards import ShardedTrace
     if isinstance(scheme, str):
         scheme = scheme_by_name(scheme)
     _validate_table_size(table_size)
     with spans.span("predict:replay", scheme=scheme.name,
                     workload=trace.name) as sp:
-        prepass = _ReplayPrepass(trace, gbh_bits, cid_bits)
-        result = _evaluate_prepassed(prepass, scheme, trace.name,
-                                     table_size, hints, gbh_bits,
-                                     cid_bits)
+        if isinstance(trace, ShardedTrace):
+            replay = _SchemeReplay(scheme, table_size, hints)
+            _replay_sharded(trace, (replay,), gbh_bits, cid_bits)
+            result = replay.result(trace.name)
+            _publish_metrics(result, hints is not None, gbh_bits,
+                             cid_bits)
+        else:
+            prepass = _ReplayPrepass(trace.columns, gbh_bits, cid_bits)
+            result = _evaluate_prepassed(prepass, scheme, trace.name,
+                                         table_size, hints, gbh_bits,
+                                         cid_bits)
         sp.set("references", result.total)
         return result
 
@@ -500,14 +692,30 @@ def occupancy_by_context(trace: Trace,
     The four probes share one prepass (memory subsequence, definitive
     tallies, context arrays) instead of replaying the full trace four
     times; each probe publishes the same ``predictor.probe-<context>``
-    metrics a standalone :func:`evaluate_scheme` call would.
+    metrics a standalone :func:`evaluate_scheme` call would.  A
+    :class:`~repro.trace.shards.ShardedTrace` is streamed once, all
+    four probes folding each chunk's shared prepass.
     """
-    prepass = _ReplayPrepass(trace, gbh_bits, cid_bits)
+    from repro.trace.shards import ShardedTrace
+    contexts = ("none", "gbh", "cid", "hybrid")
+    schemes = {context: Scheme(f"probe-{context}", uses_table=True,
+                               bits=1, context=context)
+               for context in contexts}
     results = {}
-    for context in ("none", "gbh", "cid", "hybrid"):
-        scheme = Scheme(f"probe-{context}", uses_table=True, bits=1,
-                        context=context)
-        outcome = _evaluate_prepassed(prepass, scheme, trace.name, None,
-                                      None, gbh_bits, cid_bits)
+    if isinstance(trace, ShardedTrace):
+        replays = {context: _SchemeReplay(schemes[context], None, None)
+                   for context in contexts}
+        _replay_sharded(trace, tuple(replays.values()), gbh_bits,
+                        cid_bits)
+        for context in contexts:
+            outcome = replays[context].result(trace.name)
+            _publish_metrics(outcome, False, gbh_bits, cid_bits)
+            results[context] = outcome.occupancy
+        return results
+    prepass = _ReplayPrepass(trace.columns, gbh_bits, cid_bits)
+    for context in contexts:
+        outcome = _evaluate_prepassed(prepass, schemes[context],
+                                      trace.name, None, None, gbh_bits,
+                                      cid_bits)
         results[context] = outcome.occupancy
     return results

@@ -95,7 +95,11 @@ def collect(directory: Union[str, Path], suffix: str = SUFFIX,
         if mtime >= cutoff and rank < max_files:
             continue
         try:
-            path.unlink()
+            if path.is_dir():      # quarantined shard-set entries
+                import shutil
+                shutil.rmtree(path)
+            else:
+                path.unlink()
         except OSError:
             continue
         removed += 1

@@ -47,6 +47,7 @@ directly and only the timing machine materialises records.
 from __future__ import annotations
 
 import os
+import shutil
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -60,16 +61,46 @@ except ImportError:          # pragma: no cover - non-POSIX platforms
 
 from repro import quarantine
 from repro.testing import faults as fault_injection
-from repro.trace import serialize
+from repro.trace import serialize, shards
 from repro.trace.records import Trace
 from repro.trace.serialize import load_trace, save_trace
+from repro.trace.shards import ShardedTrace
 
 #: Environment variable naming the default cache directory.
 ENV_VAR = "REPRO_TRACE_CACHE"
 
+#: Total cache size bound in bytes (0/unset = unbounded).  When the
+#: bound is exceeded after a store, whole entries - a monolithic
+#: ``.npz`` or an entire shard-set directory - are evicted atomically
+#: in least-recently-used order (hits refresh an entry's mtime).
+MAX_BYTES_ENV_VAR = "REPRO_TRACE_CACHE_MAX_BYTES"
+
 #: Suffix given to corrupt entries moved aside for post-mortems
 #: (collected on cache open, see :mod:`repro.quarantine`).
 QUARANTINE_SUFFIX = quarantine.SUFFIX
+
+
+def _max_bytes() -> int:
+    """The configured cache size bound (0 = unbounded)."""
+    raw = os.environ.get(MAX_BYTES_ENV_VAR)
+    if raw is None or not raw.strip():
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        return 0
+    return value if value > 0 else 0
+
+
+def _entry_size(path: Path) -> int:
+    """Bytes held by one entry (shard sets sum their files)."""
+    try:
+        if path.is_dir():
+            return sum(child.stat().st_size
+                       for child in path.iterdir() if child.is_file())
+        return path.stat().st_size
+    except OSError:
+        return 0
 
 
 @dataclass
@@ -83,11 +114,13 @@ class CacheStats:
     load_seconds: float = 0.0   # reading archived traces (incl. saves)
     sim_seconds: float = 0.0    # running the producer (functional sim)
     quarantine_gc: int = 0      # expired quarantined files collected
+    evictions: int = 0          # whole entries evicted by the LRU bound
 
     def snapshot(self) -> "CacheStats":
         return CacheStats(self.hits, self.misses, self.corrupt,
                           self.lock_waits, self.load_seconds,
-                          self.sim_seconds, self.quarantine_gc)
+                          self.sim_seconds, self.quarantine_gc,
+                          self.evictions)
 
 
 @dataclass
@@ -134,18 +167,30 @@ class TraceCache:
             self._quarantine(path)
             return None
         self.stats.load_seconds += time.perf_counter() - started
+        self._touch(path)
         return trace
 
     def _quarantine(self, path: Path) -> None:
+        """Move one entry - file or shard-set directory - aside."""
         self.stats.corrupt += 1
         try:
             os.replace(path, path.with_name(path.name
                                             + QUARANTINE_SUFFIX))
         except OSError:
             try:
-                path.unlink()
+                if path.is_dir():
+                    shutil.rmtree(path, ignore_errors=True)
+                else:
+                    path.unlink()
             except OSError:
                 pass
+
+    def _touch(self, path: Path) -> None:
+        """Refresh an entry's mtime so LRU eviction sees the hit."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
 
     @contextmanager
     def _entry_lock(self, path: Path):
@@ -197,6 +242,7 @@ class TraceCache:
         with self._entry_lock(path):
             self._write(name, path, trace)
         self.stats.load_seconds += time.perf_counter() - started
+        self.enforce_size_bound(keep=path)
         return path
 
     def fetch(self, name: str, scale: float,
@@ -231,7 +277,178 @@ class TraceCache:
             started = time.perf_counter()
             self._write(name, path, trace)
             self.stats.load_seconds += time.perf_counter() - started
+        self.enforce_size_bound(keep=path)
         return trace
+
+    # -- sharded entries (format v3) ------------------------------------
+
+    def sharded_key(self, name: str, scale: float,
+                    shard_rows: int) -> str:
+        return (f"{name}__s{scale:g}__r{shard_rows}"
+                f"__v{shards.SHARD_FORMAT_VERSION}")
+
+    def sharded_path_for(self, name: str, scale: float,
+                         shard_rows: int) -> Path:
+        """The entry *directory* holding the manifest and shards."""
+        return self.directory / self.sharded_key(name, scale,
+                                                 shard_rows)
+
+    def _open_sharded(self, path: Path, name: str,
+                      shard_rows: int) -> Optional[ShardedTrace]:
+        """Open a shard-set entry; quarantine + miss on any damage.
+
+        The returned view quarantines the *whole entry* if a lazy
+        chunk load later fails its CRC, so the next fetch misses and
+        regenerates (shards of one trace are only valid together).
+        """
+        if not (path / shards.MANIFEST_NAME).exists():
+            return None
+        try:
+            trace = shards.load_sharded(
+                path, on_corrupt=lambda exc: self._quarantine(path))
+            if trace.name != name or trace.shard_rows != shard_rows:
+                raise serialize.TraceIntegrityError(
+                    f"shard manifest identity mismatch in {path}: "
+                    f"{trace.name!r} @ {trace.shard_rows} rows/shard")
+        except Exception:
+            self._quarantine(path)
+            return None
+        return trace
+
+    def load_sharded(self, name: str, scale: float,
+                     shard_rows: int) -> Optional[ShardedTrace]:
+        """The archived shard set, or None on a miss."""
+        path = self.sharded_path_for(name, scale, shard_rows)
+        started = time.perf_counter()
+        trace = self._open_sharded(path, name, shard_rows)
+        if trace is None:
+            return None
+        self.stats.load_seconds += time.perf_counter() - started
+        self._touch(path / shards.MANIFEST_NAME)
+        self._touch(path)
+        return trace
+
+    def fetch_sharded(self, name: str, scale: float, shard_rows: int,
+                      producer: Optional[Callable] = None)\
+            -> ShardedTrace:
+        """The sharded trace for ``(name, scale, shard_rows)``:
+        archived if present, else produced into a temp directory and
+        published atomically (``producer(name, scale, writer)``,
+        default :func:`repro.trace.shards.simulate_sharded` - the
+        spilling functional simulation, bounded RSS).
+        """
+        trace = self.load_sharded(name, scale, shard_rows)
+        if trace is not None:
+            self.stats.hits += 1
+            return trace
+        if producer is None:
+            producer = shards.simulate_sharded
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.sharded_path_for(name, scale, shard_rows)
+        with self._entry_lock(path) as waited:
+            if waited:
+                trace = self.load_sharded(name, scale, shard_rows)
+                if trace is not None:
+                    self.stats.hits += 1
+                    return trace
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            if tmp.exists():
+                shutil.rmtree(tmp, ignore_errors=True)
+            try:
+                started = time.perf_counter()
+                writer = shards.ShardWriter(tmp, name, shard_rows)
+                producer(name, scale, writer)
+                self.stats.sim_seconds += time.perf_counter() - started
+                self.stats.misses += 1
+                started = time.perf_counter()
+                try:
+                    os.replace(tmp, path)
+                except OSError:
+                    # A stale entry raced into place; replace it.
+                    shutil.rmtree(path, ignore_errors=True)
+                    os.replace(tmp, path)
+                self.stats.load_seconds += time.perf_counter() - started
+            finally:
+                if tmp.exists():
+                    shutil.rmtree(tmp, ignore_errors=True)
+            fault_injection.fire_cache_store(
+                name, path / shards.MANIFEST_NAME)
+        self.enforce_size_bound(keep=path)
+        trace = self._open_sharded(path, name, shard_rows)
+        if trace is None:
+            raise RuntimeError(
+                f"sharded trace entry {path} unreadable immediately "
+                f"after production")
+        return trace
+
+    # -- size bound (LRU eviction) --------------------------------------
+
+    def _entries(self):
+        """Every evictable entry as ``(path, mtime, size)``."""
+        try:
+            children = list(self.directory.iterdir())
+        except OSError:
+            return
+        for path in children:
+            name = path.name
+            if (name.startswith(".")
+                    or name.endswith(QUARANTINE_SUFFIX)):
+                continue
+            try:
+                if path.is_dir():
+                    manifest = path / shards.MANIFEST_NAME
+                    if not manifest.exists():
+                        continue
+                    mtime = manifest.stat().st_mtime
+                elif name.endswith(".npz"):
+                    mtime = path.stat().st_mtime
+                else:
+                    continue
+            except OSError:      # raced away
+                continue
+            yield path, mtime, _entry_size(path)
+
+    def _evict(self, path: Path) -> bool:
+        """Atomically remove one whole entry (rename, then delete, so
+        readers see either the complete entry or none of it)."""
+        victim = path.with_name(f".{path.name}.{os.getpid()}.evict")
+        try:
+            os.replace(path, victim)
+        except OSError:
+            return False
+        try:
+            if victim.is_dir():
+                shutil.rmtree(victim, ignore_errors=True)
+            else:
+                victim.unlink()
+        except OSError:
+            pass
+        self.stats.evictions += 1
+        return True
+
+    def enforce_size_bound(self, keep: Optional[Path] = None) -> int:
+        """Evict least-recently-used entries until the cache fits
+        ``REPRO_TRACE_CACHE_MAX_BYTES`` (no-op when unbounded).
+
+        ``keep`` - typically the entry just written - is never evicted,
+        so one oversized trace cannot thrash itself.  Returns the
+        number of entries evicted.
+        """
+        limit = _max_bytes()
+        if not limit:
+            return 0
+        entries = sorted(self._entries(), key=lambda e: (e[1], str(e[0])))
+        total = sum(size for _, _, size in entries)
+        removed = 0
+        for path, _, size in entries:
+            if total <= limit:
+                break
+            if keep is not None and path == keep:
+                continue
+            if self._evict(path):
+                total -= size
+                removed += 1
+        return removed
 
 
 # -- process-wide active cache -----------------------------------------

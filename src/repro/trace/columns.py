@@ -113,10 +113,17 @@ class ColumnarTrace:
         return cls(*columns, value, valid)
 
     @classmethod
-    def from_rows(cls, rows: Sequence[tuple]) -> "ColumnarTrace":
+    def from_rows(cls, rows: Sequence[tuple],
+                  publish: bool = True) -> "ColumnarTrace":
         """Columnise the simulator's row buffer (tuples in field order:
         ``(pc, op_class, dst, src1, src2, addr, mode, region, taken,
-        ra, value)``)."""
+        ra, value)``).
+
+        ``publish=False`` suppresses the ``trace.columnar.*`` counters:
+        the sharded spill path columnises many bounded buffers per run
+        and publishes the build once at writer finish, so a spilled
+        build counts exactly like a monolithic one.
+        """
         n = len(rows)
         if n == 0:
             return cls.empty()
@@ -128,7 +135,8 @@ class ColumnarTrace:
                             dtype=np.int64, count=n)
         valid = np.fromiter((v is not None for v in raw_values),
                             dtype=np.bool_, count=n)
-        _publish_conversion("builds", n)
+        if publish:
+            _publish_conversion("builds", n)
         return cls(*columns, value, valid)
 
     @classmethod

@@ -127,17 +127,20 @@ class RegionClassifier:
         return result
 
 
-def _pc_region_masks(trace: Trace) -> Tuple[np.ndarray, np.ndarray,
-                                            np.ndarray]:
-    """Per-static-PC region bitmasks from the columnar view.
+def pc_region_partial(columns) -> Tuple[np.ndarray, np.ndarray,
+                                        np.ndarray]:
+    """Per-static-PC region bitmasks for one columnar chunk.
 
     Returns ``(pcs, masks, dynamic)``: the distinct memory-instruction
-    PCs, each PC's OR of region bits (1=data, 2=heap, 4=stack - the
-    same encoding as ``_BIT_OF_REGION``), and each PC's dynamic
+    PCs (sorted), each PC's OR of region bits (1=data, 2=heap, 4=stack
+    - the same encoding as ``_BIT_OF_REGION``), and each PC's dynamic
     reference count.  One sort + two grouped reductions replace the
-    scalar classifier's per-record dict updates.
+    scalar classifier's per-record dict updates.  This is also the
+    shard-local partial of the streaming/fan-out Figure 2 path: masks
+    OR and dynamic counts sum across shards (exact integers, any
+    order), so folding per-shard partials is byte-identical to one
+    whole-trace pass.
     """
-    columns = trace.columns
     region = columns.region
     mem = region >= 0
     pcs = columns.pc[mem]
@@ -155,14 +158,57 @@ def _pc_region_masks(trace: Trace) -> Tuple[np.ndarray, np.ndarray,
     return pcs[starts], masks, dynamic
 
 
-def region_breakdown(trace: Trace) -> RegionBreakdown:
-    """One-shot Figure-2 breakdown of a trace (vectorised).
+def fold_pc_partials(partials) -> Tuple[np.ndarray, np.ndarray,
+                                        np.ndarray]:
+    """Merge per-shard ``(pcs, masks, dynamic)`` partials into one.
 
-    Equivalent to streaming the trace through
-    :class:`RegionClassifier` (the retained scalar reference) but
-    computed with grouped NumPy reductions over the columnar view.
+    Masks OR and dynamic counts add per PC - both exact integer
+    reductions, so the result does not depend on shard size or fold
+    order.
     """
-    _, masks, dynamic = _pc_region_masks(trace)
+    partials = [p for p in partials if len(p[0])]
+    if not partials:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, empty
+    if len(partials) == 1:
+        return partials[0]
+    pcs = np.concatenate([p[0] for p in partials])
+    masks = np.concatenate([p[1] for p in partials])
+    dynamic = np.concatenate([p[2] for p in partials])
+    order = np.argsort(pcs, kind="stable")
+    pcs = pcs[order]
+    starts = np.flatnonzero(np.concatenate(
+        ([True], pcs[1:] != pcs[:-1])))
+    return (pcs[starts],
+            np.bitwise_or.reduceat(masks[order], starts),
+            np.add.reduceat(dynamic[order], starts))
+
+
+def _pc_region_masks(trace) -> Tuple[np.ndarray, np.ndarray,
+                                     np.ndarray]:
+    """Per-static-PC region info for a ``Trace`` *or* ``ShardedTrace``.
+
+    A sharded trace streams shard-by-shard, folding the bounded
+    per-shard partials as it goes - the accumulator holds one entry
+    per distinct PC, never a whole trace.
+    """
+    from repro.trace.shards import ShardedTrace
+    if isinstance(trace, ShardedTrace):
+        accumulated = None
+        for chunk in trace.chunks():
+            partial = pc_region_partial(chunk)
+            accumulated = partial if accumulated is None \
+                else fold_pc_partials((accumulated, partial))
+        if accumulated is None:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, empty
+        return accumulated
+    return pc_region_partial(trace.columns)
+
+
+def breakdown_from_partial(name: str, masks: np.ndarray,
+                           dynamic: np.ndarray) -> RegionBreakdown:
+    """Fold per-PC masks/counts into the Figure-2 breakdown."""
     static_by_mask = np.bincount(masks, minlength=8)
     dynamic_by_mask = np.bincount(masks, weights=dynamic, minlength=8)
     static_counts = {cls: 0 for cls in REGION_CLASSES}
@@ -170,16 +216,30 @@ def region_breakdown(trace: Trace) -> RegionBreakdown:
     for mask, cls in _CLASS_OF_MASK.items():
         static_counts[cls] = int(static_by_mask[mask])
         dynamic_counts[cls] = int(dynamic_by_mask[mask])
-    return RegionBreakdown(name=trace.name, static_counts=static_counts,
+    return RegionBreakdown(name=name, static_counts=static_counts,
                            dynamic_counts=dynamic_counts)
 
 
-def single_region_pcs(trace: Trace) -> Dict[int, bool]:
+def region_breakdown(trace) -> RegionBreakdown:
+    """One-shot Figure-2 breakdown of a trace (vectorised).
+
+    Equivalent to streaming the trace through
+    :class:`RegionClassifier` (the retained scalar reference) but
+    computed with grouped NumPy reductions over the columnar view.
+    Accepts a :class:`~repro.trace.shards.ShardedTrace` and streams it
+    chunk-wise with byte-identical results.
+    """
+    _, masks, dynamic = _pc_region_masks(trace)
+    return breakdown_from_partial(trace.name, masks, dynamic)
+
+
+def single_region_pcs(trace) -> Dict[int, bool]:
     """PC -> is_stack for single-region instructions (vectorised).
 
     Columnar counterpart of
     :meth:`RegionClassifier.single_region_pcs`, feeding the idealised
-    compiler-hint scheme without materialising records.
+    compiler-hint scheme without materialising records.  Streams
+    sharded traces like :func:`region_breakdown`.
     """
     pcs, masks, _ = _pc_region_masks(trace)
     single = (masks == 0b001) | (masks == 0b010) | (masks == 0b100)

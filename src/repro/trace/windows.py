@@ -111,9 +111,15 @@ class SlidingWindowProfiler:
         )
 
 
-def _window_moments(trace: Trace, window: int)\
+def _mapped_region(columns) -> np.ndarray:
+    """Region codes with non-memory rows mapped to -1 (int64)."""
+    return np.where(columns.memory_mask(), columns.region,
+                    -1).astype(np.int64)
+
+
+def _moments_of_ext(ext: np.ndarray, window: int)\
         -> Tuple[int, Dict[int, int], Dict[int, int]]:
-    """``(samples, sums, sumsq)`` of per-window region counts.
+    """Moments of the windows *ending inside* ``ext``.
 
     Cumulative-sum formulation of the sliding window: for the region
     indicator array ``x``, the count of region references in the window
@@ -122,12 +128,7 @@ def _window_moments(trace: Trace, window: int)\
     moments match :class:`SlidingWindowProfiler` (the retained scalar
     reference) bit for bit.
     """
-    if window <= 0:
-        raise ValueError("window size must be positive")
-    columns = trace.columns
-    region = np.where(columns.memory_mask(), columns.region, -1)
-    n = len(region)
-    samples = max(0, n - window + 1)
+    samples = max(0, len(ext) - window + 1)
     sums: Dict[int, int] = {}
     sumsq: Dict[int, int] = {}
     for code in (REGION_DATA, REGION_HEAP, REGION_STACK):
@@ -136,33 +137,111 @@ def _window_moments(trace: Trace, window: int)\
             sumsq[code] = 0
             continue
         csum = np.concatenate(
-            ([0], np.cumsum((region == code).astype(np.int64))))
+            ([0], np.cumsum((ext == code).astype(np.int64))))
         counts = csum[window:] - csum[:-window]
         sums[code] = int(counts.sum())
         sumsq[code] = int(np.dot(counts, counts))
     return samples, sums, sumsq
 
 
-def window_stats(trace: Trace, window: int) -> RegionWindowStats:
-    """One-shot Table-2 statistics for a trace at one window size.
+def _add_moments(acc, part) -> None:
+    samples, sums, sumsq = part
+    acc[0] += samples
+    for code in (REGION_DATA, REGION_HEAP, REGION_STACK):
+        acc[1][code] += sums[code]
+        acc[2][code] += sumsq[code]
 
-    Computed vectorised over the columnar view (cumulative sums of the
-    region indicator arrays); :class:`SlidingWindowProfiler` is the
-    scalar reference it is tested against.
 
-    When metrics collection is enabled, publishes one
-    ``trace.window<W>.<region>`` time-series per region carrying the
-    exact moments (count, sum, sum of squares) of the per-window access
-    counts - the inputs to Table 2's mean/std burstiness analysis.
+def _empty_moments():
+    zeros = {REGION_DATA: 0, REGION_HEAP: 0, REGION_STACK: 0}
+    return [0, dict(zeros), dict(zeros)]
+
+
+def _window_moments(trace, window: int)\
+        -> Tuple[int, Dict[int, int], Dict[int, int]]:
+    """``(samples, sums, sumsq)`` for a ``Trace`` or ``ShardedTrace``.
+
+    The sharded path streams chunk-by-chunk with a *window remainder*
+    carry: each chunk is prepended with the last ``min(window-1, rows
+    so far)`` region codes, so every window that ends inside the chunk
+    - including those straddling the shard boundary - is counted
+    exactly once.  All moments are exact integers, making the fold
+    byte-identical to the one-pass result at any shard size.
     """
+    if window <= 0:
+        raise ValueError("window size must be positive")
+    from repro.trace.shards import ShardedTrace
+    if not isinstance(trace, ShardedTrace):
+        return _moments_of_ext(_mapped_region(trace.columns), window)
+    acc = _empty_moments()
+    carry = np.zeros(0, dtype=np.int64)
+    for chunk in trace.chunks():
+        ext = np.concatenate((carry, _mapped_region(chunk)))
+        _add_moments(acc, _moments_of_ext(ext, window))
+        carry = ext[max(0, len(ext) - (window - 1)):] if window > 1 \
+            else ext[:0]
+    return acc[0], acc[1], acc[2]
+
+
+def window_shard_partial(columns, window: int) -> dict:
+    """Shard-local Table-2 partial for the (cell x shard) fan-out.
+
+    Covers the windows lying *fully inside* this shard, plus the first
+    and last ``min(window-1, rows)`` mapped region codes.  The combine
+    step (:func:`combine_window_partials`) reconstructs every
+    boundary-straddling window from consecutive tails and heads - at
+    most ``window - 1`` codes each - so shard tasks never read their
+    neighbours.
+    """
+    if window <= 0:
+        raise ValueError("window size must be positive")
+    region = _mapped_region(columns)
+    edge = min(window - 1, len(region))
+    samples, sums, sumsq = _moments_of_ext(region, window)
+    return {"rows": len(region), "samples": samples, "sums": sums,
+            "sumsq": sumsq,
+            "head": region[:edge], "tail": region[len(region) - edge:]}
+
+
+def combine_window_partials(partials, window: int)\
+        -> Tuple[int, Dict[int, int], Dict[int, int]]:
+    """Fold ordered per-shard partials into whole-trace moments.
+
+    Walks the shards in trace order keeping the window-remainder carry
+    (the last ``window - 1`` codes seen); each shard contributes its
+    inner moments plus the boundary windows counted over
+    ``carry + head``.  Exact integers throughout - byte-identical to
+    the monolithic pass for every shard size, including shards smaller
+    than the window (where ``head == tail ==`` the whole shard, so the
+    carry remains complete).
+    """
+    acc = _empty_moments()
+    carry = np.zeros(0, dtype=np.int64)
+    for part in partials:
+        _add_moments(acc, (part["samples"], part["sums"],
+                           part["sumsq"]))
+        if window > 1:
+            boundary = np.concatenate((carry, part["head"]))
+            _add_moments(acc, _moments_of_ext(boundary, window))
+            carry = np.concatenate(
+                (carry, part["tail"]))[-(window - 1):]
+    return acc[0], acc[1], acc[2]
+
+
+def stats_from_moments(name: str, window: int, samples: int,
+                       sums: Dict[int, int], sumsq: Dict[int, int],
+                       publish: bool = True) -> RegionWindowStats:
+    """Finish Table-2 statistics (and metric publication) from exact
+    moments - shared by the monolithic, streaming, and fan-out paths
+    so all three publish and round identically."""
     from repro import metrics
-    samples, sums, sumsq = _window_moments(trace, window)
-    registry = metrics.active()
-    if registry.enabled:
-        ns = registry.scoped("trace").scoped(f"window{window}")
-        for code, region in REGION_NAMES.items():
-            ns.timeseries(region, interval=window).observe_moments(
-                samples, sums[code], sumsq[code])
+    if publish:
+        registry = metrics.active()
+        if registry.enabled:
+            ns = registry.scoped("trace").scoped(f"window{window}")
+            for code, region in REGION_NAMES.items():
+                ns.timeseries(region, interval=window).observe_moments(
+                    samples, sums[code], sumsq[code])
 
     def stats(code: int) -> WindowStats:
         if samples == 0:
@@ -173,8 +252,26 @@ def window_stats(trace: Trace, window: int) -> RegionWindowStats:
                            samples=samples)
 
     return RegionWindowStats(
-        name=trace.name, window=window,
+        name=name, window=window,
         data=stats(REGION_DATA),
         heap=stats(REGION_HEAP),
         stack=stats(REGION_STACK),
     )
+
+
+def window_stats(trace, window: int) -> RegionWindowStats:
+    """One-shot Table-2 statistics for a trace at one window size.
+
+    Computed vectorised over the columnar view (cumulative sums of the
+    region indicator arrays); :class:`SlidingWindowProfiler` is the
+    scalar reference it is tested against.  A
+    :class:`~repro.trace.shards.ShardedTrace` streams shard-by-shard
+    with byte-identical results.
+
+    When metrics collection is enabled, publishes one
+    ``trace.window<W>.<region>`` time-series per region carrying the
+    exact moments (count, sum, sum of squares) of the per-window access
+    counts - the inputs to Table 2's mean/std burstiness analysis.
+    """
+    samples, sums, sumsq = _window_moments(trace, window)
+    return stats_from_moments(trace.name, window, samples, sums, sumsq)

@@ -19,7 +19,7 @@ from pathlib import Path
 from typing import Dict, Tuple
 
 from repro.compiler import CompiledProgram, compile_source
-from repro.cpu import run_program
+from repro.cpu import DEFAULT_MAX_STEPS, run_program
 from repro.trace.records import Trace
 
 _PROGRAM_DIR = Path(__file__).parent / "programs"
@@ -158,6 +158,18 @@ def compile_workload(name: str, scale: float = 1.0) -> CompiledProgram:
     return compile_source(source(name, scale), name)
 
 
+def step_ceiling(scale: float) -> int:
+    """Runaway-loop backstop for simulating one workload at ``scale``.
+
+    The simulator's default ceiling accommodates every workload up to
+    roughly scale 25 (the largest, ``compress``, retires ~0.9M
+    instructions per scale unit); beyond that the ceiling grows
+    linearly so a legitimate ``--scale 100`` out-of-core run is not
+    mistaken for an infinite loop.
+    """
+    return int(DEFAULT_MAX_STEPS * max(1.0, scale / 25.0))
+
+
 class _TraceMemo:
     """In-memory LRU memo over ``run_program`` with *per-entry* eviction.
 
@@ -184,7 +196,8 @@ class _TraceMemo:
             trace = self._entries[key]
         except KeyError:
             self._misses += 1
-            trace = run_program(compile_workload(name, scale))
+            trace = run_program(compile_workload(name, scale),
+                                max_steps=step_ceiling(scale))
             self._entries[key] = trace
             if len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)

@@ -135,3 +135,80 @@ class TestWorkerMerge:
 
     def test_worker_state_none_when_disabled(self):
         assert spans.worker_state() is None
+
+
+class TestRotation:
+    def test_journal_rotates_at_size_bound(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(spans.MAX_BYTES_ENV_VAR, "2000")
+        tracer = spans.enable(tmp_path)
+        for index in range(60):
+            with spans.span("work", index=index):
+                pass
+        spans.disable()
+        main = tmp_path / spans.JOURNAL
+        rotated = main.with_name(main.name + spans.ROTATED_SUFFIX)
+        assert rotated.exists(), "overflow should rotate a segment aside"
+        assert main.stat().st_size <= 2000 + 400   # one span of slack
+        assert rotated.stat().st_size <= 2000 + 400
+        # The newest spans survive in the live segment.
+        newest = json.loads(main.read_text().splitlines()[-1])
+        assert newest["attrs"]["index"] == 59
+        assert tracer.max_bytes == 2000
+
+    def test_unset_bound_never_rotates(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(spans.MAX_BYTES_ENV_VAR, raising=False)
+        spans.enable(tmp_path)
+        for _ in range(50):
+            with spans.span("work"):
+                pass
+        spans.disable()
+        main = tmp_path / spans.JOURNAL
+        assert not main.with_name(main.name
+                                  + spans.ROTATED_SUFFIX).exists()
+
+    def test_invalid_bound_treated_as_unbounded(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv(spans.MAX_BYTES_ENV_VAR, "not-a-number")
+        tracer = spans.enable(tmp_path)
+        spans.disable()
+        assert tracer.max_bytes == 0
+
+
+class TestShardSpanSampling:
+    def test_sample_every_nth_shard_span(self, tmp_path, monkeypatch):
+        from repro.trace import shards
+        from repro.trace.records import OC_IALU, Trace, TraceRecord
+        monkeypatch.setenv(shards.SPAN_SAMPLE_ENV_VAR, "4")
+        trace = Trace("sampled", [TraceRecord(0x400000, OC_IALU)
+                                  for _ in range(10)])
+        writer_dir = tmp_path / "entry"
+        writer = shards.ShardWriter(writer_dir, "sampled", 1)
+        for chunk in shards.shard_trace(trace, 1).chunks():
+            writer.append(chunk)
+        writer.finish([], 0)
+        spans.enable(tmp_path)
+        list(shards.load_sharded(writer_dir).chunks())
+        spans.disable()
+        recorded = [entry for entry in _journal(tmp_path)
+                    if entry["name"] == "trace:shard"]
+        # Shards 0, 4, 8 of the 10 single-row shards are sampled.
+        assert [entry["attrs"]["shard"] for entry in recorded] \
+            == [0, 4, 8]
+
+    def test_default_samples_every_shard(self, tmp_path, monkeypatch):
+        from repro.trace import shards
+        from repro.trace.records import OC_IALU, Trace, TraceRecord
+        monkeypatch.delenv(shards.SPAN_SAMPLE_ENV_VAR, raising=False)
+        trace = Trace("allspans", [TraceRecord(0x400000, OC_IALU)
+                                   for _ in range(3)])
+        writer_dir = tmp_path / "entry"
+        writer = shards.ShardWriter(writer_dir, "allspans", 1)
+        for chunk in shards.shard_trace(trace, 1).chunks():
+            writer.append(chunk)
+        writer.finish([], 0)
+        spans.enable(tmp_path)
+        list(shards.load_sharded(writer_dir).chunks())
+        spans.disable()
+        recorded = [entry for entry in _journal(tmp_path)
+                    if entry["name"] == "trace:shard"]
+        assert len(recorded) == 3

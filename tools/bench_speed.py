@@ -26,6 +26,11 @@ Each run also appends one line to
 jobs, per-spec seconds) so performance can be trended across commits
 (render with ``tools/bench_trend.py``); disable with ``--no-history``.
 
+``--shard-rows R`` additionally times one experiment
+(``--shard-experiment``) with sharded traces at each ``--shard-jobs``
+level against a warm sharded cache and records the sweep (and the
+first-to-last jobs speedup) under ``report["sharded"]``.
+
 Usage:
     PYTHONPATH=src python tools/bench_speed.py \
         --trace-cache /tmp/trace-cache --out BENCH_perf.json
@@ -70,11 +75,11 @@ def _parse_spec(spec: str, default_scale: float):
 
 
 def _run_experiment(experiment: str, scale: float, cache: str,
-                    names=()) -> float:
+                    names=(), extra=()) -> float:
     """Wall-clock seconds for one experiment subprocess (must succeed)."""
     command = [sys.executable, "-m", "repro.cli", "experiment",
                experiment, *names, "--scale", str(scale),
-               "--trace-cache", cache]
+               "--trace-cache", cache, *extra]
     started = time.perf_counter()
     completed = subprocess.run(command, cwd=REPO_ROOT,
                                capture_output=True, text=True)
@@ -104,6 +109,16 @@ def main(argv=None) -> int:
                              "[%(default)s]")
     parser.add_argument("--no-history", action="store_true",
                         help="skip the history.jsonl append")
+    parser.add_argument("--shard-rows", type=int, default=None,
+                        help="also time a sharded (--shard-rows R) "
+                             "jobs sweep and record it under "
+                             "report['sharded']")
+    parser.add_argument("--shard-jobs", default="1,4",
+                        help="comma-separated --jobs levels for the "
+                             "sharded sweep [%(default)s]")
+    parser.add_argument("--shard-experiment", default="figure2",
+                        help="experiment id timed in the sharded "
+                             "sweep [%(default)s]")
     args = parser.parse_args(argv)
     specs = [_parse_spec(s, args.scale)
              for s in args.experiments.split(",") if s]
@@ -151,6 +166,36 @@ def main(argv=None) -> int:
         print(f"{spec}: {seconds:.2f}s"
               + (f" ({speedup:g}x vs baseline)" if speedup else ""),
               flush=True)
+
+    # Sharded jobs sweep: times the (workload x shard) fan-out of one
+    # experiment at increasing --jobs against a warm sharded cache, so
+    # the recorded speedup measures parallel shard replay, not
+    # functional simulation.  Meaningful speedup needs real cores -
+    # single-core runners will (honestly) record ~1.0x.
+    if args.shard_rows:
+        shard_flags = ["--shard-rows", str(args.shard_rows)]
+        jobs_levels = [int(j) for j in args.shard_jobs.split(",") if j]
+        print(f"warming sharded cache (shard rows "
+              f"{args.shard_rows}, scale {args.scale:g})...", flush=True)
+        _run_experiment(args.shard_experiment, args.scale,
+                        args.trace_cache, extra=shard_flags)
+        sweep = {}
+        for jobs in jobs_levels:
+            seconds = _run_experiment(
+                args.shard_experiment, args.scale, args.trace_cache,
+                extra=[*shard_flags, "--jobs", str(jobs)])
+            sweep[str(jobs)] = round(seconds, 3)
+            print(f"sharded {args.shard_experiment} --jobs {jobs}: "
+                  f"{seconds:.2f}s", flush=True)
+        report["sharded"] = {
+            "experiment": args.shard_experiment,
+            "shard_rows": args.shard_rows,
+            "scale": args.scale,
+            "jobs_seconds": sweep,
+            "speedup": round(sweep[str(jobs_levels[0])]
+                             / sweep[str(jobs_levels[-1])], 2)
+            if len(jobs_levels) > 1 else None,
+        }
 
     _atomic_write(Path(args.out), json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")

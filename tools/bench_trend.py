@@ -3,11 +3,15 @@
 
 ``tools/bench_speed.py`` appends one JSON line per run (timestamp,
 git SHA, scale, per-spec seconds) to
-``benchmarks/results/history.jsonl``.  This tool turns that journal
-into a human-readable trend table - one row per run, one column per
-benchmark spec - plus a per-spec summary line (first, last, best, and
-the last/first ratio) so a perf regression or win is visible at a
-glance in CI logs and artifacts.
+``benchmarks/results/history.jsonl``, and ``repro bench load
+--history`` appends serving-latency lines (``serve.<op>.p50_ms`` /
+``p95_ms`` / ``p99_ms`` / ``qps`` columns) to the same journal.  This
+tool turns that journal into a human-readable trend table - one row
+per run, one column per benchmark spec - plus a per-spec summary line
+(first, last, best, and the last/first ratio) so a perf regression or
+win is visible at a glance in CI logs and artifacts.  Units follow
+the spec name: batch experiment columns are seconds, ``*_ms`` columns
+milliseconds, ``*.qps`` requests/second.
 
 Malformed journal lines are skipped with a warning (the journal is
 append-only and may interleave writers), and specs that only appear
@@ -92,7 +96,8 @@ def render(entries, last=None) -> str:
         if index == 0:
             lines.append("  ".join("-" * w for w in widths))
     lines.append("")
-    lines.append("per-spec trend (seconds):")
+    lines.append("per-spec trend (seconds; *_ms columns are "
+                 "milliseconds, *.qps requests/second):")
     for spec in specs:
         series = [entry["experiments"][spec] for entry in shown
                   if isinstance(entry["experiments"].get(spec),

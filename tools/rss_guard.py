@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Run a command under a hard peak-RSS cap (the CI ``shard-smoke`` job).
+
+Executes the command after ``--`` as a child process, then reads the
+peak resident set size of the waited-for child tree from
+``getrusage(RUSAGE_CHILDREN)`` - the kernel's high-water mark, so
+short-lived spikes are counted even if they never show up in polling.
+Exits non-zero when the command fails OR when its peak RSS exceeds
+``--max-mb``, which is what lets CI assert that a sharded
+(``--shard-rows``) run stays in bounded memory at any workload scale.
+
+``ru_maxrss`` is the largest single process of the waited tree
+(kibibytes on Linux, bytes on macOS) - the right bound for an
+out-of-core pipeline, where total work may fan across processes but
+no one process may hold a whole trace.
+
+Usage:
+    python tools/rss_guard.py --max-mb 600 -- \
+        python -m repro regions --scale 10 --shard-rows 262144
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import subprocess
+import sys
+
+
+def peak_child_rss_mb() -> float:
+    """Peak RSS of any waited-for child so far, in MiB."""
+    maxrss = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    divisor = 1024 * 1024 if sys.platform == "darwin" else 1024
+    return maxrss / divisor
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run a command and fail if its peak RSS exceeds "
+                    "the cap")
+    parser.add_argument("--max-mb", type=float, required=True,
+                        help="hard peak-RSS cap in MiB")
+    parser.add_argument("command", nargs=argparse.REMAINDER,
+                        help="command to run (prefix with --)")
+    args = parser.parse_args(argv)
+    command = args.command
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        parser.error("no command given (usage: rss_guard.py "
+                     "--max-mb N -- cmd ...)")
+    completed = subprocess.run(command)
+    peak_mb = peak_child_rss_mb()
+    print(f"rss_guard: peak RSS {peak_mb:.1f} MiB "
+          f"(cap {args.max_mb:g} MiB)", file=sys.stderr)
+    if completed.returncode != 0:
+        return completed.returncode
+    if peak_mb > args.max_mb:
+        print(f"rss_guard: FAIL - peak RSS {peak_mb:.1f} MiB exceeds "
+              f"the {args.max_mb:g} MiB cap", file=sys.stderr)
+        return 3
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
