@@ -24,16 +24,23 @@ from repro.api.session import (DEFAULT_EXPERIMENT_SCALE,
                                DEFAULT_PREDICT_SCALE,
                                DEFAULT_REGIONS_SCALE, DEFAULT_SCHEME,
                                DEFAULT_TIMING_SCALE, EXPERIMENT_IDS,
-                               EXPERIMENTS, ExperimentRequest,
-                               ExperimentResponse, PredictRequest,
-                               PredictResponse, RegionsRequest,
-                               RegionsResponse, Session, TimingRequest,
-                               TimingResponse, predict_cell,
-                               predict_line, regions_cell, regions_line,
-                               resolve_names, timing_block, timing_cell)
+                               EXPERIMENTS, DeadlineExceeded,
+                               ExperimentRequest, ExperimentResponse,
+                               PredictRequest, PredictResponse,
+                               RegionsRequest, RegionsResponse, Session,
+                               TimingRequest, TimingResponse,
+                               check_deadline, current_deadline,
+                               deadline_scope,
+                               predict_cell, predict_line, regions_cell,
+                               regions_line, resolve_names, timing_block,
+                               timing_cell)
 
 __all__ = [
     "Session",
+    "DeadlineExceeded",
+    "deadline_scope",
+    "check_deadline",
+    "current_deadline",
     "RegionsRequest",
     "RegionsResponse",
     "PredictRequest",

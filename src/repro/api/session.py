@@ -30,9 +30,12 @@ byte-identical to batch CLI stdout.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 from repro import eval as evaluation
 from repro import metrics
@@ -92,6 +95,106 @@ def resolve_names(names: Sequence[str]) -> Tuple[str, ...]:
     for name in names:
         suite.spec(name)        # raises with the known-name list
     return tuple(names)
+
+
+# -- deadlines -----------------------------------------------------------
+
+class DeadlineExceeded(RuntimeError):
+    """A request ran past its deadline at a stage boundary.
+
+    Carries enough to answer "where did the budget go": ``stage`` is
+    the boundary that found the deadline expired (the work about to be
+    abandoned), ``deadline_ms`` the original budget, and ``stages`` the
+    ``(label, elapsed_ms)`` pairs for every stage that *did* complete -
+    the server returns them in the 504 response so a timed-out client
+    still learns which workloads were served within budget.
+    """
+
+    def __init__(self, stage: str, deadline_ms: float,
+                 stages: Sequence[Tuple[str, float]]) -> None:
+        self.stage = stage
+        self.deadline_ms = float(deadline_ms)
+        self.stages = tuple((label, round(float(ms), 3))
+                            for label, ms in stages)
+        super().__init__(
+            f"deadline of {self.deadline_ms:.0f}ms exceeded at stage "
+            f"{stage!r} ({len(self.stages)} stage(s) completed)")
+
+
+class _DeadlineState:
+    """Per-thread deadline bookkeeping (see :func:`deadline_scope`)."""
+
+    __slots__ = ("expires", "deadline_ms", "mark", "current", "stages")
+
+    def __init__(self, expires: float, deadline_ms: float) -> None:
+        self.expires = expires
+        self.deadline_ms = deadline_ms
+        self.mark = time.monotonic()
+        self.current: Optional[str] = None
+        self.stages: List[Tuple[str, float]] = []
+
+    def close_current(self) -> None:
+        """Attribute the elapsed time to the stage in progress."""
+        now = time.monotonic()
+        if self.current is not None:
+            self.stages.append((self.current,
+                                (now - self.mark) * 1000.0))
+            self.current = None
+        self.mark = now
+
+
+_deadline_local = threading.local()
+
+
+@contextmanager
+def deadline_scope(timeout_ms: Optional[float],
+                   anchor: Optional[float] = None):
+    """Bound the work inside the ``with`` block by a wall-clock budget.
+
+    Session operations call :func:`check_deadline` at stage boundaries
+    (per-workload, per-phase); once ``timeout_ms`` has elapsed since
+    ``anchor`` (default: scope entry, measured on ``time.monotonic``)
+    the next boundary raises :class:`DeadlineExceeded` instead of
+    starting more work.  ``timeout_ms`` of ``None`` or ``<= 0`` means
+    no deadline.  Scopes are per-thread and do not nest: the innermost
+    scope wins, and the previous one is restored on exit.
+    """
+    if not timeout_ms or timeout_ms <= 0:
+        yield None
+        return
+    anchor = anchor if anchor is not None else time.monotonic()
+    state = _DeadlineState(anchor + timeout_ms / 1000.0,
+                           float(timeout_ms))
+    previous = getattr(_deadline_local, "state", None)
+    _deadline_local.state = state
+    try:
+        yield state
+    finally:
+        _deadline_local.state = previous
+
+
+def current_deadline() -> Optional[_DeadlineState]:
+    """The active deadline state for this thread, if any."""
+    return getattr(_deadline_local, "state", None)
+
+
+def check_deadline(stage: str) -> None:
+    """Stage boundary: note the completed stage, fail if out of budget.
+
+    ``stage`` names the work *about to start*; the time since the last
+    boundary is attributed to the stage that just finished.  Raises
+    :class:`DeadlineExceeded` (carrying the completed-stage timings)
+    when the active scope's budget is spent, so the expensive work
+    named ``stage`` is never started; a no-op when no deadline scope
+    is active.
+    """
+    state = current_deadline()
+    if state is None:
+        return
+    state.close_current()
+    if time.monotonic() >= state.expires:
+        raise DeadlineExceeded(stage, state.deadline_ms, state.stages)
+    state.current = stage
 
 
 # -- request / response dataclasses -------------------------------------
@@ -299,6 +402,13 @@ class Session:
         self._responses: Dict[object, object] = {}
         self._lock = threading.Lock()          # serialises computation
         self._counter_lock = threading.Lock()  # warm-path counter bumps
+        #: Optional observer of resident-LRU traffic.  Called with
+        #: ``"hit"`` / ``"miss"`` / ``"evict"`` as they happen; the
+        #: serve layer points this at its admission controller so
+        #: cache thrash drives load shedding.  Must be fast and must
+        #: not call back into the session (it may run under the
+        #: session lock).
+        self.trace_events: Optional[Callable[[str], None]] = None
 
     # -- internal helpers ----------------------------------------------
 
@@ -306,19 +416,29 @@ class Session:
         with self._counter_lock:
             self._api_ns.counter(name).inc(amount)
 
+    _TRACE_COUNTERS = {"hit": "trace.hits", "miss": "trace.misses",
+                       "evict": "trace.evictions"}
+
+    def _note_trace(self, kind: str) -> None:
+        """Count one resident-LRU event and tell the observer."""
+        self._count(self._TRACE_COUNTERS[kind])
+        listener = self.trace_events
+        if listener is not None:
+            listener(kind)
+
     def _fetch_trace(self, name: str, scale: float) -> Trace:
         """A resident trace, loading (cache or simulate) on first use.
 
-        Must be called with :attr:`_lock` held; counts hits/misses into
-        ``api.trace.*`` so the warm path is observable.
+        Must be called with :attr:`_lock` held; counts hits/misses/
+        evictions into ``api.trace.*`` so the warm path (and LRU
+        churn) is observable.
         """
         key = (name, float(scale))
         trace = self._traces.get(key)
         if trace is not None:
-            self._count("trace.hits")
+            self._note_trace("hit")
             self._traces.move_to_end(key)
             return trace
-        self._count("trace.misses")
         with spans.span("api:trace", workload=name, scale=scale):
             cache = trace_cache.active_cache()
             if cache is None:
@@ -330,8 +450,13 @@ class Session:
             suite.evict(name, scale)
             trace.columns      # pay the columnar conversion at load time
         self._traces[key] = trace
+        # The miss is noted *after* insertion so a listener that
+        # snapshots the resident set (the serve warm manifest) sees
+        # the trace it was just told about.
+        self._note_trace("miss")
         while len(self._traces) > self.max_resident_traces:
             self._traces.popitem(last=False)
+            self._note_trace("evict")
         return trace
 
     def _memoised(self, op: str, key, compute):
@@ -370,64 +495,142 @@ class Session:
         """The ``(workload, scale)`` pairs currently resident."""
         return tuple(self._traces.keys())
 
+    def memoised_count(self) -> int:
+        """How many responses the memo table currently holds."""
+        return len(self._responses)
+
+    def evict_residents(self) -> int:
+        """Force-drop every resident trace (memoised responses stay).
+
+        Returns how many traces were evicted.  Each eviction is
+        counted and reported to :attr:`trace_events` exactly like an
+        LRU capacity eviction, so this is also the hook the serve
+        fault injector uses (``serve:oom-evict``) to drive the
+        backpressure path deterministically.
+        """
+        with self._lock:
+            count = len(self._traces)
+            self._traces.clear()
+        for _ in range(count):
+            self._note_trace("evict")
+        return count
+
     def close(self) -> None:
         """Drop resident traces and memoised responses."""
         with self._lock:
             self._traces.clear()
             self._responses.clear()
 
+    # -- request normalisation / memo probing ---------------------------
+
+    def _normalise(self, request):
+        """The canonical (memo-keying) form of any request dataclass.
+
+        Mirrors exactly what each query method does before computing,
+        so a normalised request equals the memo key of its response.
+        Raises ``ValueError`` on unknown workloads/schemes/experiments.
+        """
+        if isinstance(request, RegionsRequest):
+            return replace(request, names=resolve_names(request.names),
+                           scale=float(request.scale))
+        if isinstance(request, PredictRequest):
+            scheme_by_name(request.scheme)
+            return replace(request, names=resolve_names(request.names),
+                           scale=float(request.scale))
+        if isinstance(request, TimingRequest):
+            return replace(request, names=resolve_names(request.names),
+                           scale=float(request.scale))
+        if isinstance(request, ExperimentRequest):
+            if request.experiment not in EXPERIMENTS:
+                raise ValueError(
+                    f"unknown experiment {request.experiment!r}; "
+                    f"known: {list(EXPERIMENT_IDS)}")
+            scale = request.scale if request.scale is not None \
+                else DEFAULT_EXPERIMENT_SCALE
+            names = tuple(resolve_names(request.names)) \
+                if request.names else ()
+            return replace(request, names=names, scale=float(scale))
+        raise TypeError(f"not a request dataclass: {request!r}")
+
+    def probe(self, request) -> bool:
+        """True when ``request`` already has a memoised response.
+
+        The cost oracle for admission control: a probed-warm request
+        is answered from the memo table (a dictionary lookup), so the
+        serve layer keeps admitting it even while shedding expensive
+        cold work.  Always False on batch sessions and for requests
+        that fail validation (those are cheap to reject anyway).
+        """
+        if not self.resident:
+            return False
+        try:
+            key = self._normalise(request)
+        except (TypeError, ValueError):
+            return False
+        return key in self._responses
+
     # -- queries --------------------------------------------------------
 
     def regions(self, request: Optional[RegionsRequest] = None)\
             -> RegionsResponse:
         """Region-locality profile lines, one per workload."""
-        request = request if request is not None else RegionsRequest()
-        request = replace(request, names=resolve_names(request.names),
-                          scale=float(request.scale))
+        request = self._normalise(
+            request if request is not None else RegionsRequest())
         if not self.resident:
+            check_deadline("regions:run_cells")
             lines = tuple(engine.run_cells(
                 regions_cell, request.names, request.scale,
                 jobs=self.jobs))
             return RegionsResponse(request, lines)
+
+        def one(name: str) -> str:
+            check_deadline(f"regions:{name}")
+            return regions_line(name,
+                                self._fetch_trace(name, request.scale))
+
         return self._memoised("regions", request, lambda: RegionsResponse(
-            request, tuple(
-                regions_line(name, self._fetch_trace(name, request.scale))
-                for name in request.names)))
+            request, tuple(one(name) for name in request.names)))
 
     def predict(self, request: Optional[PredictRequest] = None)\
             -> PredictResponse:
         """Prediction-accuracy lines, one per workload."""
-        request = request if request is not None else PredictRequest()
-        scheme_by_name(request.scheme)  # fail fast, before any tracing
-        request = replace(request, names=resolve_names(request.names),
-                          scale=float(request.scale))
+        request = self._normalise(
+            request if request is not None else PredictRequest())
         if not self.resident:
+            check_deadline("predict:run_cells")
             lines = tuple(engine.run_cells(
                 predict_cell, request.names, request.scale,
                 request.scheme, jobs=self.jobs))
             return PredictResponse(request, lines)
+
+        def one(name: str) -> str:
+            check_deadline(f"predict:{name}")
+            return predict_line(name,
+                                self._fetch_trace(name, request.scale),
+                                request.scheme)
+
         return self._memoised("predict", request, lambda: PredictResponse(
-            request, tuple(
-                predict_line(name,
-                             self._fetch_trace(name, request.scale),
-                             request.scheme)
-                for name in request.names)))
+            request, tuple(one(name) for name in request.names)))
 
     def timing(self, request: Optional[TimingRequest] = None)\
             -> TimingResponse:
         """Figure-8 configuration sweep blocks, one per workload."""
-        request = request if request is not None else TimingRequest()
-        request = replace(request, names=resolve_names(request.names),
-                          scale=float(request.scale))
+        request = self._normalise(
+            request if request is not None else TimingRequest())
         if not self.resident:
+            check_deadline("timing:run_cells")
             lines = tuple(engine.run_cells(
                 timing_cell, request.names, request.scale,
                 jobs=self.jobs))
             return TimingResponse(request, lines)
+
+        def one(name: str) -> str:
+            check_deadline(f"timing:{name}")
+            return timing_block(name,
+                                self._fetch_trace(name, request.scale))
+
         return self._memoised("timing", request, lambda: TimingResponse(
-            request, tuple(
-                timing_block(name, self._fetch_trace(name, request.scale))
-                for name in request.names)))
+            request, tuple(one(name) for name in request.names)))
 
     def experiment(self, request: ExperimentRequest) -> ExperimentResponse:
         """Run one paper experiment/ablation driver.
@@ -437,17 +640,13 @@ class Session:
         driver only when explicitly given (so each driver's own default
         workload set applies otherwise).
         """
-        if request.experiment not in EXPERIMENTS:
-            raise ValueError(
-                f"unknown experiment {request.experiment!r}; known: "
-                f"{list(EXPERIMENT_IDS)}")
-        scale = request.scale if request.scale is not None \
-            else DEFAULT_EXPERIMENT_SCALE
-        names = tuple(resolve_names(request.names)) if request.names \
-            else ()
-        request = replace(request, names=names, scale=float(scale))
+        request = self._normalise(request)
 
         def compute() -> ExperimentResponse:
+            # Experiments run as one opaque driver call; the deadline
+            # boundary here stops a request that spent its budget
+            # queueing from starting a multi-second sweep.
+            check_deadline(f"experiment:{request.experiment}")
             driver = EXPERIMENTS[request.experiment]
             kwargs = {"scale": request.scale}
             if request.names:

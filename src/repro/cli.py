@@ -82,6 +82,7 @@ parent parser:
 from __future__ import annotations
 
 import argparse
+import atexit
 import os
 import signal
 import sys
@@ -300,7 +301,36 @@ def _build_parser() -> argparse.ArgumentParser:
                             "scale defaults to --scale); repeatable")
     serve.add_argument("--port-file", metavar="FILE", default=None,
                        help="write the bound TCP port to FILE once "
-                            "the daemon is warmed and serving")
+                            "the daemon is warmed and serving "
+                            "(removed again on exit)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       metavar="MS",
+                       help="default per-request deadline when the "
+                            "client sets no timeout_ms; past it the "
+                            "request gets a 504 with partial stage "
+                            "timings (0 = off) [default: "
+                            "$REPRO_SERVE_DEADLINE_MS or off]")
+    serve.add_argument("--idle-timeout", type=float, default=30.0,
+                       metavar="S",
+                       help="drop (and count) connections whose "
+                            "partial request line stalls longer than "
+                            "S seconds [%(default)s]")
+    serve.add_argument("--max-resident", type=_positive_jobs,
+                       default=16, metavar="N",
+                       help="resident trace LRU capacity; churn "
+                            "beyond it drives the degraded/shedding "
+                            "state [%(default)s]")
+    serve.add_argument("--warm-manifest", metavar="FILE", default=None,
+                       help="persist the resident warm set to FILE as "
+                            "it changes and re-warm from it at "
+                            "startup, so a (supervised) restart "
+                            "recovers its working set")
+    serve.add_argument("--supervise", action="store_true",
+                       help="run the daemon as a supervised child "
+                            "process: restart it on crash with "
+                            "exponential backoff, give up after "
+                            "repeated rapid failures (crash-loop "
+                            "breaker)")
     serve.set_defaults(handler=_cmd_serve,
                        default_scale=api.DEFAULT_PREDICT_SCALE)
 
@@ -336,6 +366,13 @@ def _build_parser() -> argparse.ArgumentParser:
                       choices=list(api.EXPERIMENT_IDS),
                       help="experiment id for --op experiment "
                            "[%(default)s]")
+    load.add_argument("--scenario", default="uniform",
+                      choices=("uniform", "thrash"),
+                      help="'uniform' = identical requests from every "
+                           "client; 'thrash' = the backpressure drill "
+                           "(cheap memoised load plus cold-churn "
+                           "clients; run against a daemon with a "
+                           "small --max-resident) [%(default)s]")
     load.add_argument("--out", default="BENCH_serve.json",
                       metavar="FILE",
                       help="write the JSON load report to FILE "
@@ -572,16 +609,38 @@ def _parse_warm(specs: List[str],
     return pairs
 
 
+def _remove_file_quietly(path) -> None:
+    try:
+        Path(path).unlink()
+    except OSError:
+        pass
+
+
 def _cmd_serve(args) -> int:
-    from repro.serve.server import DEFAULT_PORT, ReproServer
+    if args.supervise:
+        return _cmd_serve_supervised(args)
+    from repro.serve.server import (DEFAULT_PORT, ReproServer,
+                                    read_warm_manifest)
     _apply_common(args)
     pairs = _parse_warm(args.warm, _scale(args))
+    if args.warm_manifest:
+        # Re-warm the previous incarnation's working set (best-effort;
+        # a missing or corrupt manifest just starts cold).
+        known = set(pairs)
+        for pair in read_warm_manifest(args.warm_manifest):
+            if pair not in known:
+                pairs.append(pair)
+                known.add(pair)
     port = args.port if args.port is not None else DEFAULT_PORT
-    session = api.Session(resident=True)
+    session = api.Session(resident=True,
+                          max_resident_traces=args.max_resident)
     server = ReproServer(session, host=args.host, port=port,
                          unix_socket=args.unix_socket,
                          max_inflight=args.workers,
-                         queue_depth=args.queue)
+                         queue_depth=args.queue,
+                         deadline_ms=args.deadline_ms,
+                         idle_timeout_s=args.idle_timeout,
+                         warm_manifest=args.warm_manifest)
     stop = threading.Event()
 
     def _on_signal(signum, frame):
@@ -592,6 +651,7 @@ def _cmd_serve(args) -> int:
         for signum in (signal.SIGINT, signal.SIGTERM):
             installed.append((signum, signal.signal(signum, _on_signal)))
     address = server.start()
+    port_file = None
     try:
         if pairs:
             warmed = session.warm(pairs)
@@ -603,15 +663,37 @@ def _cmd_serve(args) -> int:
               f"(workers={args.workers}, queue={args.queue})",
               file=sys.stderr)
         if args.port_file and not isinstance(address, str):
-            Path(args.port_file).write_text(f"{address[1]}\n")
+            port_file = Path(args.port_file)
+            port_file.write_text(f"{address[1]}\n")
+            # Belt and braces against stale port files: the finally
+            # below covers exceptions, atexit covers sys.exit paths,
+            # and the supervisor sweeps before every restart (nothing
+            # covers SIGKILL - that is the supervisor's sweep).
+            atexit.register(_remove_file_quietly, port_file)
         while not (stop.is_set() or server.stop_requested.is_set()):
             server.stop_requested.wait(0.2)
     finally:
         for signum, previous in installed:
             signal.signal(signum, previous)
         server.shutdown(drain=True)
+        if port_file is not None:
+            _remove_file_quietly(port_file)
     print("repro serve: stopped", file=sys.stderr)
     return 0
+
+
+def _cmd_serve_supervised(args) -> int:
+    from repro.serve.supervisor import (Supervisor, install_stop_signals,
+                                        serve_child_command)
+    raw = list(getattr(args, "raw_argv", None) or sys.argv[1:])
+    child_args = [token for token in raw if token != "--supervise"]
+    if child_args and child_args[0] == "serve":
+        child_args = child_args[1:]
+    supervisor = Supervisor(serve_child_command(child_args),
+                            port_file=args.port_file)
+    if threading.current_thread() is threading.main_thread():
+        install_stop_signals(supervisor)
+    return supervisor.run()
 
 
 def _cmd_bench_load(args) -> int:
@@ -622,21 +704,30 @@ def _cmd_bench_load(args) -> int:
     else:
         port = args.port if args.port is not None else DEFAULT_PORT
         address = (args.host, port)
-    params = {"names": list(args.workloads), "scale": args.scale}
-    if args.op == "predict":
-        params["scheme"] = args.scheme
-    elif args.op == "experiment":
-        params = {"experiment": args.experiment,
-                  "names": list(args.workloads), "scale": args.scale}
-    report = bench.run_load(address, clients=args.clients,
-                            count=args.count, op=args.op,
-                            params=params, out=args.out)
+    if args.scenario == "thrash":
+        report = bench.run_thrash(address, names=args.workloads,
+                                  scale=args.scale, out=args.out)
+    else:
+        params = {"names": list(args.workloads), "scale": args.scale}
+        if args.op == "predict":
+            params["scheme"] = args.scheme
+        elif args.op == "experiment":
+            params = {"experiment": args.experiment,
+                      "names": list(args.workloads),
+                      "scale": args.scale}
+        report = bench.run_load(address, clients=args.clients,
+                                count=args.count, op=args.op,
+                                params=params, out=args.out)
     print(bench.render_report(report))
     print(f"load report written to {args.out}", file=sys.stderr)
     if args.history:
         path = bench.append_history(report, args.history)
         print(f"trend line appended to {path}", file=sys.stderr)
-    return 0 if report["errors"] == 0 else 1
+    if report.get("dead_clients"):
+        print(f"repro bench: {report['dead_clients']} client(s) died "
+              f"mid-run", file=sys.stderr)
+        return 1
+    return 0 if report.get("errors", 0) == 0 else 1
 
 
 # -- entry point --------------------------------------------------------
@@ -690,6 +781,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 token.startswith("-") for token in extra):
             parser.error(f"unrecognized arguments: {' '.join(extra)}")
         args.names = [*args.names, *extra]
+    # The verbatim invocation, for handlers that re-spawn themselves
+    # (``serve --supervise`` builds its child command from it).
+    args.raw_argv = list(argv) if argv is not None else sys.argv[1:]
     try:
         return _observed(args, argv)
     except BrokenPipeError:

@@ -17,6 +17,14 @@ several experiments, and a changed worker or argument list never
 matches a stale entry.  Unreadable or mismatched entries are
 quarantined (renamed aside) and treated as missing: a corrupt journal
 costs a re-run, never a crash and never wrong data.
+
+Growth is bounded: with a byte quota set (the ``max_bytes``
+constructor argument, or the ``REPRO_CHECKPOINT_MAX_BYTES``
+environment variable), every record that pushes the journal past the
+quota rotates the *oldest* entries aside into quarantine - where the
+standard expiry GC (:mod:`repro.quarantine`) reclaims them - until
+the journal fits again.  Rotated cells simply re-run on the next
+resume; a full disk never becomes a crashed sweep.
 """
 
 from __future__ import annotations
@@ -36,6 +44,21 @@ FORMAT_VERSION = 2
 #: Journal file suffix (entries are ``<digest>.cell``).
 SUFFIX = ".cell"
 
+#: Environment variable bounding total journal bytes (0/unset = off).
+ENV_MAX_BYTES = "REPRO_CHECKPOINT_MAX_BYTES"
+
+
+def default_max_bytes() -> int:
+    """The ``REPRO_CHECKPOINT_MAX_BYTES`` quota (0 = unbounded)."""
+    raw = os.environ.get(ENV_MAX_BYTES)
+    if raw is None or not raw.strip():
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        return 0
+    return value if value > 0 else 0
+
 
 @dataclass
 class JournalStats:
@@ -45,10 +68,11 @@ class JournalStats:
     misses: int = 0      # cells that had to run
     corrupt: int = 0     # unreadable entries quarantined
     quarantine_gc: int = 0   # expired quarantined files collected
+    quota_evictions: int = 0  # oldest entries rotated out by the quota
 
     def snapshot(self) -> "JournalStats":
         return JournalStats(self.hits, self.misses, self.corrupt,
-                            self.quarantine_gc)
+                            self.quarantine_gc, self.quota_evictions)
 
 
 def _stable_repr(value: object) -> str:
@@ -84,12 +108,15 @@ def cell_key(worker: Callable, name: str, scale: float,
 class CellJournal:
     """A directory of completed-cell records (see module docstring)."""
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(self, directory: Union[str, Path],
+                 max_bytes: Optional[int] = None) -> None:
         self.directory = Path(directory)
         if self.directory.exists() and not self.directory.is_dir():
             raise ValueError(
                 f"checkpoint path {self.directory} exists and is not "
                 f"a directory")
+        self.max_bytes = max_bytes if max_bytes is not None \
+            else default_max_bytes()
         self.stats = JournalStats()
         # Opening a journal garbage-collects expired quarantined
         # entries (same knobs as the trace cache: see
@@ -149,7 +176,43 @@ class CellJournal:
                     tmp.unlink()
                 except OSError:
                     pass
+        self._enforce_quota(keep=path)
         return path
+
+    def _enforce_quota(self, keep: Path) -> None:
+        """Rotate the oldest entries aside until the quota is met.
+
+        The entry just written (``keep``) is never rotated, so a quota
+        smaller than one record still makes forward progress instead
+        of evicting the cell that was just paid for.
+        """
+        if not self.max_bytes:
+            return
+        try:
+            entries = [(entry.stat().st_mtime, entry.stat().st_size,
+                        entry)
+                       for entry in self.directory.iterdir()
+                       if entry.suffix == SUFFIX]
+        except OSError:
+            return
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        for _, size, entry in sorted(entries):
+            if entry == keep:
+                continue
+            self.stats.quota_evictions += 1
+            try:
+                os.replace(entry,
+                           entry.with_name(entry.name + ".quarantined"))
+            except OSError:
+                try:
+                    entry.unlink()
+                except OSError:
+                    continue
+            total -= size
+            if total <= self.max_bytes:
+                break
 
     def _quarantine(self, path: Path) -> None:
         """Move an unreadable entry aside (last corrupt copy wins)."""

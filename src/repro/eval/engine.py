@@ -260,6 +260,8 @@ def resilience_snapshot() -> Dict[str, int]:
         snap["checkpoint.corrupt"] = _journal.stats.corrupt
         snap["checkpoint.quarantine_gc"] = \
             _journal.stats.quarantine_gc
+        snap["checkpoint.quota_evictions"] = \
+            _journal.stats.quota_evictions
     return snap
 
 

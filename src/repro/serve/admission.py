@@ -1,0 +1,237 @@
+"""Cost-aware admission control for the ``repro serve`` daemon.
+
+PR 7's admission gate was binary: two semaphores and an immediate 503
+once ``max_inflight + queue_depth`` requests were in the house.  That
+protects the process but treats a memoised predict (a dictionary
+lookup) and a cold scale-1 experiment (seconds of simulation) as the
+same unit of work - so a thrashing resident-trace LRU takes the cheap
+traffic down with the expensive traffic that caused it.
+
+:class:`AdmissionController` keeps the hard concurrency bound and adds
+a *degraded* regime between healthy and overloaded:
+
+* The session reports resident-LRU traffic (``hit``/``miss``/
+  ``evict``) into a sliding event window.
+* When the window shows cache thrash - evictions per second above
+  ``thrash_evictions_per_s``, or a hit rate below ``min_hit_rate``
+  once the window has enough samples - the controller enters the
+  ``degraded`` state: *expensive* requests (anything without a
+  memoised response) are shed with a 503 and a ``retry_after_ms``
+  hint, while cheap memoised requests keep flowing at full rate.
+  The degraded state latches for ``degraded_hold_s`` so shedding
+  (which silences the eviction signal) does not make it flap.
+* ``overloaded`` is the old hard bound: admission permits exhausted,
+  everything non-control is rejected.
+
+States surface through ``health`` (``ok``/``degraded``/``overloaded``)
+so load balancers and the supervisor can react before the daemon tips
+over.  The clock is injectable so tests drive the window
+deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, Optional
+
+#: Health states, in increasing order of distress.
+STATE_OK = "ok"
+STATE_DEGRADED = "degraded"
+STATE_OVERLOADED = "overloaded"
+
+#: Admission decisions (:meth:`AdmissionController.admit`).
+ALLOW = "allow"
+SHED = "shed"
+BUSY = "busy"
+
+
+class Decision:
+    """One admission verdict: allow, shed (degraded), or busy."""
+
+    __slots__ = ("verdict", "reason", "retry_after_ms")
+
+    def __init__(self, verdict: str, reason: str = "",
+                 retry_after_ms: Optional[float] = None) -> None:
+        self.verdict = verdict
+        self.reason = reason
+        self.retry_after_ms = retry_after_ms
+
+    @property
+    def allowed(self) -> bool:
+        return self.verdict == ALLOW
+
+
+class AdmissionController:
+    """Sliding-window, cost-aware admission (see module docstring).
+
+    ``max_inflight``/``queue_depth`` keep PR 7's semantics: at most
+    ``max_inflight`` requests execute concurrently, at most
+    ``queue_depth`` more wait, the rest bounce with 503.  The
+    controller owns both semaphores; the server brackets execution
+    with :meth:`admit` / :meth:`release` and runs the handler inside
+    :attr:`running` (the inner concurrency gate).
+    """
+
+    def __init__(self, max_inflight: int = 8, queue_depth: int = 16,
+                 window_s: float = 10.0,
+                 thrash_evictions_per_s: float = 1.0,
+                 min_hit_rate: float = 0.5,
+                 min_window_events: int = 16,
+                 degraded_hold_s: float = 20.0,
+                 shed_retry_after_ms: float = 1000.0,
+                 busy_retry_after_ms: float = 100.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self.window_s = window_s
+        self.thrash_evictions_per_s = thrash_evictions_per_s
+        self.min_hit_rate = min_hit_rate
+        self.min_window_events = min_window_events
+        self.degraded_hold_s = degraded_hold_s
+        self.shed_retry_after_ms = shed_retry_after_ms
+        self.busy_retry_after_ms = busy_retry_after_ms
+        self._clock = clock
+        self._admission = threading.Semaphore(max_inflight + queue_depth)
+        #: The inner gate the server holds while a handler executes.
+        self.running = threading.Semaphore(max_inflight)
+        self._lock = threading.Lock()
+        self._events: "deque[tuple[float, str]]" = deque()
+        self._degraded_until: Optional[float] = None
+        self._pending = 0       # admitted but not yet released
+        self._shed_total = 0
+        self._busy_total = 0
+
+    # -- LRU traffic window ---------------------------------------------
+
+    def note_trace_event(self, kind: str) -> None:
+        """Record one resident-LRU event (``hit``/``miss``/``evict``).
+
+        Wired to :attr:`repro.api.Session.trace_events`; must stay
+        cheap because it can run under the session lock.
+        """
+        now = self._clock()
+        with self._lock:
+            self._events.append((now, kind))
+            self._trim(now)
+
+    def _trim(self, now: float) -> None:
+        horizon = now - self.window_s
+        events = self._events
+        while events and events[0][0] < horizon:
+            events.popleft()
+
+    def window(self) -> Dict[str, float]:
+        """The current window's counts and derived rates."""
+        now = self._clock()
+        with self._lock:
+            self._trim(now)
+            counts = {"hit": 0, "miss": 0, "evict": 0}
+            for _, kind in self._events:
+                if kind in counts:
+                    counts[kind] += 1
+        lookups = counts["hit"] + counts["miss"]
+        return {
+            "window_s": self.window_s,
+            "hits": counts["hit"],
+            "misses": counts["miss"],
+            "evictions": counts["evict"],
+            "evictions_per_s": counts["evict"] / self.window_s,
+            "hit_rate": (counts["hit"] / lookups) if lookups else None,
+        }
+
+    def thrashing(self) -> bool:
+        """True when the window shows resident-LRU thrash.
+
+        Detection *latches* for ``degraded_hold_s``: shed traffic
+        stops generating evictions, so without hysteresis the state
+        would flap (shed everything, window drains, admit a burst,
+        thrash again).  The hold keeps the daemon degraded until the
+        churn has actually been gone for a while.
+        """
+        window = self.window()
+        lookups = window["hits"] + window["misses"]
+        raw = (window["evictions_per_s"] >= self.thrash_evictions_per_s
+               or (lookups >= self.min_window_events
+                   and window["hit_rate"] is not None
+                   and window["hit_rate"] < self.min_hit_rate))
+        now = self._clock()
+        with self._lock:
+            if raw:
+                self._degraded_until = now + self.degraded_hold_s
+                return True
+            return self._degraded_until is not None \
+                and now < self._degraded_until
+
+    # -- state / admission ----------------------------------------------
+
+    def state(self) -> str:
+        """``ok`` / ``degraded`` / ``overloaded`` right now."""
+        with self._lock:
+            saturated = self._pending >= self.max_inflight \
+                + self.queue_depth
+        if saturated:
+            return STATE_OVERLOADED
+        if self.thrashing():
+            return STATE_DEGRADED
+        return STATE_OK
+
+    def admit(self, op: str, cheap: bool) -> Decision:
+        """Decide one work request; pairs with :meth:`release`.
+
+        ``cheap`` is the session's memo probe: True means answering is
+        a dictionary lookup.  Expensive requests are shed while the
+        LRU thrashes; everything is bounced once the hard concurrency
+        bound is reached.  An ``allowed`` decision holds one admission
+        permit until :meth:`release`.
+        """
+        if not cheap and self.thrashing():
+            with self._lock:
+                self._shed_total += 1
+            return Decision(
+                SHED,
+                reason=(f"shedding expensive op {op!r}: resident "
+                        f"trace cache is thrashing"),
+                retry_after_ms=self.shed_retry_after_ms)
+        if not self._admission.acquire(blocking=False):
+            with self._lock:
+                self._busy_total += 1
+            return Decision(
+                BUSY,
+                reason=(f"server busy: {self.max_inflight} in flight "
+                        f"and {self.queue_depth} queued "
+                        f"(admission limit)"),
+                retry_after_ms=self.busy_retry_after_ms)
+        with self._lock:
+            self._pending += 1
+        return Decision(ALLOW)
+
+    def release(self) -> None:
+        """Return the permit taken by an ``allowed`` decision."""
+        with self._lock:
+            self._pending -= 1
+        self._admission.release()
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-able view for the ``health``/``stats`` endpoints."""
+        window = self.window()
+        with self._lock:
+            pending = self._pending
+            shed = self._shed_total
+            busy = self._busy_total
+        return {
+            "state": self.state(),
+            "pending": pending,
+            "max_inflight": self.max_inflight,
+            "queue_depth": self.queue_depth,
+            "shed_total": shed,
+            "busy_total": busy,
+            "window": window,
+        }

@@ -9,13 +9,30 @@ and anyone scripting against a running daemon::
         response = client.call("predict", names=["db_vortex"],
                                scale=0.2)
         print("\\n".join(response["result"]["lines"]))
+
+Resilience is opt-in and bounded.  With ``retries`` set, transient
+failures - transport errors, corrupt response lines, and ``503``
+rejections - are retried with exponential backoff, deterministic
+jitter, and the server's ``retry_after_ms`` hint when one is present;
+the connection is re-established between attempts.  A client-side
+circuit breaker trips after ``breaker_threshold`` *consecutive*
+exhausted calls and fails fast with :class:`CircuitOpenError` until
+``breaker_reset_s`` has passed, at which point one trial call probes
+the server (half-open) and a success closes the circuit again.
+``timeout_ms`` rides along on any call as the server-side deadline.
+
+``504`` (deadline exceeded) and other definitive statuses (400/404/
+500) are never retried: the server answered; asking again with the
+same question is not a recovery strategy.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
-from typing import Optional
+import time
+from typing import Callable, Optional
 
 from repro.serve import protocol
 from repro.serve.server import Address
@@ -29,29 +46,80 @@ class ServeError(RuntimeError):
         self.status = status
 
 
+class CircuitOpenError(RuntimeError):
+    """Failing fast: the client's circuit breaker is open.
+
+    Raised without touching the network once ``breaker_threshold``
+    consecutive calls have exhausted their retries; clears after
+    ``breaker_reset_s`` via a half-open trial call.
+    """
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(
+            f"circuit breaker open; retry in {retry_after_s:.3f}s")
+        self.retry_after_s = retry_after_s
+
+
+#: Statuses worth retrying: admission rejections and load sheds.
+RETRYABLE_STATUSES = frozenset({protocol.STATUS_BUSY})
+
+
 class ServeClient:
     """One persistent connection to a :class:`ReproServer`.
 
     ``address`` is a ``(host, port)`` tuple or a Unix-socket path.
     Not thread-safe: each concurrent client should own a connection,
     matching the daemon's thread-per-connection model.
+
+    ``retries=0`` (the default) keeps the PR 7 behaviour: one attempt,
+    transport errors propagate.  ``clock``/``sleep``/``jitter_seed``
+    exist so tests drive the retry and breaker schedule
+    deterministically.
     """
 
     def __init__(self, address: Address,
-                 timeout: Optional[float] = 120.0) -> None:
+                 timeout: Optional[float] = 120.0,
+                 retries: int = 0,
+                 backoff_s: float = 0.05,
+                 backoff_cap_s: float = 2.0,
+                 breaker_threshold: int = 5,
+                 breaker_reset_s: float = 5.0,
+                 jitter_seed: int = 0,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
         self.address = address
-        if isinstance(address, str):
-            self._sock = socket.socket(socket.AF_UNIX,
-                                       socket.SOCK_STREAM)
-        else:
-            self._sock = socket.socket(socket.AF_INET,
-                                       socket.SOCK_STREAM)
-        self._sock.settimeout(timeout)
-        self._sock.connect(address)
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_s = breaker_reset_s
+        self._rng = random.Random(jitter_seed)
+        self._clock = clock
+        self._sleep = sleep
+        self._sock: Optional[socket.socket] = None
         self._buffer = b""
         self._next_id = 0
+        self.retry_total = 0
+        self._consecutive_failures = 0
+        self._breaker_opened_at: Optional[float] = None
+        self._connect()
 
     # -- plumbing -------------------------------------------------------
+
+    def _connect(self) -> None:
+        if isinstance(self.address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self.address)
+        self._sock = sock
+        self._buffer = b""
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
 
     def _read_line(self) -> bytes:
         while True:
@@ -66,17 +134,103 @@ class ServeClient:
                     "server closed the connection mid-response")
             self._buffer += chunk
 
-    def call(self, op: str, **params) -> dict:
-        """Send one request and return the raw response document."""
+    def _attempt(self, op: str, params: dict,
+                 timeout_ms: Optional[float]) -> dict:
+        """One request/response round trip on the live connection."""
+        if self._sock is None:
+            self._connect()
         self._next_id += 1
         self._sock.sendall(protocol.encode_request(
-            op, params or None, request_id=self._next_id))
-        return json.loads(self._read_line().decode("utf-8"))
+            op, params or None, request_id=self._next_id,
+            timeout_ms=timeout_ms))
+        line = self._read_line()
+        try:
+            return json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            # A mangled response line means the framing survived but
+            # the body did not (e.g. an injected corrupt-response);
+            # treat it like a transport fault: reconnect and retry.
+            raise ConnectionError(
+                f"undecodable response line: {exc}") from None
 
-    def result(self, op: str, **params) -> dict:
+    def _backoff(self, attempt: int,
+                 retry_after_ms: Optional[float]) -> float:
+        """The pause before retry ``attempt`` (0-based), with jitter."""
+        delay = min(self.backoff_cap_s,
+                    self.backoff_s * (2.0 ** attempt))
+        delay *= 0.5 + self._rng.random() / 2.0
+        if retry_after_ms is not None:
+            delay = max(delay, retry_after_ms / 1000.0)
+        return delay
+
+    # -- circuit breaker ------------------------------------------------
+
+    def _check_breaker(self) -> None:
+        if self._breaker_opened_at is None:
+            return
+        elapsed = self._clock() - self._breaker_opened_at
+        if elapsed < self.breaker_reset_s:
+            raise CircuitOpenError(self.breaker_reset_s - elapsed)
+        # Half-open: let this call through as the trial; a failure
+        # below re-opens the window from now.
+
+    def _record_outcome(self, success: bool) -> None:
+        if success:
+            self._consecutive_failures = 0
+            self._breaker_opened_at = None
+        elif self.retries > 0:
+            # A plain (retries=0) client hands failures straight back
+            # to its caller; only a resilient client, whose retries
+            # just came up dry, treats them as breaker strikes.
+            self._consecutive_failures += 1
+            if self.breaker_threshold > 0 and \
+                    self._consecutive_failures >= self.breaker_threshold:
+                self._breaker_opened_at = self._clock()
+
+    # -- calls ----------------------------------------------------------
+
+    def call(self, op: str, timeout_ms: Optional[float] = None,
+             **params) -> dict:
+        """Send one request and return the raw response document.
+
+        Retries transport faults and retryable statuses up to
+        ``self.retries`` times (reconnecting between attempts); a
+        definitive server answer - success or a non-retryable error
+        status - returns as-is.
+        """
+        self._check_breaker()
+        attempt = 0
+        while True:
+            retry_after_ms = None
+            try:
+                response = self._attempt(op, params, timeout_ms)
+                status = response.get("status")
+                if status not in RETRYABLE_STATUSES:
+                    self._record_outcome(True)
+                    return response
+                retry_after_ms = response.get("retry_after_ms")
+                failure: Optional[Exception] = None
+            except (OSError, ConnectionError) as exc:
+                failure = exc
+            if attempt >= self.retries:
+                self._record_outcome(False)
+                if failure is not None:
+                    raise failure
+                return response     # the last retryable-status answer
+            self.retry_total += 1
+            self._sleep(self._backoff(attempt, retry_after_ms))
+            if failure is not None:
+                try:
+                    self._reconnect()
+                except OSError:
+                    pass        # next _attempt retries the connect
+            attempt += 1
+
+    def result(self, op: str, timeout_ms: Optional[float] = None,
+               **params) -> dict:
         """Like :meth:`call` but unwraps ``result`` or raises
         :class:`ServeError` on a failure response."""
-        response = self.call(op, **params)
+        response = self.call(op, timeout_ms=timeout_ms, **params)
         if not response.get("ok"):
             raise ServeError(response.get("status", 500),
                              response.get("error", "unknown error"))
@@ -98,13 +252,35 @@ class ServeClient:
 
     def close(self) -> None:
         """Close the connection."""
+        if self._sock is None:
+            return
         try:
             self._sock.close()
         except OSError:
             pass
+        self._sock = None
 
     def __enter__(self) -> "ServeClient":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+def connect_with_retry(address: Address, deadline_s: float = 10.0,
+                       poll_s: float = 0.1,
+                       **client_kwargs) -> ServeClient:
+    """A :class:`ServeClient` to a daemon that may still be starting.
+
+    Polls the connect until ``deadline_s`` elapses, then re-raises the
+    last refusal.  The supervisor drills use this to reach a freshly
+    restarted daemon.
+    """
+    deadline = time.monotonic() + deadline_s
+    while True:
+        try:
+            return ServeClient(address, **client_kwargs)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(poll_s)

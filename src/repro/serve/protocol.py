@@ -3,26 +3,32 @@
 One request per line, one response per line, over a TCP or Unix-domain
 socket.  Requests are JSON objects::
 
-    {"op": "predict", "id": 7, "params": {"names": ["db_vortex"],
-                                          "scale": 0.2}}
+    {"op": "predict", "id": 7, "timeout_ms": 500,
+     "params": {"names": ["db_vortex"], "scale": 0.2}}
 
 ``op`` is required; ``id`` is an optional client-chosen correlation
-token echoed back verbatim; ``params`` is an op-specific object.
-Responses::
+token echoed back verbatim; ``params`` is an op-specific object;
+``timeout_ms`` is an optional per-request deadline (the server's
+``REPRO_SERVE_DEADLINE_MS`` default applies when absent).  Responses::
 
     {"id": 7, "ok": true, "status": 200, "elapsed_ms": 1.4,
      "result": {...}}
-    {"id": 7, "ok": false, "status": 503, "error": "server busy ..."}
+    {"id": 7, "ok": false, "status": 503, "error": "server busy ...",
+     "retry_after_ms": 250}
+    {"id": 7, "ok": false, "status": 504, "error": "deadline ...",
+     "deadline_ms": 500, "stages": [["predict:compress", 412.0]]}
 
 ``status`` follows HTTP conventions so clients can branch without
 string-matching: 200 success, 400 invalid request/parameters, 404
-unknown op, 500 handler failure, 503 admission-control rejection.
+unknown op, 500 handler failure, 503 admission-control rejection or
+load shed (with a ``retry_after_ms`` hint), 504 deadline exceeded
+(with the partial per-stage timings the budget was spent on).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 #: HTTP-style status codes used by the daemon.
 STATUS_OK = 200
@@ -30,6 +36,7 @@ STATUS_BAD_REQUEST = 400
 STATUS_NOT_FOUND = 404
 STATUS_ERROR = 500
 STATUS_BUSY = 503
+STATUS_TIMEOUT = 504
 
 #: Longest accepted request line (defensive bound, not a real limit).
 MAX_LINE = 1 << 20
@@ -46,20 +53,25 @@ def encode(document: dict) -> bytes:
 
 
 def encode_request(op: str, params: Optional[dict] = None,
-                   request_id=None) -> bytes:
-    """A request line for ``op`` with optional params and id."""
+                   request_id=None,
+                   timeout_ms: Optional[float] = None) -> bytes:
+    """A request line for ``op`` with optional params, id, deadline."""
     document = {"op": op}
     if request_id is not None:
         document["id"] = request_id
+    if timeout_ms is not None:
+        document["timeout_ms"] = timeout_ms
     if params:
         document["params"] = params
     return encode(document)
 
 
-def decode_request(line: bytes) -> Tuple[str, dict, object]:
-    """Parse one request line into ``(op, params, request_id)``.
+def decode_request(line: bytes)\
+        -> Tuple[str, dict, object, Optional[float]]:
+    """Parse one request line into ``(op, params, id, timeout_ms)``.
 
     Raises :class:`ProtocolError` on malformed JSON or shapes.
+    ``timeout_ms`` is ``None`` when the client set no deadline.
     """
     if len(line) > MAX_LINE:
         raise ProtocolError(f"request line exceeds {MAX_LINE} bytes")
@@ -75,7 +87,13 @@ def decode_request(line: bytes) -> Tuple[str, dict, object]:
     params = document.get("params", {})
     if not isinstance(params, dict):
         raise ProtocolError("'params' must be a JSON object")
-    return op, params, document.get("id")
+    timeout_ms = document.get("timeout_ms")
+    if timeout_ms is not None:
+        if not isinstance(timeout_ms, (int, float)) \
+                or isinstance(timeout_ms, bool) or timeout_ms <= 0:
+            raise ProtocolError("'timeout_ms' must be a positive number")
+        timeout_ms = float(timeout_ms)
+    return op, params, document.get("id"), timeout_ms
 
 
 def ok_response(request_id, result: dict,
@@ -88,10 +106,34 @@ def ok_response(request_id, result: dict,
     return document
 
 
-def error_response(request_id, status: int, message: str) -> dict:
-    """A failure response document."""
-    return {"id": request_id, "ok": False, "status": status,
-            "error": message}
+def error_response(request_id, status: int, message: str,
+                   retry_after_ms: Optional[float] = None) -> dict:
+    """A failure response document.
+
+    ``retry_after_ms`` is the load-shedding hint: how long the client
+    should back off before retrying (the line-JSON analogue of an
+    HTTP ``Retry-After`` header).
+    """
+    document = {"id": request_id, "ok": False, "status": status,
+                "error": message}
+    if retry_after_ms is not None:
+        document["retry_after_ms"] = round(float(retry_after_ms), 3)
+    return document
+
+
+def timeout_response(request_id, message: str, deadline_ms: float,
+                     stages: Sequence[Tuple[str, float]]) -> dict:
+    """A 504 deadline-exceeded response with partial stage timings.
+
+    ``stages`` are the ``(label, elapsed_ms)`` pairs for work that
+    *did* complete before the budget ran out, so the client learns
+    where its deadline went instead of just that it went.
+    """
+    document = error_response(request_id, STATUS_TIMEOUT, message)
+    document["deadline_ms"] = round(float(deadline_ms), 3)
+    document["stages"] = [[label, round(float(ms), 3)]
+                          for label, ms in stages]
+    return document
 
 
 def check_params(params: dict, allowed: frozenset) -> None:

@@ -9,38 +9,63 @@ a functional simulation.
 
 Operational posture:
 
-* **Admission control.**  Work ops (``predict``/``regions``/
-  ``timing``/``experiment``) pass a two-level gate: at most
+* **Deadlines.**  Every request carries a wall-clock budget - its own
+  ``timeout_ms``, or the server default (``REPRO_SERVE_DEADLINE_MS``).
+  Session operations check the budget at stage boundaries; a request
+  past its deadline gets a ``504`` carrying the partial per-stage
+  timings instead of holding a worker slot hostage.  Socket reads of
+  partial request lines and response writes have their own idle
+  timeouts, so slow-loris clients are dropped (and counted) rather
+  than pinning connection threads.
+* **Adaptive admission control.**  Work ops pass a cost-aware gate
+  (:class:`repro.serve.admission.AdmissionController`): at most
   ``max_inflight`` execute concurrently and at most ``queue_depth``
-  more wait; anything beyond is rejected immediately with a
-  ``503``-style response instead of queueing unboundedly.
-  Control ops (``health``/``stats``/``shutdown``) bypass the gate so
-  the daemon stays observable under overload.
+  more wait; beyond that everything bounces with ``503``.  Before
+  that hard bound bites, resident-LRU thrash (eviction churn, cold
+  hit rates) puts the daemon in a ``degraded`` state where expensive
+  (non-memoised) requests are shed with ``503`` + ``retry_after_ms``
+  while cheap memoised requests keep flowing.  Control ops
+  (``health``/``stats``/``shutdown``) always bypass the gate so the
+  daemon stays observable under overload.
 * **Metrics.**  Per-request latency histograms (overall and per op),
-  request/error/rejection counters, and the session's ``api.*``
-  residency counters all live in one metrics registry; ``stats``
-  returns a live snapshot of it, with p50/p95/p99 estimated from the
-  latency histogram.
+  request/error/rejection/shed/deadline counters, and the session's
+  ``api.*`` residency counters all live in one metrics registry;
+  ``stats`` returns a live snapshot with p50/p95/p99 estimated from
+  the latency histogram plus the admission window.
 * **Spans.**  When span tracing is enabled (``--trace-spans``), every
   request lifecycle is journalled as a ``serve:request`` span carrying
-  op and status attributes.
+  op, status, and deadline attributes.
+* **Warm-set manifest.**  With ``warm_manifest`` set, the resident
+  ``(workload, scale)`` set is persisted (atomically) whenever it
+  changes, so a supervisor can re-warm a restarted daemon to the same
+  working set (``--warm-manifest``).
+* **Fault injection.**  ``serve:*`` directives from
+  :mod:`repro.testing.faults` hook the dispatch path (drop / stall /
+  corrupt-response / oom-evict) so chaos drills exercise the exact
+  production code paths deterministically.
 * **Clean shutdown.**  :meth:`shutdown` stops accepting, lets in-flight
   requests finish and their responses flush (drain), then closes every
   connection; the ``shutdown`` op requests the same from the wire.
+  Requests whose deadline expires mid-drain still get their ``504``,
+  so a drain never deadlocks on a doomed request.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import socket
 import threading
 import time
-from typing import Dict, List, Optional, Tuple, Union
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro import api
 from repro.metrics.registry import Histogram
 from repro.obs import spans
 from repro.serve import protocol
+from repro.serve.admission import AdmissionController
+from repro.testing import faults as fault_injection
 
 #: Default TCP port (an unassigned port in the user range).
 DEFAULT_PORT = 7907
@@ -58,6 +83,47 @@ Address = Union[Tuple[str, int], str]
 #: Poll interval for socket timeouts (how fast loops notice shutdown).
 _POLL_S = 0.2
 
+#: Default per-request deadline (ms) when the client sets none;
+#: ``0`` disables the server-side default.
+ENV_DEADLINE_MS = "REPRO_SERVE_DEADLINE_MS"
+
+#: How long a *partial* request line may sit before the connection is
+#: dropped as a slow-loris client (seconds).
+DEFAULT_IDLE_TIMEOUT_S = 30.0
+
+#: How long one response write may block before the client is dropped.
+DEFAULT_WRITE_TIMEOUT_S = 30.0
+
+
+def default_deadline_ms() -> float:
+    """The ``REPRO_SERVE_DEADLINE_MS`` default (0 = no deadline)."""
+    raw = os.environ.get(ENV_DEADLINE_MS)
+    if raw is None or not raw.strip():
+        return 0.0
+    try:
+        value = float(raw)
+    except ValueError:
+        return 0.0
+    return value if value > 0 else 0.0
+
+
+def read_warm_manifest(path: Union[str, Path])\
+        -> List[Tuple[str, float]]:
+    """The ``(workload, scale)`` pairs persisted by a previous daemon.
+
+    Returns ``[]`` for a missing or unreadable manifest - re-warming
+    is best-effort by design (a corrupt manifest costs warmth, never
+    a failed restart).
+    """
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+        pairs = [(str(name), float(scale))
+                 for name, scale in document["pairs"]]
+    except (OSError, ValueError, TypeError, KeyError):
+        return []
+    return pairs
+
 
 class ReproServer:
     """A daemon answering :mod:`repro.api` queries for many clients.
@@ -65,23 +131,40 @@ class ReproServer:
     Construct, :meth:`start`, and query the bound :attr:`address`; or
     pass the instance around embedded in tests.  ``session`` defaults
     to a fresh resident :class:`repro.api.Session`; pass your own to
-    pre-warm or to share a metrics registry.
+    pre-warm or to share a metrics registry.  ``admission`` defaults
+    to an :class:`AdmissionController` built from ``max_inflight`` /
+    ``queue_depth``; pass your own to tune the thrash window.
     """
 
     def __init__(self, session: Optional[api.Session] = None,
                  host: str = "127.0.0.1", port: int = 0,
                  unix_socket: Optional[str] = None,
                  max_inflight: int = 8, queue_depth: int = 16,
-                 debug_ops: bool = False) -> None:
-        if max_inflight < 1:
-            raise ValueError("max_inflight must be >= 1")
-        if queue_depth < 0:
-            raise ValueError("queue_depth must be >= 0")
+                 debug_ops: bool = False,
+                 admission: Optional[AdmissionController] = None,
+                 deadline_ms: Optional[float] = None,
+                 idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
+                 write_timeout_s: float = DEFAULT_WRITE_TIMEOUT_S,
+                 warm_manifest: Union[str, Path, None] = None) -> None:
+        if admission is None:
+            admission = AdmissionController(max_inflight=max_inflight,
+                                            queue_depth=queue_depth)
+        self.admission = admission
+        self.max_inflight = admission.max_inflight
+        self.queue_depth = admission.queue_depth
         self.session = session if session is not None \
             else api.Session(resident=True)
         self.registry = self.session.metrics
-        self.max_inflight = max_inflight
-        self.queue_depth = queue_depth
+        self.deadline_ms = deadline_ms if deadline_ms is not None \
+            else default_deadline_ms()
+        self.idle_timeout_s = idle_timeout_s
+        self.write_timeout_s = write_timeout_s
+        self._warm_manifest = Path(warm_manifest) if warm_manifest \
+            else None
+        self._manifest_lock = threading.Lock()
+        # LRU traffic drives both the admission window and the
+        # persisted warm set.
+        self.session.trace_events = self._on_trace_event
         self._host = host
         self._port = port
         self._unix_socket = unix_socket
@@ -93,22 +176,26 @@ class ReproServer:
         #: Set by the ``shutdown`` op; the owner (CLI main loop or a
         #: test) observes it and calls :meth:`shutdown`.
         self.stop_requested = threading.Event()
-        self._running = threading.Semaphore(max_inflight)
-        self._admission = threading.Semaphore(max_inflight + queue_depth)
         self._metrics_lock = threading.Lock()
         self._inflight = 0
         self._started_at = time.monotonic()
-        self._ops = {
-            "predict": self._op_predict,
-            "regions": self._op_regions,
-            "timing": self._op_timing,
-            "experiment": self._op_experiment,
+        #: Work ops: ``op -> (request_builder, executor)``.
+        self._work_ops: Dict[str, Tuple[Callable, Callable]] = {
+            "predict": (self._build_predict, self._exec_predict),
+            "regions": (self._build_regions, self._exec_regions),
+            "timing": (self._build_timing, self._exec_timing),
+            "experiment": (self._build_experiment,
+                           self._exec_experiment),
+        }
+        #: Control ops: ``op -> handler(params)``.
+        self._control_ops: Dict[str, Callable] = {
             "health": self._op_health,
             "stats": self._op_stats,
             "shutdown": self._op_shutdown,
         }
         if debug_ops:
-            self._ops["sleep"] = self._op_sleep
+            self._work_ops["sleep"] = (self._build_sleep,
+                                       self._exec_sleep)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -152,7 +239,10 @@ class ReproServer:
 
         With ``drain`` (the default), requests already executing finish
         and their responses are flushed before connections close; the
-        accept loop stops immediately either way.
+        accept loop stops immediately either way.  A draining request
+        that is already past its deadline completes as a ``504``
+        (deadlines are checked before expensive stages), so the drain
+        cannot deadlock on work that will never be wanted.
         """
         self._stopping.set()
         if self._listener is not None:
@@ -178,6 +268,32 @@ class ReproServer:
             except OSError:
                 pass
 
+    # -- LRU traffic / warm manifest ------------------------------------
+
+    def _on_trace_event(self, kind: str) -> None:
+        """Session LRU listener: feed admission, persist the warm set."""
+        self.admission.note_trace_event(kind)
+        if kind != "hit":
+            self._write_warm_manifest()
+
+    def _write_warm_manifest(self) -> None:
+        """Atomically persist the resident set for supervisor re-warm."""
+        path = self._warm_manifest
+        if path is None:
+            return
+        document = {"version": 1,
+                    "pairs": [[name, scale]
+                              for name, scale in self.session.warmed()]}
+        payload = json.dumps(document, sort_keys=True) + "\n"
+        with self._manifest_lock:
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+                tmp.write_text(payload)
+                os.replace(tmp, path)
+            except OSError:
+                pass        # best-effort: warmth, not correctness
+
     # -- socket loops ---------------------------------------------------
 
     def _accept_loop(self) -> None:
@@ -196,9 +312,30 @@ class ReproServer:
             thread.start()
             self._threads.append(thread)
 
+    def _send(self, conn: socket.socket, payload: bytes) -> bool:
+        """Write one response line; False drops the connection.
+
+        A client that stops reading (full receive buffer) blocks the
+        write; after ``write_timeout_s`` it is dropped and counted
+        rather than pinning this connection thread forever.
+        """
+        try:
+            conn.settimeout(self.write_timeout_s)
+            try:
+                conn.sendall(payload)
+                return True
+            finally:
+                conn.settimeout(_POLL_S)
+        except socket.timeout:
+            self._count("write_drops")
+            return False
+        except OSError:
+            return False
+
     def _client_loop(self, conn: socket.socket) -> None:
         """One persistent connection: request line in, response out."""
         buffer = b""
+        last_activity = time.monotonic()
         try:
             while True:
                 newline = buffer.find(b"\n")
@@ -206,29 +343,42 @@ class ReproServer:
                     line, buffer = buffer[:newline], buffer[newline + 1:]
                     if not line.strip():
                         continue
-                    response = self._dispatch(line)
-                    conn.sendall(protocol.encode(response))
+                    payload = self._dispatch(line)
+                    if payload is None:     # injected serve:drop
+                        break
+                    if not self._send(conn, payload):
+                        break
                     # Drain semantics: finish the request in hand, then
                     # stop reading once shutdown has begun.
                     if self._stopping.is_set():
                         break
+                    last_activity = time.monotonic()
                     continue
                 if self._stopping.is_set():
                     break
                 if len(buffer) > protocol.MAX_LINE:
-                    conn.sendall(protocol.encode(protocol.error_response(
-                        None, protocol.STATUS_BAD_REQUEST,
-                        "request line too long")))
+                    self._send(conn, protocol.encode(
+                        protocol.error_response(
+                            None, protocol.STATUS_BAD_REQUEST,
+                            "request line too long")))
                     break
                 try:
                     chunk = conn.recv(65536)
                 except socket.timeout:
+                    # A *partial* request line going nowhere is a
+                    # slow-loris client; an idle connection between
+                    # requests is normal keep-alive and stays open.
+                    if buffer and (time.monotonic() - last_activity
+                                   > self.idle_timeout_s):
+                        self._count("idle_drops")
+                        break
                     continue
                 except OSError:
                     break
                 if not chunk:
                     break
                 buffer += chunk
+                last_activity = time.monotonic()
         except OSError:
             pass        # client went away mid-response
         finally:
@@ -241,6 +391,10 @@ class ReproServer:
                     self._conns.remove(conn)
 
     # -- dispatch -------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._metrics_lock:
+            self.registry.scoped("serve").counter(name).inc(amount)
 
     def _observe(self, op: str, status: int, elapsed_ms: float) -> None:
         """Record one finished request into the metrics registry."""
@@ -256,51 +410,118 @@ class ReproServer:
             ns.histogram(f"op.{op}.latency_ms", LATENCY_BUCKETS_MS)\
                 .observe(elapsed_ms)
 
-    def _dispatch(self, line: bytes) -> dict:
+    def _dispatch(self, line: bytes) -> Optional[bytes]:
+        """One request line to one encoded response line.
+
+        ``None`` means "respond with silence": an injected
+        ``serve:drop`` closing the connection the way a crashed
+        responder would.
+        """
         started = time.perf_counter()
+        received = time.monotonic()
         try:
-            op, params, request_id = protocol.decode_request(line)
+            op, params, request_id, timeout_ms = \
+                protocol.decode_request(line)
         except protocol.ProtocolError as exc:
             self._observe("invalid", protocol.STATUS_BAD_REQUEST,
                           (time.perf_counter() - started) * 1000.0)
-            return protocol.error_response(
-                None, protocol.STATUS_BAD_REQUEST, str(exc))
-        handler = self._ops.get(op)
-        if handler is None:
+            return protocol.encode(protocol.error_response(
+                None, protocol.STATUS_BAD_REQUEST, str(exc)))
+        corrupt: Optional[fault_injection.Directive] = None
+        for directive in fault_injection.fire_serve(op):
+            mode = directive.mode
+            self._count(f"faults.{mode}")
+            if mode == "drop":
+                return None
+            if mode == "stall":
+                time.sleep(directive.seconds)
+            elif mode == "corrupt-response":
+                corrupt = directive
+            elif mode == "oom-evict":
+                self.session.evict_residents()
+        response = self._handle(op, params, request_id, timeout_ms,
+                                started, received)
+        payload = protocol.encode(response)
+        if corrupt is not None:
+            payload = fault_injection.corrupt_response(payload,
+                                                       corrupt.seed)
+        return payload
+
+    def _handle(self, op: str, params: dict, request_id,
+                timeout_ms: Optional[float], started: float,
+                received: float) -> dict:
+        if op in CONTROL_OPS:
+            return self._execute(
+                op, lambda: self._control_ops[op](params),
+                request_id, started, received, deadline_ms=None)
+        pair = self._work_ops.get(op)
+        if pair is None:
+            known = sorted(self._work_ops) + sorted(self._control_ops)
             self._observe(op, protocol.STATUS_NOT_FOUND,
                           (time.perf_counter() - started) * 1000.0)
             return protocol.error_response(
                 request_id, protocol.STATUS_NOT_FOUND,
-                f"unknown op {op!r}; known: {sorted(self._ops)}")
-        if op in CONTROL_OPS:
-            return self._execute(op, handler, params, request_id, started)
-        if not self._admission.acquire(blocking=False):
-            with self._metrics_lock:
-                self.registry.scoped("serve").counter("rejected").inc()
+                f"unknown op {op!r}; known: {known}")
+        builder, executor = pair
+        try:
+            request = builder(params)
+        except ValueError as exc:
+            self._observe(op, protocol.STATUS_BAD_REQUEST,
+                          (time.perf_counter() - started) * 1000.0)
+            return protocol.error_response(
+                request_id, protocol.STATUS_BAD_REQUEST, str(exc))
+        except Exception as exc:
+            self._observe(op, protocol.STATUS_ERROR,
+                          (time.perf_counter() - started) * 1000.0)
+            return protocol.error_response(
+                request_id, protocol.STATUS_ERROR,
+                f"{type(exc).__name__}: {exc}")
+        deadline_ms = timeout_ms if timeout_ms is not None \
+            else (self.deadline_ms or None)
+        cheap = self.session.probe(request)
+        decision = self.admission.admit(op, cheap)
+        if not decision.allowed:
+            counter = "shed" if decision.verdict == "shed" \
+                else "rejected"
+            self._count(counter)
+            if decision.verdict == "shed":
+                self._count(f"shed.{op}")
             self._observe(op, protocol.STATUS_BUSY,
                           (time.perf_counter() - started) * 1000.0)
             return protocol.error_response(
-                request_id, protocol.STATUS_BUSY,
-                f"server busy: {self.max_inflight} in flight and "
-                f"{self.queue_depth} queued (admission limit)")
+                request_id, protocol.STATUS_BUSY, decision.reason,
+                retry_after_ms=decision.retry_after_ms)
         try:
-            with self._running:
-                return self._execute(op, handler, params, request_id,
-                                     started)
+            with self.admission.running:
+                return self._execute(
+                    op, lambda: executor(request), request_id,
+                    started, received, deadline_ms)
         finally:
-            self._admission.release()
+            self.admission.release()
 
-    def _execute(self, op: str, handler, params: dict, request_id,
-                 started: float) -> dict:
+    def _execute(self, op: str, call: Callable[[], dict], request_id,
+                 started: float, received: float,
+                 deadline_ms: Optional[float]) -> dict:
         with spans.span("serve:request", op=op) as sp:
             with self._metrics_lock:
                 self._inflight += 1
             try:
-                result = handler(params)
+                # The deadline anchors at *receipt*: time spent queued
+                # behind the running gate counts against the budget,
+                # and a request that exhausted it while waiting 504s
+                # here instead of starting work nobody wants.
+                with api.deadline_scope(deadline_ms, anchor=received):
+                    api.check_deadline(f"serve:{op}")
+                    result = call()
                 status = protocol.STATUS_OK
                 elapsed_ms = (time.perf_counter() - started) * 1000.0
                 response = protocol.ok_response(request_id, result,
                                                 elapsed_ms)
+            except api.DeadlineExceeded as exc:
+                status = protocol.STATUS_TIMEOUT
+                self._count("deadline_expired")
+                response = protocol.timeout_response(
+                    request_id, str(exc), exc.deadline_ms, exc.stages)
             except ValueError as exc:
                 status = protocol.STATUS_BAD_REQUEST
                 response = protocol.error_response(request_id, status,
@@ -314,71 +535,104 @@ class ReproServer:
                 with self._metrics_lock:
                     self._inflight -= 1
             sp.set("status", status)
+            if deadline_ms:
+                sp.set("deadline_ms", deadline_ms)
             self._observe(op, status,
                           (time.perf_counter() - started) * 1000.0)
             return response
 
-    # -- op handlers ----------------------------------------------------
+    # -- work-op builders / executors -----------------------------------
 
-    def _op_predict(self, params: dict) -> dict:
+    def _build_predict(self, params: dict) -> api.PredictRequest:
         protocol.check_params(params, frozenset({"names", "scale",
                                                  "scheme"}))
-        request = api.PredictRequest(
+        return api.PredictRequest(
             names=tuple(params.get("names") or ()),
             scale=float(params.get("scale", api.DEFAULT_PREDICT_SCALE)),
             scheme=str(params.get("scheme", api.DEFAULT_SCHEME)))
+
+    def _exec_predict(self, request: api.PredictRequest) -> dict:
         response = self.session.predict(request)
         return {"lines": list(response.lines),
                 "names": list(response.request.names),
                 "scale": response.request.scale,
                 "scheme": response.request.scheme}
 
-    def _op_regions(self, params: dict) -> dict:
+    def _build_regions(self, params: dict) -> api.RegionsRequest:
         protocol.check_params(params, frozenset({"names", "scale"}))
-        request = api.RegionsRequest(
+        return api.RegionsRequest(
             names=tuple(params.get("names") or ()),
             scale=float(params.get("scale", api.DEFAULT_REGIONS_SCALE)))
+
+    def _exec_regions(self, request: api.RegionsRequest) -> dict:
         response = self.session.regions(request)
         return {"lines": list(response.lines),
                 "names": list(response.request.names),
                 "scale": response.request.scale}
 
-    def _op_timing(self, params: dict) -> dict:
+    def _build_timing(self, params: dict) -> api.TimingRequest:
         protocol.check_params(params, frozenset({"names", "scale"}))
-        request = api.TimingRequest(
+        return api.TimingRequest(
             names=tuple(params.get("names") or ()),
             scale=float(params.get("scale", api.DEFAULT_TIMING_SCALE)))
+
+    def _exec_timing(self, request: api.TimingRequest) -> dict:
         response = self.session.timing(request)
         return {"lines": list(response.lines),
                 "names": list(response.request.names),
                 "scale": response.request.scale}
 
-    def _op_experiment(self, params: dict) -> dict:
+    def _build_experiment(self, params: dict) -> api.ExperimentRequest:
         protocol.check_params(params, frozenset({"experiment", "names",
                                                  "scale"}))
         experiment = params.get("experiment")
         if not isinstance(experiment, str):
             raise ValueError("'experiment' (string) is required")
-        request = api.ExperimentRequest(
+        return api.ExperimentRequest(
             experiment=experiment,
             names=tuple(params.get("names") or ()),
             scale=params.get("scale"))
+
+    def _exec_experiment(self, request: api.ExperimentRequest) -> dict:
         response = self.session.experiment(request)
         return {"rendered": response.rendered,
                 "experiment": response.request.experiment,
                 "names": list(response.request.names),
                 "scale": response.request.scale}
 
+    def _build_sleep(self, params: dict) -> dict:
+        """Debug-only: hold a worker slot (admission-control tests)."""
+        protocol.check_params(params, frozenset({"seconds"}))
+        return {"seconds": min(30.0, float(params.get("seconds", 0.1)))}
+
+    def _exec_sleep(self, request: dict) -> dict:
+        # Deadline-aware slices: a sleeping request past its budget
+        # 504s at the next boundary, which is what the drain-vs-
+        # deadline race tests lean on.
+        remaining = request["seconds"]
+        while remaining > 0:
+            api.check_deadline("sleep")
+            slice_s = min(0.05, remaining)
+            time.sleep(slice_s)
+            remaining -= slice_s
+        return {"slept_s": request["seconds"]}
+
+    # -- control-op handlers --------------------------------------------
+
     def _op_health(self, params: dict) -> dict:
         protocol.check_params(params, frozenset())
         with self._metrics_lock:
             inflight = self._inflight
-        return {"status": "ok",
+        admission = self.admission.snapshot()
+        return {"status": admission["state"],
                 "pid": os.getpid(),
                 "uptime_s": round(time.monotonic() - self._started_at, 3),
                 "inflight": inflight,
                 "max_inflight": self.max_inflight,
                 "queue_depth": self.queue_depth,
+                "deadline_ms": self.deadline_ms or None,
+                "admission": admission,
+                "memoised": self.session.memoised_count(),
                 "warmed": [list(pair) for pair
                            in self.session.warmed()]}
 
@@ -398,16 +652,10 @@ class ReproServer:
                        "count": histogram.count}
         return {"uptime_s": round(time.monotonic() - self._started_at, 3),
                 "latency_ms": summary,
+                "admission": self.admission.snapshot(),
                 "metrics": snapshot}
 
     def _op_shutdown(self, params: dict) -> dict:
         protocol.check_params(params, frozenset())
         self.stop_requested.set()
         return {"stopping": True}
-
-    def _op_sleep(self, params: dict) -> dict:
-        """Debug-only: hold a worker slot (admission-control tests)."""
-        protocol.check_params(params, frozenset({"seconds"}))
-        seconds = min(30.0, float(params.get("seconds", 0.1)))
-        time.sleep(seconds)
-        return {"slept_s": seconds}

@@ -1,0 +1,177 @@
+"""Crash supervision for the ``repro serve`` daemon.
+
+``repro serve --supervise`` runs the daemon as a *child process* under
+a :class:`Supervisor`: the supervisor process owns nothing but the
+restart policy, so a crash anywhere in the serving path - a segfault,
+an OOM kill, an unhandled exception - costs one restart, not the
+service.  The state machine:
+
+1. **Run.**  Spawn the daemon command and wait for it to exit.  Before
+   every spawn, a stale ``--port-file`` from a previous incarnation is
+   removed so clients never read a dead port.
+2. **Exit triage.**  A clean exit (status 0 - operator shutdown via
+   the ``shutdown`` op or SIGTERM) ends supervision.  Anything else is
+   a crash.
+3. **Backoff.**  Restart after an exponential, deterministically
+   jittered delay.  A child that survived ``rapid_window_s`` before
+   dying resets the backoff (it did real work); one that died faster
+   escalates it.
+4. **Crash-loop breaker.**  After ``breaker_threshold`` *consecutive*
+   rapid failures the supervisor gives up with a clear message and a
+   nonzero exit: restarting a daemon that cannot finish booting only
+   turns one failure into a hot loop.
+
+Warmth survives restarts without supervisor involvement: the daemon
+persists its resident ``(workload, scale)`` set to the
+``--warm-manifest`` file as it changes, and re-warms *itself* from
+that manifest at startup, so the supervisor can restart any command
+line verbatim.
+"""
+
+from __future__ import annotations
+
+import random
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+#: Exit status when the crash-loop breaker opens.
+BREAKER_EXIT_CODE = 75      # EX_TEMPFAIL: retrying later might work
+
+
+class Supervisor:
+    """Restart a daemon command on crash (see module docstring).
+
+    ``command`` is the argv to spawn.  ``clock``/``sleep``/
+    ``jitter_seed`` and the ``spawn`` hook exist so tests can drive
+    the schedule deterministically and substitute fake children.
+    """
+
+    def __init__(self, command: List[str],
+                 port_file: Union[str, Path, None] = None,
+                 backoff_s: float = 0.5,
+                 backoff_cap_s: float = 30.0,
+                 rapid_window_s: float = 5.0,
+                 breaker_threshold: int = 3,
+                 jitter_seed: int = 0,
+                 log: Callable[[str], None] = None,
+                 spawn: Callable[[List[str]], "subprocess.Popen"] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        self.command = list(command)
+        self.port_file = Path(port_file) if port_file else None
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.rapid_window_s = rapid_window_s
+        self.breaker_threshold = breaker_threshold
+        self._rng = random.Random(jitter_seed)
+        self._log = log if log is not None \
+            else (lambda line: print(line, file=sys.stderr))
+        self._spawn = spawn if spawn is not None else subprocess.Popen
+        self._clock = clock
+        self._sleep = sleep
+        self._child: Optional["subprocess.Popen"] = None
+        self._stop = False
+        self.restarts = 0
+        self.rapid_failures = 0     # consecutive, resets on a good run
+
+    # -- control --------------------------------------------------------
+
+    def stop(self) -> None:
+        """Terminate the child (SIGTERM) and end supervision cleanly.
+
+        Safe to call from a signal handler: it only flags the loop and
+        forwards the signal to the child, whose exit wakes the
+        supervisor's ``wait``.
+        """
+        self._stop = True
+        child = self._child
+        if child is not None and child.poll() is None:
+            try:
+                child.terminate()
+            except OSError:
+                pass
+
+    def _remove_stale_port_file(self) -> None:
+        if self.port_file is None:
+            return
+        try:
+            self.port_file.unlink()
+        except OSError:
+            pass
+
+    def _backoff_delay(self) -> float:
+        exponent = max(0, self.rapid_failures - 1)
+        delay = min(self.backoff_cap_s,
+                    self.backoff_s * (2.0 ** exponent))
+        return delay * (0.5 + self._rng.random() / 2.0)
+
+    # -- the supervision loop -------------------------------------------
+
+    def run(self) -> int:
+        """Supervise until clean exit, stop(), or breaker; exit code."""
+        while True:
+            self._remove_stale_port_file()
+            started = self._clock()
+            try:
+                self._child = self._spawn(self.command)
+            except OSError as exc:
+                self._log(f"repro serve supervisor: cannot spawn "
+                          f"{self.command[0]!r}: {exc}")
+                return 1
+            returncode = self._child.wait()
+            lifetime = self._clock() - started
+            self._child = None
+            if self._stop or returncode == 0:
+                self._remove_stale_port_file()
+                return 0
+            rapid = lifetime < self.rapid_window_s
+            if rapid:
+                self.rapid_failures += 1
+            else:
+                self.rapid_failures = 1     # a crash, but a slow one
+            self._log(f"repro serve supervisor: daemon exited "
+                      f"{returncode} after {lifetime:.1f}s "
+                      f"({'rapid ' if rapid else ''}failure "
+                      f"{self.rapid_failures}/{self.breaker_threshold})")
+            if self.rapid_failures >= self.breaker_threshold:
+                self._log(
+                    f"repro serve supervisor: crash-loop breaker open "
+                    f"after {self.rapid_failures} consecutive rapid "
+                    f"failures; giving up (fix the daemon, then "
+                    f"restart the supervisor)")
+                self._remove_stale_port_file()
+                return BREAKER_EXIT_CODE
+            delay = self._backoff_delay()
+            self._log(f"repro serve supervisor: restarting in "
+                      f"{delay:.2f}s (restart {self.restarts + 1})")
+            self._sleep(delay)
+            if self._stop:
+                return 0
+            self.restarts += 1
+
+
+def serve_child_command(argv: List[str]) -> List[str]:
+    """The daemon argv for one supervised child.
+
+    ``argv`` is the operator's ``repro serve ...`` arguments with
+    ``--supervise`` already removed; the child runs the same CLI via
+    the current interpreter so supervised and bare daemons share one
+    code path.
+    """
+    return [sys.executable, "-m", "repro", "serve"] + list(argv)
+
+
+def install_stop_signals(supervisor: Supervisor) -> None:
+    """Forward SIGINT/SIGTERM to a clean supervised shutdown."""
+
+    def _on_signal(signum, frame):
+        supervisor.stop()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _on_signal)

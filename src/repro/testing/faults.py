@@ -4,7 +4,7 @@ A fault *plan* is a ``;``-separated list of directives::
 
     kind[:param=value[,param=value...]]
 
-with four kinds:
+with five kinds:
 
 ``fail``
     Raise :class:`InjectedFault` inside the matching cell.
@@ -19,6 +19,19 @@ with four kinds:
 ``corrupt``
     Corrupt the trace-cache file just written for the matching
     workload (``mode`` = ``truncate`` | ``zero`` | ``garbage``).
+``serve``
+    Serve-layer chaos inside the ``repro serve`` request path.  The
+    first bare token names the action (so ``serve:drop`` reads
+    naturally); ``op=<name>`` scopes it to one request op:
+
+    * ``serve:drop`` - close the connection without responding (a
+      wedged or crashed responder, as seen by the client);
+    * ``serve:stall`` - hold the request ``seconds`` before executing
+      (drives deadline expiry and slow-worker drills);
+    * ``serve:corrupt-response`` - mangle the encoded response bytes
+      (the newline framing survives, the JSON body does not);
+    * ``serve:oom-evict`` - force-evict every resident trace before
+      executing (deterministic LRU-thrash / backpressure drills).
 
 Cell-matching parameters: ``name=<workload>`` and/or ``index=N`` (the
 engine's submission index, which travels with the task across process
@@ -26,7 +39,8 @@ boundaries), plus ``times=K`` - the directive fires on a cell's first
 ``K`` *attempts* only, so a retried or re-pooled cell deterministically
 recovers without any shared mutable state.  ``corrupt`` instead counts
 stores per process (a regenerated entry is written clean once ``times``
-stores have been corrupted).
+stores have been corrupted), and ``serve`` counts matching requests
+per process the same way.
 
 Everything is deterministic: triggers key off names, submission
 indices, and attempt numbers - never wall-clock or unseeded
@@ -55,8 +69,9 @@ ENV_VAR = "REPRO_INJECT_FAULT"
 #: Exit status used by injected worker crashes (mirrors SIGKILL's 137).
 CRASH_EXIT_CODE = 137
 
-KINDS = ("fail", "crash", "stall", "corrupt")
+KINDS = ("fail", "crash", "stall", "corrupt", "serve")
 CORRUPT_MODES = ("truncate", "zero", "garbage")
+SERVE_MODES = ("drop", "stall", "corrupt-response", "oom-evict")
 
 
 class InjectedFault(RuntimeError):
@@ -76,12 +91,13 @@ class Directive:
     index: Optional[int] = None     # match this submission index
     times: int = 1                  # fire on the first K attempts/stores
     seconds: float = 5.0            # stall duration
-    mode: str = "truncate"          # corrupt mode
+    mode: Optional[str] = None      # corrupt / serve action mode
+    op: Optional[str] = None        # match this serve op (None = any)
     seed: int = 0                   # garbage-byte PRNG seed
-    fired: int = 0                  # per-process store count (corrupt)
+    fired: int = 0                  # per-process count (corrupt/serve)
 
     def matches_cell(self, name: str, index: int, attempt: int) -> bool:
-        if self.kind == "corrupt":
+        if self.kind in ("corrupt", "serve"):
             return False
         if self.name is not None and self.name != name:
             return False
@@ -96,10 +112,17 @@ class Directive:
             return False
         return self.fired < self.times
 
+    def matches_request(self, op: str) -> bool:
+        if self.kind != "serve":
+            return False
+        if self.op is not None and self.op != op:
+            return False
+        return self.fired < self.times
+
 
 _INT_PARAMS = ("index", "times", "seed")
 _FLOAT_PARAMS = ("seconds",)
-_STR_PARAMS = ("name", "mode")
+_STR_PARAMS = ("name", "mode", "op")
 
 
 def parse_spec(spec: str) -> List[Directive]:
@@ -121,6 +144,11 @@ def parse_spec(spec: str) -> List[Directive]:
             key = key.strip()
             value = value.strip()
             if not sep:
+                # ``serve:drop`` reads better than ``serve:mode=drop``:
+                # a bare token on a serve directive names its action.
+                if kind == "serve" and directive.mode is None:
+                    directive.mode = key
+                    continue
                 raise SpecError(f"fault parameter {item!r} is not "
                                 f"key=value")
             if key not in _INT_PARAMS + _FLOAT_PARAMS + _STR_PARAMS:
@@ -138,10 +166,18 @@ def parse_spec(spec: str) -> List[Directive]:
                 raise SpecError(
                     f"bad value for fault parameter {key}: {value!r}")\
                     from exc
-        if directive.mode not in CORRUPT_MODES:
-            raise SpecError(
-                f"unknown corrupt mode {directive.mode!r} (expected "
-                f"one of {', '.join(CORRUPT_MODES)})")
+        if kind == "serve":
+            if directive.mode not in SERVE_MODES:
+                raise SpecError(
+                    f"unknown serve fault mode {directive.mode!r} "
+                    f"(expected one of {', '.join(SERVE_MODES)})")
+        else:
+            if directive.mode is None:
+                directive.mode = "truncate"
+            if directive.mode not in CORRUPT_MODES:
+                raise SpecError(
+                    f"unknown corrupt mode {directive.mode!r} (expected "
+                    f"one of {', '.join(CORRUPT_MODES)})")
         if directive.times < 1:
             raise SpecError("fault parameter times must be >= 1")
         directives.append(directive)
@@ -224,6 +260,42 @@ def fire_cache_store(name: str, path: Union[str, Path]) -> bool:
             corrupt_file(path, directive.mode, directive.seed)
             corrupted = True
     return corrupted
+
+
+def fire_serve(op: str) -> List[Directive]:
+    """Injection point at the top of every serve request dispatch.
+
+    Returns the matching ``serve`` directives (advancing their
+    per-process fire counts) so the server can apply their actions -
+    drop the connection, stall, corrupt the response, or force-evict
+    resident traces.  An empty list on the fault-free path.
+    """
+    plan = _plan()
+    if not plan:
+        return []
+    matched = []
+    for directive in plan:
+        if directive.matches_request(op):
+            directive.fired += 1
+            matched.append(directive)
+    return matched
+
+
+def corrupt_response(payload: bytes, seed: int = 0) -> bytes:
+    """Deterministically mangle one encoded response line.
+
+    The framing newline survives (so the client reads a complete
+    line) but the JSON body does not: the head of the line is
+    overwritten with seeded bytes from outside the printable-ASCII
+    JSON alphabet, guaranteeing a parse failure rather than a
+    silently-wrong payload.
+    """
+    body, newline = (payload[:-1], payload[-1:]) \
+        if payload.endswith(b"\n") else (payload, b"")
+    rng = random.Random(seed)
+    head = bytes(0x80 | rng.getrandbits(7)
+                 for _ in range(min(len(body), 16)))
+    return head + body[len(head):] + newline
 
 
 def corrupt_file(path: Union[str, Path], mode: str = "truncate",

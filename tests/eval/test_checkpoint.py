@@ -196,3 +196,67 @@ class TestResume:
         journal = engine.set_checkpoint(tmp_path)
         engine.run_cells(_cell, NAMES, 1.0, jobs=1)
         assert journal.stats.hits == 3
+
+
+class TestDiskQuota:
+    """``REPRO_CHECKPOINT_MAX_BYTES`` bounds journal growth by
+    rotating the oldest entries into quarantine."""
+
+    def test_unbounded_by_default(self, tmp_path):
+        journal = CellJournal(tmp_path)
+        assert journal.max_bytes == 0
+        for index in range(5):
+            journal.record(_cell, f"w{index}", 1.0, (), "r", {}, None)
+        assert len(journal) == 5
+        assert journal.stats.quota_evictions == 0
+
+    def test_env_var_sets_quota(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(checkpoint.ENV_MAX_BYTES, "4096")
+        assert CellJournal(tmp_path).max_bytes == 4096
+        monkeypatch.setenv(checkpoint.ENV_MAX_BYTES, "not-a-number")
+        assert CellJournal(tmp_path).max_bytes == 0
+        monkeypatch.setenv(checkpoint.ENV_MAX_BYTES, "-1")
+        assert CellJournal(tmp_path).max_bytes == 0
+
+    def test_quota_rotates_oldest_keeps_newest(self, tmp_path):
+        # A quota smaller than one record: every new record rotates
+        # everything older, but never itself.
+        journal = CellJournal(tmp_path, max_bytes=1)
+        for index in range(3):
+            journal.record(_cell, f"w{index}", 1.0, (),
+                           f"r{index}", {}, None)
+        assert len(journal) == 1
+        assert journal.stats.quota_evictions == 2
+        quarantined = list(tmp_path.glob("*.quarantined"))
+        assert len(quarantined) == 2
+        # The survivor is the newest record, still replayable.
+        assert journal.load(_cell, "w2", 1.0, ()) == ("r2", {}, None)
+        # Rotated cells read as plain misses (they re-run on resume).
+        assert journal.load(_cell, "w0", 1.0, ()) is None
+
+    def test_quota_large_enough_keeps_everything(self, tmp_path):
+        journal = CellJournal(tmp_path, max_bytes=1 << 20)
+        for index in range(4):
+            journal.record(_cell, f"w{index}", 1.0, (), "r", {}, None)
+        assert len(journal) == 4
+        assert journal.stats.quota_evictions == 0
+
+    def test_quota_evictions_in_resilience_snapshot(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setenv(checkpoint.ENV_MAX_BYTES, "1")
+        engine.set_checkpoint(tmp_path)
+        engine.run_cells(_cell, NAMES, 1.0, jobs=1)
+        snap = engine.resilience_snapshot()
+        assert snap["checkpoint.quota_evictions"] == 2
+
+    def test_rotated_entries_are_quarantine_collectable(self, tmp_path,
+                                                        monkeypatch):
+        from repro import quarantine
+        journal = CellJournal(tmp_path, max_bytes=1)
+        for index in range(3):
+            journal.record(_cell, f"w{index}", 1.0, (), "r", {}, None)
+        # Age bound 0 clears every quarantined file on the next open.
+        monkeypatch.setenv(quarantine.ENV_MAX_AGE, "0")
+        reopened = CellJournal(tmp_path)
+        assert reopened.stats.quarantine_gc == 2
+        assert list(tmp_path.glob("*.quarantined")) == []

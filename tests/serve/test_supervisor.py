@@ -1,0 +1,295 @@
+"""Crash supervision: restart policy units and a live recovery drill.
+
+The unit tests drive :class:`repro.serve.supervisor.Supervisor` with
+scripted children and a fake clock, so the backoff schedule and the
+crash-loop breaker are asserted deterministically.  The smoke test at
+the bottom (marked ``slow``) supervises a real ``repro serve`` child,
+SIGKILLs it, and proves the replacement comes back warm.
+"""
+
+import os
+import signal
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient, connect_with_retry
+from repro.serve.supervisor import (BREAKER_EXIT_CODE, Supervisor,
+                                    serve_child_command)
+from repro.workloads import suite
+
+NAME = "db_vortex"
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def scripted(script, port_file=None, **kwargs):
+    """A supervisor whose children live and die per ``script``.
+
+    ``script`` is a list of ``(lifetime_s, returncode)`` pairs; each
+    spawn consumes the next entry, advancing the fake clock by the
+    lifetime when the child is waited on.  Returns the supervisor,
+    the recorded backoff naps, and the spawn log.
+    """
+    clock = FakeClock()
+    naps = []
+    children = iter(script)
+    spawn_log = []
+
+    class FakeChild:
+        def __init__(self, lifetime, code):
+            self._lifetime = lifetime
+            self._code = code
+
+        def wait(self):
+            clock.now += self._lifetime
+            return self._code
+
+        def poll(self):
+            return self._code
+
+        def terminate(self):
+            pass
+
+    def spawn(command):
+        spawn_log.append(list(command))
+        lifetime, code = next(children)
+        return FakeChild(lifetime, code)
+
+    supervisor = Supervisor(["daemon", "--flag"], port_file=port_file,
+                            spawn=spawn, clock=clock,
+                            sleep=naps.append, **kwargs)
+    return supervisor, naps, spawn_log
+
+
+class TestRestartPolicy:
+    def test_clean_exit_ends_supervision(self):
+        supervisor, naps, spawn_log = scripted([(1.0, 0)])
+        assert supervisor.run() == 0
+        assert supervisor.restarts == 0
+        assert naps == []
+        assert spawn_log == [["daemon", "--flag"]]
+
+    def test_crash_restarts_until_clean_exit(self):
+        supervisor, naps, spawn_log = scripted(
+            [(10.0, 1), (10.0, 137), (10.0, 0)])
+        assert supervisor.run() == 0
+        assert supervisor.restarts == 2
+        assert len(naps) == 2
+        assert len(spawn_log) == 3
+
+    def test_slow_crashes_never_trip_the_breaker(self):
+        # Children that outlive the rapid window did real work; the
+        # rapid-failure count must not accumulate across them.
+        script = [(10.0, 1)] * 6 + [(10.0, 0)]
+        supervisor, _, spawn_log = scripted(script, rapid_window_s=5.0,
+                                            breaker_threshold=3)
+        assert supervisor.run() == 0
+        assert len(spawn_log) == 7
+
+    def test_breaker_opens_after_consecutive_rapid_failures(self):
+        supervisor, naps, spawn_log = scripted(
+            [(0.1, 1)] * 5, rapid_window_s=5.0, breaker_threshold=3)
+        assert supervisor.run() == BREAKER_EXIT_CODE
+        assert len(spawn_log) == 3      # third strike opens it
+        assert len(naps) == 2           # no nap after the last strike
+        assert supervisor.rapid_failures == 3
+
+    def test_good_run_resets_the_rapid_count(self):
+        # rapid, rapid, slow, rapid, rapid, clean: the slow crash
+        # resets the streak (to 1 - it is still a failure), so the
+        # breaker (threshold 3) never opens.
+        script = [(0.1, 1), (0.1, 1), (10.0, 1), (0.1, 1), (10.0, 0)]
+        supervisor, _, spawn_log = scripted(script, rapid_window_s=5.0,
+                                            breaker_threshold=3)
+        assert supervisor.run() == 0
+        assert len(spawn_log) == 5
+
+    def test_backoff_escalates_with_rapid_failures(self):
+        supervisor, naps, _ = scripted(
+            [(0.1, 1)] * 4, rapid_window_s=5.0, breaker_threshold=4,
+            backoff_s=0.5, backoff_cap_s=30.0)
+        supervisor.run()
+        # Jitter keeps each delay in [0.5, 1.0) of the nominal value,
+        # so successive exponents cannot overlap.
+        assert len(naps) == 3
+        assert naps[0] < naps[1] < naps[2]
+        assert naps[0] < 0.5 <= naps[1] < 1.0 <= naps[2]
+
+    def test_backoff_is_capped(self):
+        supervisor, naps, _ = scripted(
+            [(0.1, 1)] * 8, rapid_window_s=5.0, breaker_threshold=8,
+            backoff_s=0.5, backoff_cap_s=2.0)
+        supervisor.run()
+        assert max(naps) <= 2.0
+
+    def test_unspawnable_command_exits_nonzero(self):
+        def spawn(_command):
+            raise OSError("no such executable")
+
+        supervisor = Supervisor(["missing"], spawn=spawn,
+                                sleep=lambda _s: None)
+        assert supervisor.run() == 1
+
+    def test_breaker_threshold_validated(self):
+        with pytest.raises(ValueError):
+            Supervisor(["daemon"], breaker_threshold=0)
+
+
+class TestPortFileHygiene:
+    def test_stale_port_file_removed_before_every_spawn(self, tmp_path):
+        port_file = tmp_path / "port"
+        port_file.write_text("7907\n")      # a dead incarnation's port
+        observed = []
+
+        clock = FakeClock()
+        children = iter([(0.1, 1), (0.1, 0)])
+
+        class FakeChild:
+            def __init__(self, lifetime, code):
+                self._lifetime, self._code = lifetime, code
+
+            def wait(self):
+                clock.now += self._lifetime
+                # The child would write the port file once serving.
+                port_file.write_text("8001\n")
+                return self._code
+
+            def poll(self):
+                return self._code
+
+            def terminate(self):
+                pass
+
+        def spawn(command):
+            observed.append(port_file.exists())
+            return FakeChild(*next(children))
+
+        supervisor = Supervisor(["daemon"], port_file=port_file,
+                                spawn=spawn, clock=clock,
+                                sleep=lambda _s: None,
+                                breaker_threshold=5)
+        assert supervisor.run() == 0
+        assert observed == [False, False]   # swept before each spawn
+        assert not port_file.exists()       # and after the clean exit
+
+    def test_port_file_removed_when_breaker_opens(self, tmp_path):
+        port_file = tmp_path / "port"
+        port_file.write_text("7907\n")
+        supervisor, _, _ = scripted([(0.1, 1)] * 3, port_file=port_file,
+                                    rapid_window_s=5.0,
+                                    breaker_threshold=3)
+        assert supervisor.run() == BREAKER_EXIT_CODE
+        assert not port_file.exists()
+
+
+class TestChildCommand:
+    def test_reuses_the_current_interpreter_and_cli(self):
+        command = serve_child_command(["--port", "0", "--warm", NAME])
+        assert command[:4] == [sys.executable, "-m", "repro", "serve"]
+        assert command[4:] == ["--port", "0", "--warm", NAME]
+
+
+class TestRealProcessSupervision:
+    def test_breaker_on_instantly_dying_child(self):
+        # A real child process that cannot boot: the breaker gives up
+        # instead of hot-looping.
+        command = [sys.executable, "-c", "import sys; sys.exit(3)"]
+        supervisor = Supervisor(command, backoff_s=0.01,
+                                rapid_window_s=5.0, breaker_threshold=3,
+                                log=lambda _line: None)
+        assert supervisor.run() == BREAKER_EXIT_CODE
+        assert supervisor.rapid_failures == 3
+
+
+def _read_port(port_file, deadline_s=90.0):
+    """Poll until the daemon writes its port file; returns the port."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        try:
+            text = port_file.read_text().strip()
+            if text:
+                return int(text)
+        except (OSError, ValueError):
+            pass
+        time.sleep(0.1)
+    raise AssertionError("daemon never wrote its port file")
+
+
+@pytest.mark.slow
+class TestSupervisedRecoverySmoke:
+    """The acceptance drill: SIGKILL the daemon, get it back warm."""
+
+    def test_sigkill_recovers_warm_and_clean_shutdown_ends(self,
+                                                           tmp_path):
+        port_file = tmp_path / "port"
+        manifest = tmp_path / "warm.json"
+        argv = ["--port", "0", "--port-file", str(port_file),
+                "--warm", f"{NAME}@0.05",
+                "--warm-manifest", str(manifest),
+                "--max-resident", "4"]
+        supervisor = Supervisor(serve_child_command(argv),
+                                port_file=port_file, backoff_s=0.1,
+                                rapid_window_s=0.2, breaker_threshold=5,
+                                log=lambda _line: None)
+        box = {}
+        thread = threading.Thread(
+            target=lambda: box.update(code=supervisor.run()),
+            daemon=True)
+        thread.start()
+        try:
+            port = _read_port(port_file)
+            client = connect_with_retry(("127.0.0.1", port),
+                                        deadline_s=30.0)
+            health = client.health()
+            first_pid = health["pid"]
+            assert health["status"] == "ok"
+            assert [NAME, 0.05] in health["warmed"]
+            # Grow the working set so the manifest holds something the
+            # restart command line does not: scale 0.06 can only come
+            # back via the manifest.
+            client.result("regions", names=[NAME], scale=0.06)
+            client.close()
+
+            os.kill(first_pid, signal.SIGKILL)
+
+            deadline = time.monotonic() + 90.0
+            client = None
+            while time.monotonic() < deadline:
+                try:
+                    port = _read_port(port_file, deadline_s=60.0)
+                    client = ServeClient(("127.0.0.1", port),
+                                         timeout=30.0)
+                    health = client.health()
+                    if health["pid"] != first_pid:
+                        break
+                    client.close()
+                    client = None
+                except OSError:
+                    if client is not None:
+                        client.close()
+                        client = None
+                time.sleep(0.2)
+            assert client is not None, "daemon never came back"
+            assert health["status"] == "ok"
+            assert [NAME, 0.05] in health["warmed"]
+            assert [NAME, 0.06] in health["warmed"], \
+                "manifest warm set not restored"
+            client.shutdown()
+            client.close()
+            thread.join(60.0)
+            assert not thread.is_alive()
+            assert box["code"] == 0
+            assert not port_file.exists()
+        finally:
+            supervisor.stop()
+            thread.join(30.0)
+            suite.clear_caches()

@@ -77,6 +77,8 @@ def test_api_surface_is_pinned():
     from repro import api
     assert sorted(api.__all__) == sorted([
         "Session",
+        "DeadlineExceeded", "deadline_scope", "check_deadline",
+        "current_deadline",
         "RegionsRequest", "RegionsResponse",
         "PredictRequest", "PredictResponse",
         "TimingRequest", "TimingResponse",

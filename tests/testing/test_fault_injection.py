@@ -154,3 +154,73 @@ class TestCorruptFile:
         fi.install("corrupt:name=w")
         path = self._file(tmp_path)
         assert fi.fire_cache_store("other", path) is False
+
+
+class TestServeDirectives:
+    def test_bare_token_names_the_mode(self):
+        (d,) = fi.parse_spec("serve:drop")
+        assert d.kind == "serve"
+        assert d.mode == "drop"
+        assert d.op is None
+
+    def test_all_modes_parse(self):
+        for mode in fi.SERVE_MODES:
+            (d,) = fi.parse_spec(f"serve:{mode}")
+            assert d.mode == mode
+
+    def test_op_scoping_and_times(self):
+        (d,) = fi.parse_spec("serve:stall,op=predict,times=2,seconds=0.1")
+        assert d.mode == "stall"
+        assert d.op == "predict"
+        assert d.times == 2
+        assert d.seconds == 0.1
+
+    def test_unknown_serve_mode_rejected(self):
+        with pytest.raises(fi.SpecError, match="unknown serve fault mode"):
+            fi.parse_spec("serve:explode")
+
+    def test_mode_param_form_accepted(self):
+        (d,) = fi.parse_spec("serve:mode=oom-evict")
+        assert d.mode == "oom-evict"
+
+    def test_serve_directive_never_matches_cells(self):
+        (d,) = fi.parse_spec("serve:drop")
+        assert not d.matches_cell("db_vortex", 0, 0)
+        assert not d.matches_store("db_vortex")
+
+    def test_fire_serve_counts_per_process(self):
+        fi.install("serve:drop,times=2")
+        assert len(fi.fire_serve("predict")) == 1
+        assert len(fi.fire_serve("predict")) == 1
+        assert fi.fire_serve("predict") == []
+
+    def test_fire_serve_op_scoped(self):
+        fi.install("serve:drop,op=timing")
+        assert fi.fire_serve("predict") == []
+        assert len(fi.fire_serve("timing")) == 1
+
+    def test_fire_serve_empty_without_plan(self):
+        assert fi.fire_serve("predict") == []
+
+
+class TestCorruptResponse:
+    def test_deterministic_and_preserves_framing(self):
+        payload = b'{"id": 1, "ok": true, "result": {}}\n'
+        first = fi.corrupt_response(payload, seed=7)
+        second = fi.corrupt_response(payload, seed=7)
+        assert first == second
+        assert first.endswith(b"\n")
+        assert b"\n" not in first[:-1]
+        assert first != payload
+
+    def test_guaranteed_json_parse_failure(self):
+        import json
+        payload = b'{"id": 1, "ok": true}\n'
+        mangled = fi.corrupt_response(payload, seed=0)
+        with pytest.raises((ValueError, UnicodeDecodeError)):
+            json.loads(mangled.decode("utf-8"))
+
+    def test_different_seeds_differ(self):
+        payload = b'{"id": 1, "ok": true, "result": {"x": 1}}\n'
+        assert fi.corrupt_response(payload, seed=0) \
+            != fi.corrupt_response(payload, seed=1)
