@@ -108,14 +108,20 @@ class DeadlineExceeded(RuntimeError):
     ``(label, elapsed_ms)`` pairs for every stage that *did* complete -
     the server returns them in the 504 response so a timed-out client
     still learns which workloads were served within budget.
+    ``budgets`` is the parallel ``(label, remaining_ms)`` view: how
+    much budget was left *after* each completed stage (``stages``
+    keeps its pair shape for existing consumers).
     """
 
     def __init__(self, stage: str, deadline_ms: float,
-                 stages: Sequence[Tuple[str, float]]) -> None:
+                 stages: Sequence[Tuple[str, float]],
+                 budgets: Sequence[Tuple[str, float]] = ()) -> None:
         self.stage = stage
         self.deadline_ms = float(deadline_ms)
         self.stages = tuple((label, round(float(ms), 3))
                             for label, ms in stages)
+        self.budgets = tuple((label, round(float(ms), 3))
+                             for label, ms in budgets)
         super().__init__(
             f"deadline of {self.deadline_ms:.0f}ms exceeded at stage "
             f"{stage!r} ({len(self.stages)} stage(s) completed)")
@@ -124,7 +130,8 @@ class DeadlineExceeded(RuntimeError):
 class _DeadlineState:
     """Per-thread deadline bookkeeping (see :func:`deadline_scope`)."""
 
-    __slots__ = ("expires", "deadline_ms", "mark", "current", "stages")
+    __slots__ = ("expires", "deadline_ms", "mark", "current", "stages",
+                 "budgets")
 
     def __init__(self, expires: float, deadline_ms: float) -> None:
         self.expires = expires
@@ -132,15 +139,24 @@ class _DeadlineState:
         self.mark = time.monotonic()
         self.current: Optional[str] = None
         self.stages: List[Tuple[str, float]] = []
+        self.budgets: List[Tuple[str, float]] = []
 
-    def close_current(self) -> None:
-        """Attribute the elapsed time to the stage in progress."""
+    def close_current(self) -> Optional[float]:
+        """Attribute the elapsed time to the stage in progress.
+
+        Returns the budget remaining (ms, may be negative) recorded
+        for the closed stage, or None when no stage was open.
+        """
         now = time.monotonic()
+        remaining: Optional[float] = None
         if self.current is not None:
+            remaining = (self.expires - now) * 1000.0
             self.stages.append((self.current,
                                 (now - self.mark) * 1000.0))
+            self.budgets.append((self.current, remaining))
             self.current = None
         self.mark = now
+        return remaining
 
 
 _deadline_local = threading.local()
@@ -191,9 +207,16 @@ def check_deadline(stage: str) -> None:
     state = current_deadline()
     if state is None:
         return
-    state.close_current()
+    remaining = state.close_current()
+    if remaining is not None:
+        # Decorate whatever span is open (serve:request, api:trace,
+        # cli:*) with the budget left at this boundary - the last
+        # write wins, so a 504 post-mortem's span shows the remaining
+        # budget when the request last crossed a boundary.
+        spans.annotate("budget_ms", round(remaining, 3))
     if time.monotonic() >= state.expires:
-        raise DeadlineExceeded(stage, state.deadline_ms, state.stages)
+        raise DeadlineExceeded(stage, state.deadline_ms, state.stages,
+                               state.budgets)
     state.current = stage
 
 

@@ -29,15 +29,25 @@ Commands
     Run an experiment with metrics collection enabled and print the
     collected per-cell metrics.  ``--check`` exits non-zero if any
     registered metric is NaN or negative.
-``profile <run> [--chrome FILE] [--check]``
-    Aggregate a ``--trace-spans`` run directory into a wall-clock
+``profile <run...> [--chrome FILE] [--check] [--request ID]``
+    Aggregate ``--trace-spans`` run directories into a wall-clock
     span tree, optionally export Chrome trace-event / Perfetto JSON,
     and (``--check``) gate against the recorded perf baseline.
-``serve [--port P] [--warm W[@S] ...]``
+    ``--request ID`` instead merges the spans stamped with one client
+    ``request_id`` across *all* the given runs into a single
+    wall-clock timeline - e.g. the journals of two supervised daemon
+    incarnations either side of a crash.
+``serve [--port P] [--warm W[@S] ...] [--telemetry FILE]``
     Long-running daemon keeping traces and predictor state resident
     in memory, answering predict/regions/timing/experiment queries
     from many concurrent clients over a line-JSON TCP/Unix socket
-    (admission control, latency histograms, health/stats endpoints).
+    (admission control, latency histograms, health/stats/metrics
+    endpoints; ``--telemetry`` samples the serving metrics into a
+    bounded JSONL ring buffer).
+``top [--port P | --unix-socket PATH]``
+    Live terminal dashboard for a running daemon: subscribes to the
+    ``stats --stream`` op and renders QPS, latency quantiles, LRU
+    hit rate, shed counters, and the admission state per frame.
 ``bench load [--clients N] [--count M] [--history FILE]``
     Multiprocess load generator against a running daemon; reports
     p50/p95/p99 latency and sustained QPS into ``BENCH_serve.json``
@@ -252,9 +262,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="aggregate a --trace-spans run: span tree, Perfetto "
              "export, perf-regression gate")
     profile.add_argument(
-        "run", type=Path,
+        "runs", nargs="+", type=Path, metavar="run",
         help="run directory written by --trace-spans (or a bare "
-             "spans.jsonl file)")
+             "spans.jsonl file); several merge for --request")
+    profile.add_argument(
+        "--request", metavar="ID", default=None,
+        help="render the merged cross-incarnation timeline of one "
+             "client request_id instead of the span tree")
     profile.add_argument(
         "--chrome", metavar="FILE", type=Path, default=None,
         help="also export Chrome trace-event JSON (loadable in "
@@ -325,6 +339,15 @@ def _build_parser() -> argparse.ArgumentParser:
                             "it changes and re-warm from it at "
                             "startup, so a (supervised) restart "
                             "recovers its working set")
+    serve.add_argument("--telemetry", metavar="FILE", default=None,
+                       help="sample the serving metrics into FILE "
+                            "every --telemetry-interval seconds as a "
+                            "bounded JSONL ring buffer (rotates to "
+                            "FILE.old past $REPRO_TELEMETRY_MAX_BYTES)")
+    serve.add_argument("--telemetry-interval", type=float, default=5.0,
+                       metavar="S",
+                       help="seconds between telemetry samples "
+                            "[%(default)s]")
     serve.add_argument("--supervise", action="store_true",
                        help="run the daemon as a supervised child "
                             "process: restart it on crash with "
@@ -333,6 +356,28 @@ def _build_parser() -> argparse.ArgumentParser:
                             "breaker)")
     serve.set_defaults(handler=_cmd_serve,
                        default_scale=api.DEFAULT_PREDICT_SCALE)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard for a running 'repro serve' "
+             "daemon (subscribes to its stats --stream op)")
+    top.add_argument("--host", default="127.0.0.1",
+                     help="daemon address [%(default)s]")
+    top.add_argument("--port", type=int, default=None, metavar="P",
+                     help="daemon TCP port [default: 7907]")
+    top.add_argument("--unix-socket", metavar="PATH", default=None,
+                     help="connect over a Unix-domain socket instead "
+                          "of TCP")
+    top.add_argument("--interval", type=float, default=1.0,
+                     metavar="S",
+                     help="seconds between frames [%(default)s]")
+    top.add_argument("--count", type=int, default=0, metavar="N",
+                     help="exit after N frames (0 = until "
+                          "interrupted) [%(default)s]")
+    top.add_argument("--no-color", action="store_true",
+                     help="plain text even on a TTY (also disables "
+                          "the per-frame screen clear)")
+    top.set_defaults(handler=_cmd_top)
 
     bench = sub.add_parser("bench", help="serving benchmarks")
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
@@ -476,21 +521,29 @@ def _cmd_regions(args) -> int:
 
 
 def _cmd_profile(args) -> int:
-    """Aggregate a span journal: tree, Chrome export, baseline gate."""
+    """Aggregate span journals: tree, Chrome export, baseline gate,
+    or (``--request``) one request's cross-incarnation timeline."""
     try:
-        run = obs_profile.load_run(args.run)
+        runs = obs_profile.load_runs(args.runs)
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.request:
+        timeline = obs_profile.request_timeline(runs, args.request)
+        print(obs_profile.render_request_timeline(timeline))
+        return 0 if timeline.entries else 1
     # Export before printing: the artifact still lands when stdout is
     # piped into a pager/head that closes early.
     if args.chrome is not None:
-        path = obs_profile.write_chrome(run, args.chrome)
+        path = obs_profile.write_chrome(runs[0], args.chrome)
         print(f"chrome trace written to {path}", file=sys.stderr)
-    print(obs_profile.render_tree(run))
+    for index, run in enumerate(runs):
+        if index:
+            print()
+        print(obs_profile.render_tree(run))
     if args.check:
         verdict = obs_profile.compare_baseline(
-            run, baseline_path=args.baseline,
+            runs[0], baseline_path=args.baseline,
             threshold=args.threshold)
         for message in verdict.messages:
             print(message, file=sys.stderr)
@@ -640,7 +693,9 @@ def _cmd_serve(args) -> int:
                          queue_depth=args.queue,
                          deadline_ms=args.deadline_ms,
                          idle_timeout_s=args.idle_timeout,
-                         warm_manifest=args.warm_manifest)
+                         warm_manifest=args.warm_manifest,
+                         telemetry_path=args.telemetry,
+                         telemetry_interval_s=args.telemetry_interval)
     stop = threading.Event()
 
     def _on_signal(signum, frame):
@@ -694,6 +749,24 @@ def _cmd_serve_supervised(args) -> int:
     if threading.current_thread() is threading.main_thread():
         install_stop_signals(supervisor)
     return supervisor.run()
+
+
+def _cmd_top(args) -> int:
+    from repro.serve.server import DEFAULT_PORT
+    from repro.serve.top import run_top
+    if args.unix_socket:
+        address = args.unix_socket
+    else:
+        port = args.port if args.port is not None else DEFAULT_PORT
+        address = (args.host, port)
+    color = False if args.no_color else None
+    try:
+        return run_top(address, interval_s=args.interval,
+                       count=args.count, color=color, clear=color)
+    except OSError as exc:
+        print(f"repro top: cannot reach daemon at {address}: {exc}",
+              file=sys.stderr)
+        return 1
 
 
 def _cmd_bench_load(args) -> int:

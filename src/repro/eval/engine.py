@@ -471,7 +471,12 @@ def _init_worker(cache_directory: Optional[str],
     ``obs_state`` is :func:`repro.obs.spans.worker_state` output: the
     worker journals spans locally (``spans-<pid>.jsonl``) with its
     top-level spans parented to the engine span that spawned the pool;
-    the parent merges worker journals at finalisation.
+    the parent merges worker journals at finalisation.  The state
+    tuple also carries the parent's active request context
+    (``request_id``/attempt, when the pool serves a daemon request)
+    and incarnation id, which the worker re-binds so its spans stay
+    greppable by the same client ``request_id`` - the engine passes
+    the tuple through blindly and stays ignorant of its shape.
     """
     if cache_directory is not None:
         trace_cache.configure(cache_directory)

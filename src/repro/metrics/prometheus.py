@@ -1,0 +1,129 @@
+"""Prometheus text exposition for metrics-registry snapshots.
+
+Renders a :meth:`repro.metrics.registry.MetricsRegistry.snapshot`
+as Prometheus' text-based exposition format (version 0.0.4), so a
+standard scraper pointed at the ``repro serve`` daemon's ``metrics``
+op ingests the same counters/gauges/histograms the ``stats`` op
+returns as JSON.
+
+Mapping rules:
+
+* Dotted registry names flatten to underscore names under a
+  ``repro_`` namespace (``serve.latency_ms`` ->
+  ``repro_serve_latency_ms``); any character outside
+  ``[a-zA-Z0-9_]`` becomes ``_``.
+* Counters render as ``<name>_total`` (Prometheus convention for
+  monotonic counts).
+* Gauges render as-is; a gauge that was never set (value ``None``)
+  is omitted rather than exposed as a bogus zero.
+* Histograms render the full cumulative-bucket family:
+  ``<name>_bucket{le="..."}`` per bound plus ``+Inf``, ``<name>_sum``
+  and ``<name>_count``.
+* Timeseries render their aggregates as two gauges
+  (``<name>_count`` / ``<name>_sum``); the per-interval points stay
+  JSON-only.
+
+The renderer is pure (snapshot in, text out) so it is trivially
+testable and usable outside the daemon (e.g. dumping a batch run's
+registry for pushgateway-style ingestion).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional
+
+#: The Content-Type a Prometheus scrape of the ``metrics`` op should
+#: assume for the returned ``text`` payload.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Default metric-name namespace prefix.
+NAMESPACE = "repro"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(name: str, namespace: str = NAMESPACE) -> str:
+    """A registry metric name as a valid Prometheus metric name."""
+    flat = _INVALID.sub("_", name)
+    full = f"{namespace}_{flat}" if namespace else flat
+    if full and full[0].isdigit():
+        full = "_" + full
+    return full
+
+
+def _num(value) -> str:
+    """One sample value in exposition format."""
+    number = float(value)
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _escape_label(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def _histogram_lines(name: str, entry: dict) -> List[str]:
+    lines = [f"# TYPE {name} histogram"]
+    cumulative = 0
+    bounds = entry.get("bounds", [])
+    buckets = entry.get("buckets", [])
+    for bound, occupancy in zip(bounds, buckets):
+        cumulative += occupancy
+        lines.append(f'{name}_bucket{{le="{_num(bound)}"}} '
+                     f"{cumulative}")
+    lines.append(f'{name}_bucket{{le="+Inf"}} {entry.get("count", 0)}')
+    lines.append(f"{name}_sum {_num(entry.get('sum', 0.0))}")
+    lines.append(f"{name}_count {entry.get('count', 0)}")
+    return lines
+
+
+def render(snapshot: Dict[str, dict], namespace: str = NAMESPACE,
+           info: Optional[Dict[str, str]] = None) -> str:
+    """A registry snapshot as Prometheus exposition text.
+
+    ``info`` labels (incarnation id, pid, version...) render as a
+    ``<namespace>_serve_info`` gauge with constant value 1 - the
+    Prometheus idiom for identity metadata - so dashboards can join
+    series across daemon restarts.
+    """
+    lines: List[str] = []
+    if info:
+        name = metric_name("serve_info", namespace)
+        labels = ",".join(f'{key}="{_escape_label(value)}"'
+                          for key, value in sorted(info.items()))
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{{{labels}}} 1")
+    emitted = {metric_name("serve_info", namespace)} if info else set()
+    for raw_name in sorted(snapshot):
+        entry = snapshot[raw_name]
+        kind = entry.get("kind")
+        name = metric_name(raw_name, namespace)
+        if kind == "counter":
+            name += "_total"
+        if name in emitted:
+            continue        # sanitisation collision: first one wins
+        emitted.add(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_num(entry.get('value', 0))}")
+        elif kind == "gauge":
+            if entry.get("value") is None:
+                continue
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_num(entry['value'])}")
+        elif kind == "histogram":
+            lines.extend(_histogram_lines(name, entry))
+        elif kind == "timeseries":
+            lines.append(f"# TYPE {name}_count gauge")
+            lines.append(f"{name}_count {entry.get('count', 0)}")
+            lines.append(f"# TYPE {name}_sum gauge")
+            lines.append(f"{name}_sum {_num(entry.get('sum', 0.0))}")
+    return "\n".join(lines) + "\n"

@@ -85,6 +85,20 @@ def write_manifest(directory: Union[str, Path], document: dict) -> Path:
     return path
 
 
+def update_manifest(directory: Union[str, Path], updates: dict) -> Path:
+    """Merge ``updates`` into the manifest under ``directory``.
+
+    Reads the existing document (an empty one when absent or
+    unreadable), applies the updates, and rewrites atomically.  The
+    serve daemon uses this to stamp its ``incarnation_id`` into the
+    manifest the CLI wrote at startup, so ``repro profile --request``
+    can attribute journal segments to daemon spawns.
+    """
+    document = load_manifest(directory) or {}
+    document.update(updates)
+    return write_manifest(directory, document)
+
+
 def load_manifest(directory: Union[str, Path]) -> Optional[dict]:
     """The manifest under ``directory``, or None if absent/unreadable."""
     path = Path(directory) / FILENAME

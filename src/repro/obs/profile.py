@@ -13,7 +13,16 @@ folded in on load, so a killed sweep still profiles).  Three consumers:
 * :func:`compare_baseline` - compares the run's root wall-clock
   against the recorded per-experiment baseline
   (``benchmarks/results/BENCH_perf_baseline.json``) and flags
-  regressions beyond a threshold, the CI perf gate.
+  regressions beyond a threshold, the CI perf gate;
+* :func:`request_timeline` - merges the spans stamped with one
+  client ``request_id`` across *multiple* runs (e.g. the journals of
+  two daemon incarnations either side of a supervised restart) into a
+  single wall-clock-ordered timeline, via each manifest's paired
+  ``started_unix``/``started_monotonic`` clock anchor.
+
+Rotated journal segments (``spans.jsonl.old``, rotated worker
+segments) are folded in on load, so long-lived daemons profile
+completely.
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.eval import reporting
 from repro.obs import manifest as run_manifest
-from repro.obs.spans import JOURNAL, WORKER_PREFIX
+from repro.obs.spans import JOURNAL, ROTATED_SUFFIX, WORKER_PREFIX
 
 #: Default baseline consulted by ``repro profile --check`` (relative to
 #: the working directory, i.e. the repository root in normal use).
@@ -66,6 +75,22 @@ class RunProfile:
             return 0.0
         return min(span["start"] for span in self.spans)
 
+    @property
+    def unix_anchor(self) -> Optional[float]:
+        """Wall-clock seconds at monotonic zero, from the manifest.
+
+        Span timestamps are ``time.monotonic`` values; the manifest
+        records both clocks at run start, so ``unix_anchor + start``
+        places any span on the wall clock - the shared axis that lets
+        journals from *different processes* (daemon incarnations
+        before and after a restart) merge into one timeline.
+        """
+        try:
+            return float(self.manifest["started_unix"]) \
+                - float(self.manifest["started_monotonic"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
 
 def _read_journal(path: Path) -> Tuple[List[dict], int]:
     spans, skipped = [], 0
@@ -99,8 +124,12 @@ def load_run(path: Union[str, Path]) -> RunProfile:
     profile = RunProfile(source=path)
     if path.is_dir():
         profile.manifest = run_manifest.load_manifest(path) or {}
-        journals = [path / JOURNAL] \
-            + sorted(path.glob(WORKER_PREFIX + "*.jsonl"))
+        # Rotated segments (``.old``) hold the *oldest* spans of a
+        # long-lived run - read them first so the merged journal stays
+        # roughly chronological, then the live segments, then any
+        # unmerged worker journals (rotated or not).
+        journals = [path / (JOURNAL + ROTATED_SUFFIX), path / JOURNAL] \
+            + sorted(path.glob(WORKER_PREFIX + "*.jsonl*"))
         journals = [j for j in journals if j.exists()]
         if not journals:
             raise FileNotFoundError(
@@ -108,7 +137,8 @@ def load_run(path: Union[str, Path]) -> RunProfile:
     else:
         if not path.exists():
             raise FileNotFoundError(f"no span journal at {path}")
-        journals = [path]
+        rotated = path.with_name(path.name + ROTATED_SUFFIX)
+        journals = [j for j in (rotated, path) if j.exists()]
         profile.manifest = run_manifest.load_manifest(path.parent) or {}
     for journal in journals:
         spans, skipped = _read_journal(journal)
@@ -116,6 +146,196 @@ def load_run(path: Union[str, Path]) -> RunProfile:
         profile.skipped += skipped
     profile.spans.sort(key=lambda s: (s["start"], s["pid"], s["id"]))
     return profile
+
+
+def load_runs(paths: List[Union[str, Path]]) -> List[RunProfile]:
+    """Load several run directories/journals (one profile each)."""
+    return [load_run(path) for path in paths]
+
+
+# -- request timelines --------------------------------------------------
+
+
+@dataclass
+class RequestTimeline:
+    """Every span of one request, merged across runs/incarnations."""
+
+    request_id: str
+    entries: List[dict] = field(default_factory=list)
+    sources: List[Path] = field(default_factory=list)
+
+    @property
+    def incarnations(self) -> List[str]:
+        """Distinct incarnation ids touched, in first-seen order."""
+        seen: List[str] = []
+        for entry in self.entries:
+            inc = entry["incarnation"]
+            if inc not in seen:
+                seen.append(inc)
+        return seen
+
+    @property
+    def attempts(self) -> List[dict]:
+        """Per-attempt summaries, lowest attempt first.
+
+        Outcome comes from the completed ``serve:request`` span when
+        one exists (its recorded ``status``); an attempt that left
+        only the flushed ``serve:request:start`` event belongs to an
+        incarnation that died mid-request.
+        """
+        grouped: Dict[int, List[dict]] = {}
+        for entry in self.entries:
+            grouped.setdefault(entry["attempt"], []).append(entry)
+        summaries = []
+        for attempt in sorted(grouped):
+            entries = grouped[attempt]
+            incs = []
+            for entry in entries:
+                if entry["incarnation"] not in incs:
+                    incs.append(entry["incarnation"])
+            status = None
+            started = False
+            for entry in entries:
+                if entry["name"] == "serve:request":
+                    status = entry["attrs"].get("status")
+                elif entry["name"] == "serve:request:start":
+                    started = True
+            if status is not None:
+                outcome = f"completed status {status}"
+            elif started:
+                outcome = "started, never completed"
+            else:
+                outcome = "?"
+            summaries.append({"attempt": attempt,
+                              "incarnations": incs,
+                              "spans": len(entries),
+                              "outcome": outcome})
+        return summaries
+
+
+def _resolve_incarnations(profile: RunProfile) -> Dict[str, str]:
+    """Span id -> incarnation id for one merged journal.
+
+    Only the daemon's request spans/events carry the ``incarnation``
+    attribute explicitly; everything beneath them (session stages,
+    engine cells, pool-worker spans) inherits it down the parent
+    chain.  Orphans fall back to the manifest's ``incarnation_id``
+    (the *latest* incarnation, since restarts rewrite the manifest)
+    and finally to a ``pid:N`` pseudo-id so entries are never blank.
+    """
+    by_id = {span["id"]: span for span in profile.spans}
+    fallback = profile.manifest.get("incarnation_id")
+    resolved: Dict[str, str] = {}
+    for span in profile.spans:
+        chain = []
+        cursor, inc = span, None
+        while cursor is not None and cursor["id"] not in resolved:
+            attr = cursor.get("attrs", {}).get("incarnation")
+            if attr is not None:
+                inc = str(attr)
+                break
+            chain.append(cursor["id"])
+            cursor = by_id.get(cursor.get("parent"))
+        if inc is None and cursor is not None:
+            inc = resolved.get(cursor["id"])
+        for span_id in chain:
+            if inc is not None:
+                resolved[span_id] = inc
+        if inc is not None:
+            resolved.setdefault(span["id"], inc)
+    for span in profile.spans:
+        resolved.setdefault(
+            span["id"], str(fallback) if fallback is not None
+            else f"pid:{span['pid']}")
+    return resolved
+
+
+def request_timeline(profiles: List[RunProfile],
+                     request_id: str) -> RequestTimeline:
+    """Merge every span of ``request_id`` across ``profiles``.
+
+    Selects spans stamped with the request id (the thread-local
+    request context attaches it daemon-side, and workers re-bind it,
+    so the whole tree is stamped) plus any transitive descendants
+    that slipped through unstamped.  Entries are placed on the wall
+    clock via each profile's :attr:`RunProfile.unix_anchor`, which is
+    what makes journals from two daemon incarnations - different
+    processes with unrelated monotonic clocks - sortable into one
+    timeline.
+    """
+    timeline = RequestTimeline(request_id=str(request_id))
+    for index, profile in enumerate(profiles):
+        incarnations = _resolve_incarnations(profile)
+        anchor = profile.unix_anchor
+        children = _children_by_parent(profile.spans)
+        selected: Dict[str, dict] = {}
+        queue = [span for span in profile.spans
+                 if str(span.get("attrs", {}).get("request"))
+                 == str(request_id)]
+        while queue:
+            span = queue.pop()
+            if span["id"] in selected:
+                continue
+            selected[span["id"]] = span
+            queue.extend(children.get(span["id"], []))
+        if not selected:
+            continue
+        timeline.sources.append(profile.source)
+        for span in selected.values():
+            unix = anchor + span["start"] if anchor is not None \
+                else None
+            attempt = span.get("attrs", {}).get("request_attempt")
+            timeline.entries.append({
+                "t": unix,
+                "rel": span["start"],
+                "dur": span["dur"],
+                "name": span["name"],
+                "label": _label(span),
+                "incarnation": incarnations[span["id"]],
+                "attempt": int(attempt) if attempt is not None else 0,
+                "pid": span["pid"],
+                "source": profile.source,
+                "order": index,
+                "attrs": span.get("attrs", {}),
+            })
+    timeline.entries.sort(
+        key=lambda e: ((0, e["t"], e["rel"]) if e["t"] is not None
+                       else (1, e["order"], e["rel"])))
+    return timeline
+
+
+def render_request_timeline(timeline: RequestTimeline) -> str:
+    """One request's merged cross-incarnation timeline, as text."""
+    if not timeline.entries:
+        return (f"request {timeline.request_id}: no spans found "
+                f"(is the daemon run with --trace-spans, and the id "
+                f"from ServeClient.last_request_id?)")
+    incs = timeline.incarnations
+    header = (f"Request {timeline.request_id}: "
+              f"{len(timeline.entries)} spans, "
+              f"{len(timeline.attempts)} attempt(s) across "
+              f"{len(incs)} incarnation(s)")
+    attempt_rows = [[summary["attempt"],
+                     " ".join(summary["incarnations"]),
+                     summary["spans"], summary["outcome"]]
+                    for summary in timeline.attempts]
+    lines = [reporting.format_table(
+        ["attempt", "incarnation", "spans", "outcome"], attempt_rows,
+        title=header)]
+    anchored = [e["t"] for e in timeline.entries if e["t"] is not None]
+    origin = min(anchored) if anchored else None
+    rows = []
+    for entry in timeline.entries:
+        offset = "" if entry["t"] is None or origin is None \
+            else f"+{entry['t'] - origin:.3f}s"
+        rows.append([offset, entry["incarnation"], entry["attempt"],
+                     entry["label"],
+                     reporting.seconds(entry["dur"])])
+    lines.append("")
+    lines.append(reporting.format_table(
+        ["offset", "incarnation", "attempt", "span", "wall-clock"],
+        rows, title="Timeline (wall-clock merged)"))
+    return "\n".join(lines)
 
 
 # -- tree rendering -----------------------------------------------------

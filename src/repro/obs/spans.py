@@ -48,6 +48,7 @@ import json
 import os
 import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -55,6 +56,11 @@ from repro import metrics
 
 #: Environment variable naming the default span-journal directory.
 ENV_VAR = "REPRO_TRACE_SPANS"
+
+#: Environment variable carrying the daemon incarnation id (stamped by
+#: the serve supervisor before each child spawn; the server falls back
+#: to minting its own when unset).
+INCARNATION_ENV_VAR = "REPRO_INCARNATION_ID"
 
 #: The parent process's merged journal file name.
 JOURNAL = "spans.jsonl"
@@ -87,6 +93,98 @@ def _counter_values(snapshot: Dict[str, dict]) -> Dict[str, float]:
     """Counter values of a metrics-registry snapshot (for deltas)."""
     return {name: entry["value"] for name, entry in snapshot.items()
             if entry.get("kind") == "counter"}
+
+
+# -- request correlation context -----------------------------------------
+#
+# The serve layer binds a per-thread *request context* - the client's
+# ``request_id`` plus its retry attempt counter - around dispatch, and
+# every span opened inside it auto-attaches ``request`` /
+# ``request_attempt`` attributes.  ``worker_state``/``enable_worker``
+# ship the context into pool workers, so one
+# ``grep <request_id> spans*.jsonl*`` reconstructs a request's full
+# tree including the cells it fanned out to.  The *incarnation id*
+# (which daemon spawn this process is) is process-wide, not
+# per-thread; it rides on ``serve:request`` spans and the manifest so
+# journals spanning a supervised restart stay attributable.
+
+_request_local = threading.local()
+_incarnation: Optional[str] = None
+
+
+def set_incarnation(incarnation_id: Optional[str]) -> None:
+    """Set the process-wide daemon incarnation id (None clears it)."""
+    global _incarnation
+    _incarnation = str(incarnation_id) if incarnation_id else None
+
+
+def incarnation() -> Optional[str]:
+    """This process's daemon incarnation id, if one was stamped."""
+    return _incarnation
+
+
+def current_request() -> Optional[Tuple[str, int]]:
+    """The thread's active ``(request_id, attempt)``, if any."""
+    return getattr(_request_local, "context", None)
+
+
+@contextmanager
+def request_context(request_id, attempt: int = 0):
+    """Bind ``(request_id, attempt)`` to this thread for the block.
+
+    Spans opened inside the block (on this thread) auto-attach
+    ``request`` and ``request_attempt`` attributes.  Contexts restore
+    on exit, so nested scopes (a server thread handling a request that
+    itself drives the engine) behave like a stack.  Cheap enough to
+    run unconditionally - binding is two thread-local writes even with
+    tracing disabled.
+    """
+    previous = getattr(_request_local, "context", None)
+    _request_local.context = (str(request_id), int(attempt))
+    try:
+        yield
+    finally:
+        _request_local.context = previous
+
+
+def _bind_request(context: Optional[Tuple[str, int]]) -> None:
+    """Adopt a shipped request context (pool-worker initialisation)."""
+    _request_local.context = (str(context[0]), int(context[1])) \
+        if context else None
+
+
+def event(name: str, **attrs) -> None:
+    """Journal an instantaneous marker span *immediately*.
+
+    Regular spans journal at ``__exit__``, so a process killed mid-
+    request loses its in-flight span entirely.  The serve dispatch
+    writes a ``serve:request:start`` event the moment a request is
+    decoded - one flushed zero-duration line - so even a SIGKILL'd
+    incarnation leaves enough behind for ``repro profile --request``
+    to place the doomed attempt on the timeline.  No-op while tracing
+    is disabled.
+    """
+    tracer = _tracer
+    if tracer is None:
+        return
+    with Span(tracer, name, attrs):
+        pass
+
+
+def annotate(key: str, value) -> None:
+    """Set an attribute on the innermost open span of this thread.
+
+    Lets deep code (deadline checks in the session) decorate whatever
+    request/cell span happens to be open without threading the span
+    handle through every call.  No-op when tracing is disabled or no
+    span is open.
+    """
+    tracer = _tracer
+    if tracer is None:
+        return
+    frames = tracer._frames()
+    if frames:
+        frames[-1].set(key, value)
 
 
 class Span:
@@ -123,6 +221,10 @@ class Span:
         tracer = self._tracer
         self.span_id = tracer.next_id()
         self.parent_id = tracer.current_span_id()
+        context = getattr(_request_local, "context", None)
+        if context is not None:
+            self.attrs.setdefault("request", context[0])
+            self.attrs.setdefault("request_attempt", context[1])
         if self._capture:
             registry = metrics.active()
             if registry.enabled:
@@ -325,13 +427,24 @@ def enable(directory: Union[str, Path],
 
 
 def enable_worker(directory: Union[str, Path], run_id: str,
-                  parent_span_id: Optional[str]) -> SpanTracer:
-    """Start tracing in a pool worker: local journal, inherited parent."""
+                  parent_span_id: Optional[str],
+                  request: Optional[Tuple[str, int]] = None,
+                  incarnation_id: Optional[str] = None) -> SpanTracer:
+    """Start tracing in a pool worker: local journal, inherited parent.
+
+    ``request``/``incarnation_id`` adopt the spawning request's
+    correlation context (see :func:`worker_state`), so cell spans the
+    worker journals carry the same ``request`` attribute as the serve
+    span that fanned them out.
+    """
     global _tracer
     _tracer = SpanTracer(directory, run_id,
                          journal_name=f"{WORKER_PREFIX}{os.getpid()}"
                                       f".jsonl",
                          default_parent=parent_span_id)
+    _bind_request(request)
+    if incarnation_id:
+        set_incarnation(incarnation_id)
     return _tracer
 
 
@@ -346,14 +459,20 @@ def disable(merge: bool = True) -> None:
     _tracer = None
 
 
-def worker_state() -> Optional[Tuple[str, str, Optional[str]]]:
-    """``(directory, run_id, current span id)`` to ship to pool workers,
-    or None when tracing is off."""
+def worker_state() -> Optional[Tuple]:
+    """The :func:`enable_worker` arguments to ship to pool workers:
+    ``(directory, run_id, current span id, request context,
+    incarnation id)``, or None when tracing is off.
+
+    Captured on the thread building the pool (a serve request thread,
+    under its :func:`request_context`), so worker spans inherit the
+    request correlation of the query that spawned them.
+    """
     tracer = _tracer
     if tracer is None:
         return None
     return (str(tracer.directory), tracer.run_id,
-            tracer.current_span_id())
+            tracer.current_span_id(), current_request(), _incarnation)
 
 
 def span(name: str, capture_metrics: bool = False, **attrs):

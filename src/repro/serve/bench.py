@@ -226,6 +226,9 @@ def run_load(address: Address, clients: int = 4, count: int = 50,
     with ServeClient(address) as probe:
         report["health"] = probe.health()
         report["stats"] = probe.stats()
+    # Which daemon incarnation served the run - lets a trend journal
+    # distinguish "same daemon, slower" from "restarted between runs".
+    report["incarnation"] = report["health"].get("incarnation")
     return _write_report(report, out)
 
 

@@ -24,15 +24,22 @@ the server (half-open) and a success closes the circuit again.
 ``504`` (deadline exceeded) and other definitive statuses (400/404/
 500) are never retried: the server answered; asking again with the
 same question is not a recovery strategy.
+
+Every logical call mints a ``request_id`` (kept in
+:attr:`ServeClient.last_request_id`) that is constant across its
+retry attempts; the daemon threads it through its span journals and
+echoes it (plus its ``incarnation``) in the response, which is what
+``repro profile --request ID`` correlates on.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
 import socket
 import time
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.serve import protocol
 from repro.serve.server import Address
@@ -100,6 +107,14 @@ class ServeClient:
         self._sock: Optional[socket.socket] = None
         self._buffer = b""
         self._next_id = 0
+        #: Per-client token + sequence minting ``request_id`` values -
+        #: one per *logical* call, stable across its retry attempts,
+        #: unique across concurrent clients (pid + random salt).
+        self._trace_token = f"c{os.getpid():x}{os.urandom(2).hex()}"
+        self._trace_seq = 0
+        #: The ``request_id`` of the most recent call - what to hand
+        #: to ``repro profile --request`` to see its server-side tree.
+        self.last_request_id: Optional[str] = None
         self.retry_total = 0
         self._consecutive_failures = 0
         self._breaker_opened_at: Optional[float] = None
@@ -134,15 +149,24 @@ class ServeClient:
                     "server closed the connection mid-response")
             self._buffer += chunk
 
+    def _mint_trace_id(self) -> str:
+        self._trace_seq += 1
+        trace_id = f"{self._trace_token}-{self._trace_seq:x}"
+        self.last_request_id = trace_id
+        return trace_id
+
     def _attempt(self, op: str, params: dict,
-                 timeout_ms: Optional[float]) -> dict:
+                 timeout_ms: Optional[float],
+                 trace_id: Optional[str] = None,
+                 attempt: int = 0) -> dict:
         """One request/response round trip on the live connection."""
         if self._sock is None:
             self._connect()
         self._next_id += 1
         self._sock.sendall(protocol.encode_request(
             op, params or None, request_id=self._next_id,
-            timeout_ms=timeout_ms))
+            timeout_ms=timeout_ms, trace_id=trace_id,
+            attempt=attempt))
         line = self._read_line()
         try:
             return json.loads(line.decode("utf-8"))
@@ -190,20 +214,33 @@ class ServeClient:
     # -- calls ----------------------------------------------------------
 
     def call(self, op: str, timeout_ms: Optional[float] = None,
-             **params) -> dict:
+             request_id: Optional[str] = None, **params) -> dict:
         """Send one request and return the raw response document.
 
         Retries transport faults and retryable statuses up to
         ``self.retries`` times (reconnecting between attempts); a
         definitive server answer - success or a non-retryable error
         status - returns as-is.
+
+        Every call mints a ``request_id`` (override with the keyword
+        to correlate externally) that stays *constant* across its
+        retry attempts while the wire ``attempt`` counter increments -
+        so span journals from a daemon that died on attempt 0 and its
+        successor that answered attempt 1 reconstruct into one
+        ``repro profile --request`` timeline.
         """
         self._check_breaker()
+        trace_id = str(request_id) if request_id is not None \
+            else self._mint_trace_id()
+        if request_id is not None:
+            self.last_request_id = trace_id
         attempt = 0
         while True:
             retry_after_ms = None
             try:
-                response = self._attempt(op, params, timeout_ms)
+                response = self._attempt(op, params, timeout_ms,
+                                         trace_id=trace_id,
+                                         attempt=attempt)
                 status = response.get("status")
                 if status not in RETRYABLE_STATUSES:
                     self._record_outcome(True)
@@ -245,6 +282,46 @@ class ServeClient:
     def stats(self) -> dict:
         """The daemon's live metrics snapshot."""
         return self.result("stats")
+
+    def metrics_text(self) -> str:
+        """The daemon's metrics as Prometheus exposition text."""
+        return self.result("metrics")["text"]
+
+    def stream_stats(self, interval_s: float = 1.0,
+                     count: int = 0) -> Iterator[dict]:
+        """Subscribe to ``stats --stream``; yields response documents.
+
+        Each yielded document wraps one compact telemetry frame in
+        ``result`` (the first is the op's own response, the rest are
+        pushed every ``interval_s`` seconds).  Ends after ``count``
+        frames (0 = until the daemon stops or the connection drops -
+        both end the iterator instead of raising, since an operator
+        dashboard outliving its daemon is normal, not an error).
+        """
+        if self._sock is None:
+            self._connect()
+        self._next_id += 1
+        trace_id = self._mint_trace_id()
+        self._sock.sendall(protocol.encode_request(
+            "stats", {"stream": True, "interval_s": interval_s,
+                      "count": int(count)},
+            request_id=self._next_id, trace_id=trace_id))
+        received = 0
+        while True:
+            try:
+                line = self._read_line()
+            except (OSError, ConnectionError):
+                return
+            try:
+                document = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return
+            yield document
+            received += 1
+            if not document.get("ok"):
+                return
+            if count and received >= int(count):
+                return
 
     def shutdown(self) -> dict:
         """Request a graceful daemon shutdown."""

@@ -3,26 +3,41 @@
 One request per line, one response per line, over a TCP or Unix-domain
 socket.  Requests are JSON objects::
 
-    {"op": "predict", "id": 7, "timeout_ms": 500,
+    {"op": "predict", "id": 7, "request_id": "c3f2a1-4", "attempt": 0,
+     "timeout_ms": 500,
      "params": {"names": ["db_vortex"], "scale": 0.2}}
 
 ``op`` is required; ``id`` is an optional client-chosen correlation
-token echoed back verbatim; ``params`` is an op-specific object;
-``timeout_ms`` is an optional per-request deadline (the server's
-``REPRO_SERVE_DEADLINE_MS`` default applies when absent).  Responses::
+token echoed back verbatim (one per wire attempt); ``request_id`` is
+the optional *trace* correlation id - minted client-side, **stable
+across retries** of one logical call, with ``attempt`` counting the
+retries - that the server threads through its span journals so
+``repro profile --request ID`` reconstructs the request's full tree;
+``params`` is an op-specific object; ``timeout_ms`` is an optional
+per-request deadline (the server's ``REPRO_SERVE_DEADLINE_MS`` default
+applies when absent).  Responses::
 
-    {"id": 7, "ok": true, "status": 200, "elapsed_ms": 1.4,
-     "result": {...}}
+    {"id": 7, "request_id": "c3f2a1-4", "attempt": 0,
+     "incarnation": "i-18c2f9-1a03", "ok": true, "status": 200,
+     "elapsed_ms": 1.4, "result": {...}}
     {"id": 7, "ok": false, "status": 503, "error": "server busy ...",
      "retry_after_ms": 250}
     {"id": 7, "ok": false, "status": 504, "error": "deadline ...",
-     "deadline_ms": 500, "stages": [["predict:compress", 412.0]]}
+     "deadline_ms": 500, "stages": [["predict:compress", 412.0]],
+     "budget_ms": [["predict:compress", 88.0]]}
+
+Every response also carries the serving daemon's ``incarnation``
+(which supervised spawn answered) and echoes ``request_id`` /
+``attempt``, so a client can tell that attempt 0 died on incarnation A
+and attempt 1 succeeded on incarnation B.
 
 ``status`` follows HTTP conventions so clients can branch without
 string-matching: 200 success, 400 invalid request/parameters, 404
 unknown op, 500 handler failure, 503 admission-control rejection or
 load shed (with a ``retry_after_ms`` hint), 504 deadline exceeded
-(with the partial per-stage timings the budget was spent on).
+(with the partial per-stage timings the budget was spent on, plus
+``budget_ms``: the budget *remaining* after each of those stages, so
+post-mortems show where the deadline went).
 """
 
 from __future__ import annotations
@@ -54,11 +69,22 @@ def encode(document: dict) -> bytes:
 
 def encode_request(op: str, params: Optional[dict] = None,
                    request_id=None,
-                   timeout_ms: Optional[float] = None) -> bytes:
-    """A request line for ``op`` with optional params, id, deadline."""
+                   timeout_ms: Optional[float] = None,
+                   trace_id: Optional[str] = None,
+                   attempt: Optional[int] = None) -> bytes:
+    """A request line for ``op`` with optional params, id, deadline.
+
+    ``request_id`` is the legacy per-attempt ``id`` token;
+    ``trace_id``/``attempt`` are the retry-stable ``request_id`` /
+    ``attempt`` correlation fields (see the module docstring).
+    """
     document = {"op": op}
     if request_id is not None:
         document["id"] = request_id
+    if trace_id is not None:
+        document["request_id"] = str(trace_id)
+    if attempt is not None:
+        document["attempt"] = int(attempt)
     if timeout_ms is not None:
         document["timeout_ms"] = timeout_ms
     if params:
@@ -67,11 +93,16 @@ def encode_request(op: str, params: Optional[dict] = None,
 
 
 def decode_request(line: bytes)\
-        -> Tuple[str, dict, object, Optional[float]]:
-    """Parse one request line into ``(op, params, id, timeout_ms)``.
+        -> Tuple[str, dict, object, Optional[float],
+                 Optional[str], int]:
+    """Parse one request line into
+    ``(op, params, id, timeout_ms, trace_id, attempt)``.
 
     Raises :class:`ProtocolError` on malformed JSON or shapes.
-    ``timeout_ms`` is ``None`` when the client set no deadline.
+    ``timeout_ms`` is ``None`` when the client set no deadline;
+    ``trace_id`` is ``None`` when the client sent no ``request_id``
+    (the server then mints one so journals stay greppable);
+    ``attempt`` defaults to 0.
     """
     if len(line) > MAX_LINE:
         raise ProtocolError(f"request line exceeds {MAX_LINE} bytes")
@@ -93,7 +124,16 @@ def decode_request(line: bytes)\
                 or isinstance(timeout_ms, bool) or timeout_ms <= 0:
             raise ProtocolError("'timeout_ms' must be a positive number")
         timeout_ms = float(timeout_ms)
-    return op, params, document.get("id"), timeout_ms
+    trace_id = document.get("request_id")
+    if trace_id is not None:
+        if not isinstance(trace_id, str) or not trace_id:
+            raise ProtocolError(
+                "'request_id' must be a non-empty string")
+    attempt = document.get("attempt", 0)
+    if not isinstance(attempt, int) or isinstance(attempt, bool) \
+            or attempt < 0:
+        raise ProtocolError("'attempt' must be an integer >= 0")
+    return op, params, document.get("id"), timeout_ms, trace_id, attempt
 
 
 def ok_response(request_id, result: dict,
@@ -122,17 +162,26 @@ def error_response(request_id, status: int, message: str,
 
 
 def timeout_response(request_id, message: str, deadline_ms: float,
-                     stages: Sequence[Tuple[str, float]]) -> dict:
+                     stages: Sequence[Tuple[str, float]],
+                     budgets: Sequence[Tuple[str, float]] = ())\
+        -> dict:
     """A 504 deadline-exceeded response with partial stage timings.
 
     ``stages`` are the ``(label, elapsed_ms)`` pairs for work that
     *did* complete before the budget ran out, so the client learns
     where its deadline went instead of just that it went.
+    ``budgets`` are the matching ``(label, remaining_ms)`` pairs - how
+    much of the deadline was still left *after* each completed stage -
+    kept as a parallel field so existing ``stages`` consumers are
+    untouched.
     """
     document = error_response(request_id, STATUS_TIMEOUT, message)
     document["deadline_ms"] = round(float(deadline_ms), 3)
     document["stages"] = [[label, round(float(ms), 3)]
                           for label, ms in stages]
+    if budgets:
+        document["budget_ms"] = [[label, round(float(ms), 3)]
+                                 for label, ms in budgets]
     return document
 
 

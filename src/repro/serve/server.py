@@ -31,10 +31,33 @@ Operational posture:
   request/error/rejection/shed/deadline counters, and the session's
   ``api.*`` residency counters all live in one metrics registry;
   ``stats`` returns a live snapshot with p50/p95/p99 estimated from
-  the latency histogram plus the admission window.
+  the latency histogram plus the admission window.  The ``metrics``
+  control op renders the same registry as Prometheus exposition text,
+  and ``stats`` with ``{"stream": true}`` pushes compact telemetry
+  frames to the subscribed connection (``repro top`` renders them).
+  With ``telemetry_path`` set, a :class:`TelemetryRecorder` thread
+  samples the same snapshot every ``telemetry_interval_s`` seconds
+  into a size-capped ``telemetry.jsonl`` ring buffer.
+* **Request correlation.**  Every decoded request binds a
+  ``(request_id, attempt)`` trace context (client-minted and stable
+  across retries, or server-minted when absent) for the duration of
+  dispatch: spans opened anywhere downstream - the ``serve:request``
+  lifecycle span, the session's ``api:trace`` fetches, engine cell
+  spans in pool workers - auto-attach the id, and every response
+  echoes ``request_id``/``attempt``/``incarnation``.  A flushed
+  ``serve:request:start`` event is journalled *before* execution, so
+  even an incarnation SIGKILL'd mid-request leaves the attempt on the
+  ``repro profile --request`` timeline.
+* **Incarnation identity.**  Each server carries an
+  ``incarnation_id`` - stamped by the supervisor via
+  ``REPRO_INCARNATION_ID`` (unique per spawn) or self-minted -
+  persisted into the span-journal manifest and echoed in every
+  response, ``health`` document, span, and telemetry sample, so
+  journals appended across supervised restarts stay attributable.
 * **Spans.**  When span tracing is enabled (``--trace-spans``), every
   request lifecycle is journalled as a ``serve:request`` span carrying
-  op, status, and deadline attributes.
+  op, status, deadline, request-correlation, and incarnation
+  attributes.
 * **Warm-set manifest.**  With ``warm_manifest`` set, the resident
   ``(workload, scale)`` set is persisted (atomically) whenever it
   changes, so a supervisor can re-warm a restarted daemon to the same
@@ -52,6 +75,7 @@ Operational posture:
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import socket
@@ -60,11 +84,14 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from repro import api
+from repro import __version__, api
+from repro.metrics import prometheus
 from repro.metrics.registry import Histogram
+from repro.obs import manifest as run_manifest
 from repro.obs import spans
 from repro.serve import protocol
 from repro.serve.admission import AdmissionController
+from repro.serve.telemetry import TelemetryRecorder
 from repro.testing import faults as fault_injection
 
 #: Default TCP port (an unassigned port in the user range).
@@ -75,7 +102,16 @@ LATENCY_BUCKETS_MS = (0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500,
                       1000, 2000, 5000, 10000)
 
 #: Ops that bypass admission control (must respond under overload).
-CONTROL_OPS = frozenset({"health", "stats", "shutdown"})
+CONTROL_OPS = frozenset({"health", "stats", "metrics", "shutdown"})
+
+#: Bounds accepted for ``stats --stream`` intervals (seconds).
+STREAM_MIN_INTERVAL_S = 0.02
+STREAM_MAX_INTERVAL_S = 60.0
+
+
+def mint_incarnation_id() -> str:
+    """A fresh daemon incarnation id (unsupervised spawns)."""
+    return f"i-{int(time.time() * 1000):x}-{os.getpid():x}"
 
 #: Either a ``(host, port)`` TCP address or a Unix-socket path.
 Address = Union[Tuple[str, int], str]
@@ -145,7 +181,10 @@ class ReproServer:
                  deadline_ms: Optional[float] = None,
                  idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
                  write_timeout_s: float = DEFAULT_WRITE_TIMEOUT_S,
-                 warm_manifest: Union[str, Path, None] = None) -> None:
+                 warm_manifest: Union[str, Path, None] = None,
+                 incarnation_id: Optional[str] = None,
+                 telemetry_path: Union[str, Path, None] = None,
+                 telemetry_interval_s: float = 5.0) -> None:
         if admission is None:
             admission = AdmissionController(max_inflight=max_inflight,
                                             queue_depth=queue_depth)
@@ -179,6 +218,20 @@ class ReproServer:
         self._metrics_lock = threading.Lock()
         self._inflight = 0
         self._started_at = time.monotonic()
+        #: Which daemon spawn this is: the supervisor stamps a unique
+        #: id per child via REPRO_INCARNATION_ID; bare daemons mint
+        #: their own.  Echoed in every response/span/telemetry sample.
+        self.incarnation_id = incarnation_id \
+            or os.environ.get(spans.INCARNATION_ENV_VAR) \
+            or mint_incarnation_id()
+        spans.set_incarnation(self.incarnation_id)
+        #: Server-minted trace-id sequence for clients that send none.
+        self._trace_seq = itertools.count(1)
+        self._telemetry: Optional[TelemetryRecorder] = None
+        if telemetry_path:
+            self._telemetry = TelemetryRecorder(
+                self.telemetry_snapshot, telemetry_path,
+                interval_s=telemetry_interval_s)
         #: Work ops: ``op -> (request_builder, executor)``.
         self._work_ops: Dict[str, Tuple[Callable, Callable]] = {
             "predict": (self._build_predict, self._exec_predict),
@@ -191,6 +244,7 @@ class ReproServer:
         self._control_ops: Dict[str, Callable] = {
             "health": self._op_health,
             "stats": self._op_stats,
+            "metrics": self._op_metrics,
             "shutdown": self._op_shutdown,
         }
         if debug_ops:
@@ -224,6 +278,17 @@ class ReproServer:
         listener.settimeout(_POLL_S)
         self._listener = listener
         self._started_at = time.monotonic()
+        tracer = spans.active()
+        if tracer is not None:
+            # Persist which incarnation is appending to this journal;
+            # supervised restarts overwrite it, but every request span
+            # also carries the id, so profile merges stay attributable
+            # even mid-journal.
+            run_manifest.update_manifest(
+                tracer.directory,
+                {"incarnation_id": self.incarnation_id})
+        if self._telemetry is not None:
+            self._telemetry.start()
         accept = threading.Thread(target=self._accept_loop,
                                   name="repro-serve-accept", daemon=True)
         accept.start()
@@ -245,6 +310,8 @@ class ReproServer:
         cannot deadlock on work that will never be wanted.
         """
         self._stopping.set()
+        if self._telemetry is not None:
+            self._telemetry.stop(final_sample=True)
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -343,11 +410,17 @@ class ReproServer:
                     line, buffer = buffer[:newline], buffer[newline + 1:]
                     if not line.strip():
                         continue
-                    payload = self._dispatch(line)
+                    payload, stream = self._dispatch(line)
                     if payload is None:     # injected serve:drop
                         break
                     if not self._send(conn, payload):
                         break
+                    if stream is not None:
+                        # A stats stream: push frames until done; the
+                        # connection stays usable for more requests
+                        # when the stream ends on its own count.
+                        if not self._stream_stats(conn, stream):
+                            break
                     # Drain semantics: finish the request in hand, then
                     # stop reading once shutdown has begun.
                     if self._stopping.is_set():
@@ -410,42 +483,71 @@ class ReproServer:
             ns.histogram(f"op.{op}.latency_ms", LATENCY_BUCKETS_MS)\
                 .observe(elapsed_ms)
 
-    def _dispatch(self, line: bytes) -> Optional[bytes]:
-        """One request line to one encoded response line.
+    def _dispatch(self, line: bytes)\
+            -> Tuple[Optional[bytes], Optional[dict]]:
+        """One request line to ``(response payload, stream spec)``.
 
-        ``None`` means "respond with silence": an injected
+        A ``None`` payload means "respond with silence": an injected
         ``serve:drop`` closing the connection the way a crashed
-        responder would.
+        responder would.  A non-None stream spec tells the caller to
+        keep pushing telemetry frames (``stats --stream``) after the
+        first response.
         """
         started = time.perf_counter()
         received = time.monotonic()
         try:
-            op, params, request_id, timeout_ms = \
+            op, params, request_id, timeout_ms, trace_id, attempt = \
                 protocol.decode_request(line)
         except protocol.ProtocolError as exc:
             self._observe("invalid", protocol.STATUS_BAD_REQUEST,
                           (time.perf_counter() - started) * 1000.0)
-            return protocol.encode(protocol.error_response(
-                None, protocol.STATUS_BAD_REQUEST, str(exc)))
-        corrupt: Optional[fault_injection.Directive] = None
-        for directive in fault_injection.fire_serve(op):
-            mode = directive.mode
-            self._count(f"faults.{mode}")
-            if mode == "drop":
-                return None
-            if mode == "stall":
-                time.sleep(directive.seconds)
-            elif mode == "corrupt-response":
-                corrupt = directive
-            elif mode == "oom-evict":
-                self.session.evict_residents()
-        response = self._handle(op, params, request_id, timeout_ms,
-                                started, received)
+            response = protocol.error_response(
+                None, protocol.STATUS_BAD_REQUEST, str(exc))
+            response["incarnation"] = self.incarnation_id
+            return protocol.encode(response), None
+        if trace_id is None:
+            # Mint one server-side so journal grep / profile --request
+            # works even for clients that sent no correlation id.
+            trace_id = (f"srv-{self.incarnation_id}-"
+                        f"{next(self._trace_seq):x}")
+        with spans.request_context(trace_id, attempt):
+            # Flushed immediately: a SIGKILL mid-request still leaves
+            # this attempt on the cross-incarnation timeline.
+            spans.event("serve:request:start", op=op,
+                        incarnation=self.incarnation_id)
+            corrupt: Optional[fault_injection.Directive] = None
+            for directive in fault_injection.fire_serve(op):
+                mode = directive.mode
+                self._count(f"faults.{mode}")
+                if mode == "drop":
+                    return None, None
+                if mode == "stall":
+                    time.sleep(directive.seconds)
+                elif mode == "corrupt-response":
+                    corrupt = directive
+                elif mode == "oom-evict":
+                    self.session.evict_residents()
+            response = self._handle(op, params, request_id, timeout_ms,
+                                    started, received)
+        response.setdefault("request_id", trace_id)
+        response.setdefault("attempt", attempt)
+        response.setdefault("incarnation", self.incarnation_id)
         payload = protocol.encode(response)
         if corrupt is not None:
             payload = fault_injection.corrupt_response(payload,
                                                        corrupt.seed)
-        return payload
+        stream = None
+        if op == "stats" and response.get("ok") \
+                and params.get("stream"):
+            stream = {
+                "interval_s": min(
+                    STREAM_MAX_INTERVAL_S,
+                    max(STREAM_MIN_INTERVAL_S,
+                        float(params.get("interval_s", 1.0)))),
+                "count": int(params.get("count", 0)),
+                "request_id": trace_id,
+            }
+        return payload, stream
 
     def _handle(self, op: str, params: dict, request_id,
                 timeout_ms: Optional[float], started: float,
@@ -521,7 +623,8 @@ class ReproServer:
                 status = protocol.STATUS_TIMEOUT
                 self._count("deadline_expired")
                 response = protocol.timeout_response(
-                    request_id, str(exc), exc.deadline_ms, exc.stages)
+                    request_id, str(exc), exc.deadline_ms, exc.stages,
+                    budgets=exc.budgets)
             except ValueError as exc:
                 status = protocol.STATUS_BAD_REQUEST
                 response = protocol.error_response(request_id, status,
@@ -535,6 +638,7 @@ class ReproServer:
                 with self._metrics_lock:
                     self._inflight -= 1
             sp.set("status", status)
+            sp.set("incarnation", self.incarnation_id)
             if deadline_ms:
                 sp.set("deadline_ms", deadline_ms)
             self._observe(op, status,
@@ -617,6 +721,81 @@ class ReproServer:
             remaining -= slice_s
         return {"slept_s": request["seconds"]}
 
+    # -- telemetry / streaming ------------------------------------------
+
+    def _latency_summary(self, snapshot: dict) -> dict:
+        entry = snapshot.get("serve.latency_ms")
+        if entry is None:
+            return {}
+        histogram = Histogram.from_snapshot("serve.latency_ms", entry)
+        return {"p50": histogram.quantile(0.50),
+                "p95": histogram.quantile(0.95),
+                "p99": histogram.quantile(0.99),
+                "mean": histogram.mean,
+                "count": histogram.count}
+
+    def telemetry_snapshot(self) -> dict:
+        """One compact telemetry sample (JSON-able).
+
+        The shared shape behind the continuous recorder
+        (``telemetry.jsonl`` lines), the ``stats --stream`` frames,
+        and ``repro top``: headline counters, live latency quantiles,
+        the admission window, and residency - small enough to sample
+        every few seconds without disturbing the serving path.
+        """
+        with self._metrics_lock:
+            snapshot = self.registry.snapshot()
+            inflight = self._inflight
+
+        def counter(name: str) -> float:
+            entry = snapshot.get(name)
+            if entry is None or entry.get("kind") != "counter":
+                return 0
+            return entry["value"]
+
+        return {
+            "ts": round(time.time(), 3),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "incarnation": self.incarnation_id,
+            "inflight": inflight,
+            "requests": counter("serve.requests"),
+            "errors": counter("serve.errors"),
+            "shed": counter("serve.shed"),
+            "rejected": counter("serve.rejected"),
+            "deadline_expired": counter("serve.deadline_expired"),
+            "latency_ms": self._latency_summary(snapshot),
+            "admission": self.admission.snapshot(),
+            "resident": len(self.session.warmed()),
+            "memoised": self.session.memoised_count(),
+        }
+
+    def _stream_stats(self, conn: socket.socket, spec: dict) -> bool:
+        """Push telemetry frames per the ``stats --stream`` spec.
+
+        The first frame went out as the op's own response; this pushes
+        the rest every ``interval_s`` seconds until ``count`` frames
+        total have been sent (0 = until the client disconnects or the
+        daemon stops).  Returns True when the stream ended on its own
+        count (connection stays usable), False when the connection
+        should close.
+        """
+        sent = 1                    # the dispatch response was frame 1
+        count = spec["count"]
+        while not self._stopping.is_set():
+            if count and sent >= count:
+                return True
+            if self._stopping.wait(spec["interval_s"]):
+                return False
+            sent += 1
+            frame = {"ok": True, "status": protocol.STATUS_OK,
+                     "stream": True, "seq": sent,
+                     "request_id": spec["request_id"],
+                     "incarnation": self.incarnation_id,
+                     "result": self.telemetry_snapshot()}
+            if not self._send(conn, protocol.encode(frame)):
+                return False
+        return False
+
     # -- control-op handlers --------------------------------------------
 
     def _op_health(self, params: dict) -> dict:
@@ -626,6 +805,7 @@ class ReproServer:
         admission = self.admission.snapshot()
         return {"status": admission["state"],
                 "pid": os.getpid(),
+                "incarnation": self.incarnation_id,
                 "uptime_s": round(time.monotonic() - self._started_at, 3),
                 "inflight": inflight,
                 "max_inflight": self.max_inflight,
@@ -637,23 +817,46 @@ class ReproServer:
                            in self.session.warmed()]}
 
     def _op_stats(self, params: dict) -> dict:
+        protocol.check_params(params, frozenset({"stream", "interval_s",
+                                                 "count"}))
+        if params.get("stream"):
+            interval = params.get("interval_s", 1.0)
+            if not isinstance(interval, (int, float)) \
+                    or isinstance(interval, bool) or interval <= 0:
+                raise ValueError(
+                    "'interval_s' must be a positive number")
+            count = params.get("count", 0)
+            if not isinstance(count, int) or isinstance(count, bool) \
+                    or count < 0:
+                raise ValueError("'count' must be an integer >= 0")
+            # Streamed mode returns the compact telemetry shape for
+            # every frame, this first one included, so consumers
+            # handle exactly one schema.
+            return self.telemetry_snapshot()
+        if params.get("interval_s") is not None \
+                or params.get("count"):
+            raise ValueError(
+                "'interval_s'/'count' require \"stream\": true")
+        with self._metrics_lock:
+            snapshot = self.registry.snapshot()
+        return {"uptime_s": round(time.monotonic() - self._started_at, 3),
+                "incarnation": self.incarnation_id,
+                "latency_ms": self._latency_summary(snapshot),
+                "admission": self.admission.snapshot(),
+                "metrics": snapshot}
+
+    def _op_metrics(self, params: dict) -> dict:
+        """Prometheus text exposition of the full metrics registry."""
         protocol.check_params(params, frozenset())
         with self._metrics_lock:
             snapshot = self.registry.snapshot()
-        summary = {}
-        entry = snapshot.get("serve.latency_ms")
-        if entry is not None:
-            histogram = Histogram.from_snapshot("serve.latency_ms",
-                                                entry)
-            summary = {"p50": histogram.quantile(0.50),
-                       "p95": histogram.quantile(0.95),
-                       "p99": histogram.quantile(0.99),
-                       "mean": histogram.mean,
-                       "count": histogram.count}
-        return {"uptime_s": round(time.monotonic() - self._started_at, 3),
-                "latency_ms": summary,
-                "admission": self.admission.snapshot(),
-                "metrics": snapshot}
+        text = prometheus.render(
+            snapshot,
+            info={"incarnation": self.incarnation_id,
+                  "pid": str(os.getpid()),
+                  "version": __version__})
+        return {"content_type": prometheus.CONTENT_TYPE,
+                "text": text}
 
     def _op_shutdown(self, params: dict) -> dict:
         protocol.check_params(params, frozenset())

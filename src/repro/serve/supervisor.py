@@ -8,7 +8,10 @@ service.  The state machine:
 
 1. **Run.**  Spawn the daemon command and wait for it to exit.  Before
    every spawn, a stale ``--port-file`` from a previous incarnation is
-   removed so clients never read a dead port.
+   removed so clients never read a dead port, and the child is stamped
+   with a unique ``REPRO_INCARNATION_ID`` (supervisor base + spawn
+   counter) that it echoes in every response and span, so journals
+   appended across restarts stay attributable per incarnation.
 2. **Exit triage.**  A clean exit (status 0 - operator shutdown via
    the ``shutdown`` op or SIGTERM) ends supervision.  Anything else is
    a crash.
@@ -30,6 +33,7 @@ line verbatim.
 
 from __future__ import annotations
 
+import os
 import random
 import signal
 import subprocess
@@ -37,6 +41,8 @@ import sys
 import time
 from pathlib import Path
 from typing import Callable, List, Optional, Union
+
+from repro.obs.spans import INCARNATION_ENV_VAR
 
 #: Exit status when the crash-loop breaker opens.
 BREAKER_EXIT_CODE = 75      # EX_TEMPFAIL: retrying later might work
@@ -79,6 +85,15 @@ class Supervisor:
         self._stop = False
         self.restarts = 0
         self.rapid_failures = 0     # consecutive, resets on a good run
+        #: Incarnation-id lineage: a per-supervisor base plus a spawn
+        #: counter gives every child a unique REPRO_INCARNATION_ID
+        #: (set in the environment just before each spawn, so the
+        #: ``spawn`` hook's signature stays a plain argv).  The daemon
+        #: echoes it in responses/spans, which is what lets
+        #: ``repro profile --request`` tell two incarnations apart.
+        self._incarnation_base = \
+            f"s{int(time.time() * 1000):x}-{os.getpid():x}"
+        self.incarnations: List[str] = []
 
     # -- control --------------------------------------------------------
 
@@ -117,6 +132,10 @@ class Supervisor:
         """Supervise until clean exit, stop(), or breaker; exit code."""
         while True:
             self._remove_stale_port_file()
+            incarnation = (f"{self._incarnation_base}."
+                           f"{len(self.incarnations)}")
+            os.environ[INCARNATION_ENV_VAR] = incarnation
+            self.incarnations.append(incarnation)
             started = self._clock()
             try:
                 self._child = self._spawn(self.command)

@@ -1,0 +1,124 @@
+"""``repro top``: a live terminal dashboard for a running daemon.
+
+Subscribes to the daemon's ``stats --stream`` op (one long-lived
+connection, server-pushed telemetry frames) and renders each frame as
+a compact dashboard: QPS, latency quantiles, LRU hit rate, shed/busy
+rates, residency, and the admission state - with the degraded /
+overloaded states highlighted in colour on a TTY.
+
+Rendering is a pure function of ``(frame, previous frame)`` so tests
+assert on exact output; the loop (:func:`run_top`) owns only the
+subscription, screen clearing, and exit codes.  On a TTY each frame
+repaints in place; piped output appends frames, so
+``repro top --count 3 | tee`` works as a poor man's sampler.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+from repro.serve.client import ServeClient
+from repro.serve.server import Address
+from repro.serve.telemetry import derive_rates
+
+#: ANSI paint per admission state (TTY only).
+_RESET = "\x1b[0m"
+_BOLD = "\x1b[1m"
+STATE_PAINT = {"ok": "\x1b[32m",            # green
+               "degraded": "\x1b[33m",      # yellow
+               "overloaded": "\x1b[31m"}    # red
+
+#: Clear screen + home cursor (frame repaint on a TTY).
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt(value, suffix: str = "", precision: int = 1) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}{suffix}"
+    return f"{value}{suffix}"
+
+
+def render_frame(frame: dict, previous: Optional[dict] = None,
+                 color: bool = False) -> str:
+    """One telemetry frame as dashboard text.
+
+    ``previous`` supplies the counter baseline for QPS/error rates
+    when the frame itself carries none (streamed frames are raw
+    snapshots; rates are derived client-side exactly like the
+    on-disk recorder derives them).
+    """
+    doc = frame if "qps" in frame else derive_rates(frame, previous)
+    admission = doc.get("admission", {})
+    state = admission.get("state", "?")
+    window = admission.get("window", {})
+    latency = doc.get("latency_ms", {})
+    if color:
+        paint = STATE_PAINT.get(state, "")
+        state_text = f"{paint}{_BOLD}{state.upper()}{_RESET}"
+    else:
+        state_text = state.upper()
+    hit_rate = window.get("hit_rate")
+    lines = [
+        (f"repro serve [{state_text}]  incarnation "
+         f"{doc.get('incarnation', '?')}  up "
+         f"{_fmt(doc.get('uptime_s'), 's')}"),
+        (f"  qps {_fmt(doc.get('qps'))}"
+         f"  requests {doc.get('requests', 0)}"
+         f"  errors {doc.get('errors', 0)}"
+         f"  inflight {doc.get('inflight', 0)}"
+         f"  pending {admission.get('pending', 0)}"),
+        (f"  latency p50 {_fmt(latency.get('p50'), 'ms')}"
+         f"  p95 {_fmt(latency.get('p95'), 'ms')}"
+         f"  p99 {_fmt(latency.get('p99'), 'ms')}"
+         f"  mean {_fmt(latency.get('mean'), 'ms', 2)}"),
+        (f"  lru hit-rate "
+         f"{_fmt(100.0 * hit_rate if hit_rate is not None else None, '%')}"
+         f"  evictions/s {_fmt(window.get('evictions_per_s'), '', 2)}"
+         f"  shed {doc.get('shed', 0)}"
+         f"  rejected {doc.get('rejected', 0)}"
+         f"  deadline-expired {doc.get('deadline_expired', 0)}"),
+        (f"  resident traces {doc.get('resident', 0)}"
+         f"  memoised responses {doc.get('memoised', 0)}"),
+    ]
+    return "\n".join(lines)
+
+
+def run_top(address: Address, interval_s: float = 1.0, count: int = 0,
+            out: Optional[IO[str]] = None, color: Optional[bool] = None,
+            clear: Optional[bool] = None) -> int:
+    """Stream telemetry from ``address`` and render frames to ``out``.
+
+    ``count`` frames then exit (0 = until interrupted or the daemon
+    goes away).  ``color``/``clear`` default to TTY detection.
+    Returns 0 after at least one rendered frame, 1 when the daemon
+    answered with an error or no frame ever arrived.
+    """
+    out = out if out is not None else sys.stdout
+    is_tty = bool(getattr(out, "isatty", lambda: False)())
+    color = is_tty if color is None else color
+    clear = is_tty if clear is None else clear
+    rendered = 0
+    previous: Optional[dict] = None
+    with ServeClient(address) as client:
+        for document in client.stream_stats(interval_s=interval_s,
+                                            count=count):
+            if not document.get("ok"):
+                print(f"repro top: [{document.get('status')}] "
+                      f"{document.get('error', 'unknown error')}",
+                      file=sys.stderr)
+                return 1
+            frame = document.get("result", {})
+            text = render_frame(frame, previous, color=color)
+            if clear:
+                out.write(CLEAR)
+            out.write(text + "\n")
+            out.flush()
+            previous = frame
+            rendered += 1
+    if rendered == 0:
+        print("repro top: no telemetry frames received", file=sys.stderr)
+        return 1
+    return 0

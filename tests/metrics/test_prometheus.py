@@ -1,0 +1,83 @@
+"""Prometheus text exposition of a registry snapshot."""
+
+import math
+
+from repro.metrics import prometheus
+
+
+def _lines(text):
+    return [line for line in text.splitlines() if line]
+
+
+class TestNames:
+    def test_dots_become_underscores_with_namespace(self):
+        assert prometheus.metric_name("serve.requests") \
+            == "repro_serve_requests"
+
+    def test_leading_digit_is_guarded(self):
+        name = prometheus.metric_name("2bit.accuracy")
+        assert name == "repro_2bit_accuracy"   # namespace guards it
+
+    def test_bare_leading_digit_without_namespace(self):
+        assert prometheus.metric_name("2bit", namespace="") == "_2bit"
+
+
+class TestRender:
+    def test_counter_renders_with_total_suffix(self):
+        text = prometheus.render(
+            {"serve.requests": {"kind": "counter", "value": 7}})
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 7" in _lines(text)
+
+    def test_gauge_renders_and_unset_gauge_is_skipped(self):
+        text = prometheus.render({
+            "serve.inflight": {"kind": "gauge", "value": 3,
+                               "updates": 5},
+            "serve.unset": {"kind": "gauge", "value": None,
+                            "updates": 0},
+        })
+        assert "repro_serve_inflight 3" in _lines(text)
+        assert "unset" not in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        snapshot = {"serve.latency_ms": {
+            "kind": "histogram", "count": 6, "sum": 30.0,
+            "min": 1.0, "max": 20.0,
+            "bounds": [5.0, 10.0], "buckets": [3, 2, 1]}}
+        text = prometheus.render(snapshot)
+        lines = _lines(text)
+        assert 'repro_serve_latency_ms_bucket{le="5"} 3' in lines
+        assert 'repro_serve_latency_ms_bucket{le="10"} 5' in lines
+        assert 'repro_serve_latency_ms_bucket{le="+Inf"} 6' in lines
+        assert "repro_serve_latency_ms_sum 30" in lines
+        assert "repro_serve_latency_ms_count 6" in lines
+
+    def test_info_labels_are_escaped(self):
+        text = prometheus.render({}, info={"incarnation": 'a"b\\c'})
+        assert 'incarnation="a\\"b\\\\c"' in text
+        assert "repro_serve_info{" in text
+
+    def test_timeseries_renders_count_and_sum(self):
+        snapshot = {"engine.cells": {
+            "kind": "timeseries", "interval": 1.0, "count": 4,
+            "sum": 10.0, "sumsq": 30.0, "points": []}}
+        text = prometheus.render(snapshot)
+        lines = _lines(text)
+        assert "repro_engine_cells_count 4" in lines
+        assert "repro_engine_cells_sum 10" in lines
+
+    def test_nan_and_infinities_use_prometheus_spelling(self):
+        assert prometheus._num(math.nan) == "NaN"
+        assert prometheus._num(math.inf) == "+Inf"
+        assert prometheus._num(-math.inf) == "-Inf"
+        assert prometheus._num(3.0) == "3"
+        assert prometheus._num(2.5) == "2.5"
+
+    def test_exposition_ends_with_newline_and_dedupes_collisions(self):
+        text = prometheus.render({
+            "a.b": {"kind": "counter", "value": 1},
+            "a_b": {"kind": "counter", "value": 2},
+        })
+        assert text.endswith("\n")
+        # Both names sanitise to repro_a_b_total; only one survives.
+        assert text.count("# TYPE repro_a_b_total counter") == 1

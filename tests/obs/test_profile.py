@@ -170,3 +170,125 @@ class TestProfileCommand:
                      "--threshold", "2.0"]) == 0
         assert main(["profile", str(tmp_path), "--check",
                      "--baseline", str(tmp_path / "absent.json")]) == 0
+
+
+class TestRotatedSegments:
+    def test_load_folds_rotated_main_and_worker_segments(self,
+                                                         tmp_path):
+        _three_span_run(tmp_path)
+        (tmp_path / (spans.JOURNAL + spans.ROTATED_SUFFIX)).write_text(
+            json.dumps(_span("old:root", "90.1", None, 0.1, 0.2))
+            + "\n")
+        (tmp_path / f"{spans.WORKER_PREFIX}7.jsonl"
+         f"{spans.ROTATED_SUFFIX}").write_text(
+            json.dumps(_span("old:cell", "7.1", "100.2", 1.05, 0.1,
+                             pid=7)) + "\n")
+        run = profile.load_run(tmp_path)
+        names = [s["name"] for s in run.spans]
+        assert "old:root" in names
+        assert "old:cell" in names
+        assert len(run.spans) == 5
+
+    def test_bare_journal_file_folds_its_rotated_sibling(self,
+                                                         tmp_path):
+        journal = tmp_path / spans.JOURNAL
+        journal.write_text(
+            json.dumps(_span("new", "1.2", None, 2.0, 1.0)) + "\n")
+        journal.with_name(journal.name + spans.ROTATED_SUFFIX)\
+            .write_text(
+                json.dumps(_span("old", "1.1", None, 1.0, 1.0)) + "\n")
+        run = profile.load_run(journal)
+        assert [s["name"] for s in run.spans] == ["old", "new"]
+
+
+def _request_run(directory, incarnation, request_id, attempt,
+                 completed, start=1.0, started_unix=1000.0):
+    """A daemon-style run directory: one request's spans."""
+    entries = [
+        _span("serve:request:start", f"{attempt}00.1", None, start,
+              0.0, op="regions", incarnation=incarnation,
+              request=request_id, request_attempt=attempt),
+    ]
+    if completed:
+        entries += [
+            _span("serve:request", f"{attempt}00.2", None, start, 0.5,
+                  op="regions", status=200, incarnation=incarnation,
+                  request=request_id, request_attempt=attempt),
+            # Inherits its incarnation down the parent chain.
+            _span("api:trace", f"{attempt}00.3", f"{attempt}00.2",
+                  start + 0.1, 0.3, request=request_id,
+                  request_attempt=attempt),
+        ]
+    directory.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps(entry) for entry in entries]
+    (directory / spans.JOURNAL).write_text("\n".join(lines) + "\n")
+    document = run_manifest.build_manifest("req-run", command="serve")
+    document["started_unix"] = started_unix
+    document["started_monotonic"] = 0.0
+    document["incarnation_id"] = incarnation
+    run_manifest.write_manifest(directory, document)
+
+
+class TestRequestTimeline:
+    def test_merges_two_incarnations_on_the_wall_clock(self, tmp_path):
+        # Incarnation A started attempt 0 and died; B completed
+        # attempt 1 from a *different* run directory with a different
+        # clock anchor.
+        _request_run(tmp_path / "a", "s1-1.0", "req-9", 0,
+                     completed=False, start=5.0, started_unix=1000.0)
+        _request_run(tmp_path / "b", "s1-1.1", "req-9", 1,
+                     completed=True, start=2.0, started_unix=1010.0)
+        runs = profile.load_runs([tmp_path / "a", tmp_path / "b"])
+        timeline = profile.request_timeline(runs, "req-9")
+        assert timeline.incarnations == ["s1-1.0", "s1-1.1"]
+        # Wall-clock order: A's event at 1005, B's spans at 1012+.
+        assert [e["t"] for e in timeline.entries] \
+            == sorted(e["t"] for e in timeline.entries)
+        attempts = timeline.attempts
+        assert attempts[0]["outcome"] == "started, never completed"
+        assert attempts[1]["outcome"] == "completed status 200"
+        # The unstamped-by-attr child resolved via its parent chain.
+        child = next(e for e in timeline.entries
+                     if e["name"] == "api:trace")
+        assert child["incarnation"] == "s1-1.1"
+        text = profile.render_request_timeline(timeline)
+        assert "2 attempt(s) across 2 incarnation(s)" in text
+        assert "s1-1.0" in text and "s1-1.1" in text
+
+    def test_other_requests_are_excluded(self, tmp_path):
+        _request_run(tmp_path / "a", "i-1", "req-1", 0, completed=True)
+        _request_run(tmp_path / "b", "i-1", "req-2", 0, completed=True)
+        runs = profile.load_runs([tmp_path / "a", tmp_path / "b"])
+        timeline = profile.request_timeline(runs, "req-1")
+        assert timeline.entries
+        assert all(e["attrs"]["request"] == "req-1"
+                   for e in timeline.entries)
+        assert timeline.sources == [(tmp_path / "a")]
+
+    def test_profile_request_flag_renders_timeline(self, tmp_path,
+                                                   capsys):
+        _request_run(tmp_path / "a", "i-1", "req-1", 0, completed=True)
+        code = main(["profile", str(tmp_path / "a"),
+                     "--request", "req-1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Request req-1" in out
+        assert "completed status 200" in out
+
+    def test_profile_request_flag_exits_one_when_absent(self, tmp_path,
+                                                        capsys):
+        _request_run(tmp_path / "a", "i-1", "req-1", 0, completed=True)
+        code = main(["profile", str(tmp_path / "a"),
+                     "--request", "missing"])
+        assert code == 1
+        assert "no spans found" in capsys.readouterr().out
+
+    def test_profile_renders_multiple_runs(self, tmp_path, capsys):
+        for name in ("a", "b"):
+            (tmp_path / name).mkdir()
+            _three_span_run(tmp_path / name)
+        code = main(["profile", str(tmp_path / "a"),
+                     str(tmp_path / "b")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("Span tree") == 2

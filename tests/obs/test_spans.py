@@ -102,7 +102,8 @@ class TestWorkerMerge:
         tracer = spans.enable(tmp_path, run_id="run")
         with spans.span("engine:run_cells") as engine_span:
             state = spans.worker_state()
-            assert state == (str(tmp_path), "run", engine_span.span_id)
+            assert state == (str(tmp_path), "run", engine_span.span_id,
+                             None, None)
             # Simulate a pool worker: its own journal file, top-level
             # spans parented to the engine span that spawned it.
             worker = spans.SpanTracer(

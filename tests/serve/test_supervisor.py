@@ -293,3 +293,164 @@ class TestSupervisedRecoverySmoke:
             supervisor.stop()
             thread.join(30.0)
             suite.clear_caches()
+
+
+class TestIncarnationStamping:
+    def test_each_spawn_gets_a_unique_incarnation(self):
+        from repro.obs.spans import INCARNATION_ENV_VAR
+
+        clock = FakeClock()
+        children = iter([(10.0, 1), (10.0, 137), (10.0, 0)])
+        stamped = []
+
+        class FakeChild:
+            def __init__(self, lifetime, code):
+                self._lifetime, self._code = lifetime, code
+
+            def wait(self):
+                clock.now += self._lifetime
+                return self._code
+
+            def poll(self):
+                return self._code
+
+            def terminate(self):
+                pass
+
+        def spawn(command):
+            # What a real child would inherit through its environment.
+            stamped.append(os.environ.get(INCARNATION_ENV_VAR))
+            return FakeChild(*next(children))
+
+        supervisor = Supervisor(["daemon"], spawn=spawn, clock=clock,
+                                sleep=lambda _s: None,
+                                breaker_threshold=5)
+        assert supervisor.run() == 0
+        assert stamped == supervisor.incarnations
+        assert len(set(stamped)) == 3
+        base = supervisor._incarnation_base
+        assert stamped == [f"{base}.0", f"{base}.1", f"{base}.2"]
+
+    def test_bases_differ_across_supervisors(self):
+        first = Supervisor(["daemon"], spawn=lambda c: None)
+        second = Supervisor(["daemon"], spawn=lambda c: None)
+        # Same pid, so uniqueness rides on the millisecond timestamp;
+        # equal bases would still diverge per spawn counter, but two
+        # supervisors in one test run are overwhelmingly distinct.
+        assert first._incarnation_base.startswith("s")
+        assert second._incarnation_base.startswith("s")
+
+
+@pytest.mark.slow
+class TestCrossIncarnationTimeline:
+    """The PR acceptance drill: one client request_id, attempt 0 dies
+    with its incarnation (SIGKILL mid-request), the retry lands on the
+    supervised successor, and ``repro profile --request`` merges both
+    incarnations' journals into a single timeline."""
+
+    REQUEST_ID = "chaos-req-1"
+
+    def _wait_for_journal(self, journal, needle, deadline_s=120.0):
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            try:
+                if needle in journal.read_text(encoding="utf-8"):
+                    return
+            except OSError:
+                pass
+            time.sleep(0.05)
+        raise AssertionError(f"{needle!r} never reached {journal}")
+
+    def test_sigkill_mid_request_reconstructs_one_timeline(self,
+                                                           tmp_path):
+        from repro.obs import profile as obs_profile
+        from repro.obs.spans import JOURNAL
+
+        sock = str(tmp_path / "serve.sock")
+        trace_dir = tmp_path / "trace"
+        # The stall (fires once per process, on the first regions
+        # request) holds attempt 0 open long enough to SIGKILL the
+        # daemon deterministically mid-request; the successor's stall
+        # just slows the retry down.
+        argv = ["--unix-socket", sock, "--warm", f"{NAME}@0.05",
+                "--max-resident", "4", "--trace-spans", str(trace_dir),
+                "--inject-fault",
+                "serve:stall,op=regions,seconds=3,times=1"]
+        supervisor = Supervisor(serve_child_command(argv),
+                                backoff_s=0.1, rapid_window_s=0.2,
+                                breaker_threshold=5,
+                                log=lambda _line: None)
+        box = {}
+        runner = threading.Thread(
+            target=lambda: box.update(code=supervisor.run()),
+            daemon=True)
+        runner.start()
+        call_box = {}
+        caller = None
+        try:
+            probe = connect_with_retry(sock, deadline_s=120.0,
+                                       timeout=30.0)
+            health = probe.health()
+            first_pid = health["pid"]
+            first_incarnation = health["incarnation"]
+            probe.close()
+            assert first_incarnation.endswith(".0")
+
+            def chaos_call():
+                try:
+                    client = ServeClient(sock, timeout=60.0,
+                                         retries=20, backoff_s=0.5)
+                    call_box["response"] = client.call(
+                        "regions", names=[NAME], scale=0.05,
+                        request_id=self.REQUEST_ID)
+                    client.close()
+                except BaseException as exc:
+                    call_box["error"] = exc
+
+            caller = threading.Thread(target=chaos_call, daemon=True)
+            caller.start()
+            # The serve:request:start event flushes before the
+            # injected stall, so once it is journalled the request is
+            # provably in flight - kill the daemon under it.
+            self._wait_for_journal(trace_dir / JOURNAL,
+                                   self.REQUEST_ID)
+            os.kill(first_pid, signal.SIGKILL)
+
+            caller.join(180.0)
+            assert not caller.is_alive(), "retrying call never ended"
+            assert "error" not in call_box, \
+                f"call failed: {call_box.get('error')!r}"
+            response = call_box["response"]
+            assert response["ok"]
+            assert response["request_id"] == self.REQUEST_ID
+            assert response["attempt"] >= 1
+            second_incarnation = response["incarnation"]
+            assert second_incarnation != first_incarnation
+
+            closer = connect_with_retry(sock, deadline_s=60.0,
+                                        timeout=30.0)
+            closer.shutdown()
+            closer.close()
+            runner.join(60.0)
+            assert not runner.is_alive()
+            assert box["code"] == 0
+        finally:
+            supervisor.stop()
+            runner.join(30.0)
+            suite.clear_caches()
+
+        # One merged timeline across both incarnations' spans.
+        runs = obs_profile.load_runs([trace_dir])
+        timeline = obs_profile.request_timeline(runs, self.REQUEST_ID)
+        assert timeline.incarnations == [first_incarnation,
+                                         second_incarnation]
+        attempts = timeline.attempts
+        assert attempts[0]["attempt"] == 0
+        assert attempts[0]["outcome"] == "started, never completed"
+        assert attempts[0]["incarnations"] == [first_incarnation]
+        assert attempts[-1]["outcome"] == "completed status 200"
+        assert attempts[-1]["incarnations"] == [second_incarnation]
+        text = obs_profile.render_request_timeline(timeline)
+        assert first_incarnation in text
+        assert second_incarnation in text
+        assert "started, never completed" in text

@@ -1,0 +1,319 @@
+"""Request correlation, telemetry, and exposition on the serve path.
+
+End-to-end checks of the PR's observability layer: client-minted
+``request_id`` threading through the daemon's span journals and
+response envelopes, deadline budgets in 504 payloads, the Prometheus
+``metrics`` op, ``stats --stream`` push frames, the continuous
+telemetry recorder riding a live server, and the ``repro top``
+renderer.
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro import api
+from repro.obs import profile as obs_profile
+from repro.obs import spans
+from repro.serve import telemetry
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import ReproServer
+from repro.serve.top import render_frame, run_top
+from repro.workloads import suite
+
+SCALE = 0.2
+NAME = "db_vortex"
+
+
+@pytest.fixture(scope="module")
+def warm_server():
+    session = api.Session(resident=True)
+    session.warm([(NAME, SCALE)])
+    server = ReproServer(session, port=0, max_inflight=8,
+                         queue_depth=16)
+    address = server.start()
+    yield server, address
+    server.shutdown(drain=True)
+    suite.clear_caches()
+
+
+class TestRequestCorrelation:
+    def test_response_echoes_request_id_attempt_incarnation(
+            self, warm_server):
+        server, address = warm_server
+        with ServeClient(address) as client:
+            response = client.call("predict", names=[NAME],
+                                   scale=SCALE)
+        assert response["request_id"] == client.last_request_id
+        assert response["attempt"] == 0
+        assert response["incarnation"] == server.incarnation_id
+
+    def test_request_ids_are_unique_per_call(self, warm_server):
+        _, address = warm_server
+        with ServeClient(address) as client:
+            client.health()
+            first = client.last_request_id
+            client.health()
+            second = client.last_request_id
+        assert first != second
+
+    def test_caller_supplied_request_id_is_used(self, warm_server):
+        _, address = warm_server
+        with ServeClient(address) as client:
+            response = client.call("health",
+                                   request_id="ext-trace-42")
+        assert response["request_id"] == "ext-trace-42"
+        assert client.last_request_id == "ext-trace-42"
+
+    def test_server_mints_id_for_clients_that_send_none(
+            self, warm_server):
+        server, address = warm_server
+        with socket.create_connection(address, timeout=10.0) as sock:
+            sock.sendall(b'{"op": "health", "id": 1}\n')
+            line = sock.makefile("rb").readline()
+        response = json.loads(line)
+        assert response["request_id"].startswith(
+            f"srv-{server.incarnation_id}-")
+
+    def test_health_reports_incarnation(self, warm_server):
+        server, address = warm_server
+        with ServeClient(address) as client:
+            health = client.health()
+        assert health["incarnation"] == server.incarnation_id
+
+    def test_protocol_error_response_carries_incarnation(
+            self, warm_server):
+        server, address = warm_server
+        with socket.create_connection(address, timeout=10.0) as sock:
+            sock.sendall(b'{"op": 7}\n')
+            line = sock.makefile("rb").readline()
+        response = json.loads(line)
+        assert response["status"] == 400
+        assert response["incarnation"] == server.incarnation_id
+
+
+class TestSpanStamping:
+    def test_request_tree_is_stamped_and_event_flushed(self, tmp_path):
+        spans.enable(tmp_path, run_id="trace-run")
+        try:
+            session = api.Session(resident=True)
+            server = ReproServer(session, port=0)
+            address = server.start()
+            try:
+                with ServeClient(address) as client:
+                    client.result("predict", names=[NAME], scale=SCALE)
+                    request_id = client.last_request_id
+            finally:
+                server.shutdown(drain=True)
+        finally:
+            spans.disable()
+            suite.clear_caches()
+        run = obs_profile.load_run(tmp_path)
+        stamped = [span for span in run.spans
+                   if span["attrs"].get("request") == request_id]
+        names = {span["name"] for span in stamped}
+        # The flushed start event, the lifecycle span, and the
+        # session's work underneath all carry the client's id.
+        assert "serve:request:start" in names
+        assert "serve:request" in names
+        assert len(names) > 2
+        lifecycle = next(span for span in stamped
+                         if span["name"] == "serve:request")
+        assert lifecycle["attrs"]["incarnation"] \
+            == server.incarnation_id
+        assert lifecycle["attrs"]["status"] == 200
+        assert all(span["attrs"].get("request_attempt") == 0
+                   for span in stamped)
+        # And the manifest records which incarnation appended.
+        assert run.manifest["incarnation_id"] == server.incarnation_id
+
+    def test_request_timeline_renders_from_journal(self, tmp_path):
+        spans.enable(tmp_path, run_id="tl-run")
+        try:
+            session = api.Session(resident=True)
+            server = ReproServer(session, port=0)
+            address = server.start()
+            try:
+                with ServeClient(address) as client:
+                    client.result("predict", names=[NAME], scale=SCALE)
+                    request_id = client.last_request_id
+            finally:
+                server.shutdown(drain=True)
+        finally:
+            spans.disable()
+            suite.clear_caches()
+        runs = obs_profile.load_runs([tmp_path])
+        timeline = obs_profile.request_timeline(runs, request_id)
+        assert timeline.entries
+        assert timeline.incarnations == [server.incarnation_id]
+        [attempt] = timeline.attempts
+        assert attempt["attempt"] == 0
+        assert attempt["outcome"] == "completed status 200"
+        text = obs_profile.render_request_timeline(timeline)
+        assert request_id in text
+        assert server.incarnation_id in text
+
+    def test_missing_request_renders_a_hint(self):
+        timeline = obs_profile.request_timeline([], "nope")
+        text = obs_profile.render_request_timeline(timeline)
+        assert "no spans found" in text
+
+
+class TestDeadlineBudgets:
+    def test_504_payload_carries_remaining_budgets(self):
+        session = api.Session(resident=True)
+        server = ReproServer(session, port=0, debug_ops=True)
+        address = server.start()
+        try:
+            with ServeClient(address) as client:
+                response = client.call("sleep", seconds=2.0,
+                                       timeout_ms=60.0)
+        finally:
+            server.shutdown(drain=True)
+        assert response["status"] == 504
+        assert response["stages"]
+        budgets = response["budget_ms"]
+        assert budgets
+        labels = [label for label, _ in budgets]
+        assert labels[0] == "serve:sleep"
+        # Remaining budget only shrinks as stages complete.
+        remaining = [ms for _, ms in budgets]
+        assert remaining == sorted(remaining, reverse=True)
+        assert all(ms <= 60.0 for ms in remaining)
+
+
+class TestMetricsOp:
+    def test_prometheus_exposition(self, warm_server):
+        server, address = warm_server
+        with ServeClient(address) as client:
+            client.result("predict", names=[NAME], scale=SCALE)
+            text = client.metrics_text()
+        lines = text.splitlines()
+        assert any(line.startswith("repro_serve_requests_total ")
+                   for line in lines)
+        assert f'incarnation="{server.incarnation_id}"' in text
+        assert "# TYPE repro_serve_latency_ms histogram" in text
+        # Every sample line parses as "name{labels} value".
+        for line in lines:
+            if line.startswith("#") or not line:
+                continue
+            name, _, value = line.rpartition(" ")
+            assert name
+            float(value)    # raises if malformed
+
+    def test_metrics_rejects_params(self, warm_server):
+        _, address = warm_server
+        with ServeClient(address) as client:
+            with pytest.raises(ServeError) as exc_info:
+                client.result("metrics", verbose=True)
+        assert exc_info.value.status == 400
+
+
+class TestStatsStream:
+    def test_stream_pushes_frames_then_connection_survives(
+            self, warm_server):
+        server, address = warm_server
+        with ServeClient(address) as client:
+            frames = list(client.stream_stats(interval_s=0.05,
+                                              count=3))
+            stream_id = client.last_request_id
+            # The subscription ended on its own count: the same
+            # connection keeps answering.
+            health = client.health()
+        assert len(frames) == 3
+        assert health["incarnation"] == server.incarnation_id
+        first, *pushed = frames
+        assert first["result"]["incarnation"] == server.incarnation_id
+        assert "requests" in first["result"]
+        for index, frame in enumerate(pushed):
+            assert frame["stream"] is True
+            assert frame["seq"] == index + 2
+            assert frame["request_id"] == stream_id
+            assert frame["result"]["uptime_s"] >= \
+                first["result"]["uptime_s"]
+
+    def test_stream_validation_errors_are_400(self, warm_server):
+        _, address = warm_server
+        with ServeClient(address) as client:
+            bad_interval = client.call("stats", stream=True,
+                                       interval_s=-1)
+            assert bad_interval["status"] == 400
+            bad_count = client.call("stats", stream=True,
+                                    count="lots")
+            assert bad_count["status"] == 400
+            no_stream = client.call("stats", interval_s=5)
+            assert no_stream["status"] == 400
+
+    def test_plain_stats_still_returns_full_snapshot(self, warm_server):
+        server, address = warm_server
+        with ServeClient(address) as client:
+            stats = client.stats()
+        assert stats["incarnation"] == server.incarnation_id
+        assert "metrics" in stats
+
+
+class TestServerTelemetry:
+    def test_recorder_rides_the_server_lifecycle(self, tmp_path):
+        path = tmp_path / telemetry.FILENAME
+        session = api.Session(resident=True)
+        server = ReproServer(session, port=0, telemetry_path=path,
+                             telemetry_interval_s=30.0)
+        address = server.start()
+        try:
+            with ServeClient(address) as client:
+                client.result("predict", names=[NAME], scale=SCALE)
+        finally:
+            server.shutdown(drain=True)
+            suite.clear_caches()
+        samples = telemetry.read_telemetry(path)
+        # Interval far beyond the test: the sample is the final flush.
+        assert samples
+        last = samples[-1]
+        assert last["incarnation"] == server.incarnation_id
+        assert last["requests"] >= 1
+        assert last["admission"]["state"] in ("ok", "degraded",
+                                              "overloaded")
+
+
+class TestTopRenderer:
+    FRAME = {
+        "ts": 100.0, "uptime_s": 12.5, "incarnation": "i-abc-1",
+        "inflight": 1, "requests": 50, "errors": 2, "shed": 3,
+        "rejected": 0, "deadline_expired": 0,
+        "latency_ms": {"p50": 1.5, "p95": 4.0, "p99": 9.0,
+                       "mean": 2.25, "count": 50},
+        "admission": {"state": "degraded", "pending": 2,
+                      "window": {"hit_rate": 0.75,
+                                 "evictions_per_s": 0.5}},
+        "resident": 4, "memoised": 7,
+    }
+
+    def test_render_frame_plain(self):
+        text = render_frame(self.FRAME)
+        assert "[DEGRADED]" in text
+        assert "incarnation i-abc-1" in text
+        assert "p95 4.0ms" in text
+        assert "lru hit-rate 75.0%" in text
+        assert "shed 3" in text
+        assert "\x1b[" not in text
+
+    def test_render_frame_color_paints_state(self):
+        text = render_frame(self.FRAME, color=True)
+        assert "\x1b[33m" in text           # yellow for degraded
+        assert "DEGRADED" in text
+
+    def test_rates_derive_from_previous_frame(self):
+        current = dict(self.FRAME, ts=110.0, requests=150)
+        text = render_frame(current, self.FRAME)
+        assert "qps 10.0" in text
+
+    def test_run_top_against_live_server(self, warm_server, capsys):
+        _, address = warm_server
+        import io
+        out = io.StringIO()
+        code = run_top(address, interval_s=0.05, count=2, out=out,
+                       color=False, clear=False)
+        assert code == 0
+        frames = out.getvalue().strip().split("repro serve ")
+        assert len([f for f in frames if f]) == 2

@@ -17,10 +17,18 @@ Malformed journal lines are skipped with a warning (the journal is
 append-only and may interleave writers), and specs that only appear
 in some runs render as blanks in the others.
 
+``--telemetry FILE`` switches to a different input: the bounded
+``telemetry.jsonl`` ring buffer a ``repro serve --telemetry`` daemon
+samples itself into.  Each sample becomes one row (qps, p95 latency,
+LRU hit rate, shed counter, admission state), with the same per-series
+first/last/best summary - so a daemon's last hours are readable from
+the artifact alone, no live socket needed.
+
 Usage:
     python tools/bench_trend.py                       # default journal
     python tools/bench_trend.py --history PATH --out trend.txt
     python tools/bench_trend.py --last 20             # newest 20 runs
+    python tools/bench_trend.py --telemetry telemetry.jsonl
 """
 
 from __future__ import annotations
@@ -112,17 +120,94 @@ def render(entries, last=None) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _telemetry_cell(sample, key):
+    """One rendered cell of the telemetry table ("" when absent)."""
+    if key == "time":
+        ts = sample.get("ts")
+        if not isinstance(ts, (int, float)):
+            return "?"
+        from datetime import datetime, timezone
+        return datetime.fromtimestamp(
+            ts, tz=timezone.utc).strftime("%H:%M:%S")
+    if key == "state":
+        return str((sample.get("admission") or {}).get("state", "?"))
+    if key == "p95_ms":
+        value = (sample.get("latency_ms") or {}).get("p95")
+    elif key == "hit_rate":
+        value = ((sample.get("admission") or {}).get("window")
+                 or {}).get("hit_rate")
+    else:
+        value = sample.get(key)
+    return f"{value:.2f}" if isinstance(value, (int, float)) else ""
+
+
+#: Telemetry columns, in display order (``time``/``state`` are text).
+_TELEMETRY_COLUMNS = ("time", "qps", "p95_ms", "hit_rate", "shed",
+                      "inflight", "state")
+
+
+def render_telemetry(samples, last=None) -> str:
+    """A ``telemetry.jsonl`` series as a trend table + summary."""
+    if not samples:
+        return "no telemetry samples recorded yet\n"
+    shown = samples[-last:] if last else samples
+    header = list(_TELEMETRY_COLUMNS)
+    rows = [header]
+    for sample in shown:
+        rows.append([_telemetry_cell(sample, key) for key in header])
+    widths = [max(len(row[i]) for row in rows)
+              for i in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append("  ".join(
+            cell.ljust(widths[i]) if header[i] in ("time", "state")
+            else cell.rjust(widths[i])
+            for i, cell in enumerate(row)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    incarnations = []
+    for sample in shown:
+        inc = sample.get("incarnation")
+        if inc and inc not in incarnations:
+            incarnations.append(inc)
+    lines.append("")
+    lines.append(f"{len(shown)} samples, incarnation(s): "
+                 f"{' '.join(incarnations) or '?'}")
+    for key in ("qps", "p95_ms", "hit_rate"):
+        series = []
+        for sample in shown:
+            cell = _telemetry_cell(sample, key)
+            if cell:
+                series.append(float(cell))
+        if not series:
+            continue
+        lines.append(f"  {key}: first {series[0]:.2f}  last "
+                     f"{series[-1]:.2f}  min {min(series):.2f}  "
+                     f"max {max(series):.2f}  ({len(series)} samples)")
+    return "\n".join(lines) + "\n"
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Render benchmark trend from history.jsonl")
     parser.add_argument("--history", type=Path, default=HISTORY_PATH,
                         help="history journal to read [%(default)s]")
+    parser.add_argument("--telemetry", type=Path, default=None,
+                        metavar="FILE",
+                        help="render a 'repro serve --telemetry' ring "
+                             "buffer instead of the benchmark history")
     parser.add_argument("--last", type=int, default=None,
                         help="only show the newest N runs")
     parser.add_argument("--out", type=Path, default=None,
                         help="also write the rendering to this file")
     args = parser.parse_args(argv)
-    text = render(load_history(args.history), last=args.last)
+    if args.telemetry is not None:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.serve.telemetry import read_telemetry
+        text = render_telemetry(read_telemetry(args.telemetry),
+                                last=args.last)
+    else:
+        text = render(load_history(args.history), last=args.last)
     sys.stdout.write(text)
     if args.out:
         args.out.parent.mkdir(parents=True, exist_ok=True)
